@@ -1,0 +1,88 @@
+// Ablation: decision-diagram package micro-benchmarks (google-benchmark).
+// Measures the substrate the MAPI/FUJITA engines stand on: apply() on
+// structured BDD families, the Fujita spectral transform, spectrum->ADD
+// conversion, and a garbage-collection cycle.
+
+#include <benchmark/benchmark.h>
+
+#include "dd/walsh.h"
+#include "spectral/spectrum.h"
+
+namespace {
+
+using namespace sani;
+
+// n-variable majority-ish function: layered XOR/AND mix with polynomial BDD
+// size — a stable workload for apply().
+dd::Bdd layered_function(dd::Manager& m, int n) {
+  dd::Bdd f = dd::Bdd::var(m, 0);
+  for (int i = 1; i < n; ++i) {
+    dd::Bdd x = dd::Bdd::var(m, i);
+    f = (i % 3 == 0) ? (f & x) : (f ^ x);
+  }
+  return f;
+}
+
+// Computed-table hit latency: the second and later apply() calls on the
+// same operands resolve entirely from the cache.
+void BM_CachedApply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dd::Manager m(n);
+  dd::Bdd f = layered_function(m, n);
+  dd::Bdd g = f.cofactor(0, true) ^ dd::Bdd::var(m, n - 1);
+  for (auto _ : state) {
+    dd::Bdd h = f & g;
+    benchmark::DoNotOptimize(h.node());
+  }
+}
+
+// Cold construction: a fresh manager per iteration, building the whole
+// layered function and its spectrum from nothing (hash-consing + apply +
+// butterfly, no warm caches).
+void BM_ColdBuildAndTransform(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dd::Manager m(n, 14);
+    dd::Bdd f = layered_function(m, n);
+    dd::Add s = dd::walsh_transform(f);
+    benchmark::DoNotOptimize(s.node());
+  }
+}
+
+void BM_SpectrumToAdd(benchmark::State& state) {
+  const int n = 24;
+  dd::Manager m(n);
+  spectral::Spectrum s(n);
+  std::uint64_t x = 0x12345;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    s.set(Mask{x & ((1ull << n) - 1), 0}, 4);
+  }
+  for (auto _ : state) {
+    dd::Add a = s.to_add(m);
+    benchmark::DoNotOptimize(a.node());
+  }
+}
+
+void BM_GarbageCollection(benchmark::State& state) {
+  const int n = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    dd::Manager m(n);
+    for (int i = 0; i < 200; ++i) {
+      dd::Bdd junk = layered_function(m, n) ^ dd::Bdd::var(m, i % n);
+      (void)junk;
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(m.collect_garbage());
+  }
+}
+
+BENCHMARK(BM_CachedApply)->Arg(16)->Arg(48);
+BENCHMARK(BM_ColdBuildAndTransform)->Arg(12)->Arg(24)->Arg(36);
+BENCHMARK(BM_SpectrumToAdd)->Arg(64)->Arg(512);
+BENCHMARK(BM_GarbageCollection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

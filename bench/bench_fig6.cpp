@@ -1,0 +1,38 @@
+// Fig. 6: breakout of overall / convolution / verification time, LIL vs
+// MAPI, per benchmark gadget.  The paper's observations to reproduce:
+//   * convolution: the two containers are comparable (slight MAPI edge),
+//   * verification: the ADD product gives MAPI a large win,
+//   * hence the overall win grows with spectrum size (keccak-*).
+// Times are printed as series rows (one per gadget) so the figure can be
+// re-plotted directly.
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace sani;
+using namespace sani::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double timeout = default_timeout(args);
+
+  std::cout << "== Fig. 6: phase breakout, LIL vs MAPI (seconds, d-SNI) ==\n";
+  TextTable table({"gadget", "LIL overall", "MAPI overall", "LIL conv",
+                   "MAPI conv", "LIL verif", "MAPI verif"});
+  for (const std::string& name : select_gadgets(args)) {
+    RunResult lil = run_gadget(name, verify::EngineKind::kLIL, timeout);
+    RunResult mapi = run_gadget(name, verify::EngineKind::kMAPI, timeout);
+    table.row()
+        .add(name)
+        .add(fmt_time(lil))
+        .add(fmt_time(mapi))
+        .add(lil.convolution, 5)
+        .add(mapi.convolution, 5)
+        .add(lil.verification, 5)
+        .add(mapi.verification, 5);
+  }
+  std::cout << table.to_ascii();
+  std::cout << "series are directly plottable (log-scale y, one group of "
+               "three panels as in the paper).\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 7: absolute overall verification times of all four implementations
+// (LIL, FUJITA, MAP, MAPI) per benchmark gadget — the companion plot of
+// Table II.  Shape to reproduce: FUJITA pays a large constant factor on the
+// small gadgets but scales best on keccak-*; MAPI tracks the per-gadget
+// winner within a small factor.
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace sani;
+using namespace sani::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double timeout = default_timeout(args);
+
+  std::cout << "== Fig. 7: overall time per engine (seconds, d-SNI) ==\n";
+  TextTable table({"gadget", "LIL", "FUJITA", "MAP", "MAPI"});
+  for (const std::string& name : select_gadgets(args)) {
+    RunResult lil = run_gadget(name, verify::EngineKind::kLIL, timeout);
+    RunResult fuj = run_gadget(name, verify::EngineKind::kFUJITA, timeout);
+    RunResult map = run_gadget(name, verify::EngineKind::kMAP, timeout);
+    RunResult mapi = run_gadget(name, verify::EngineKind::kMAPI, timeout);
+    table.row()
+        .add(name)
+        .add(fmt_time(lil))
+        .add(fmt_time(fuj))
+        .add(fmt_time(map))
+        .add(fmt_time(mapi));
+  }
+  std::cout << table.to_ascii();
+  return 0;
+}

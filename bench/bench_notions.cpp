@@ -1,0 +1,59 @@
+// Beyond the paper: verification cost per security notion.
+//
+// The paper times d-SNI only; this harness compares the four notions (plus
+// the rigorous set-level check) on the same suite with the MAPI engine.
+// Expected shape: probing and NI/SNI share the convolution work and differ
+// only in the T-predicate; PINI's index-counting predicate is marginally
+// larger; the union pass adds bookkeeping proportional to the combination
+// count.
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace sani;
+using namespace sani::bench;
+
+namespace {
+
+double timed(const circuit::Gadget& g, int order, verify::Notion notion,
+             bool union_check, double timeout) {
+  verify::VerifyOptions opt;
+  opt.notion = notion;
+  opt.order = order;
+  opt.engine = verify::EngineKind::kMAPI;
+  opt.union_check = union_check;
+  opt.time_limit = timeout;
+  Stopwatch watch;
+  verify::VerifyResult r = verify::verify(g, opt);
+  return r.timed_out ? -1.0 : watch.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double timeout = default_timeout(args);
+
+  std::cout << "== Verification cost per notion (MAPI, seconds) ==\n";
+  TextTable table({"gadget", "probing", "NI", "SNI", "PINI",
+                   "SNI + union check"});
+  std::vector<std::string> names{"ti-1",  "trichina-1", "isw-1",   "dom-1",
+                                 "keccak-1", "dom-2",   "keccak-2"};
+  if (auto g = args.value("gadget")) names = {*g};
+
+  for (const std::string& name : names) {
+    circuit::Gadget g = gadgets::by_name(name);
+    const int d = gadgets::security_level(name);
+    table.row()
+        .add(name)
+        .add(timed(g, d, verify::Notion::kProbing, false, timeout), 5)
+        .add(timed(g, d, verify::Notion::kNI, false, timeout), 5)
+        .add(timed(g, d, verify::Notion::kSNI, false, timeout), 5)
+        .add(timed(g, d, verify::Notion::kPINI, false, timeout), 5)
+        .add(timed(g, d, verify::Notion::kSNI, true, timeout), 5);
+  }
+  std::cout << table.to_ascii();
+  std::cout << "(-1 marks a timeout; insecure gadgets exit at the first "
+               "witness, which can make a notion look 'cheap')\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table II: speed-up of MAPI relative to every other implementation choice
+// (LIL, FUJITA, MAP), plus the per-gadget best method.  Reproduces the
+// ablation answering "would ADDs everywhere (FUJITA) or hash maps everywhere
+// (MAP) be better than the paper's mix?".
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace sani;
+using namespace sani::bench;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double timeout = default_timeout(args);
+
+  std::cout << "== Table II: speed-up of MAPI vs alternative "
+               "implementations (d-SNI) ==\n";
+  TextTable table({"sec. lev.", "gadget", "LIL", "FUJITA", "MAP",
+                   "best method"});
+  std::vector<double> lil_ratio, fuj_ratio, map_ratio, best_ratio;
+
+  for (const std::string& name : select_gadgets(args)) {
+    RunResult mapi = run_gadget(name, verify::EngineKind::kMAPI, timeout);
+    RunResult lil = run_gadget(name, verify::EngineKind::kLIL, timeout);
+    RunResult fuj = run_gadget(name, verify::EngineKind::kFUJITA, timeout);
+    RunResult map = run_gadget(name, verify::EngineKind::kMAP, timeout);
+
+    auto ratio = [&](const RunResult& other, std::vector<double>& acc) {
+      if (mapi.timed_out || other.timed_out) return std::string("-");
+      const double r = other.seconds / mapi.seconds;
+      acc.push_back(r);
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(2) << r;
+      return os.str();
+    };
+
+    double best = mapi.timed_out ? timeout : mapi.seconds;
+    for (const RunResult* r : {&lil, &fuj, &map})
+      if (!r->timed_out && r->seconds < best) best = r->seconds;
+    if (!mapi.timed_out) best_ratio.push_back(best / mapi.seconds);
+
+    table.row()
+        .add(gadgets::security_level(name))
+        .add(name)
+        .add(ratio(lil, lil_ratio))
+        .add(ratio(fuj, fuj_ratio))
+        .add(ratio(map, map_ratio))
+        .add(best, 5);
+  }
+  std::cout << table.to_ascii();
+  std::cout << "median speed-up of MAPI vs: LIL " << std::fixed
+            << std::setprecision(2) << median(lil_ratio) << " (paper 1.88), "
+            << "FUJITA " << median(fuj_ratio) << " (paper 5.94), "
+            << "MAP " << median(map_ratio) << " (paper 1.89)\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Composability study: when does a multiplication chain stay secure?
+//
+// Sec. II-A of the paper recalls the composition calculus of Barthe et al.:
+// d-SNI gadgets compose freely, d-NI gadgets do not, and refreshing between
+// stages restores composability.  This example *measures* that calculus on
+// two-stage multiplication chains  m(m(a, b), c)  built with the
+// compose_serial combinator, across multiplier families and refresh
+// policies, and confirms the headline theorem (SNI o SNI stays SNI) as well
+// as the cost of each policy in fresh randomness.
+//
+// Run:  ./composition_study [--order D]
+
+#include <iostream>
+
+#include "gadgets/compose.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "verify/engine.h"
+#include "verify/report.h"
+
+using namespace sani;
+
+namespace {
+
+const char* policy_name(gadgets::RefreshPolicy p) {
+  switch (p) {
+    case gadgets::RefreshPolicy::kNone: return "none";
+    case gadgets::RefreshPolicy::kSimple: return "simple (NI)";
+    case gadgets::RefreshPolicy::kSni: return "SNI";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int d = args.value_int("order", 1);
+  const std::string mult_base = args.value_or("mult", "");
+
+  std::vector<std::string> mults;
+  if (!mult_base.empty()) {
+    mults = {mult_base};
+  } else {
+    for (const char* base : {"isw", "dom", "hpc2"})
+      mults.push_back(std::string(base) + "-" + std::to_string(d));
+  }
+
+  TextTable table({"chain", "refresh", "randoms", "probes", "probing", "NI",
+                   "SNI", "PINI", "time (s)"});
+  for (const std::string& mult : mults) {
+    for (gadgets::RefreshPolicy policy :
+         {gadgets::RefreshPolicy::kNone, gadgets::RefreshPolicy::kSimple,
+          gadgets::RefreshPolicy::kSni}) {
+      circuit::Gadget chain = gadgets::mult_chain(mult, policy);
+      Stopwatch watch;
+      std::string verdicts[4];
+      std::size_t probes = 0;
+      int col = 0;
+      for (verify::Notion notion :
+           {verify::Notion::kProbing, verify::Notion::kNI,
+            verify::Notion::kSNI, verify::Notion::kPINI}) {
+        verify::VerifyOptions opt;
+        opt.notion = notion;
+        opt.order = d;
+        verify::VerifyResult r = verify::verify(chain, opt);
+        verdicts[col++] = r.secure ? "yes" : "no";
+        probes = r.stats.num_observables;
+      }
+      table.row()
+          .add(mult + " o " + mult)
+          .add(policy_name(policy))
+          .add(static_cast<std::uint64_t>(chain.spec.randoms.size()))
+          .add(static_cast<std::uint64_t>(probes))
+          .add(verdicts[0])
+          .add(verdicts[1])
+          .add(verdicts[2])
+          .add(verdicts[3])
+          .add(watch.seconds(), 4);
+    }
+  }
+  std::cout << table.to_ascii();
+  std::cout
+      << "\nReading: with *independent* operands these chains verify at "
+         "their design order even without refresh — the composition "
+         "theorems give sufficient, not necessary, conditions, and the "
+         "exact verifier shows the slack.  The refresh policies price that "
+         "insurance: +"
+      << d << " randoms (simple) vs +" << d * (d + 1) / 2
+      << " randoms (SNI) per link at this order.  The failure mode the "
+         "calculus guards against needs shared randomness across stages — "
+         "see composition_example (the paper's Fig. 1/2) where probing the "
+         "refresh chain and a product of the next stage correlates with "
+         "three shares.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Glitch-robust probing in practice: why DOM has registers.
+//
+// The same DOM-1 netlist is verified twice under two probe models:
+//  * standard probes observe one stable wire value;
+//  * glitch-extended probes (robust model, refs [6][7] of the paper)
+//    observe every stable source in the wire's combinational cone, because
+//    CMOS glitches can expose intermediate transitions.
+//
+// With its resharing registers DOM-1 is secure in both models; remove the
+// registers (a pure netlist transformation that does not change the Boolean
+// function!) and the robust model finds the classic first-order glitch leak.
+//
+// Run:  ./robust_model
+
+#include <iostream>
+
+#include "circuit/unfold.h"
+#include "gadgets/dom.h"
+#include "gadgets/ti.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "verify/engine.h"
+#include "verify/report.h"
+
+using namespace sani;
+
+namespace {
+
+std::string verdict(const circuit::Gadget& g, bool robust) {
+  verify::VerifyOptions opt;
+  opt.notion = verify::Notion::kProbing;
+  opt.order = 1;
+  opt.probes.glitch_robust = robust;
+  verify::VerifyResult r = verify::verify(g, opt);
+  return r.secure ? "secure" : "INSECURE";
+}
+
+}  // namespace
+
+int main() {
+  circuit::Gadget dom_regs = gadgets::dom_mult(1, /*with_registers=*/true);
+  circuit::Gadget dom_bare = gadgets::dom_mult(1, /*with_registers=*/false);
+  circuit::Gadget ti = gadgets::ti_and();
+
+  TextTable table({"gadget", "standard probes", "glitch-extended probes"});
+  table.row()
+      .add("dom-1 (with registers)")
+      .add(verdict(dom_regs, false))
+      .add(verdict(dom_regs, true));
+  table.row()
+      .add("dom-1 (registers removed)")
+      .add(verdict(dom_bare, false))
+      .add(verdict(dom_bare, true));
+  table.row().add("ti-1 (no randomness)").add(verdict(ti, false)).add(
+      verdict(ti, true));
+  std::cout << table.to_ascii() << "\n";
+
+  // Show the leak explicitly.
+  verify::VerifyOptions opt;
+  opt.notion = verify::Notion::kProbing;
+  opt.order = 1;
+  opt.probes.glitch_robust = true;
+  verify::VerifyResult r = verify::verify(dom_bare, opt);
+  if (!r.secure && r.counterexample) {
+    circuit::Unfolded u = circuit::unfold(dom_bare);
+    std::cout << "glitch witness in register-free dom-1:\n"
+              << verify::detailed_report(dom_bare, u.vars, opt, r);
+  }
+  std::cout << "\nThe registers change no Boolean function, only where "
+               "glitches can propagate — exactly the distinction between "
+               "the standard and robust probing models.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "circuit/builder.h"
+
+namespace sani::circuit {
+
+std::string GadgetBuilder::auto_name(const char* prefix) {
+  return std::string(prefix) + "$" + std::to_string(auto_counter_++);
+}
+
+WireId GadgetBuilder::gate(GateKind kind, const std::string& name, WireId a,
+                           WireId b, WireId c) {
+  std::string n = name.empty() ? auto_name(gate_cell_name(kind)) : name;
+  return gadget_.netlist.add(kind, std::move(n), a, b, c);
+}
+
+std::vector<WireId> GadgetBuilder::secret(const std::string& name,
+                                          int num_shares) {
+  ShareGroup group;
+  group.name = name;
+  for (int i = 0; i < num_shares; ++i)
+    group.shares.push_back(gadget_.netlist.add(
+        GateKind::kInput, name + "[" + std::to_string(i) + "]"));
+  gadget_.spec.secrets.push_back(group);
+  return group.shares;
+}
+
+WireId GadgetBuilder::random(const std::string& name) {
+  WireId w = gadget_.netlist.add(GateKind::kInput, name);
+  gadget_.spec.randoms.push_back(w);
+  return w;
+}
+
+std::vector<WireId> GadgetBuilder::randoms(const std::string& name,
+                                           int count) {
+  std::vector<WireId> ws;
+  for (int i = 0; i < count; ++i)
+    ws.push_back(random(name + "[" + std::to_string(i) + "]"));
+  return ws;
+}
+
+WireId GadgetBuilder::public_input(const std::string& name) {
+  WireId w = gadget_.netlist.add(GateKind::kInput, name);
+  gadget_.spec.publics.push_back(w);
+  return w;
+}
+
+WireId GadgetBuilder::not_(WireId a, const std::string& name) {
+  return gate(GateKind::kNot, name, a);
+}
+WireId GadgetBuilder::buf(WireId a, const std::string& name) {
+  return gate(GateKind::kBuf, name, a);
+}
+WireId GadgetBuilder::and_(WireId a, WireId b, const std::string& name) {
+  return gate(GateKind::kAnd, name, a, b);
+}
+WireId GadgetBuilder::or_(WireId a, WireId b, const std::string& name) {
+  return gate(GateKind::kOr, name, a, b);
+}
+WireId GadgetBuilder::xor_(WireId a, WireId b, const std::string& name) {
+  return gate(GateKind::kXor, name, a, b);
+}
+WireId GadgetBuilder::xnor_(WireId a, WireId b, const std::string& name) {
+  return gate(GateKind::kXnor, name, a, b);
+}
+WireId GadgetBuilder::nand_(WireId a, WireId b, const std::string& name) {
+  return gate(GateKind::kNand, name, a, b);
+}
+WireId GadgetBuilder::nor_(WireId a, WireId b, const std::string& name) {
+  return gate(GateKind::kNor, name, a, b);
+}
+WireId GadgetBuilder::mux(WireId a, WireId b, WireId sel,
+                          const std::string& name) {
+  return gate(GateKind::kMux, name, a, b, sel);
+}
+WireId GadgetBuilder::nmux(WireId a, WireId b, WireId sel,
+                           const std::string& name) {
+  return gate(GateKind::kNmux, name, a, b, sel);
+}
+WireId GadgetBuilder::aoi3(WireId a, WireId b, WireId c,
+                           const std::string& name) {
+  return gate(GateKind::kAoi3, name, a, b, c);
+}
+WireId GadgetBuilder::oai3(WireId a, WireId b, WireId c,
+                           const std::string& name) {
+  return gate(GateKind::kOai3, name, a, b, c);
+}
+WireId GadgetBuilder::reg(WireId a, const std::string& name) {
+  return gate(GateKind::kReg, name, a);
+}
+
+WireId GadgetBuilder::xor_all(const std::vector<WireId>& ws,
+                              const std::string& name) {
+  if (ws.empty()) return const0(name);
+  WireId acc = ws.front();
+  for (std::size_t i = 1; i < ws.size(); ++i) {
+    const bool last = i + 1 == ws.size();
+    acc = xor_(acc, ws[i], last ? name : "");
+  }
+  // Single element with an explicit name: insert a named buffer so the
+  // caller can find the wire by name.
+  if (ws.size() == 1 && !name.empty()) acc = buf(acc, name);
+  return acc;
+}
+
+WireId GadgetBuilder::const0(const std::string& name) {
+  return gate(GateKind::kConst0, name.empty() ? auto_name("const0") : name);
+}
+WireId GadgetBuilder::const1(const std::string& name) {
+  return gate(GateKind::kConst1, name.empty() ? auto_name("const1") : name);
+}
+
+void GadgetBuilder::output_group(const std::string& name,
+                                 const std::vector<WireId>& ws) {
+  ShareGroup group;
+  group.name = name;
+  group.shares = ws;
+  for (WireId w : ws) gadget_.netlist.add_output(w);
+  gadget_.spec.outputs.push_back(std::move(group));
+}
+
+Gadget GadgetBuilder::build() {
+  gadget_.validate();
+  return gadget_;
+}
+
+}  // namespace sani::circuit

@@ -1,0 +1,74 @@
+#pragma once
+// Fluent construction of annotated gadgets.
+//
+// The gadget generators (src/gadgets/) assemble their circuits through this
+// builder, which keeps the netlist and the security annotations consistent
+// and auto-names intermediate wires.
+
+#include <string>
+#include <vector>
+
+#include "circuit/spec.h"
+
+namespace sani::circuit {
+
+class GadgetBuilder {
+ public:
+  explicit GadgetBuilder(std::string module_name)
+      : gadget_{Netlist(std::move(module_name)), {}} {}
+
+  /// Declares a secret input with `num_shares` shares named
+  /// "<name>[0..num_shares-1]".  Returns the share wires.
+  std::vector<WireId> secret(const std::string& name, int num_shares);
+
+  /// Declares one fresh-random input wire.
+  WireId random(const std::string& name);
+  /// Declares `count` randoms "<name>[0..count-1]".
+  std::vector<WireId> randoms(const std::string& name, int count);
+
+  /// Declares a public (non-sensitive) input.
+  WireId public_input(const std::string& name);
+
+  // Gate constructors; empty name -> auto-generated.
+  WireId not_(WireId a, const std::string& name = "");
+  WireId buf(WireId a, const std::string& name = "");
+  WireId and_(WireId a, WireId b, const std::string& name = "");
+  WireId or_(WireId a, WireId b, const std::string& name = "");
+  WireId xor_(WireId a, WireId b, const std::string& name = "");
+  WireId xnor_(WireId a, WireId b, const std::string& name = "");
+  WireId nand_(WireId a, WireId b, const std::string& name = "");
+  WireId nor_(WireId a, WireId b, const std::string& name = "");
+  WireId mux(WireId a, WireId b, WireId sel, const std::string& name = "");
+  WireId nmux(WireId a, WireId b, WireId sel, const std::string& name = "");
+  /// AOI3: NOT((a AND b) OR c).
+  WireId aoi3(WireId a, WireId b, WireId c, const std::string& name = "");
+  /// OAI3: NOT((a OR b) AND c).
+  WireId oai3(WireId a, WireId b, WireId c, const std::string& name = "");
+  /// Register (identity function; glitch barrier in the robust model).
+  WireId reg(WireId a, const std::string& name = "");
+
+  /// XOR-reduction of a wire list (returns Const0 wire for empty input).
+  WireId xor_all(const std::vector<WireId>& ws, const std::string& name = "");
+
+  WireId const0(const std::string& name = "");
+  WireId const1(const std::string& name = "");
+
+  /// Declares an output share group "<name>[i]" and marks the wires as
+  /// netlist outputs.
+  void output_group(const std::string& name, const std::vector<WireId>& ws);
+
+  /// Finalizes (validates) and returns the gadget.
+  Gadget build();
+
+  const Netlist& netlist() const { return gadget_.netlist; }
+
+ private:
+  WireId gate(GateKind kind, const std::string& name, WireId a = kNoWire,
+              WireId b = kNoWire, WireId c = kNoWire);
+  std::string auto_name(const char* prefix);
+
+  Gadget gadget_;
+  int auto_counter_ = 0;
+};
+
+}  // namespace sani::circuit

@@ -1,0 +1,44 @@
+#include "circuit/cone.h"
+
+#include <algorithm>
+
+namespace sani::circuit {
+
+namespace {
+
+std::vector<WireId> merge_sorted(const std::vector<WireId>& a,
+                                 const std::vector<WireId>& b) {
+  std::vector<WireId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<WireId>> glitch_cones(const Netlist& netlist) {
+  std::vector<std::vector<WireId>> cone(netlist.num_wires());
+  for (WireId w = 0; w < netlist.num_wires(); ++w) {
+    const GateNode& n = netlist.node(w);
+    switch (n.kind) {
+      case GateKind::kInput:
+      case GateKind::kReg:
+        cone[w] = {w};
+        break;
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        break;
+      default: {
+        std::vector<WireId> acc;
+        for (int i = 0; i < n.arity(); ++i)
+          acc = merge_sorted(acc, cone[n.fanin[i]]);
+        cone[w] = std::move(acc);
+        break;
+      }
+    }
+  }
+  return cone;
+}
+
+}  // namespace sani::circuit

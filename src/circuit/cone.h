@@ -1,0 +1,23 @@
+#pragma once
+// Glitch-extended probe cones (robust probing model, refs [6][7] of the
+// paper; the model verified by the companion TCHES'20 work [11]).
+//
+// In the robust model a probe on wire w does not observe a single stable
+// value: combinational glitches can expose every *stable source* driving the
+// cone of w.  Stable sources are primary inputs and register outputs; a
+// register output hides its own fan-in cone.  A glitch-extended probe on w
+// therefore observes the tuple of all stable sources reachable backwards
+// from w without crossing a register boundary.
+
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace sani::circuit {
+
+/// For every wire, the sorted list of stable-source wires its glitch-
+/// extended probe observes.  Inputs and registers observe themselves;
+/// constants observe nothing.
+std::vector<std::vector<WireId>> glitch_cones(const Netlist& netlist);
+
+}  // namespace sani::circuit

@@ -1,0 +1,97 @@
+#include "circuit/instantiate.h"
+
+#include <stdexcept>
+
+namespace sani::circuit {
+
+Instantiated instantiate(GadgetBuilder& builder, const Gadget& gadget,
+                         const std::vector<std::vector<WireId>>& secret_inputs,
+                         const std::string& prefix) {
+  const Netlist& nl = gadget.netlist;
+  if (secret_inputs.size() != gadget.spec.secrets.size())
+    throw std::invalid_argument("instantiate: secret group count mismatch");
+
+  // Wire map: instantiated gadget's wire id -> host wire id.
+  std::vector<WireId> map(nl.num_wires(), kNoWire);
+
+  for (std::size_t i = 0; i < secret_inputs.size(); ++i) {
+    const auto& group = gadget.spec.secrets[i];
+    if (secret_inputs[i].size() != group.shares.size())
+      throw std::invalid_argument("instantiate: share count mismatch for '" +
+                                  group.name + "'");
+    for (std::size_t j = 0; j < group.shares.size(); ++j)
+      map[group.shares[j]] = secret_inputs[i][j];
+  }
+
+  Instantiated result;
+  int random_counter = 0;
+  for (WireId w : gadget.spec.randoms) {
+    WireId fresh =
+        builder.random(prefix + "r[" + std::to_string(random_counter++) + "]");
+    map[w] = fresh;
+    result.randoms.push_back(fresh);
+  }
+  int public_counter = 0;
+  for (WireId w : gadget.spec.publics)
+    map[w] = builder.public_input(prefix + "pub[" +
+                                  std::to_string(public_counter++) + "]");
+
+  // Replay gates in topological (= id) order.
+  for (WireId w = 0; w < nl.num_wires(); ++w) {
+    const GateNode& n = nl.node(w);
+    if (n.kind == GateKind::kInput) {
+      if (map[w] == kNoWire)
+        throw std::invalid_argument(
+            "instantiate: unbound input wire '" + n.name + "'");
+      continue;
+    }
+    auto in = [&](int i) { return map[n.fanin[i]]; };
+    WireId host = kNoWire;
+    const std::string name = prefix + n.name;
+    switch (n.kind) {
+      case GateKind::kConst0: host = builder.const0(name); break;
+      case GateKind::kConst1: host = builder.const1(name); break;
+      case GateKind::kBuf: host = builder.buf(in(0), name); break;
+      case GateKind::kNot: host = builder.not_(in(0), name); break;
+      case GateKind::kReg: host = builder.reg(in(0), name); break;
+      case GateKind::kAnd: host = builder.and_(in(0), in(1), name); break;
+      case GateKind::kOr: host = builder.or_(in(0), in(1), name); break;
+      case GateKind::kXor: host = builder.xor_(in(0), in(1), name); break;
+      case GateKind::kXnor: host = builder.xnor_(in(0), in(1), name); break;
+      case GateKind::kNand: host = builder.nand_(in(0), in(1), name); break;
+      case GateKind::kNor: host = builder.nor_(in(0), in(1), name); break;
+      case GateKind::kAndNot:
+      case GateKind::kOrNot: {
+        // Host builder has no direct and-not/or-not helpers; expand.
+        WireId nb = builder.not_(in(1));
+        host = n.kind == GateKind::kAndNot ? builder.and_(in(0), nb, name)
+                                           : builder.or_(in(0), nb, name);
+        break;
+      }
+      case GateKind::kMux:
+        host = builder.mux(in(0), in(1), in(2), name);
+        break;
+      case GateKind::kNmux:
+        host = builder.nmux(in(0), in(1), in(2), name);
+        break;
+      case GateKind::kAoi3:
+        host = builder.aoi3(in(0), in(1), in(2), name);
+        break;
+      case GateKind::kOai3:
+        host = builder.oai3(in(0), in(1), in(2), name);
+        break;
+      case GateKind::kInput:
+        break;  // handled above
+    }
+    map[w] = host;
+  }
+
+  for (const auto& group : gadget.spec.outputs) {
+    std::vector<WireId> out;
+    for (WireId w : group.shares) out.push_back(map[w]);
+    result.outputs.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace sani::circuit

@@ -1,0 +1,36 @@
+#pragma once
+// Gadget instantiation: inlining one gadget's netlist into a builder.
+//
+// The composability results the paper builds on (Sec. II-A; Barthe et al.
+// [3][4]) are about *circuits built from gadgets*.  This utility makes such
+// circuits constructible: it replays a gadget's gates inside another
+// builder, splicing caller-provided share wires into the gadget's secret
+// inputs and declaring fresh randomness for the gadget's random inputs.
+
+#include <string>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "circuit/spec.h"
+
+namespace sani::circuit {
+
+struct Instantiated {
+  /// Output share wires per output group of the instantiated gadget.
+  std::vector<std::vector<WireId>> outputs;
+  /// The fresh random wires created for the instance.
+  std::vector<WireId> randoms;
+};
+
+/// Inlines `gadget` into `builder`.
+///
+/// `secret_inputs[i]` supplies the share wires for the gadget's i-th secret
+/// group (sizes must match).  Randoms become fresh `## random` inputs of
+/// the host named "<prefix>r[k]"; publics become fresh public inputs.
+/// Internal nets are replayed gate-for-gate with "<prefix>" prepended to
+/// their names.  Throws std::invalid_argument on arity mismatches.
+Instantiated instantiate(GadgetBuilder& builder, const Gadget& gadget,
+                         const std::vector<std::vector<WireId>>& secret_inputs,
+                         const std::string& prefix);
+
+}  // namespace sani::circuit

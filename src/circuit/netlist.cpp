@@ -1,0 +1,201 @@
+#include "circuit/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sani::circuit {
+
+int gate_arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kReg:
+      return 1;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+    case GateKind::kXnor:
+    case GateKind::kNand:
+    case GateKind::kNor:
+    case GateKind::kAndNot:
+    case GateKind::kOrNot:
+      return 2;
+    case GateKind::kMux:
+    case GateKind::kNmux:
+    case GateKind::kAoi3:
+    case GateKind::kOai3:
+      return 3;
+  }
+  return 0;
+}
+
+const char* gate_cell_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kBuf: return "$_BUF_";
+    case GateKind::kNot: return "$_NOT_";
+    case GateKind::kAnd: return "$_AND_";
+    case GateKind::kOr: return "$_OR_";
+    case GateKind::kXor: return "$_XOR_";
+    case GateKind::kXnor: return "$_XNOR_";
+    case GateKind::kNand: return "$_NAND_";
+    case GateKind::kNor: return "$_NOR_";
+    case GateKind::kAndNot: return "$_ANDNOT_";
+    case GateKind::kOrNot: return "$_ORNOT_";
+    case GateKind::kMux: return "$_MUX_";
+    case GateKind::kNmux: return "$_NMUX_";
+    case GateKind::kAoi3: return "$_AOI3_";
+    case GateKind::kOai3: return "$_OAI3_";
+    case GateKind::kReg: return "$_DFF_P_";
+    default: return "";
+  }
+}
+
+bool eval_gate(GateKind kind, bool a, bool b, bool c) {
+  switch (kind) {
+    case GateKind::kInput: return a;  // caller supplies
+    case GateKind::kConst0: return false;
+    case GateKind::kConst1: return true;
+    case GateKind::kBuf: return a;
+    case GateKind::kNot: return !a;
+    case GateKind::kAnd: return a && b;
+    case GateKind::kOr: return a || b;
+    case GateKind::kXor: return a != b;
+    case GateKind::kXnor: return a == b;
+    case GateKind::kNand: return !(a && b);
+    case GateKind::kNor: return !(a || b);
+    case GateKind::kAndNot: return a && !b;
+    case GateKind::kOrNot: return a || !b;
+    case GateKind::kMux: return c ? b : a;  // $_MUX_: S ? B : A
+    case GateKind::kNmux: return !(c ? b : a);
+    case GateKind::kAoi3: return !((a && b) || c);
+    case GateKind::kOai3: return !((a || b) && c);
+    case GateKind::kReg: return a;
+  }
+  return false;
+}
+
+WireId Netlist::add(GateKind kind, std::string name, WireId a, WireId b,
+                    WireId c) {
+  const int arity = gate_arity(kind);
+  const WireId id = static_cast<WireId>(nodes_.size());
+  const WireId fanin[3] = {a, b, c};
+  for (int i = 0; i < 3; ++i) {
+    if (i < arity) {
+      if (fanin[i] == kNoWire || fanin[i] >= id)
+        throw std::invalid_argument("Netlist::add: bad fan-in for '" + name +
+                                    "'");
+    } else if (fanin[i] != kNoWire) {
+      throw std::invalid_argument("Netlist::add: too many fan-ins for '" +
+                                  name + "'");
+    }
+  }
+  GateNode node;
+  node.kind = kind;
+  node.fanin[0] = a;
+  node.fanin[1] = b;
+  node.fanin[2] = c;
+  node.name = std::move(name);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Netlist::add_output(WireId w) {
+  if (w >= nodes_.size())
+    throw std::invalid_argument("Netlist::add_output: unknown wire");
+  outputs_.push_back(w);
+}
+
+std::vector<WireId> Netlist::inputs() const {
+  std::vector<WireId> result;
+  for (WireId w = 0; w < nodes_.size(); ++w)
+    if (nodes_[w].kind == GateKind::kInput) result.push_back(w);
+  return result;
+}
+
+bool Netlist::is_output(WireId w) const {
+  return std::find(outputs_.begin(), outputs_.end(), w) != outputs_.end();
+}
+
+void Netlist::validate() const {
+  for (WireId w = 0; w < nodes_.size(); ++w) {
+    const GateNode& n = nodes_[w];
+    const int arity = n.arity();
+    for (int i = 0; i < arity; ++i)
+      if (n.fanin[i] == kNoWire || n.fanin[i] >= w)
+        throw std::runtime_error("Netlist: non-topological fan-in at wire " +
+                                 std::to_string(w));
+  }
+  for (WireId w : outputs_)
+    if (w >= nodes_.size())
+      throw std::runtime_error("Netlist: dangling output");
+}
+
+std::vector<bool> Netlist::evaluate(
+    const std::vector<bool>& input_values) const {
+  std::vector<bool> value(nodes_.size(), false);
+  std::size_t next_input = 0;
+  for (WireId w = 0; w < nodes_.size(); ++w) {
+    const GateNode& n = nodes_[w];
+    if (n.kind == GateKind::kInput) {
+      if (next_input >= input_values.size())
+        throw std::invalid_argument("Netlist::evaluate: too few inputs");
+      value[w] = input_values[next_input++];
+      continue;
+    }
+    const bool a = n.arity() > 0 ? value[n.fanin[0]] : false;
+    const bool b = n.arity() > 1 ? value[n.fanin[1]] : false;
+    const bool c = n.arity() > 2 ? value[n.fanin[2]] : false;
+    value[w] = eval_gate(n.kind, a, b, c);
+  }
+  if (next_input != input_values.size())
+    throw std::invalid_argument("Netlist::evaluate: too many inputs");
+  return value;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.num_wires = nodes_.size();
+  std::vector<int> depth(nodes_.size(), 0);
+  for (WireId w = 0; w < nodes_.size(); ++w) {
+    const GateNode& n = nodes_[w];
+    switch (n.kind) {
+      case GateKind::kInput:
+        ++s.num_inputs;
+        break;
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        break;
+      default:
+        ++s.num_gates;
+        if (n.kind == GateKind::kReg) ++s.num_registers;
+        if (n.kind == GateKind::kAnd || n.kind == GateKind::kOr ||
+            n.kind == GateKind::kNand || n.kind == GateKind::kNor ||
+            n.kind == GateKind::kAndNot || n.kind == GateKind::kOrNot ||
+            n.kind == GateKind::kMux || n.kind == GateKind::kNmux ||
+            n.kind == GateKind::kAoi3 || n.kind == GateKind::kOai3)
+          ++s.num_nonlinear;
+        break;
+    }
+    int d = 0;
+    for (int i = 0; i < n.arity(); ++i)
+      d = std::max(d, depth[n.fanin[i]]);
+    if (n.kind != GateKind::kInput && n.kind != GateKind::kConst0 &&
+        n.kind != GateKind::kConst1)
+      d += 1;
+    depth[w] = d;
+    s.depth = std::max(s.depth, d);
+  }
+  return s;
+}
+
+WireId Netlist::find(const std::string& name) const {
+  for (WireId w = 0; w < nodes_.size(); ++w)
+    if (nodes_[w].name == name) return w;
+  return kNoWire;
+}
+
+}  // namespace sani::circuit

@@ -1,0 +1,115 @@
+#pragma once
+// Gate-level netlist representation.
+//
+// A Netlist is a flat, single-module, bit-level combinational circuit (with
+// optional registers treated as combinational identities that act as glitch
+// barriers in the robust probe model).  Wires and gates are unified: wire i
+// is the output of node i, and node fan-ins reference lower-numbered wires,
+// so the vector order is a topological order by construction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sani::circuit {
+
+/// Index of a wire (== index of its driving node).
+using WireId = std::uint32_t;
+
+inline constexpr WireId kNoWire = 0xFFFFFFFFu;
+
+enum class GateKind : std::uint8_t {
+  kInput,  // primary input (no fan-in)
+  kConst0,
+  kConst1,
+  kBuf,   // 1 fan-in
+  kNot,   // 1 fan-in
+  kAnd,   // 2 fan-ins
+  kOr,
+  kXor,
+  kXnor,
+  kNand,
+  kNor,
+  kAndNot,  // a & ~b (Yosys $_ANDNOT_)
+  kOrNot,   // a | ~b (Yosys $_ORNOT_)
+  kMux,     // 3 fan-ins: s ? b : a  (Yosys $_MUX_: A,B,S -> S?B:A)
+  kNmux,    // 3 fan-ins: ~(s ? b : a)  (Yosys $_NMUX_)
+  kAoi3,    // 3 fan-ins: ~((a & b) | c)  (Yosys $_AOI3_)
+  kOai3,    // 3 fan-ins: ~((a | b) & c)  (Yosys $_OAI3_)
+  kReg,     // 1 fan-in; identity function, stops glitch propagation
+};
+
+/// Number of fan-ins each kind requires.
+int gate_arity(GateKind kind);
+
+/// Yosys internal cell name ("$_AND_", ...) for the kind; empty for inputs
+/// and constants, which ILANG expresses differently.
+const char* gate_cell_name(GateKind kind);
+
+/// One node: a gate driving the wire with the same index.
+struct GateNode {
+  GateKind kind = GateKind::kInput;
+  WireId fanin[3] = {kNoWire, kNoWire, kNoWire};
+  std::string name;  // net name, unique within the netlist
+
+  int arity() const { return gate_arity(kind); }
+};
+
+/// Aggregate structural statistics (used in reports and benches).
+struct NetlistStats {
+  std::size_t num_wires = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_gates = 0;     // non-input, non-const nodes
+  std::size_t num_nonlinear = 0; // and/or/nand/nor/mux family
+  std::size_t num_registers = 0;
+  int depth = 0;  // longest combinational path in gates
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Appends a node; fan-ins must reference existing wires.  Returns the new
+  /// wire id.  Throws std::invalid_argument on arity/ordering violations.
+  WireId add(GateKind kind, std::string name, WireId a = kNoWire,
+             WireId b = kNoWire, WireId c = kNoWire);
+
+  std::size_t num_wires() const { return nodes_.size(); }
+  const GateNode& node(WireId w) const { return nodes_[w]; }
+
+  /// Declared primary outputs (order matters: it is the observable order).
+  const std::vector<WireId>& outputs() const { return outputs_; }
+  void add_output(WireId w);
+
+  /// All wires of kind kInput, in creation order.
+  std::vector<WireId> inputs() const;
+
+  /// True if `w` is a primary output.
+  bool is_output(WireId w) const;
+
+  /// Re-checks all structural invariants (used by the parser and tests).
+  void validate() const;
+
+  /// Evaluates the whole netlist for one input assignment.
+  /// `input_values[i]` is the value of the i-th input (inputs() order).
+  /// Returns one bit per wire.  Registers evaluate as identity.
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+  NetlistStats stats() const;
+
+  /// Wire lookup by net name; kNoWire if absent.
+  WireId find(const std::string& name) const;
+
+ private:
+  std::string name_;
+  std::vector<GateNode> nodes_;
+  std::vector<WireId> outputs_;
+};
+
+/// Applies the gate function to concrete bits.
+bool eval_gate(GateKind kind, bool a, bool b, bool c);
+
+}  // namespace sani::circuit

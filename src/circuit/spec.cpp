@@ -1,0 +1,56 @@
+#include "circuit/spec.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace sani::circuit {
+
+int SecuritySpec::shares_per_secret() const {
+  if (secrets.empty())
+    throw std::runtime_error("SecuritySpec: no sensitive inputs declared");
+  const std::size_t d = secrets.front().shares.size();
+  for (const auto& g : secrets)
+    if (g.shares.size() != d)
+      throw std::runtime_error(
+          "SecuritySpec: secrets have differing share counts");
+  return static_cast<int>(d);
+}
+
+std::size_t SecuritySpec::num_output_shares() const {
+  std::size_t n = 0;
+  for (const auto& g : outputs) n += g.shares.size();
+  return n;
+}
+
+void Gadget::validate() const {
+  netlist.validate();
+  std::set<WireId> seen;
+  auto check_input = [&](WireId w, const char* role) {
+    if (w >= netlist.num_wires())
+      throw std::runtime_error(std::string("Gadget: unknown ") + role +
+                               " wire");
+    if (netlist.node(w).kind != GateKind::kInput)
+      throw std::runtime_error(std::string("Gadget: ") + role +
+                               " wire is not a primary input: " +
+                               netlist.node(w).name);
+    if (!seen.insert(w).second)
+      throw std::runtime_error("Gadget: wire annotated twice: " +
+                               netlist.node(w).name);
+  };
+  for (const auto& g : spec.secrets)
+    for (WireId w : g.shares) check_input(w, "share");
+  for (WireId w : spec.randoms) check_input(w, "random");
+  for (WireId w : spec.publics) check_input(w, "public");
+  for (const auto& g : spec.outputs)
+    for (WireId w : g.shares) {
+      if (w >= netlist.num_wires())
+        throw std::runtime_error("Gadget: unknown output share wire");
+      if (!netlist.is_output(w))
+        throw std::runtime_error(
+            "Gadget: output share is not a netlist output: " +
+            netlist.node(w).name);
+    }
+  spec.shares_per_secret();  // consistency check
+}
+
+}  // namespace sani::circuit

@@ -1,0 +1,48 @@
+#pragma once
+// Security annotations: which wires are shares / randoms / outputs.
+//
+// This is the structured form of the maskVerif-compliant `##` annotations of
+// Sec. III-A (Fig. 4): every sensitive input is a group of share wires whose
+// XOR is the secret; `## random` wires are uniform fresh randomness;
+// `## public` wires carry non-sensitive values (clock/reset — excluded from
+// the spectral analysis); `## output` groups are the shared outputs.
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace sani::circuit {
+
+/// A named group of share wires (the XOR of the group is the secret value).
+struct ShareGroup {
+  std::string name;
+  std::vector<WireId> shares;
+};
+
+struct SecuritySpec {
+  std::vector<ShareGroup> secrets;   // input share groups
+  std::vector<ShareGroup> outputs;   // output share groups
+  std::vector<WireId> randoms;
+  std::vector<WireId> publics;
+
+  /// Number of shares per secret (d+1 for order-d masking).  Throws if the
+  /// groups disagree or there are no secrets.
+  int shares_per_secret() const;
+
+  /// Total count of output share wires.
+  std::size_t num_output_shares() const;
+};
+
+/// A netlist together with its security annotations — the unit the
+/// verification engines operate on.
+struct Gadget {
+  Netlist netlist;
+  SecuritySpec spec;
+
+  /// Structural sanity: every annotated wire exists, share wires are
+  /// inputs, output shares are netlist outputs, no wire annotated twice.
+  void validate() const;
+};
+
+}  // namespace sani::circuit

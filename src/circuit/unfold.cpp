@@ -1,0 +1,166 @@
+#include "circuit/unfold.h"
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace sani::circuit {
+
+namespace {
+
+// The input wires in the order their dd variables should be assigned.
+std::vector<WireId> ordered_inputs(const Gadget& gadget, VarOrder order) {
+  const Netlist& nl = gadget.netlist;
+  if (order == VarOrder::kDeclared) return nl.inputs();
+
+  std::vector<WireId> randoms(gadget.spec.randoms);
+  std::vector<WireId> publics(gadget.spec.publics);
+  std::vector<WireId> shares;
+  if (order == VarOrder::kInterleaved) {
+    // Share index-major: share j of every secret before share j+1 of any.
+    const std::size_t per_secret = gadget.spec.secrets.empty()
+                                       ? 0
+                                       : gadget.spec.secrets[0].shares.size();
+    for (std::size_t j = 0; j < per_secret; ++j)
+      for (const auto& g : gadget.spec.secrets) shares.push_back(g.shares[j]);
+  } else {
+    for (const auto& g : gadget.spec.secrets)
+      shares.insert(shares.end(), g.shares.begin(), g.shares.end());
+  }
+
+  std::vector<WireId> result;
+  if (order == VarOrder::kRandomsFirst)
+    result.insert(result.end(), randoms.begin(), randoms.end());
+  result.insert(result.end(), shares.begin(), shares.end());
+  if (order != VarOrder::kRandomsFirst)
+    result.insert(result.end(), randoms.begin(), randoms.end());
+  result.insert(result.end(), publics.begin(), publics.end());
+  return result;
+}
+
+}  // namespace
+
+VarMap make_var_map(const Gadget& gadget, VarOrder order) {
+  const Netlist& nl = gadget.netlist;
+  VarMap vm;
+  vm.wire_to_var.assign(nl.num_wires(), -1);
+  for (WireId w : ordered_inputs(gadget, order)) {
+    vm.wire_to_var[w] = vm.num_vars++;
+    vm.var_to_wire.push_back(w);
+  }
+  if (vm.num_vars != static_cast<int>(nl.inputs().size()))
+    throw std::runtime_error("unfold: ordering missed an input wire");
+  if (vm.num_vars > Mask::kMaxBits)
+    throw std::runtime_error("unfold: more than 128 primary inputs");
+
+  vm.secret_vars.reserve(gadget.spec.secrets.size());
+  for (const auto& g : gadget.spec.secrets) {
+    Mask m;
+    std::vector<int> vars;
+    for (WireId w : g.shares) {
+      const int v = vm.wire_to_var[w];
+      m.set(v);
+      vars.push_back(v);
+    }
+    vm.share_vars |= m;
+    vm.secret_vars.push_back(m);
+    vm.secret_share_var.push_back(std::move(vars));
+  }
+  for (WireId w : gadget.spec.randoms) vm.random_vars.set(vm.wire_to_var[w]);
+  for (WireId w : gadget.spec.publics) vm.public_vars.set(vm.wire_to_var[w]);
+  return vm;
+}
+
+std::size_t unfolding_size(const Unfolded& unfolded) {
+  // Count distinct nodes across all wire diagrams by marking via a set of
+  // visited roots through dag traversal on the shared manager.
+  std::set<dd::NodeId> seen;
+  std::vector<dd::NodeId> stack;
+  for (const auto& f : unfolded.wire_fn) stack.push_back(f.node());
+  std::size_t count = 0;
+  dd::Manager& m = *unfolded.manager;
+  while (!stack.empty()) {
+    dd::NodeId n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    ++count;
+    if (!m.is_terminal(n)) {
+      stack.push_back(m.node_lo(n));
+      stack.push_back(m.node_hi(n));
+    }
+  }
+  return count;
+}
+
+Unfolded unfold(const Gadget& gadget, int cache_bits, VarOrder order) {
+  Unfolded u;
+  u.vars = make_var_map(gadget, order);
+  u.manager = std::make_unique<dd::Manager>(u.vars.num_vars, cache_bits);
+  dd::Manager& m = *u.manager;
+
+  const Netlist& nl = gadget.netlist;
+  u.wire_fn.reserve(nl.num_wires());
+  for (WireId w = 0; w < nl.num_wires(); ++w) {
+    const GateNode& n = nl.node(w);
+    auto in = [&](int i) -> const dd::Bdd& { return u.wire_fn[n.fanin[i]]; };
+    dd::Bdd f;
+    switch (n.kind) {
+      case GateKind::kInput:
+        f = dd::Bdd::var(m, u.vars.wire_to_var[w]);
+        break;
+      case GateKind::kConst0:
+        f = dd::Bdd::zero(m);
+        break;
+      case GateKind::kConst1:
+        f = dd::Bdd::one(m);
+        break;
+      case GateKind::kBuf:
+      case GateKind::kReg:
+        f = in(0);
+        break;
+      case GateKind::kNot:
+        f = !in(0);
+        break;
+      case GateKind::kAnd:
+        f = in(0) & in(1);
+        break;
+      case GateKind::kOr:
+        f = in(0) | in(1);
+        break;
+      case GateKind::kXor:
+        f = in(0) ^ in(1);
+        break;
+      case GateKind::kXnor:
+        f = !(in(0) ^ in(1));
+        break;
+      case GateKind::kNand:
+        f = !(in(0) & in(1));
+        break;
+      case GateKind::kNor:
+        f = !(in(0) | in(1));
+        break;
+      case GateKind::kAndNot:
+        f = in(0) & !in(1);
+        break;
+      case GateKind::kOrNot:
+        f = in(0) | !in(1);
+        break;
+      case GateKind::kMux:
+        f = in(2).ite(in(1), in(0));  // S ? B : A
+        break;
+      case GateKind::kNmux:
+        f = !in(2).ite(in(1), in(0));
+        break;
+      case GateKind::kAoi3:
+        f = !((in(0) & in(1)) | in(2));
+        break;
+      case GateKind::kOai3:
+        f = !((in(0) | in(1)) & in(2));
+        break;
+    }
+    u.wire_fn.push_back(std::move(f));
+  }
+  return u;
+}
+
+}  // namespace sani::circuit

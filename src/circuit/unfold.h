@@ -1,0 +1,74 @@
+#pragma once
+// Circuit unfolding (Sec. III-A of the paper).
+//
+// "Unfolding" derives the Boolean expression of every wire in the circuit as
+// a BDD over the primary inputs.  All wires share one dd::Manager, so common
+// subexpressions (factors/co-factors across probes) are stored once — this
+// sharing is the reason the paper builds all probe functions in a single
+// CUDD manager.
+//
+// The VarMap fixes the correspondence between decision-diagram variables and
+// circuit inputs.  Spectral coordinates inherit the same indices: the
+// alpha-bit of input variable v is dd variable v of a spectrum ADD.
+
+#include <memory>
+#include <vector>
+
+#include "circuit/spec.h"
+#include "dd/bdd.h"
+#include "dd/manager.h"
+#include "util/mask.h"
+
+namespace sani::circuit {
+
+/// Mapping between primary-input wires and decision-diagram variables.
+struct VarMap {
+  std::vector<int> wire_to_var;   // -1 for non-input wires
+  std::vector<WireId> var_to_wire;
+
+  Mask random_vars;   // rho coordinates
+  Mask public_vars;
+  Mask share_vars;    // union over all secrets
+
+  /// Per secret group: the mask of its share variables.
+  std::vector<Mask> secret_vars;
+  /// secret_share_var[i][j] = dd variable of share j of secret i.
+  std::vector<std::vector<int>> secret_share_var;
+
+  int num_vars = 0;
+
+  int var_of(WireId w) const { return wire_to_var[w]; }
+};
+
+/// Variable-order strategies for the unfolding.  "The choice of the
+/// variable order can have a dramatic impact on the size of the BDD"
+/// (Sec. II-C of the paper); bench_ordering quantifies the impact on this
+/// workload.  Verdicts are order-invariant (asserted by tests).
+enum class VarOrder {
+  kDeclared,      // input wire order, as declared (default)
+  kRandomsFirst,  // randoms, then share groups, then publics
+  kRandomsLast,   // share groups, then randoms, then publics
+  kInterleaved,   // share index-major: a0 b0 ... a1 b1 ..., randoms, publics
+};
+
+/// Assigns dd variables to the gadget's inputs under the given strategy.
+VarMap make_var_map(const Gadget& gadget, VarOrder order = VarOrder::kDeclared);
+
+/// The unfolded circuit: one BDD per wire, plus the variable mapping and the
+/// manager that owns the nodes.
+struct Unfolded {
+  std::unique_ptr<dd::Manager> manager;
+  VarMap vars;
+  std::vector<dd::Bdd> wire_fn;  // indexed by WireId
+};
+
+/// Builds the BDD of every wire.  `cache_bits` sizes the manager's computed
+/// table (grow for very large gadgets).
+Unfolded unfold(const Gadget& gadget, int cache_bits = 18,
+                VarOrder order = VarOrder::kDeclared);
+
+/// Total distinct diagram nodes across all wire functions (an unfolding
+/// size measure for the ordering ablation).
+std::size_t unfolding_size(const Unfolded& unfolded);
+
+}  // namespace sani::circuit

@@ -1,0 +1,88 @@
+#pragma once
+// Algebraic Decision Diagram handles (integer terminals).
+//
+// ADDs represent maps {0,1}^n -> Z; the project uses them for Walsh
+// spectra (exact integer coefficients) and for the sparse predicate matrix
+// T(alpha, rho) of the interference check (Sec. III-C of the paper).
+
+#include <cstdint>
+
+#include "dd/bdd.h"
+#include "dd/handle.h"
+#include "dd/manager.h"
+#include "util/mask.h"
+
+namespace sani::dd {
+
+/// Handle to an integer-valued function over the manager's variables.
+class Add {
+ public:
+  Add() = default;
+  Add(Manager* mgr, NodeId node) : h_(mgr, node) {}
+
+  /// The constant function `value`.
+  static Add constant(Manager& m, std::int64_t value) {
+    return Add(&m, m.terminal(value));
+  }
+  /// 0/1 ADD from a BDD (identity embedding — same node).
+  static Add from_bdd(const Bdd& b) { return Add(b.manager(), b.node()); }
+
+  bool is_valid() const { return h_.is_valid(); }
+  Manager* manager() const { return h_.manager(); }
+  NodeId node() const { return h_.node(); }
+
+  bool is_zero() const { return node() == manager()->zero(); }
+
+  Add operator+(const Add& o) const { return binop(Op::kPlus, o); }
+  Add operator-(const Add& o) const { return binop(Op::kMinus, o); }
+  Add operator*(const Add& o) const { return binop(Op::kTimes, o); }
+  Add min(const Add& o) const { return binop(Op::kMin, o); }
+  Add max(const Add& o) const { return binop(Op::kMax, o); }
+
+  Add& operator+=(const Add& o) { return *this = *this + o; }
+  Add& operator-=(const Add& o) { return *this = *this - o; }
+  Add& operator*=(const Add& o) { return *this = *this * o; }
+
+  /// Termwise absolute value.
+  Add abs() const { return Add(manager(), manager()->abs(node())); }
+
+  /// BDD of the support region {x : f(x) != 0} (resp. == 0).
+  Bdd nonzero() const { return Bdd(manager(), manager()->nonzero(node())); }
+  Bdd iszero() const { return Bdd(manager(), manager()->iszero(node())); }
+
+  /// Selector composition: b ? this : e.
+  Add ite(const Bdd& b, const Add& e) const {
+    return Add(manager(), manager()->ite(b.node(), node(), e.node()));
+  }
+
+  Add cofactor(int var, bool value) const {
+    return Add(manager(), manager()->cofactor(node(), var, value));
+  }
+
+  Mask support() const { return manager()->support(node()); }
+
+  std::int64_t eval(const Mask& assignment) const {
+    return manager()->eval(node(), assignment);
+  }
+
+  /// Number of points with nonzero value (sparsity measure).
+  double nonzero_count() const {
+    return manager()->sat_count(manager()->nonzero(node()));
+  }
+
+  std::int64_t max_abs() const { return manager()->max_abs_terminal(node()); }
+
+  std::size_t size() const { return manager()->dag_size(node()); }
+
+  friend bool operator==(const Add& a, const Add& b) { return a.h_ == b.h_; }
+  friend bool operator!=(const Add& a, const Add& b) { return a.h_ != b.h_; }
+
+ private:
+  Add binop(Op op, const Add& o) const {
+    return Add(manager(), manager()->apply(op, node(), o.node()));
+  }
+
+  detail::Handle h_;
+};
+
+}  // namespace sani::dd

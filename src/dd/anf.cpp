@@ -1,0 +1,75 @@
+#include "dd/anf.h"
+
+#include <vector>
+
+namespace sani::dd {
+
+namespace {
+
+// Butterfly with the GF(2) pair (f0, f0 ^ f1); memoized on (node, level)
+// through the shared computed table (tag kCompose to stay distinct from the
+// Walsh entries).
+NodeId moebius(Manager& m, NodeId f, int level) {
+  if (level == m.num_vars()) return f;  // terminal (0/1)
+  NodeId cached;
+  if (m.cache_lookup(Op::kCompose, f, static_cast<NodeId>(level), kNilNode,
+                     &cached))
+    return cached;
+  const int var = m.var_at_level(level);
+  NodeId f0 = f;
+  NodeId f1 = f;
+  if (!m.is_terminal(f) && m.node_var(f) == var) {
+    f0 = m.node_lo(f);
+    f1 = m.node_hi(f);
+  }
+  NodeId a = moebius(m, f0, level + 1);
+  NodeId b = moebius(m, f1, level + 1);
+  NodeId r = m.make(var, a, m.apply_rec(Op::kXor, a, b));
+  m.cache_insert(Op::kCompose, f, static_cast<NodeId>(level), kNilNode, r);
+  return r;
+}
+
+}  // namespace
+
+Bdd anf_transform(const Bdd& f) {
+  Manager& m = *f.manager();
+  m.maybe_gc();
+  return Bdd(&m, moebius(m, f.node(), 0));
+}
+
+Bdd inverse_anf_transform(const Bdd& mono) {
+  return anf_transform(mono);  // involution
+}
+
+int algebraic_degree(const Bdd& f) {
+  Manager& m = *f.manager();
+  Bdd anf = anf_transform(f);
+  if (anf.is_zero()) return -1;
+  // Degree = max |alpha| with anf(alpha) = 1.  That is a longest-path
+  // problem on the indicator BDD counting 1-edges — PLUS every variable a
+  // path skips: a skipped variable leaves the indicator unchanged, so the
+  // heaviest alpha sets it to 1 for free.
+  std::vector<int> best(m.node_capacity(), -2);
+  // best[n] = max ones over the variables at levels >= level(n), from n to
+  // a nonzero terminal; -2 unvisited, -1 unreachable.
+  auto rec = [&](auto&& self, NodeId n) -> int {
+    if (m.is_terminal(n)) return m.terminal_value(n) != 0 ? 0 : -1;
+    if (best[n] != -2) return best[n];
+    const int level = m.node_level(n);
+    const int lo = self(self, m.node_lo(n));
+    const int hi = self(self, m.node_hi(n));
+    int r = -1;
+    if (lo >= 0) r = lo + (m.node_level(m.node_lo(n)) - level - 1);
+    if (hi >= 0) {
+      const int cand = hi + 1 + (m.node_level(m.node_hi(n)) - level - 1);
+      if (cand > r) r = cand;
+    }
+    best[n] = r;
+    return r;
+  };
+  const int below = rec(rec, anf.node());
+  // Variables above the root are skipped too.
+  return below < 0 ? -1 : below + m.node_level(anf.node());
+}
+
+}  // namespace sani::dd

@@ -1,0 +1,29 @@
+#pragma once
+// Algebraic normal form via the Moebius transform on BDDs.
+//
+// The ANF indicator of f is the 0/1 function m(alpha) = 1 iff the monomial
+// prod_{i in alpha} x_i occurs in f's polynomial over GF(2).  It is computed
+// by the same butterfly recursion as the Walsh transform (dd/walsh.h) with
+// the (+,-) pair replaced by (id, XOR):
+//
+//     m = [ m(f0),  m(f0) XOR m(f1) ]
+//
+// Uses: algebraic-degree bounds (TI synthesis needs degree <= 2), structure
+// statistics, and cross-checks of gadget constructions.
+
+#include "dd/bdd.h"
+
+namespace sani::dd {
+
+/// The ANF indicator of f as a BDD over the monomial-selection variables
+/// (variable i of the result = "x_i occurs in the monomial").
+Bdd anf_transform(const Bdd& f);
+
+/// Inverse transform (the Moebius transform is an involution).
+Bdd inverse_anf_transform(const Bdd& m);
+
+/// Algebraic degree of f: the largest monomial size in its ANF
+/// (degree of the zero function is -1, of constants 0).
+int algebraic_degree(const Bdd& f);
+
+}  // namespace sani::dd

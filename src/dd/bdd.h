@@ -1,0 +1,100 @@
+#pragma once
+// Boolean function handles (reduced ordered BDDs).
+//
+// A Bdd is an ADD whose terminals are restricted to {0, 1}; canonical form
+// makes function equality a pointer comparison.  All operations route
+// through the shared Manager, so common subexpressions across the whole
+// unfolded circuit are stored once — the property Sec. III-A of the paper
+// relies on ("the manager will be able to build an internal representation
+// exploiting common subexpressions").
+
+#include <cstdint>
+
+#include "dd/handle.h"
+#include "dd/manager.h"
+#include "util/mask.h"
+
+namespace sani::dd {
+
+class Add;  // defined in add.h
+
+/// Handle to a Boolean function over the manager's variables.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(Manager* mgr, NodeId node) : h_(mgr, node) {}
+
+  /// Constant functions.
+  static Bdd zero(Manager& m) { return Bdd(&m, m.zero()); }
+  static Bdd one(Manager& m) { return Bdd(&m, m.one()); }
+  /// Literals.
+  static Bdd var(Manager& m, int i) { return Bdd(&m, m.var_node(i)); }
+  static Bdd nvar(Manager& m, int i) { return Bdd(&m, m.nvar_node(i)); }
+
+  bool is_valid() const { return h_.is_valid(); }
+  Manager* manager() const { return h_.manager(); }
+  NodeId node() const { return h_.node(); }
+
+  bool is_zero() const { return node() == manager()->zero(); }
+  bool is_one() const { return node() == manager()->one(); }
+
+  Bdd operator&(const Bdd& o) const { return binop(Op::kAnd, o); }
+  Bdd operator|(const Bdd& o) const { return binop(Op::kOr, o); }
+  Bdd operator^(const Bdd& o) const { return binop(Op::kXor, o); }
+  Bdd operator!() const {
+    return Bdd(manager(), manager()->not_(node()));
+  }
+  Bdd operator~() const { return !*this; }
+
+  Bdd& operator&=(const Bdd& o) { return *this = *this & o; }
+  Bdd& operator|=(const Bdd& o) { return *this = *this | o; }
+  Bdd& operator^=(const Bdd& o) { return *this = *this ^ o; }
+
+  /// If-then-else composition (this ? t : e).
+  Bdd ite(const Bdd& t, const Bdd& e) const {
+    return Bdd(manager(), manager()->ite(node(), t.node(), e.node()));
+  }
+
+  /// Existential / universal quantification over a variable set.
+  Bdd exists(const Mask& vars) const {
+    return Bdd(manager(), manager()->exists(node(), vars));
+  }
+  Bdd forall(const Mask& vars) const {
+    return Bdd(manager(), manager()->forall(node(), vars));
+  }
+
+  Bdd cofactor(int var, bool value) const {
+    return Bdd(manager(), manager()->cofactor(node(), var, value));
+  }
+
+  /// Variables this function depends on.
+  Mask support() const { return manager()->support(node()); }
+
+  /// Evaluation at a point.
+  bool eval(const Mask& assignment) const {
+    return manager()->eval(node(), assignment) != 0;
+  }
+
+  /// Number of satisfying assignments over all manager variables.
+  double sat_count() const { return manager()->sat_count(node()); }
+
+  /// One satisfying assignment, if any (unused variables left 0).
+  bool any_sat(Mask* assignment) const {
+    return manager()->any_sat(node(), assignment);
+  }
+
+  /// Distinct DAG nodes (a size measure for benchmarks).
+  std::size_t size() const { return manager()->dag_size(node()); }
+
+  friend bool operator==(const Bdd& a, const Bdd& b) { return a.h_ == b.h_; }
+  friend bool operator!=(const Bdd& a, const Bdd& b) { return a.h_ != b.h_; }
+
+ private:
+  Bdd binop(Op op, const Bdd& o) const {
+    return Bdd(manager(), manager()->apply(op, node(), o.node()));
+  }
+
+  detail::Handle h_;
+};
+
+}  // namespace sani::dd

@@ -1,0 +1,62 @@
+#include "dd/dot.h"
+
+#include <ostream>
+#include <unordered_set>
+
+namespace sani::dd {
+
+namespace {
+
+std::string var_label(int var, const std::vector<std::string>& names) {
+  if (var >= 0 && static_cast<std::size_t>(var) < names.size() &&
+      !names[static_cast<std::size_t>(var)].empty())
+    return names[static_cast<std::size_t>(var)];
+  return "x" + std::to_string(var);
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const std::vector<Add>& roots,
+               const std::vector<std::string>& root_names,
+               const std::vector<std::string>& var_names) {
+  os << "digraph dd {\n  rankdir=TB;\n";
+  if (roots.empty()) {
+    os << "}\n";
+    return;
+  }
+  Manager& m = *roots.front().manager();
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack;
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    std::string label = i < root_names.size() && !root_names[i].empty()
+                            ? root_names[i]
+                            : "f" + std::to_string(i);
+    os << "  r" << i << " [shape=plaintext,label=\"" << label << "\"];\n";
+    os << "  r" << i << " -> n" << roots[i].node() << ";\n";
+    stack.push_back(roots[i].node());
+  }
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n).second) continue;
+    if (m.is_terminal(n)) {
+      os << "  n" << n << " [shape=box,label=\"" << m.terminal_value(n)
+         << "\"];\n";
+      continue;
+    }
+    os << "  n" << n << " [shape=circle,label=\""
+       << var_label(m.node_var(n), var_names) << "\"];\n";
+    os << "  n" << n << " -> n" << m.node_lo(n) << " [style=dashed];\n";
+    os << "  n" << n << " -> n" << m.node_hi(n) << ";\n";
+    stack.push_back(m.node_lo(n));
+    stack.push_back(m.node_hi(n));
+  }
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const Bdd& root, const std::string& name,
+               const std::vector<std::string>& var_names) {
+  write_dot(os, {Add::from_bdd(root)}, {name}, var_names);
+}
+
+}  // namespace sani::dd

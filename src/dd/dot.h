@@ -1,0 +1,26 @@
+#pragma once
+// Graphviz export for decision diagrams (debugging / documentation aid).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dd/add.h"
+#include "dd/bdd.h"
+
+namespace sani::dd {
+
+/// Writes a `digraph` rendering of the diagrams rooted at `roots` to `os`.
+/// Solid edges are 1-edges, dashed edges are 0-edges; terminals are boxes.
+/// `var_names` optionally labels variables (index -> name); missing entries
+/// fall back to "x<i>".
+void write_dot(std::ostream& os, const std::vector<Add>& roots,
+               const std::vector<std::string>& root_names = {},
+               const std::vector<std::string>& var_names = {});
+
+/// Single-root BDD convenience overload.
+void write_dot(std::ostream& os, const Bdd& root,
+               const std::string& name = "f",
+               const std::vector<std::string>& var_names = {});
+
+}  // namespace sani::dd

@@ -1,0 +1,62 @@
+#pragma once
+// Reference-counted root handle shared by Bdd and Add.
+
+#include <cassert>
+#include <utility>
+
+#include "dd/manager.h"
+
+namespace sani::dd::detail {
+
+/// RAII root protector.  While a Handle is alive, the referenced node (and
+/// therefore its whole cone) survives garbage collection.
+class Handle {
+ public:
+  Handle() = default;
+  Handle(Manager* mgr, NodeId node) : mgr_(mgr), node_(node) {
+    if (mgr_) mgr_->ref(node_);
+  }
+  Handle(const Handle& o) : mgr_(o.mgr_), node_(o.node_) {
+    if (mgr_) mgr_->ref(node_);
+  }
+  Handle(Handle&& o) noexcept : mgr_(o.mgr_), node_(o.node_) {
+    o.mgr_ = nullptr;
+  }
+  Handle& operator=(const Handle& o) {
+    Handle tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  Handle& operator=(Handle&& o) noexcept {
+    swap(o);
+    return *this;
+  }
+  ~Handle() {
+    if (mgr_) mgr_->deref(node_);
+  }
+
+  void swap(Handle& o) noexcept {
+    std::swap(mgr_, o.mgr_);
+    std::swap(node_, o.node_);
+  }
+
+  bool is_valid() const { return mgr_ != nullptr; }
+  Manager* manager() const { return mgr_; }
+  NodeId node() const {
+    assert(mgr_);
+    return node_;
+  }
+
+  friend bool operator==(const Handle& a, const Handle& b) {
+    return a.mgr_ == b.mgr_ && (a.mgr_ == nullptr || a.node_ == b.node_);
+  }
+  friend bool operator!=(const Handle& a, const Handle& b) {
+    return !(a == b);
+  }
+
+ private:
+  Manager* mgr_ = nullptr;
+  NodeId node_ = kNilNode;
+};
+
+}  // namespace sani::dd::detail

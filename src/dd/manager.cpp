@@ -1,0 +1,814 @@
+#include "dd/manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sani::dd {
+
+namespace {
+
+constexpr std::size_t kInitialBuckets = 1u << 6;
+constexpr std::size_t kInitialGcThreshold = 1u << 16;
+
+bool as_bool(std::int64_t v) { return v != 0; }
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kPlus: return "plus";
+    case Op::kMinus: return "minus";
+    case Op::kTimes: return "times";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kIte: return "ite";
+    case Op::kExists: return "exists";
+    case Op::kForall: return "forall";
+    case Op::kNotEquals0: return "nonzero";
+    case Op::kEquals0: return "iszero";
+    case Op::kWalsh: return "walsh";
+    case Op::kAbs: return "abs";
+    case Op::kDivPow2: return "divpow2";
+    case Op::kCofactor0: return "cofactor0";
+    case Op::kCofactor1: return "cofactor1";
+    case Op::kCompose: return "compose";
+  }
+  return "?";
+}
+
+Manager::Manager(int num_vars, int cache_bits)
+    : num_vars_(num_vars),
+      unique_(static_cast<std::size_t>(num_vars < 0 ? 0 : num_vars)),
+      var_to_level_(static_cast<std::size_t>(num_vars < 0 ? 0 : num_vars)),
+      level_to_var_(static_cast<std::size_t>(num_vars < 0 ? 0 : num_vars)),
+      cache_(std::size_t{1} << cache_bits),
+      cache_mask_((std::size_t{1} << cache_bits) - 1),
+      gc_threshold_(kInitialGcThreshold) {
+  if (num_vars < 0 || num_vars > Mask::kMaxBits)
+    throw std::invalid_argument("Manager: num_vars out of [0,128]");
+  for (auto& t : unique_) t.buckets.assign(kInitialBuckets, kNilNode);
+  std::iota(var_to_level_.begin(), var_to_level_.end(), 0);
+  std::iota(level_to_var_.begin(), level_to_var_.end(), 0);
+  zero_ = terminal(0);
+  one_ = terminal(1);
+}
+
+// --------------------------------------------------------------------------
+// Node allocation and hash-consing
+// --------------------------------------------------------------------------
+
+NodeId Manager::alloc_node() {
+  if (free_list_ != kNilNode) {
+    NodeId n = free_list_;
+    free_list_ = nodes_[n].next;
+    --free_count_;
+    return n;
+  }
+  if (nodes_.size() >= static_cast<std::size_t>(kNilNode))
+    throw std::runtime_error("Manager: node arena exhausted");
+  nodes_.push_back(Node{});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::size_t Manager::bucket_of(const SubTable& t, NodeId lo, NodeId hi) const {
+  std::uint64_t h = (static_cast<std::uint64_t>(lo) << 32) | hi;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h) & (t.buckets.size() - 1);
+}
+
+void Manager::subtable_insert(int var, NodeId n) {
+  SubTable& t = unique_[var];
+  std::size_t slot = bucket_of(t, nodes_[n].lo, nodes_[n].hi);
+  nodes_[n].next = t.buckets[slot];
+  t.buckets[slot] = n;
+  ++t.count;
+}
+
+void Manager::subtable_remove(int var, NodeId n) {
+  SubTable& t = unique_[var];
+  std::size_t slot = bucket_of(t, nodes_[n].lo, nodes_[n].hi);
+  NodeId* link = &t.buckets[slot];
+  while (*link != kNilNode) {
+    if (*link == n) {
+      *link = nodes_[n].next;
+      --t.count;
+      return;
+    }
+    link = &nodes_[*link].next;
+  }
+  assert(false && "subtable_remove: node not found");
+}
+
+void Manager::subtable_maybe_resize(int var) {
+  SubTable& t = unique_[var];
+  if (t.count <= t.buckets.size() * 3 / 4) return;
+  std::vector<NodeId> old = std::move(t.buckets);
+  t.buckets.assign(old.size() * 2, kNilNode);
+  t.count = 0;
+  for (NodeId head : old)
+    for (NodeId n = head; n != kNilNode;) {
+      NodeId next = nodes_[n].next;
+      subtable_insert(var, n);
+      n = next;
+    }
+}
+
+NodeId Manager::terminal(std::int64_t value) {
+  for (const auto& [v, n] : terminals_)
+    if (v == value) return n;
+  NodeId n = alloc_node();
+  Node& node = nodes_[n];
+  node.var = kTermVar;
+  node.lo = static_cast<NodeId>(static_cast<std::uint64_t>(value));
+  node.hi = static_cast<NodeId>(static_cast<std::uint64_t>(value) >> 32);
+  node.next = kNilNode;
+  node.ref = 1;  // terminals are immortal
+  node.mark = false;
+  terminals_.emplace_back(value, n);
+  stats_.live_nodes = nodes_.size() - free_count_;
+  if (stats_.live_nodes > stats_.peak_nodes)
+    stats_.peak_nodes = stats_.live_nodes;
+  return n;
+}
+
+std::int64_t Manager::terminal_value(NodeId n) const {
+  assert(is_terminal(n));
+  return pack_value(nodes_[n].lo, nodes_[n].hi);
+}
+
+NodeId Manager::make(int var, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;  // reduction rule
+  assert(var >= 0 && var < num_vars_);
+  assert(node_level(lo) > var_to_level_[var]);
+  assert(node_level(hi) > var_to_level_[var]);
+  SubTable& t = unique_[var];
+  std::size_t slot = bucket_of(t, lo, hi);
+  for (NodeId n = t.buckets[slot]; n != kNilNode; n = nodes_[n].next) {
+    const Node& node = nodes_[n];
+    if (node.lo == lo && node.hi == hi) return n;
+  }
+  NodeId n = alloc_node();
+  Node& node = nodes_[n];
+  node.var = var;
+  node.lo = lo;
+  node.hi = hi;
+  node.ref = 0;
+  node.mark = false;
+  subtable_insert(var, n);
+  subtable_maybe_resize(var);
+  stats_.live_nodes = nodes_.size() - free_count_;
+  if (stats_.live_nodes > stats_.peak_nodes)
+    stats_.peak_nodes = stats_.live_nodes;
+  return n;
+}
+
+NodeId Manager::var_node(int var) { return make(var, zero_, one_); }
+NodeId Manager::nvar_node(int var) { return make(var, one_, zero_); }
+
+// --------------------------------------------------------------------------
+// Reference counting and garbage collection
+// --------------------------------------------------------------------------
+
+void Manager::ref(NodeId n) {
+  if (nodes_[n].ref != UINT32_MAX) ++nodes_[n].ref;
+}
+
+void Manager::deref(NodeId n) {
+  if (nodes_[n].ref != UINT32_MAX && nodes_[n].ref > 0) --nodes_[n].ref;
+}
+
+void Manager::mark_rec(NodeId root) {
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    Node& node = nodes_[n];
+    if (node.mark) continue;
+    node.mark = true;
+    if (node.var != kTermVar) {
+      stack.push_back(node.lo);
+      stack.push_back(node.hi);
+    }
+  }
+}
+
+void Manager::clear_cache() {
+  for (auto& entry : cache_) entry = CacheEntry{};
+}
+
+std::size_t Manager::collect_garbage() {
+  // Mark phase: externally referenced nodes and all terminals are roots.
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].ref > 0 && nodes_[i].var != kTermVar)
+      mark_rec(static_cast<NodeId>(i));
+  for (const auto& [v, n] : terminals_) nodes_[n].mark = true;
+
+  // Sweep phase: rebuild the subtables from survivors, push the rest on the
+  // free list.  The computed table may reference dead nodes, so it is
+  // cleared wholesale.
+  std::size_t freed = 0;
+  for (auto& t : unique_) {
+    std::fill(t.buckets.begin(), t.buckets.end(), kNilNode);
+    t.count = 0;
+  }
+  std::vector<bool> was_free(nodes_.size(), false);
+  for (NodeId n = free_list_; n != kNilNode; n = nodes_[n].next)
+    was_free[n] = true;
+  free_list_ = kNilNode;
+  free_count_ = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    if (node.mark) {
+      node.mark = false;
+      if (node.var != kTermVar)
+        subtable_insert(node.var, static_cast<NodeId>(i));
+      continue;
+    }
+    if (!was_free[i]) ++freed;
+    node.var = 0;
+    node.lo = node.hi = kNilNode;
+    node.ref = 0;
+    node.next = free_list_;
+    free_list_ = static_cast<NodeId>(i);
+    ++free_count_;
+  }
+  clear_cache();
+  ++stats_.gc_runs;
+  stats_.nodes_freed += freed;
+  stats_.live_nodes = nodes_.size() - free_count_;
+  return freed;
+}
+
+void Manager::maybe_gc() {
+  std::size_t live = nodes_.size() - free_count_;
+  if (live < gc_threshold_) return;
+  collect_garbage();
+  live = nodes_.size() - free_count_;
+  // Keep collections amortized: if most nodes survived, raise the bar.
+  if (live > gc_threshold_ / 2) gc_threshold_ *= 2;
+}
+
+// --------------------------------------------------------------------------
+// Computed table
+// --------------------------------------------------------------------------
+
+std::size_t Manager::cache_slot(Op op, NodeId a, NodeId b, NodeId c) const {
+  std::uint64_t h = static_cast<std::uint64_t>(op) * 0x9E3779B97F4A7C15ull;
+  h ^= a + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h ^= c + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h) & cache_mask_;
+}
+
+bool Manager::cache_lookup(Op op, NodeId a, NodeId b, NodeId c, NodeId* out) {
+  const CacheEntry& e = cache_[cache_slot(op, a, b, c)];
+  if (e.result != kNilNode && e.op == op && e.a == a && e.b == b && e.c == c) {
+    *out = e.result;
+    ++stats_.cache_hits;
+    return true;
+  }
+  ++stats_.cache_misses;
+  return false;
+}
+
+void Manager::cache_insert(Op op, NodeId a, NodeId b, NodeId c,
+                           NodeId result) {
+  CacheEntry& e = cache_[cache_slot(op, a, b, c)];
+  e.op = op;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.result = result;
+}
+
+// --------------------------------------------------------------------------
+// Apply and friends
+// --------------------------------------------------------------------------
+
+std::int64_t Manager::eval_terminal_op(Op op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case Op::kAnd: return as_bool(a) && as_bool(b) ? 1 : 0;
+    case Op::kOr: return as_bool(a) || as_bool(b) ? 1 : 0;
+    case Op::kXor: return as_bool(a) != as_bool(b) ? 1 : 0;
+    case Op::kPlus: return a + b;
+    case Op::kMinus: return a - b;
+    case Op::kTimes: return a * b;
+    case Op::kMin: return a < b ? a : b;
+    case Op::kMax: return a > b ? a : b;
+    default: break;
+  }
+  std::abort();  // non-binary op routed through apply()
+}
+
+NodeId Manager::apply_rec(Op op, NodeId f, NodeId g) {
+  // Short circuits.  Boolean ops (kAnd/kOr/kXor) require 0/1 operands, which
+  // makes the identities below valid without inspecting the whole diagram.
+  switch (op) {
+    case Op::kAnd:
+      if (f == zero_ || g == zero_) return zero_;
+      if (f == one_) return g;
+      if (g == one_) return f;
+      if (f == g) return f;
+      break;
+    case Op::kOr:
+      if (f == one_ || g == one_) return one_;
+      if (f == zero_) return g;
+      if (g == zero_) return f;
+      if (f == g) return f;
+      break;
+    case Op::kXor:
+      if (f == zero_) return g;
+      if (g == zero_) return f;
+      if (f == g) return zero_;
+      break;
+    case Op::kTimes:
+      if (f == zero_ || g == zero_) return zero_;
+      if (f == one_) return g;
+      if (g == one_) return f;
+      break;
+    case Op::kPlus:
+      if (f == zero_) return g;
+      if (g == zero_) return f;
+      break;
+    case Op::kMinus:
+      if (g == zero_) return f;
+      break;
+    case Op::kMin:
+    case Op::kMax:
+      if (f == g) return f;
+      break;
+    default:
+      break;
+  }
+
+  if (is_terminal(f) && is_terminal(g))
+    return terminal(eval_terminal_op(op, terminal_value(f), terminal_value(g)));
+
+  // Normalize commutative operand order for better cache reuse.
+  switch (op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kPlus:
+    case Op::kTimes:
+    case Op::kMin:
+    case Op::kMax:
+      if (f > g) std::swap(f, g);
+      break;
+    default:
+      break;
+  }
+
+  NodeId cached;
+  if (cache_lookup(op, f, g, kNilNode, &cached)) return cached;
+
+  const int flevel = node_level(f);
+  const int glevel = node_level(g);
+  const int level = flevel < glevel ? flevel : glevel;
+  const int var = level_to_var_[level];
+  NodeId f0 = flevel == level ? nodes_[f].lo : f;
+  NodeId f1 = flevel == level ? nodes_[f].hi : f;
+  NodeId g0 = glevel == level ? nodes_[g].lo : g;
+  NodeId g1 = glevel == level ? nodes_[g].hi : g;
+
+  NodeId r0 = apply_rec(op, f0, g0);
+  NodeId r1 = apply_rec(op, f1, g1);
+  NodeId r = make(var, r0, r1);
+  cache_insert(op, f, g, kNilNode, r);
+  return r;
+}
+
+NodeId Manager::apply(Op op, NodeId f, NodeId g) {
+  maybe_gc();
+  return apply_rec(op, f, g);
+}
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  maybe_gc();
+  // Recursive ITE over a 0/1 selector f; g/h may be arbitrary ADDs.
+  struct Rec {
+    Manager& m;
+    NodeId run(NodeId f, NodeId g, NodeId h) {
+      if (f == m.one_) return g;
+      if (f == m.zero_) return h;
+      if (g == h) return g;
+      NodeId cached;
+      if (m.cache_lookup(Op::kIte, f, g, h, &cached)) return cached;
+      const int fl = m.node_level(f);
+      const int gl = m.node_level(g);
+      const int hl = m.node_level(h);
+      int level = fl;
+      if (gl < level) level = gl;
+      if (hl < level) level = hl;
+      const int var = m.level_to_var_[level];
+      NodeId f0 = fl == level ? m.nodes_[f].lo : f;
+      NodeId f1 = fl == level ? m.nodes_[f].hi : f;
+      NodeId g0 = gl == level ? m.nodes_[g].lo : g;
+      NodeId g1 = gl == level ? m.nodes_[g].hi : g;
+      NodeId h0 = hl == level ? m.nodes_[h].lo : h;
+      NodeId h1 = hl == level ? m.nodes_[h].hi : h;
+      NodeId r = m.make(var, run(f0, g0, h0), run(f1, g1, h1));
+      m.cache_insert(Op::kIte, f, g, h, r);
+      return r;
+    }
+  };
+  return Rec{*this}.run(f, g, h);
+}
+
+NodeId Manager::not_(NodeId f) { return apply(Op::kXor, f, one_); }
+
+NodeId Manager::cube(const Mask& vars) {
+  maybe_gc();
+  NodeId c = one_;
+  // Build bottom-up in level order so every make() call sees deeper
+  // children.
+  for (int level = num_vars_ - 1; level >= 0; --level) {
+    const int var = level_to_var_[level];
+    if (vars.test(var)) c = make(var, zero_, c);
+  }
+  return c;
+}
+
+NodeId Manager::exists(NodeId f, const Mask& vars) {
+  NodeId c = cube(vars);
+  struct Rec {
+    Manager& m;
+    Op op;       // cache tag: kExists or kForall
+    Op combine;  // kOr or kAnd
+    NodeId run(NodeId f, NodeId c) {
+      if (m.is_terminal(f)) return f;
+      // Skip quantified variables above f's top variable: quantifying a
+      // variable f does not depend on leaves f unchanged (for 0/1 f).
+      while (!m.is_terminal(c) && m.node_level(c) < m.node_level(f))
+        c = m.nodes_[c].hi;
+      if (m.is_terminal(c)) return f;
+      NodeId cached;
+      if (m.cache_lookup(op, f, c, kNilNode, &cached)) return cached;
+      NodeId r;
+      if (m.nodes_[f].var == m.nodes_[c].var) {
+        NodeId lo = run(m.nodes_[f].lo, m.nodes_[c].hi);
+        NodeId hi = run(m.nodes_[f].hi, m.nodes_[c].hi);
+        r = m.apply_rec(combine, lo, hi);
+      } else {
+        r = m.make(m.nodes_[f].var, run(m.nodes_[f].lo, c),
+                   run(m.nodes_[f].hi, c));
+      }
+      m.cache_insert(op, f, c, kNilNode, r);
+      return r;
+    }
+  };
+  maybe_gc();
+  return Rec{*this, Op::kExists, Op::kOr}.run(f, c);
+}
+
+NodeId Manager::forall(NodeId f, const Mask& vars) {
+  NodeId c = cube(vars);
+  struct Rec {
+    Manager& m;
+    NodeId run(NodeId f, NodeId c) {
+      if (m.is_terminal(f)) return f;
+      while (!m.is_terminal(c) && m.node_level(c) < m.node_level(f))
+        c = m.nodes_[c].hi;
+      if (m.is_terminal(c)) return f;
+      NodeId cached;
+      if (m.cache_lookup(Op::kForall, f, c, kNilNode, &cached)) return cached;
+      NodeId r;
+      if (m.nodes_[f].var == m.nodes_[c].var) {
+        NodeId lo = run(m.nodes_[f].lo, m.nodes_[c].hi);
+        NodeId hi = run(m.nodes_[f].hi, m.nodes_[c].hi);
+        r = m.apply_rec(Op::kAnd, lo, hi);
+      } else {
+        r = m.make(m.nodes_[f].var, run(m.nodes_[f].lo, c),
+                   run(m.nodes_[f].hi, c));
+      }
+      m.cache_insert(Op::kForall, f, c, kNilNode, r);
+      return r;
+    }
+  };
+  maybe_gc();
+  return Rec{*this}.run(f, c);
+}
+
+NodeId Manager::cofactor(NodeId f, int var, bool value) {
+  maybe_gc();
+  Op op = value ? Op::kCofactor1 : Op::kCofactor0;
+  struct Rec {
+    Manager& m;
+    Op op;
+    int var;
+    int var_level;
+    bool value;
+    NodeId run(NodeId f) {
+      if (m.is_terminal(f) || m.node_level(f) > var_level) return f;
+      if (m.nodes_[f].var == var)
+        return value ? m.nodes_[f].hi : m.nodes_[f].lo;
+      NodeId cached;
+      if (m.cache_lookup(op, f, static_cast<NodeId>(var), kNilNode, &cached))
+        return cached;
+      NodeId r =
+          m.make(m.nodes_[f].var, run(m.nodes_[f].lo), run(m.nodes_[f].hi));
+      m.cache_insert(op, f, static_cast<NodeId>(var), kNilNode, r);
+      return r;
+    }
+  };
+  return Rec{*this, op, var, var_to_level_[var], value}.run(f);
+}
+
+namespace {
+
+// Generic unary terminal map with caching.
+template <typename Fn>
+NodeId unary_rec(Manager& m, Op op, NodeId f, Fn&& leaf) {
+  if (m.is_terminal(f)) return m.terminal(leaf(m.terminal_value(f)));
+  NodeId cached;
+  if (m.cache_lookup(op, f, kNilNode, kNilNode, &cached)) return cached;
+  NodeId r = m.make(m.node_var(f), unary_rec(m, op, m.node_lo(f), leaf),
+                    unary_rec(m, op, m.node_hi(f), leaf));
+  m.cache_insert(op, f, kNilNode, kNilNode, r);
+  return r;
+}
+
+}  // namespace
+
+NodeId Manager::nonzero(NodeId f) {
+  maybe_gc();
+  return unary_rec(*this, Op::kNotEquals0, f,
+                   [](std::int64_t v) -> std::int64_t { return v != 0; });
+}
+
+NodeId Manager::iszero(NodeId f) {
+  maybe_gc();
+  return unary_rec(*this, Op::kEquals0, f,
+                   [](std::int64_t v) -> std::int64_t { return v == 0; });
+}
+
+NodeId Manager::abs(NodeId f) {
+  maybe_gc();
+  return unary_rec(*this, Op::kAbs, f, [](std::int64_t v) -> std::int64_t {
+    return v < 0 ? -v : v;
+  });
+}
+
+// --------------------------------------------------------------------------
+// Queries
+// --------------------------------------------------------------------------
+
+Mask Manager::support(NodeId f) {
+  Mask result;
+  std::vector<NodeId> stack{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n] || is_terminal(n)) continue;
+    seen[n] = true;
+    result.set(nodes_[n].var);
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  return result;
+}
+
+std::int64_t Manager::eval(NodeId f, const Mask& assignment) const {
+  while (!is_terminal(f))
+    f = assignment.test(nodes_[f].var) ? nodes_[f].hi : nodes_[f].lo;
+  return terminal_value(f);
+}
+
+double Manager::sat_count(NodeId f) {
+  std::unordered_map<NodeId, double> memo;
+  auto rec = [&](auto&& self, NodeId n) -> double {
+    if (is_terminal(n)) return terminal_value(n) != 0 ? 1.0 : 0.0;
+    auto it = memo.find(n);
+    if (it != memo.end()) return it->second;
+    const int level = node_level(n);
+    double lo = self(self, nodes_[n].lo) *
+                std::pow(2.0, node_level(nodes_[n].lo) - level - 1);
+    double hi = self(self, nodes_[n].hi) *
+                std::pow(2.0, node_level(nodes_[n].hi) - level - 1);
+    double r = lo + hi;
+    memo.emplace(n, r);
+    return r;
+  };
+  return rec(rec, f) * std::pow(2.0, node_level(f));
+}
+
+std::int64_t Manager::max_abs_terminal(NodeId f) {
+  std::int64_t best = 0;
+  std::vector<NodeId> stack{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    if (is_terminal(n)) {
+      std::int64_t v = terminal_value(n);
+      if (v < 0) v = -v;
+      if (v > best) best = v;
+    } else {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+  return best;
+}
+
+bool Manager::any_sat(NodeId f, Mask* assignment) const {
+  *assignment = Mask{};
+  // Canonical form guarantees that any node with a nonzero terminal below it
+  // has at least one child leading to a nonzero terminal; walking greedily
+  // toward "not the zero terminal" suffices because the zero terminal is
+  // unique and reduction removed redundant tests.
+  while (!is_terminal(f)) {
+    NodeId lo = nodes_[f].lo;
+    // Prefer the 0-branch if it can reach a nonzero terminal.
+    if (reaches_nonzero(lo)) {
+      f = lo;
+    } else {
+      assignment->set(nodes_[f].var);
+      f = nodes_[f].hi;
+    }
+  }
+  return terminal_value(f) != 0;
+}
+
+bool Manager::reaches_nonzero(NodeId f) const {
+  std::vector<NodeId> stack{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    if (is_terminal(n)) {
+      if (terminal_value(n) != 0) return true;
+      continue;
+    }
+    stack.push_back(nodes_[n].lo);
+    stack.push_back(nodes_[n].hi);
+  }
+  return false;
+}
+
+std::size_t Manager::dag_size(NodeId f) const {
+  std::size_t count = 0;
+  std::vector<NodeId> stack{f};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    ++count;
+    if (!is_terminal(n)) {
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+  }
+  return count;
+}
+
+// --------------------------------------------------------------------------
+// Dynamic reordering
+// --------------------------------------------------------------------------
+
+void Manager::swap_adjacent_levels(int level) {
+  assert(level >= 0 && level + 1 < num_vars_);
+  const int u = level_to_var_[level];      // moves down
+  const int v = level_to_var_[level + 1];  // moves up
+
+  // Snapshot the var-u nodes: make() during the rewrite only creates fresh
+  // var-u nodes whose children live strictly below level+1, and those need
+  // no processing.
+  std::vector<NodeId> u_nodes;
+  u_nodes.reserve(unique_[u].count);
+  for (NodeId head : unique_[u].buckets)
+    for (NodeId n = head; n != kNilNode; n = nodes_[n].next)
+      u_nodes.push_back(n);
+
+  // Commit the order change first so make(u, ...) sees the new levels.
+  std::swap(level_to_var_[level], level_to_var_[level + 1]);
+  var_to_level_[u] = level + 1;
+  var_to_level_[v] = level;
+
+  for (NodeId n : u_nodes) {
+    const NodeId lo = nodes_[n].lo;
+    const NodeId hi = nodes_[n].hi;
+    const bool lo_v = !is_terminal(lo) && nodes_[lo].var == v;
+    const bool hi_v = !is_terminal(hi) && nodes_[hi].var == v;
+    if (!lo_v && !hi_v) continue;  // node sinks below v untouched
+
+    const NodeId f00 = lo_v ? nodes_[lo].lo : lo;
+    const NodeId f01 = lo_v ? nodes_[lo].hi : lo;
+    const NodeId f10 = hi_v ? nodes_[hi].lo : hi;
+    const NodeId f11 = hi_v ? nodes_[hi].hi : hi;
+
+    // Rewrite in place: the NodeId keeps denoting the same function, now
+    // rooted at var v.  (A canonical collision is impossible: an existing
+    // (v, lo', hi') node cannot depend on u, while this one does.)
+    subtable_remove(u, n);
+    const NodeId new_lo = make(u, f00, f10);
+    const NodeId new_hi = make(u, f01, f11);
+    assert(new_lo != new_hi);
+    nodes_[n].var = v;
+    nodes_[n].lo = new_lo;
+    nodes_[n].hi = new_hi;
+    subtable_insert(v, n);
+    subtable_maybe_resize(v);
+  }
+  ++stats_.reorder_swaps;
+}
+
+void Manager::move_level(int from, int to) {
+  while (from > to) {
+    swap_adjacent_levels(from - 1);
+    --from;
+  }
+  while (from < to) {
+    swap_adjacent_levels(from);
+    ++from;
+  }
+}
+
+std::size_t Manager::reorder_sift() {
+  // Sift variables in decreasing subtable-size order.  Collect first so the
+  // size metric starts from live nodes only; swaps may strand a few orphans,
+  // so the metric is a (slight) over-approximation during a pass.
+  collect_garbage();
+  std::vector<int> vars(num_vars_);
+  std::iota(vars.begin(), vars.end(), 0);
+  std::sort(vars.begin(), vars.end(), [&](int a, int b) {
+    return unique_[a].count > unique_[b].count;
+  });
+
+  for (int var : vars) {
+    if (unique_[var].count == 0) continue;
+    collect_garbage();
+
+    auto total = [&] {
+      std::size_t t = 0;
+      for (const auto& st : unique_) t += st.count;
+      return t;
+    };
+
+    const int start = var_to_level_[var];
+    int best_level = start;
+    std::size_t best_size = total();
+
+    // Sweep to the nearer end first, then across to the other end.  Each
+    // swap strands the old cofactor nodes as garbage, which would bias the
+    // size metric toward the starting position; collect before measuring.
+    const bool down_first = start >= num_vars_ / 2;
+    auto sweep = [&](int target) {
+      while (var_to_level_[var] != target) {
+        const int l = var_to_level_[var];
+        move_level(l, l + (target > l ? 1 : -1));
+        collect_garbage();
+        const std::size_t size = total();
+        if (size < best_size) {
+          best_size = size;
+          best_level = var_to_level_[var];
+        }
+      }
+    };
+    if (down_first) {
+      sweep(num_vars_ - 1);
+      sweep(0);
+    } else {
+      sweep(0);
+      sweep(num_vars_ - 1);
+    }
+    move_level(var_to_level_[var], best_level);
+  }
+  clear_cache();
+  collect_garbage();
+  return live_node_count();
+}
+
+void Manager::set_variable_order(const std::vector<int>& order) {
+  if (order.size() != static_cast<std::size_t>(num_vars_))
+    throw std::invalid_argument("set_variable_order: wrong length");
+  std::vector<bool> seen(num_vars_, false);
+  for (int v : order) {
+    if (v < 0 || v >= num_vars_ || seen[v])
+      throw std::invalid_argument("set_variable_order: not a permutation");
+    seen[v] = true;
+  }
+  for (int target = 0; target < num_vars_; ++target)
+    move_level(var_to_level_[order[target]], target);
+  clear_cache();
+}
+
+}  // namespace sani::dd

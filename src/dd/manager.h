@@ -1,0 +1,284 @@
+#pragma once
+// Decision-diagram node manager.
+//
+// This is the project's stand-in for the CUDD package [18]: a shared,
+// canonical store of reduced ordered decision-diagram nodes supporting both
+// BDDs (Bryant [17]) and ADDs (Bahar et al. [13]).  Design choices:
+//
+//  * One unified node space.  An ADD terminal holds a 64-bit signed integer;
+//    a BDD is simply an ADD whose terminals are 0/1.  This mirrors how this
+//    project uses CUDD in spirit: Walsh coefficients are integers in
+//    [-2^n, 2^n], so integer terminals make every spectral computation exact
+//    (no floating-point terminals needed).
+//  * Nodes are identified by 32-bit indices into an arena; handles
+//    (dd::Bdd, dd::Add) reference-count their root.  Canonicity invariant:
+//    no node with lo == hi, no two distinct nodes with equal (var, lo, hi),
+//    terminals unique per value.  Equality of functions is pointer equality.
+//  * Per-variable unique subtables (hash-consing) and a lossy direct-mapped
+//    computed table give the textbook O(|f||g|) apply bound.  Subtables per
+//    variable are what make dynamic reordering affordable.
+//  * Mark-and-sweep garbage collection runs only at top-level operation
+//    entry (a safe point: no recursion in flight), triggered by node-count
+//    growth; the computed table is invalidated on collection.
+//  * The variable ORDER is dynamic: variable identities are stable ints
+//    0..num_vars-1, but their levels can be permuted.  Adjacent-level swap
+//    rewrites nodes *in place* (NodeIds keep denoting the same function),
+//    and reorder_sift() runs Rudell's sifting on top of it.  Reordering is
+//    only legal at safe points (no operation in flight).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/mask.h"
+
+namespace sani::dd {
+
+/// Index of a node in the manager's arena.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (unique-table chain terminator, free-list end).
+inline constexpr NodeId kNilNode = 0xFFFFFFFFu;
+
+/// Binary / special operation codes for the computed table.
+enum class Op : std::uint8_t {
+  kAnd,
+  kOr,
+  kXor,
+  kPlus,
+  kMinus,
+  kTimes,
+  kMin,
+  kMax,
+  kIte,
+  kExists,
+  kForall,
+  kNotEquals0,  // unary: ADD -> 0/1 ADD
+  kEquals0,     // unary: ADD -> 0/1 ADD (complement of the above)
+  kWalsh,       // Fujita spectral transform step (see walsh.h)
+  kAbs,         // unary: |v| on terminals
+  kDivPow2,     // unary keyed with shift: v -> v / 2^k (exact)
+  kCofactor0,   // unary keyed with var
+  kCofactor1,
+  kCompose,     // keyed externally
+};
+
+/// Manager statistics, exposed for the bench_dd ablation and for tests.
+struct ManagerStats {
+  std::size_t live_nodes = 0;
+  std::size_t peak_nodes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t nodes_freed = 0;
+  std::uint64_t reorder_swaps = 0;
+};
+
+/// The node store.  All diagram handles in this project point into exactly
+/// one Manager; mixing managers is a programming error (checked in debug).
+class Manager {
+ public:
+  /// Creates a manager for diagrams over `num_vars` variables, initially
+  /// ordered by index (variable i at level i).  `cache_bits` sizes the
+  /// computed table at 2^cache_bits entries.
+  explicit Manager(int num_vars, int cache_bits = 18);
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  int num_vars() const { return num_vars_; }
+
+  // --- Variable order ------------------------------------------------------
+
+  int level_of(int var) const { return var_to_level_[var]; }
+  int var_at_level(int level) const { return level_to_var_[level]; }
+  /// The current order, outermost first.
+  std::vector<int> variable_order() const { return level_to_var_; }
+
+  /// Rudell sifting: greedily moves each variable (largest subtable first)
+  /// to its locally best level.  Runs a garbage collection first so the size
+  /// metric counts live nodes.  Returns the live node count afterwards.
+  std::size_t reorder_sift();
+
+  /// Installs an explicit order (a permutation of 0..num_vars-1, outermost
+  /// first) via adjacent swaps.
+  void set_variable_order(const std::vector<int>& order);
+
+  // --- Terminal and variable constructors -------------------------------
+
+  /// The terminal node holding `value` (canonical; created on demand).
+  NodeId terminal(std::int64_t value);
+  NodeId zero() { return zero_; }
+  NodeId one() { return one_; }
+
+  /// The 0/1 diagram of variable `var` (positive literal).
+  NodeId var_node(int var);
+  /// The 0/1 diagram of the negated literal.
+  NodeId nvar_node(int var);
+
+  // --- Node inspection ---------------------------------------------------
+
+  bool is_terminal(NodeId n) const { return nodes_[n].var == kTermVar; }
+  std::int64_t terminal_value(NodeId n) const;
+  int node_var(NodeId n) const { return nodes_[n].var; }
+  NodeId node_lo(NodeId n) const { return nodes_[n].lo; }
+  NodeId node_hi(NodeId n) const { return nodes_[n].hi; }
+
+  /// Level of a node's variable; terminals sit below every level.
+  int node_level(NodeId n) const {
+    return is_terminal(n) ? num_vars_ : var_to_level_[nodes_[n].var];
+  }
+
+  /// Number of distinct nodes (incl. terminals) reachable from `n`.
+  std::size_t dag_size(NodeId n) const;
+
+  // --- Reference counting (used by the Bdd/Add handles) ------------------
+
+  void ref(NodeId n);
+  void deref(NodeId n);
+
+  // --- Top-level operations (safe points; may trigger GC) ----------------
+
+  NodeId apply(Op op, NodeId f, NodeId g);
+  NodeId ite(NodeId f, NodeId g, NodeId h);
+  NodeId not_(NodeId f);  // on 0/1 ADDs
+
+  /// Existential (OR) quantification of all variables in `vars` (0/1 ADDs).
+  NodeId exists(NodeId f, const Mask& vars);
+  /// Universal (AND) quantification.
+  NodeId forall(NodeId f, const Mask& vars);
+
+  /// Cofactor f|_{var=value}.
+  NodeId cofactor(NodeId f, int var, bool value);
+
+  /// 0/1 diagram of "f(x) != 0" (resp. "== 0").
+  NodeId nonzero(NodeId f);
+  NodeId iszero(NodeId f);
+
+  /// Termwise absolute value.
+  NodeId abs(NodeId f);
+
+  /// Variables occurring in f.
+  Mask support(NodeId f);
+
+  /// f evaluated at the point whose i-th coordinate is assignment.test(i).
+  std::int64_t eval(NodeId f, const Mask& assignment) const;
+
+  /// Number of assignments (over all num_vars() variables) where f != 0,
+  /// as a double (exact for < 2^53).
+  double sat_count(NodeId f);
+
+  /// Largest absolute terminal value reachable from f.
+  std::int64_t max_abs_terminal(NodeId f);
+
+  /// Finds one assignment with f != 0; returns false iff f is the constant
+  /// zero.  Unconstrained variables are left 0 in the returned mask.
+  bool any_sat(NodeId f, Mask* assignment) const;
+
+  /// The conjunction (cube) of positive literals of `vars` — used as the
+  /// canonical cache key for quantification.
+  NodeId cube(const Mask& vars);
+
+  // --- Internal node construction (used by walsh.cpp and friends) --------
+
+  /// Canonical node constructor: applies the reduction rule (lo == hi) and
+  /// hash-conses.  Children must live at deeper levels than `var`.
+  NodeId make(int var, NodeId lo, NodeId hi);
+
+  // Recursive cores; public so that sibling translation units implementing
+  // further algorithms (walsh.cpp) can participate in the same cache.  These
+  // must only be called below a top-level safe point.
+  NodeId apply_rec(Op op, NodeId f, NodeId g);
+  bool cache_lookup(Op op, NodeId a, NodeId b, NodeId c, NodeId* out);
+  void cache_insert(Op op, NodeId a, NodeId b, NodeId c, NodeId result);
+
+  // --- Maintenance --------------------------------------------------------
+
+  /// Runs a mark/sweep collection immediately. Returns nodes freed.
+  std::size_t collect_garbage();
+
+  /// Called at top-level entry points; collects when the arena grew past the
+  /// adaptive threshold.
+  void maybe_gc();
+
+  const ManagerStats& stats() const { return stats_; }
+  std::size_t node_capacity() const { return nodes_.size(); }
+  std::size_t live_node_count() const { return nodes_.size() - free_count_; }
+
+ private:
+  static constexpr std::int32_t kTermVar = INT32_MAX;
+
+  struct Node {
+    std::int32_t var;   // kTermVar for terminals
+    NodeId lo;          // 0-child; for terminals: low 32 bits of the value
+    NodeId hi;          // 1-child; for terminals: high 32 bits of the value
+    NodeId next;        // unique-subtable chain
+    std::uint32_t ref;  // external reference count (saturating)
+    bool mark;          // GC mark bit
+  };
+
+  struct CacheEntry {
+    NodeId a = kNilNode, b = kNilNode, c = kNilNode;
+    NodeId result = kNilNode;
+    Op op{};
+  };
+
+  /// Per-variable hash-consing table (open chaining via Node::next).
+  struct SubTable {
+    std::vector<NodeId> buckets;
+    std::size_t count = 0;
+  };
+
+  NodeId alloc_node();
+  bool reaches_nonzero(NodeId f) const;
+  std::size_t bucket_of(const SubTable& t, NodeId lo, NodeId hi) const;
+  void subtable_insert(int var, NodeId n);
+  void subtable_remove(int var, NodeId n);
+  void subtable_maybe_resize(int var);
+  std::size_t cache_slot(Op op, NodeId a, NodeId b, NodeId c) const;
+  void clear_cache();
+  void mark_rec(NodeId n);
+
+  /// Swaps the variables at `level` and `level + 1`, rewriting the affected
+  /// nodes in place (every NodeId keeps denoting the same function).
+  void swap_adjacent_levels(int level);
+
+  /// Moves the variable currently at `from` to `to` by adjacent swaps.
+  void move_level(int from, int to);
+
+  static std::int64_t pack_value(NodeId lo, NodeId hi) {
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(hi) << 32) | lo);
+  }
+
+  // Terminal-pair evaluation for apply().
+  static std::int64_t eval_terminal_op(Op op, std::int64_t a, std::int64_t b);
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  NodeId free_list_ = kNilNode;
+  std::size_t free_count_ = 0;
+
+  std::vector<SubTable> unique_;  // one subtable per variable
+
+  std::vector<int> var_to_level_;
+  std::vector<int> level_to_var_;
+
+  std::vector<CacheEntry> cache_;
+  std::size_t cache_mask_;
+
+  // value -> terminal node (the number of distinct terminal values stays
+  // tiny next to node counts, so a flat vector scan is fine).
+  std::vector<std::pair<std::int64_t, NodeId>> terminals_;
+
+  NodeId zero_ = kNilNode;
+  NodeId one_ = kNilNode;
+
+  std::size_t gc_threshold_;
+  ManagerStats stats_;
+};
+
+/// Human-readable operator name (diagnostics, dot labels).
+const char* op_name(Op op);
+
+}  // namespace sani::dd

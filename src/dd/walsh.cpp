@@ -1,0 +1,84 @@
+#include "dd/walsh.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sani::dd {
+
+namespace {
+
+// One butterfly per variable, processed in level order so the result stays
+// ordered under any (possibly reordered) manager.  `level` counts processed
+// levels; memoization key is (h, level) so shared subgraphs transform once.
+// The spectral coordinate of input variable v is emitted on variable v of
+// the result, whatever its level.
+NodeId butterfly(Manager& m, NodeId h, int level) {
+  if (level == m.num_vars()) {
+    assert(m.is_terminal(h));
+    return h;
+  }
+  NodeId cached;
+  if (m.cache_lookup(Op::kWalsh, h, static_cast<NodeId>(level), kNilNode,
+                     &cached))
+    return cached;
+
+  const int var = m.var_at_level(level);
+  NodeId h0 = h;
+  NodeId h1 = h;
+  if (!m.is_terminal(h) && m.node_var(h) == var) {
+    h0 = m.node_lo(h);
+    h1 = m.node_hi(h);
+  }
+  NodeId a = butterfly(m, h0, level + 1);
+  NodeId b = butterfly(m, h1, level + 1);
+  NodeId r = m.make(var, m.apply_rec(Op::kPlus, a, b),
+                    m.apply_rec(Op::kMinus, a, b));
+  m.cache_insert(Op::kWalsh, h, static_cast<NodeId>(level), kNilNode, r);
+  return r;
+}
+
+NodeId div_pow2(Manager& m, NodeId f, int shift) {
+  if (m.is_terminal(f)) {
+    std::int64_t v = m.terminal_value(f);
+    assert((v >> shift) << shift == v && "inexact power-of-two division");
+    return m.terminal(v >> shift);
+  }
+  NodeId cached;
+  if (m.cache_lookup(Op::kDivPow2, f, static_cast<NodeId>(shift), kNilNode,
+                     &cached))
+    return cached;
+  NodeId r = m.make(m.node_var(f), div_pow2(m, m.node_lo(f), shift),
+                    div_pow2(m, m.node_hi(f), shift));
+  m.cache_insert(Op::kDivPow2, f, static_cast<NodeId>(shift), kNilNode, r);
+  return r;
+}
+
+void check_width(const Manager& m) {
+  if (m.num_vars() > 62)
+    throw std::invalid_argument(
+        "walsh_transform: more than 62 variables would overflow int64 "
+        "coefficients");
+}
+
+}  // namespace
+
+Add walsh_transform(const Bdd& f) {
+  Manager& m = *f.manager();
+  check_width(m);
+  m.maybe_gc();
+  // Signed encoding (-1)^f = 1 - 2 f.
+  NodeId two_f = m.apply_rec(Op::kTimes, m.terminal(2), f.node());
+  NodeId h = m.apply_rec(Op::kMinus, m.terminal(1), two_f);
+  return Add(&m, butterfly(m, h, 0));
+}
+
+Add inverse_walsh_transform(const Add& spectrum) {
+  Manager& m = *spectrum.manager();
+  check_width(m);
+  m.maybe_gc();
+  // The transform matrix H satisfies H * H = 2^n I.
+  NodeId t = butterfly(m, spectrum.node(), 0);
+  return Add(&m, div_pow2(m, t, m.num_vars()));
+}
+
+}  // namespace sani::dd

@@ -1,0 +1,34 @@
+#pragma once
+// BDD-based Walsh spectrum computation (Fujita et al., ISCAS'94 [21]).
+//
+// Given a Boolean function f over the manager's n variables, the Walsh
+// transform is the integer vector
+//
+//     s_f(alpha) = sum_{x in F_2^n} (-1)^{f(x) XOR <alpha, x>}      (Eq. 1)
+//
+// indexed by the spectral coordinate alpha.  The Fujita method computes the
+// whole spectrum symbolically: starting from the +/-1 encoding 1 - 2 f(x),
+// one butterfly level per variable produces an ADD over the *spectral*
+// variables (variable i of the result is the i-th bit of alpha), with
+// sharing and memoization doing the work of the fast transform.
+//
+// Exactness: coefficients are bounded by 2^n, so n <= 62 keeps every value
+// (and the intermediate butterfly sums) inside int64.  The transforms used
+// by this project stay far below that bound.
+
+#include "dd/add.h"
+#include "dd/bdd.h"
+
+namespace sani::dd {
+
+/// The full Walsh spectrum of f over all manager variables, as an ADD on the
+/// spectral coordinates.  Throws std::invalid_argument if the manager has
+/// more than 62 variables.
+Add walsh_transform(const Bdd& f);
+
+/// Inverse transform: recovers the +/-1 encoding ADD (value (-1)^f(x)) from
+/// a spectrum, i.e. applies the same butterfly and divides by 2^n.  Used by
+/// tests to round-trip the transform.
+Add inverse_walsh_transform(const Add& spectrum);
+
+}  // namespace sani::dd

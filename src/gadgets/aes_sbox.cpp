@@ -1,0 +1,267 @@
+#include "gadgets/aes_sbox.h"
+
+#include <array>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "gadgets/gf_model.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+namespace {
+
+/// A shared GF element: bits[b][s] = share s of bit b (b = 0 is the LSB).
+using Shared = std::vector<std::vector<WireId>>;
+
+struct Ctx {
+  GadgetBuilder& b;
+  int n;  // number of shares
+  SboxRefresh refresh;
+  int mult_counter = 0;
+  int refresh_counter = 0;
+  WireId zero = circuit::kNoWire;
+
+  WireId const0() {
+    if (zero == circuit::kNoWire) zero = b.const0();
+    return zero;
+  }
+};
+
+Shared slice(const Shared& x, int from, int count) {
+  return Shared(x.begin() + from, x.begin() + from + count);
+}
+
+Shared concat_hi_lo(const Shared& hi, const Shared& lo) {
+  Shared out = lo;
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Shared xor_shared(Ctx& c, const Shared& a, const Shared& b) {
+  Shared out(a.size(), std::vector<WireId>(c.n));
+  for (std::size_t bit = 0; bit < a.size(); ++bit)
+    for (int s = 0; s < c.n; ++s)
+      out[bit][s] = c.b.xor_(a[bit][s], b[bit][s]);
+  return out;
+}
+
+/// Synthesizes a GF(2)-linear map share-wise from its software model: the
+/// columns fn(1 << b) define the XOR network, so squarings, constant
+/// scalings and the field isomorphisms all come straight from gf_model.h.
+Shared apply_linear(Ctx& c, const std::function<std::uint8_t(std::uint8_t)>& fn,
+                    int out_bits, const Shared& x) {
+  std::vector<std::uint8_t> col(x.size());
+  for (std::size_t b = 0; b < x.size(); ++b)
+    col[b] = fn(static_cast<std::uint8_t>(1u << b));
+  Shared out(out_bits, std::vector<WireId>(c.n));
+  for (int r = 0; r < out_bits; ++r) {
+    for (int s = 0; s < c.n; ++s) {
+      WireId acc = circuit::kNoWire;
+      for (std::size_t b = 0; b < x.size(); ++b) {
+        if (!((col[b] >> r) & 1)) continue;
+        acc = acc == circuit::kNoWire ? x[b][s] : c.b.xor_(acc, x[b][s]);
+      }
+      out[r][s] = acc == circuit::kNoWire ? c.const0() : acc;
+    }
+  }
+  return out;
+}
+
+/// ISW/SNI refresh of a shared element: per bit, one fresh random per
+/// unordered share pair.
+Shared sni_refresh(Ctx& c, const Shared& x) {
+  const int id = c.refresh_counter++;
+  Shared out(x.size(), std::vector<WireId>(c.n));
+  for (std::size_t bit = 0; bit < x.size(); ++bit) {
+    std::vector<std::vector<WireId>> r(c.n, std::vector<WireId>(c.n));
+    for (int i = 0; i < c.n; ++i)
+      for (int j = i + 1; j < c.n; ++j)
+        r[i][j] = r[j][i] =
+            c.b.random("ref" + std::to_string(id) + "[" +
+                       std::to_string(bit) + "," + std::to_string(i) +
+                       std::to_string(j) + "]");
+    for (int i = 0; i < c.n; ++i) {
+      WireId acc = x[bit][i];
+      for (int j = 0; j < c.n; ++j) {
+        if (j == i) continue;
+        acc = c.b.xor_(acc, r[i][j]);
+      }
+      out[bit][i] = acc;
+    }
+  }
+  return out;
+}
+
+/// DOM-indep GF(4) multiplier over 2-bit shared operands: one fresh 2-bit
+/// random per domain pair, resharing registered.
+Shared dom_gf4(Ctx& c, const Shared& a, const Shared& b) {
+  const int id = c.mult_counter++;
+  const std::string m = "m" + std::to_string(id);
+  // Fresh randoms per unordered pair, 2 bits each.
+  std::vector<std::vector<std::array<WireId, 2>>> z(
+      c.n, std::vector<std::array<WireId, 2>>(c.n));
+  for (int i = 0; i < c.n; ++i)
+    for (int j = i + 1; j < c.n; ++j)
+      for (int bit = 0; bit < 2; ++bit)
+        z[i][j][bit] = z[j][i][bit] =
+            c.b.random(m + ".z[" + std::to_string(i) + std::to_string(j) +
+                       "," + std::to_string(bit) + "]");
+
+  // Partial product of share i of a with share j of b (a 2-bit value).
+  auto partial = [&](int i, int j) -> std::array<WireId, 2> {
+    const WireId p11 = c.b.and_(a[1][i], b[1][j]);
+    const WireId p10 = c.b.and_(a[1][i], b[0][j]);
+    const WireId p01 = c.b.and_(a[0][i], b[1][j]);
+    const WireId p00 = c.b.and_(a[0][i], b[0][j]);
+    return {c.b.xor_(p00, p11),
+            c.b.xor_(c.b.xor_(p10, p01), p11)};
+  };
+
+  Shared out(2, std::vector<WireId>(c.n));
+  for (int i = 0; i < c.n; ++i) {
+    std::array<WireId, 2> acc = partial(i, i);
+    for (int j = 0; j < c.n; ++j) {
+      if (j == i) continue;
+      std::array<WireId, 2> p = partial(i, j);
+      for (int bit = 0; bit < 2; ++bit) {
+        WireId blinded = c.b.reg(c.b.xor_(p[bit], z[i][j][bit]));
+        acc[bit] = c.b.xor_(acc[bit], blinded);
+      }
+    }
+    out[0][i] = acc[0];
+    out[1][i] = acc[1];
+  }
+  return out;
+}
+
+/// Masked GF(16) multiplication: school-book over GF(4) halves.
+Shared gf16_mul_m(Ctx& c, const Shared& a, const Shared& b) {
+  Shared ah = slice(a, 2, 2), al = slice(a, 0, 2);
+  Shared bh = slice(b, 2, 2), bl = slice(b, 0, 2);
+  Shared hh = dom_gf4(c, ah, bh);
+  Shared ch = xor_shared(c, xor_shared(c, dom_gf4(c, ah, bl),
+                                       dom_gf4(c, al, bh)),
+                         hh);
+  Shared cl = xor_shared(c, dom_gf4(c, al, bl),
+                         apply_linear(c, gf::gf4_scale_w, 2, hh));
+  return concat_hi_lo(ch, cl);
+}
+
+/// Masked GF(16) inversion.
+Shared gf16_inv_m(Ctx& c, const Shared& a) {
+  Shared ah = slice(a, 2, 2), al = slice(a, 0, 2);
+  Shared lin = xor_shared(
+      c,
+      apply_linear(
+          c,
+          [](std::uint8_t v) { return gf::gf4_scale_w(gf::gf4_sq(v)); }, 2,
+          ah),
+      apply_linear(c, gf::gf4_sq, 2, al));
+  Shared al_op = c.refresh == SboxRefresh::kFull ? sni_refresh(c, al) : al;
+  Shared delta = xor_shared(c, lin, dom_gf4(c, al_op, ah));
+  // GF(4) inversion is squaring — linear, hence free.
+  Shared d = apply_linear(c, gf::gf4_sq, 2, delta);
+
+  Shared ah_op =
+      c.refresh != SboxRefresh::kNone ? sni_refresh(c, ah) : ah;
+  Shared sum = xor_shared(c, al, ah);
+  Shared sum_op =
+      c.refresh != SboxRefresh::kNone ? sni_refresh(c, sum) : sum;
+  return concat_hi_lo(dom_gf4(c, ah_op, d), dom_gf4(c, sum_op, d));
+}
+
+/// Masked tower GF(256) inversion.
+Shared gf256_inv_m(Ctx& c, const Shared& x) {
+  Shared ah = slice(x, 4, 4), al = slice(x, 0, 4);
+  Shared lin = xor_shared(
+      c,
+      apply_linear(
+          c,
+          [](std::uint8_t v) { return gf::gf16_scale_n16(gf::gf16_mul(v, v)); },
+          4, ah),
+      apply_linear(
+          c, [](std::uint8_t v) { return gf::gf16_mul(v, v); }, 4, al));
+  Shared al_op = c.refresh == SboxRefresh::kFull ? sni_refresh(c, al) : al;
+  Shared delta = xor_shared(c, lin, gf16_mul_m(c, al_op, ah));
+  Shared d = gf16_inv_m(c, delta);
+
+  Shared ah_op =
+      c.refresh != SboxRefresh::kNone ? sni_refresh(c, ah) : ah;
+  Shared sum = xor_shared(c, al, ah);
+  Shared sum_op =
+      c.refresh != SboxRefresh::kNone ? sni_refresh(c, sum) : sum;
+  return concat_hi_lo(gf16_mul_m(c, ah_op, d), gf16_mul_m(c, sum_op, d));
+}
+
+Shared declare_input(Ctx& c, const std::string& base, int bits) {
+  Shared x(bits);
+  for (int b = 0; b < bits; ++b)
+    x[b] = c.b.secret(base + std::to_string(b), c.n);
+  return x;
+}
+
+void declare_output(Ctx& c, const std::string& base, const Shared& y) {
+  for (std::size_t b = 0; b < y.size(); ++b)
+    c.b.output_group(base + std::to_string(b), y[b]);
+}
+
+}  // namespace
+
+circuit::Gadget masked_gf4_mult(int order) {
+  if (order < 1) throw std::invalid_argument("masked_gf4_mult: order >= 1");
+  GadgetBuilder b("gf4mul_" + std::to_string(order));
+  Ctx c{b, order + 1, SboxRefresh::kNone};
+  Shared a = declare_input(c, "a", 2);
+  Shared bb = declare_input(c, "b", 2);
+  declare_output(c, "c", dom_gf4(c, a, bb));
+  return b.build();
+}
+
+circuit::Gadget masked_gf16_inv(int order, SboxRefresh refresh) {
+  if (order < 1) throw std::invalid_argument("masked_gf16_inv: order >= 1");
+  GadgetBuilder b("gf16inv_" + std::to_string(order));
+  Ctx c{b, order + 1, refresh};
+  Shared a = declare_input(c, "a", 4);
+  declare_output(c, "c", gf16_inv_m(c, a));
+  return b.build();
+}
+
+circuit::Gadget aes_sbox_core(int order, SboxRefresh refresh) {
+  if (order < 1) throw std::invalid_argument("aes_sbox_core: order >= 1");
+  GadgetBuilder b("sboxcore_" + std::to_string(order));
+  Ctx c{b, order + 1, refresh};
+  Shared x = declare_input(c, "x", 8);
+  declare_output(c, "c", gf256_inv_m(c, x));
+  return b.build();
+}
+
+circuit::Gadget aes_sbox(int order, SboxRefresh refresh) {
+  if (order < 1) throw std::invalid_argument("aes_sbox: order >= 1");
+  GadgetBuilder b("sbox_" + std::to_string(order));
+  Ctx c{b, order + 1, refresh};
+  Shared x = declare_input(c, "x", 8);
+
+  // Into the tower, invert, back out through isomorphism + affine matrix.
+  Shared t = apply_linear(
+      c, [](std::uint8_t v) { return gf::aes_to_tower().apply(v); }, 8, x);
+  Shared inv = gf256_inv_m(c, t);
+  Shared y = apply_linear(
+      c,
+      [](std::uint8_t v) {
+        return gf::sbox_affine_matrix().apply(gf::tower_to_aes().apply(v));
+      },
+      8, inv);
+  // The affine constant 0x63 lands on share 0 only.
+  for (int bit = 0; bit < 8; ++bit)
+    if ((0x63 >> bit) & 1) y[bit][0] = b.not_(y[bit][0]);
+  declare_output(c, "s", y);
+  return b.build();
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,52 @@
+#pragma once
+// Masked AES S-box (composite-field / tower decomposition with DOM
+// multipliers) — the classic "large" verification target, going beyond the
+// paper's benchmark set (SILVER [12] verifies gadgets of this family).
+//
+// Construction (Canright-style tower, see gf_model.h):
+//   input byte -> isomorphism to GF(((2^2)^2)^2)  [share-wise linear]
+//   -> inversion:  delta = N16 ah^2 ^ al^2 ^ al*ah   (one GF(16) mult)
+//                  d     = delta^-1 in GF(16)        (3 GF(4) mults)
+//                  out   = (ah*d, (al^ah)*d)         (two GF(16) mults)
+//   -> isomorphism back + AES affine layer           [share-wise linear]
+//
+// Every multiplication is a DOM-indep multiplier over 2-bit GF(4) share
+// vectors (one fresh 2-bit random per domain pair, registered resharing);
+// squarings, constant scalings and both isomorphisms are GF(2)-linear and
+// are synthesized automatically from the software model, so no linear layer
+// is hand-derived.
+//
+// The *dependent-operand* problem: unlike the paper's benchmarks, the
+// inversion multiplies values derived from the same input (al * ah, x * d).
+// DOM's security argument assumes independent operand sharings, so the
+// generator optionally inserts SNI refreshes on one operand of each
+// dependent multiplication — and the verifier, not the construction, gets
+// the last word on whether they are needed (see examples/aes_sbox_analysis).
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+enum class SboxRefresh {
+  kNone,      // raw DOM multipliers everywhere
+  kDOperand,  // SNI-refresh the left operand of every multiplication by d
+  kFull,      // SNI-refresh one operand of every dependent multiplication
+};
+
+/// Standalone masked GF(4) multiplier (2-bit operands), for unit testing
+/// and brute-force cross-checks.  order >= 1.
+circuit::Gadget masked_gf4_mult(int order);
+
+/// Standalone masked GF(16) inversion.  order >= 1.
+circuit::Gadget masked_gf16_inv(int order, SboxRefresh refresh);
+
+/// Masked tower-field GF(256) inversion (the S-box core, no isomorphism).
+circuit::Gadget aes_sbox_core(int order, SboxRefresh refresh);
+
+/// Full masked AES S-box: isomorphism in, inversion, isomorphism out, affine
+/// layer.  XOR of the output share groups equals the AES S-box of the XOR
+/// of the input shares.  order >= 1 (spectral verification needs the input
+/// count <= 62, which holds at order 1).
+circuit::Gadget aes_sbox(int order, SboxRefresh refresh);
+
+}  // namespace sani::gadgets

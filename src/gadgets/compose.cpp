@@ -1,0 +1,98 @@
+#include "gadgets/compose.h"
+
+#include <stdexcept>
+
+#include "circuit/builder.h"
+#include "circuit/instantiate.h"
+#include "gadgets/refresh.h"
+#include "gadgets/registry.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::Instantiated;
+using circuit::WireId;
+
+circuit::Gadget compose_serial(const circuit::Gadget& inner,
+                               const circuit::Gadget& outer, int outer_input,
+                               RefreshPolicy refresh,
+                               const std::string& name) {
+  if (inner.spec.outputs.size() != 1)
+    throw std::invalid_argument(
+        "compose_serial: inner gadget must have exactly one output group");
+  if (outer_input < 0 ||
+      outer_input >= static_cast<int>(outer.spec.secrets.size()))
+    throw std::invalid_argument("compose_serial: bad outer input index");
+  const std::size_t shares = inner.spec.outputs[0].shares.size();
+  if (outer.spec.secrets[outer_input].shares.size() != shares)
+    throw std::invalid_argument(
+        "compose_serial: share count mismatch between stages");
+
+  GadgetBuilder b(name);
+
+  // Primary inputs: inner's secrets, then outer's other secrets.
+  std::vector<std::vector<WireId>> inner_inputs;
+  for (const auto& g : inner.spec.secrets)
+    inner_inputs.push_back(
+        b.secret("f." + g.name, static_cast<int>(g.shares.size())));
+  std::vector<std::vector<WireId>> outer_inputs(outer.spec.secrets.size());
+  for (std::size_t i = 0; i < outer.spec.secrets.size(); ++i) {
+    if (static_cast<int>(i) == outer_input) continue;
+    const auto& g = outer.spec.secrets[i];
+    outer_inputs[i] =
+        b.secret("g." + g.name, static_cast<int>(g.shares.size()));
+  }
+
+  Instantiated fi = instantiate(b, inner, inner_inputs, "f.");
+  std::vector<WireId> link = fi.outputs[0];
+
+  // Optional refresh between the stages.
+  switch (refresh) {
+    case RefreshPolicy::kNone:
+      break;
+    case RefreshPolicy::kSimple: {
+      const auto rs = b.randoms("ref.r", static_cast<int>(shares) - 1);
+      std::vector<WireId> refreshed(shares);
+      WireId acc = link[0];
+      for (std::size_t i = 0; i + 1 < shares; ++i) acc = b.xor_(acc, rs[i]);
+      refreshed[0] = acc;
+      for (std::size_t i = 1; i < shares; ++i)
+        refreshed[i] = b.xor_(link[i], rs[i - 1]);
+      link = refreshed;
+      break;
+    }
+    case RefreshPolicy::kSni: {
+      const int n = static_cast<int>(shares);
+      const auto rs = b.randoms("ref.r", n * (n - 1) / 2);
+      std::vector<std::vector<WireId>> r(n, std::vector<WireId>(n, circuit::kNoWire));
+      std::size_t next = 0;
+      for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j) r[i][j] = r[j][i] = rs[next++];
+      std::vector<WireId> refreshed;
+      for (int i = 0; i < n; ++i) {
+        WireId acc = link[i];
+        for (int j = 0; j < n; ++j) {
+          if (j == i) continue;
+          acc = b.xor_(acc, r[i][j]);
+        }
+        refreshed.push_back(acc);
+      }
+      link = refreshed;
+      break;
+    }
+  }
+
+  outer_inputs[outer_input] = link;
+  Instantiated gi = instantiate(b, outer, outer_inputs, "g.");
+  for (std::size_t o = 0; o < gi.outputs.size(); ++o)
+    b.output_group(outer.spec.outputs[o].name, gi.outputs[o]);
+  return b.build();
+}
+
+circuit::Gadget mult_chain(const std::string& mult_name,
+                           RefreshPolicy refresh) {
+  circuit::Gadget mult = by_name(mult_name);
+  return compose_serial(mult, mult, 0, refresh, mult_name + "-chain");
+}
+
+}  // namespace sani::gadgets

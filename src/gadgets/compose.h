@@ -1,0 +1,39 @@
+#pragma once
+// Gadget composition combinators (Sec. II-A of the paper).
+//
+// The central composability theorem (Barthe et al. [3]): if f is d-SNI and
+// g is d-NI (resp. d-SNI), then g o f is d-NI (resp. d-SNI) — but composing
+// two merely-NI gadgets, or feeding one gadget's output into another without
+// an SNI refresh, can break security (the paper's Fig. 1/2 example).  These
+// combinators build such compositions so the theorem and its failure modes
+// can be *checked* rather than assumed.
+
+#include <string>
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+enum class RefreshPolicy {
+  kNone,    // wire the inner outputs straight into the outer gadget
+  kSimple,  // additive-chain refresh (d-NI only) between the stages
+  kSni,     // ISW pairwise refresh (d-SNI) between the stages
+};
+
+/// Serial composition: feeds `inner`'s single output group into secret
+/// input `outer_input` of `outer`.  Remaining outer secrets stay primary
+/// inputs; all randomness is freshened per instance.  The result computes
+/// outer(..., inner(...), ...).
+circuit::Gadget compose_serial(const circuit::Gadget& inner,
+                               const circuit::Gadget& outer, int outer_input,
+                               RefreshPolicy refresh,
+                               const std::string& name = "composed");
+
+/// Convenience: a two-stage multiplication chain m2(m1(a, b), c) built from
+/// the named multiplication gadget ("isw-d", "dom-d", "hpc2-d", ...), with
+/// the chosen refresh policy between the stages.  The canonical benchmark
+/// for composability experiments.
+circuit::Gadget mult_chain(const std::string& mult_name,
+                           RefreshPolicy refresh);
+
+}  // namespace sani::gadgets

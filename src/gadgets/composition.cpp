@@ -1,0 +1,41 @@
+#include "gadgets/composition.h"
+
+#include <vector>
+
+#include "circuit/builder.h"
+#include "gadgets/isw.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+Composition composition_example() {
+  GadgetBuilder b("composition_fig1");
+
+  const auto a = b.secret("a", 3);
+  const auto bb = b.secret("b", 3);
+  const auto rf = b.randoms("rf", 2);
+  const auto rg = b.randoms("rg", 3);
+
+  // f: additive-chain refresh. The first XOR of the chain is the paper's
+  // probe p_f = a_0 ^ r_0.
+  const WireId pf = b.xor_(a[0], rf[0], "pf");
+  std::vector<WireId> of(3);
+  of[0] = b.xor_(pf, rf[1], "of0");
+  of[1] = b.xor_(a[1], rf[0], "of1");
+  of[2] = b.xor_(a[2], rf[1], "of2");
+
+  // g: ISW multiplication of o_f with b.  The core names its products
+  // "g.p[i,j]"; the paper's probe p_g = a_2^f AND b_1 is g.p[2,1].
+  std::vector<WireId> og = isw_mult_core(b, of, bb, rg, "g.");
+
+  b.output_group("o", og);
+  Composition comp;
+  comp.gadget = b.build();
+  comp.probe_f_name = "pf";
+  comp.probe_g_name = "g.p[2,1]";
+  return comp;
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,34 @@
+#pragma once
+// The composition pattern of Fig. 1 of the paper (derived from Coron [2]).
+//
+// h = g o f where
+//   f : additive-chain refresh of a 3-share input a with two randoms r_f,
+//       o_f = [a_0^r_0^r_1, a_1^r_0, a_2^r_1]          (d-NI, not d-SNI)
+//   g : ISW multiplication of o_f with a 3-share operand b,
+//       consuming three randoms r_g                      (d-SNI)
+//
+// The paper fixes one internal probe in each gadget:
+//   p_f = a_0 XOR r_0          (inside the refresh chain)
+//   p_g = a_2^f AND b_1        (a cross product inside ISW)
+//
+// and shows (Fig. 2) that the pair {p_f, p_g} correlates with three shares,
+// so the composition is *not* 2-NI: witness row [pi_f, pi_g, omega_g] =
+// [1, 1, 0], column alpha = 3 (shares a_0, a_1... see the example app which
+// regenerates the compact matrix).
+
+#include <string>
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+struct Composition {
+  circuit::Gadget gadget;
+  std::string probe_f_name;  // net name of p_f
+  std::string probe_g_name;  // net name of p_g
+};
+
+/// Builds the full h = g o f circuit with named probe wires.
+Composition composition_example();
+
+}  // namespace sani::gadgets

@@ -1,0 +1,62 @@
+#include "gadgets/dom.h"
+
+#include <stdexcept>
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+std::vector<WireId> dom_mult_core(GadgetBuilder& builder,
+                                  const std::vector<WireId>& a,
+                                  const std::vector<WireId>& b,
+                                  const std::vector<WireId>& z,
+                                  bool with_registers,
+                                  const std::string& prefix) {
+  const int n = static_cast<int>(a.size());
+  if (b.size() != a.size())
+    throw std::invalid_argument("dom_mult_core: operand share counts differ");
+  if (z.size() != static_cast<std::size_t>(n * (n - 1) / 2))
+    throw std::invalid_argument("dom_mult_core: need n(n-1)/2 randoms");
+
+  // One shared random per unordered domain pair {i, j}.
+  std::vector<std::vector<WireId>> zz(n, std::vector<WireId>(n, circuit::kNoWire));
+  std::size_t next = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) zz[i][j] = zz[j][i] = z[next++];
+
+  std::vector<WireId> c;
+  for (int i = 0; i < n; ++i) {
+    // Inner-domain term.
+    WireId acc = builder.and_(a[i], b[i],
+                              prefix + "p[" + std::to_string(i) + "," +
+                                  std::to_string(i) + "]");
+    // Cross-domain terms, reshared then (optionally) registered.
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      WireId prod = builder.and_(a[i], b[j],
+                                 prefix + "p[" + std::to_string(i) + "," +
+                                     std::to_string(j) + "]");
+      WireId blinded = builder.xor_(prod, zz[i][j]);
+      if (with_registers) blinded = builder.reg(blinded);
+      acc = builder.xor_(acc, blinded);
+    }
+    c.push_back(acc);
+  }
+  return c;
+}
+
+circuit::Gadget dom_mult(int order, bool with_registers) {
+  if (order < 1) throw std::invalid_argument("dom_mult: order must be >= 1");
+  const int n = order + 1;
+  GadgetBuilder b("dom_" + std::to_string(order));
+
+  const std::vector<WireId> a = b.secret("a", n);
+  const std::vector<WireId> bb = b.secret("b", n);
+  const std::vector<WireId> z = b.randoms("z", n * (n - 1) / 2);
+
+  b.output_group("c", dom_mult_core(b, a, bb, z, with_registers, ""));
+  return b.build();
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,40 @@
+#pragma once
+// Domain-Oriented Masking multiplication (Gross-Mangard-Korak, TIS'16 [20]).
+//
+// DOM-indep AND at protection order d (n = d+1 shares per operand): the
+// inner-domain products a_i b_i stay unblinded; each symmetric pair of
+// cross-domain products shares one fresh random z_ij that is XORed in
+// *before* the pair is registered (the register is the glitch barrier that
+// makes the resharing sound in hardware):
+//
+//     c_i = a_i b_i  XOR  Reg(a_i b_j XOR z_ij)   for all j != i,
+//
+// with z_ij = z_ji.  Randoms: n(n-1)/2.  This is the circuit of Fig. 3 of
+// the paper for d = 1 (dom-1).
+
+#include <string>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+/// Builds the order-`order` DOM-indep multiplication (order >= 1).
+/// `with_registers` keeps the resharing registers (default, matches the
+/// hardware netlist); they are functional identities in the standard probing
+/// model but glitch barriers in the robust model.
+circuit::Gadget dom_mult(int order, bool with_registers = true);
+
+/// Emits the DOM multiplication core into an existing builder (used by the
+/// protected Keccak chi construction).  `a` and `b` are the operand share
+/// vectors (equal size n); `z` supplies the n(n-1)/2 fresh randoms in pair
+/// order (0,1),(0,2),...,(1,2),...  Returns the n output share wires.
+std::vector<circuit::WireId> dom_mult_core(circuit::GadgetBuilder& builder,
+                                           const std::vector<circuit::WireId>& a,
+                                           const std::vector<circuit::WireId>& b,
+                                           const std::vector<circuit::WireId>& z,
+                                           bool with_registers,
+                                           const std::string& prefix);
+
+}  // namespace sani::gadgets

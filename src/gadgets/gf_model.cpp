@@ -1,0 +1,109 @@
+#include "gadgets/gf_model.h"
+
+namespace sani::gadgets::gf {
+
+ByteMatrix invert(const ByteMatrix& m) {
+  // Gauss-Jordan over GF(2) on an 8x16 augmented system; rows are bits.
+  // Work column-major: build 8 rows of (m | I) as 16-bit integers.
+  std::array<std::uint16_t, 8> rows{};
+  for (int r = 0; r < 8; ++r) {
+    std::uint16_t row = 0;
+    for (int c = 0; c < 8; ++c)
+      if ((m.col[c] >> r) & 1) row |= std::uint16_t{1} << c;
+    row |= std::uint16_t{1} << (8 + r);
+    rows[r] = row;
+  }
+  for (int c = 0; c < 8; ++c) {
+    int pivot = -1;
+    for (int r = c; r < 8; ++r)
+      if ((rows[r] >> c) & 1) {
+        pivot = r;
+        break;
+      }
+    if (pivot < 0) throw std::invalid_argument("ByteMatrix: singular");
+    std::swap(rows[c], rows[pivot]);
+    for (int r = 0; r < 8; ++r)
+      if (r != c && ((rows[r] >> c) & 1)) rows[r] ^= rows[c];
+  }
+  ByteMatrix inv;
+  for (int c = 0; c < 8; ++c) {
+    std::uint8_t col = 0;
+    for (int r = 0; r < 8; ++r)
+      if ((rows[r] >> (8 + c)) & 1) col |= std::uint8_t(1) << r;
+    inv.col[c] = col;
+  }
+  return inv;
+}
+
+namespace {
+
+// Evaluates the AES polynomial t^8 + t^4 + t^3 + t + 1 at `beta` using
+// tower arithmetic.
+std::uint8_t aes_poly_at(std::uint8_t beta) {
+  std::array<std::uint8_t, 9> pow{};
+  pow[0] = 1;
+  for (int i = 1; i <= 8; ++i) pow[i] = gf256_mul(pow[i - 1], beta);
+  return static_cast<std::uint8_t>(pow[8] ^ pow[4] ^ pow[3] ^ pow[1] ^ 1);
+}
+
+ByteMatrix compute_aes_to_tower() {
+  // A root of the AES polynomial exists in any GF(256); pick the first.
+  for (int candidate = 2; candidate < 256; ++candidate) {
+    const std::uint8_t beta = static_cast<std::uint8_t>(candidate);
+    if (aes_poly_at(beta) != 0) continue;
+    // Basis image: AES coefficient vector (b0..b7) -> sum b_i beta^i.
+    ByteMatrix m;
+    std::uint8_t p = 1;
+    for (int i = 0; i < 8; ++i) {
+      m.col[i] = p;
+      p = gf256_mul(p, beta);
+    }
+    // The map must be invertible (powers of a degree-8 root form a basis).
+    invert(m);
+    return m;
+  }
+  throw std::logic_error("no root of the AES polynomial in the tower field");
+}
+
+}  // namespace
+
+const ByteMatrix& aes_to_tower() {
+  static const ByteMatrix m = compute_aes_to_tower();
+  return m;
+}
+
+const ByteMatrix& tower_to_aes() {
+  static const ByteMatrix m = invert(aes_to_tower());
+  return m;
+}
+
+const ByteMatrix& sbox_affine_matrix() {
+  static const ByteMatrix m = [] {
+    // Standard AES affine: y_i = x_i ^ x_{i+4} ^ x_{i+5} ^ x_{i+6} ^ x_{i+7}
+    // (indices mod 8); column c of the matrix collects the rows touching c.
+    ByteMatrix a;
+    for (int c = 0; c < 8; ++c) {
+      std::uint8_t col = 0;
+      for (int r = 0; r < 8; ++r) {
+        const int d = (c - r + 8) % 8;
+        if (d == 0 || d == 4 || d == 5 || d == 6 || d == 7)
+          col |= std::uint8_t(1) << r;
+      }
+      a.col[c] = col;
+    }
+    return a;
+  }();
+  return m;
+}
+
+std::uint8_t sbox_affine(std::uint8_t x) {
+  return static_cast<std::uint8_t>(sbox_affine_matrix().apply(x) ^ 0x63);
+}
+
+std::uint8_t aes_inv(std::uint8_t x) {
+  return tower_to_aes().apply(gf256_inv(aes_to_tower().apply(x)));
+}
+
+std::uint8_t aes_sbox(std::uint8_t x) { return sbox_affine(aes_inv(x)); }
+
+}  // namespace sani::gadgets::gf

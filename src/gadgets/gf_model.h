@@ -1,0 +1,175 @@
+#pragma once
+// Software model of the composite-field (tower) arithmetic behind the AES
+// S-box, used both by the masked S-box circuit generator (aes_sbox.cpp) and
+// by its tests as an independent functional oracle.
+//
+// Representations:
+//   GF(4)   = GF(2)[w]  / (w^2 + w + 1),        2 bits:  b1*w + b0
+//   GF(16)  = GF(4)[x]  / (x^2 + x + w),        4 bits:  high 2 = x coeff
+//   GF(256) = GF(16)[y] / (y^2 + y + N16),      8 bits:  high 4 = y coeff
+// where N16 is the first constant making y^2 + y + N16 irreducible over
+// GF(16) (computed, not hard-coded).  The isomorphism with the AES field
+// GF(2)[t]/(t^8 + t^4 + t^3 + t + 1) is likewise *derived at runtime* by
+// locating a root beta of the AES polynomial inside the tower and taking
+// the basis 1, beta, ..., beta^7 — no copied matrices to get wrong.
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace sani::gadgets::gf {
+
+// ----- GF(4) ---------------------------------------------------------------
+
+inline std::uint8_t gf4_mul(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t a0 = a & 1, a1 = (a >> 1) & 1;
+  const std::uint8_t b0 = b & 1, b1 = (b >> 1) & 1;
+  const std::uint8_t c1 = (a1 & b0) ^ (a0 & b1) ^ (a1 & b1);
+  const std::uint8_t c0 = (a0 & b0) ^ (a1 & b1);
+  return static_cast<std::uint8_t>((c1 << 1) | c0);
+}
+
+/// Squaring is linear: (a1 w + a0)^2 = a1 w + (a0 ^ a1).
+inline std::uint8_t gf4_sq(std::uint8_t a) {
+  const std::uint8_t a0 = a & 1, a1 = (a >> 1) & 1;
+  return static_cast<std::uint8_t>((a1 << 1) | (a0 ^ a1));
+}
+
+/// Multiplication by the constant w: w (a1 w + a0) = (a0^a1) w + a1.
+inline std::uint8_t gf4_scale_w(std::uint8_t a) {
+  const std::uint8_t a0 = a & 1, a1 = (a >> 1) & 1;
+  return static_cast<std::uint8_t>(((a0 ^ a1) << 1) | a1);
+}
+
+/// GF(4) inversion: x^-1 = x^2 (and 0 -> 0).
+inline std::uint8_t gf4_inv(std::uint8_t a) { return gf4_sq(a); }
+
+// ----- GF(16) = GF(4)[x] / (x^2 + x + w) -----------------------------------
+
+inline std::uint8_t gf16_hi(std::uint8_t a) { return (a >> 2) & 3; }
+inline std::uint8_t gf16_lo(std::uint8_t a) { return a & 3; }
+inline std::uint8_t gf16_pack(std::uint8_t hi, std::uint8_t lo) {
+  return static_cast<std::uint8_t>((hi << 2) | lo);
+}
+
+inline std::uint8_t gf16_mul(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t ah = gf16_hi(a), al = gf16_lo(a);
+  const std::uint8_t bh = gf16_hi(b), bl = gf16_lo(b);
+  const std::uint8_t hh = gf4_mul(ah, bh);
+  // x^2 = x + w:  result = (ah bl ^ al bh ^ ah bh) x + (al bl ^ w * ah bh).
+  const std::uint8_t ch =
+      static_cast<std::uint8_t>(gf4_mul(ah, bl) ^ gf4_mul(al, bh) ^ hh);
+  const std::uint8_t cl =
+      static_cast<std::uint8_t>(gf4_mul(al, bl) ^ gf4_scale_w(hh));
+  return gf16_pack(ch, cl);
+}
+
+inline std::uint8_t gf16_sq(std::uint8_t a) {
+  return gf16_mul(a, a);  // squaring is linear; the generic product is fine
+}
+
+inline std::uint8_t gf16_inv(std::uint8_t a) {
+  const std::uint8_t ah = gf16_hi(a), al = gf16_lo(a);
+  // Norm a * a^16 = w ah^2 ^ al^2 ^ al ah  (an element of GF(4)).
+  const std::uint8_t delta = static_cast<std::uint8_t>(
+      gf4_scale_w(gf4_sq(ah)) ^ gf4_sq(al) ^ gf4_mul(al, ah));
+  const std::uint8_t d = gf4_inv(delta);
+  // a^-1 = a^16 / delta;  a^16 = ah x + (al ^ ah).
+  return gf16_pack(gf4_mul(ah, d),
+                   gf4_mul(static_cast<std::uint8_t>(al ^ ah), d));
+}
+
+// ----- GF(256) = GF(16)[y] / (y^2 + y + N16) --------------------------------
+
+/// First N16 making y^2 + y + N16 irreducible over GF(16): irreducible iff
+/// N16 is not of the form t^2 + t (computed once).
+inline std::uint8_t gf256_n16() {
+  static const std::uint8_t n16 = [] {
+    bool reachable[16] = {};
+    for (std::uint8_t t = 0; t < 16; ++t)
+      reachable[gf16_mul(t, t) ^ t] = true;
+    for (std::uint8_t c = 0; c < 16; ++c)
+      if (!reachable[c]) return c;
+    throw std::logic_error("no irreducible y^2+y+c over GF(16)?");
+  }();
+  return n16;
+}
+
+inline std::uint8_t gf256_hi(std::uint8_t a) { return (a >> 4) & 15; }
+inline std::uint8_t gf256_lo(std::uint8_t a) { return a & 15; }
+inline std::uint8_t gf256_pack(std::uint8_t hi, std::uint8_t lo) {
+  return static_cast<std::uint8_t>((hi << 4) | lo);
+}
+
+inline std::uint8_t gf16_scale_n16(std::uint8_t a) {
+  return gf16_mul(a, gf256_n16());
+}
+
+inline std::uint8_t gf256_mul(std::uint8_t a, std::uint8_t b) {
+  const std::uint8_t ah = gf256_hi(a), al = gf256_lo(a);
+  const std::uint8_t bh = gf256_hi(b), bl = gf256_lo(b);
+  const std::uint8_t hh = gf16_mul(ah, bh);
+  const std::uint8_t ch =
+      static_cast<std::uint8_t>(gf16_mul(ah, bl) ^ gf16_mul(al, bh) ^ hh);
+  const std::uint8_t cl =
+      static_cast<std::uint8_t>(gf16_mul(al, bl) ^ gf16_scale_n16(hh));
+  return gf256_pack(ch, cl);
+}
+
+/// Tower-representation inversion (0 -> 0, as in the AES S-box).
+inline std::uint8_t gf256_inv(std::uint8_t a) {
+  const std::uint8_t ah = gf256_hi(a), al = gf256_lo(a);
+  const std::uint8_t delta = static_cast<std::uint8_t>(
+      gf16_scale_n16(gf16_sq(ah)) ^ gf16_sq(al) ^ gf16_mul(al, ah));
+  const std::uint8_t d = gf16_inv(delta);
+  return gf256_pack(gf16_mul(ah, d),
+                    gf16_mul(static_cast<std::uint8_t>(al ^ ah), d));
+}
+
+// ----- AES field and the derived isomorphism --------------------------------
+
+/// Multiplication in the AES byte field GF(2)[t]/(t^8+t^4+t^3+t+1).
+inline std::uint8_t aes_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) r ^= a;
+    const bool carry = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (carry) a ^= 0x1B;
+    b >>= 1;
+  }
+  return r;
+}
+
+/// GF(2)-linear byte map as 8 column bytes: y = XOR of columns[i] over set
+/// bits i of x.
+struct ByteMatrix {
+  std::array<std::uint8_t, 8> col{};
+
+  std::uint8_t apply(std::uint8_t x) const {
+    std::uint8_t y = 0;
+    for (int i = 0; i < 8; ++i)
+      if ((x >> i) & 1) y ^= col[i];
+    return y;
+  }
+};
+
+/// Inverts a ByteMatrix over GF(2) (throws if singular).
+ByteMatrix invert(const ByteMatrix& m);
+
+/// The isomorphism AES -> tower (and back): computed by locating a root of
+/// the AES polynomial inside the tower field.
+const ByteMatrix& aes_to_tower();
+const ByteMatrix& tower_to_aes();
+
+/// The AES S-box affine layer: y = A x ^ 0x63 with the standard circulant A.
+std::uint8_t sbox_affine(std::uint8_t x);
+const ByteMatrix& sbox_affine_matrix();
+
+/// Full AES S-box through the tower (oracle for the circuit generator).
+std::uint8_t aes_sbox(std::uint8_t x);
+
+/// AES-field inversion via the tower (0 -> 0).
+std::uint8_t aes_inv(std::uint8_t x);
+
+}  // namespace sani::gadgets::gf

@@ -1,0 +1,90 @@
+#include "gadgets/hpc.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "gadgets/dom.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+circuit::Gadget hpc1_mult(int order) {
+  if (order < 1) throw std::invalid_argument("hpc1_mult: order must be >= 1");
+  const int n = order + 1;
+  GadgetBuilder b("hpc1_" + std::to_string(order));
+
+  const std::vector<WireId> a = b.secret("a", n);
+  const std::vector<WireId> bb = b.secret("b", n);
+  const std::vector<WireId> rr = b.randoms("rr", n * (n - 1) / 2);
+  const std::vector<WireId> z = b.randoms("z", n * (n - 1) / 2);
+
+  // SNI (ISW-style pairwise) refresh of b.
+  std::vector<std::vector<WireId>> r(n, std::vector<WireId>(n, circuit::kNoWire));
+  std::size_t next = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) r[i][j] = r[j][i] = rr[next++];
+  std::vector<WireId> b_ref;
+  for (int i = 0; i < n; ++i) {
+    WireId acc = bb[i];
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      acc = b.xor_(acc, r[i][j]);
+    }
+    b_ref.push_back(b.reg(acc, "bref[" + std::to_string(i) + "]"));
+  }
+
+  b.output_group("c", dom_mult_core(b, a, b_ref, z, true, ""));
+  return b.build();
+}
+
+circuit::Gadget hpc2_mult(int order, bool with_registers) {
+  if (order < 1) throw std::invalid_argument("hpc2_mult: order must be >= 1");
+  const int n = order + 1;
+  GadgetBuilder b("hpc2_" + std::to_string(order));
+
+  const std::vector<WireId> a = b.secret("a", n);
+  const std::vector<WireId> bb = b.secret("b", n);
+  const std::vector<WireId> zs = b.randoms("r", n * (n - 1) / 2);
+
+  std::vector<std::vector<WireId>> r(n, std::vector<WireId>(n, circuit::kNoWire));
+  std::size_t next = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) r[i][j] = r[j][i] = zs[next++];
+
+  auto maybe_reg = [&](WireId w, const std::string& name) {
+    return with_registers ? b.reg(w, name) : b.buf(w, name);
+  };
+
+  // Blinded operand shares Reg(b_j ^ r_ij) are shared across output shares
+  // i via the pairwise random, so build them per ordered pair.
+  std::vector<WireId> c;
+  for (int i = 0; i < n; ++i) {
+    const std::string si = std::to_string(i);
+    WireId acc = maybe_reg(b.and_(a[i], bb[i], "p[" + si + "," + si + "]"),
+                           "pr[" + si + "," + si + "]");
+    const WireId na = b.not_(a[i], "na" + si);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const std::string sj = std::to_string(j);
+      // u_ij = Reg(!a_i & r_ij)
+      WireId u = maybe_reg(b.and_(na, r[i][j], "u[" + si + "," + sj + "]"),
+                           "ur[" + si + "," + sj + "]");
+      // v_ij = Reg(a_i & Reg(b_j ^ r_ij))
+      WireId blind = maybe_reg(
+          b.xor_(bb[j], r[i][j], "bl[" + si + "," + sj + "]"),
+          "blr[" + si + "," + sj + "]");
+      WireId v = maybe_reg(b.and_(a[i], blind, "v[" + si + "," + sj + "]"),
+                           "vr[" + si + "," + sj + "]");
+      acc = b.xor_(acc, b.xor_(u, v));
+    }
+    c.push_back(acc);
+  }
+  b.output_group("c", c);
+  return b.build();
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,33 @@
+#pragma once
+// Hardware Private Circuits multiplication gadgets (Cassiers-Standaert,
+// IEEE TIFS 2020) — the canonical d-PINI multipliers.
+//
+// The paper lists PINI verification [25] as future work; this project
+// implements the notion (verify::Notion::kPINI), and these gadgets provide
+// the natural positive test cases.
+//
+//  * HPC1: refresh one operand with an SNI refresh, then DOM-multiply:
+//        c = DOM(a, R(b)).
+//    Trivially PINI by composition (PINI = SNI-refresh o DOM).
+//
+//  * HPC2: one shared random r_ij per domain pair, with a correction term
+//    that makes the resharing probe-isolating:
+//        u_ij = Reg(NOT a_i AND r_ij)
+//        v_ij = Reg(a_i AND Reg(b_j XOR r_ij))
+//        c_i  = Reg(a_i b_i) XOR XOR_{j != i} (u_ij XOR v_ij)
+//    Correctness: u_ij ^ v_ij = a_i b_j ^ r_ij, and the r_ij cancel
+//    pairwise across output shares.
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+/// HPC1 multiplication at protection order `order` (>= 1).
+/// Randoms: n(n-1)/2 for the refresh + n(n-1)/2 for the DOM core.
+circuit::Gadget hpc1_mult(int order);
+
+/// HPC2 multiplication at protection order `order` (>= 1).
+/// Randoms: n(n-1)/2.
+circuit::Gadget hpc2_mult(int order, bool with_registers = true);
+
+}  // namespace sani::gadgets

@@ -1,0 +1,70 @@
+#include "gadgets/isw.h"
+
+#include <stdexcept>
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+std::vector<WireId> isw_mult_core(GadgetBuilder& builder,
+                                  const std::vector<WireId>& a,
+                                  const std::vector<WireId>& b,
+                                  const std::vector<WireId>& r,
+                                  const std::string& prefix) {
+  const int n = static_cast<int>(a.size());
+  if (b.size() != a.size())
+    throw std::invalid_argument("isw_mult_core: operand share counts differ");
+  if (r.size() != static_cast<std::size_t>(n * (n - 1) / 2))
+    throw std::invalid_argument("isw_mult_core: need n(n-1)/2 randoms");
+
+  std::vector<std::vector<WireId>> rr(n, std::vector<WireId>(n, circuit::kNoWire));
+  std::size_t next = 0;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) rr[i][j] = r[next++];
+
+  // z[i][j]: the blinded cross terms.
+  std::vector<std::vector<WireId>> z(n, std::vector<WireId>(n, circuit::kNoWire));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const WireId rij = rr[i][j];
+      z[i][j] = rij;
+      const WireId aibj = builder.and_(a[i], b[j],
+                                       prefix + "p[" + std::to_string(i) +
+                                           "," + std::to_string(j) + "]");
+      const WireId t = builder.xor_(rij, aibj);  // (r_ij XOR a_i b_j) first!
+      const WireId ajbi = builder.and_(a[j], b[i],
+                                       prefix + "p[" + std::to_string(j) +
+                                           "," + std::to_string(i) + "]");
+      z[j][i] = builder.xor_(t, ajbi);
+    }
+  }
+
+  std::vector<WireId> c;
+  for (int i = 0; i < n; ++i) {
+    WireId acc = builder.and_(a[i], b[i],
+                              prefix + "p[" + std::to_string(i) + "," +
+                                  std::to_string(i) + "]");
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      acc = builder.xor_(acc, z[i][j]);
+    }
+    c.push_back(acc);
+  }
+  return c;
+}
+
+circuit::Gadget isw_mult(int order) {
+  if (order < 1) throw std::invalid_argument("isw_mult: order must be >= 1");
+  const int n = order + 1;
+  GadgetBuilder b("isw_" + std::to_string(order));
+
+  const std::vector<WireId> a = b.secret("a", n);
+  const std::vector<WireId> bb = b.secret("b", n);
+  const std::vector<WireId> r = b.randoms("r", n * (n - 1) / 2);
+
+  b.output_group("c", isw_mult_core(b, a, bb, r, ""));
+  return b.build();
+}
+
+}  // namespace sani::gadgets

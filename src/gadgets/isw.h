@@ -1,0 +1,36 @@
+#pragma once
+// ISW multiplication (Ishai-Sahai-Wagner, CRYPTO'03 [1]).
+//
+// The classic private AND gadget: operands a, b are split into n = d+1
+// shares; every cross product a_i b_j is blinded with pairwise fresh
+// randomness r_ij (i < j):
+//
+//     z_ij = r_ij                         for i < j
+//     z_ji = (r_ij XOR a_i b_j) XOR a_j b_i
+//     c_i  = a_i b_i XOR z_i0 XOR ... XOR z_i,n-1   (j != i, ascending)
+//
+// The parenthesisation matters: every intermediate XOR is a probe site, and
+// d-SNI of the gadget depends on r_ij being XORed before the second product.
+// Inputs: 2 secrets x n shares; randoms: n(n-1)/2; outputs: n shares.
+
+#include <string>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+/// Builds the order-`order` ISW multiplication (order >= 1).
+circuit::Gadget isw_mult(int order);
+
+/// Emits the ISW multiplication core into an existing builder (used by the
+/// Fig. 1 composition example).  `r` supplies the n(n-1)/2 randoms in pair
+/// order (0,1),(0,2),...  Returns the n output share wires.
+std::vector<circuit::WireId> isw_mult_core(circuit::GadgetBuilder& builder,
+                                           const std::vector<circuit::WireId>& a,
+                                           const std::vector<circuit::WireId>& b,
+                                           const std::vector<circuit::WireId>& r,
+                                           const std::string& prefix);
+
+}  // namespace sani::gadgets

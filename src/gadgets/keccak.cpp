@@ -1,0 +1,50 @@
+#include "gadgets/keccak.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "gadgets/dom.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+circuit::Gadget keccak_chi(int order, bool with_registers) {
+  if (order < 1) throw std::invalid_argument("keccak_chi: order must be >= 1");
+  const int n = order + 1;
+  GadgetBuilder b("keccak_" + std::to_string(order));
+
+  std::vector<std::vector<WireId>> x;
+  for (int i = 0; i < 5; ++i)
+    x.push_back(b.secret("x" + std::to_string(i), n));
+
+  std::vector<std::vector<WireId>> z;
+  for (int i = 0; i < 5; ++i)
+    z.push_back(b.randoms("z" + std::to_string(i), n * (n - 1) / 2));
+
+  for (int i = 0; i < 5; ++i) {
+    const auto& xi = x[i];
+    const auto& xj = x[(i + 1) % 5];
+    const auto& xk = x[(i + 2) % 5];
+
+    // NOT on share 0 only (affine over the sharing).
+    std::vector<WireId> not_xj = xj;
+    not_xj[0] = b.not_(xj[0], "n" + std::to_string(i));
+
+    std::vector<WireId> t = dom_mult_core(b, not_xj, xk, z[i],
+                                          with_registers,
+                                          "m" + std::to_string(i) + ".");
+
+    std::vector<WireId> y;
+    for (int s = 0; s < n; ++s)
+      y.push_back(b.xor_(xi[s], t[s],
+                         "y" + std::to_string(i) + "[" + std::to_string(s) +
+                             "]"));
+    b.output_group("y" + std::to_string(i), y);
+  }
+  return b.build();
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,24 @@
+#pragma once
+// Higher-order protected Keccak chi (Gross-Schaffenrath-Mangard, DSD'17
+// [24]).
+//
+// The chi step is the only nonlinear layer of Keccak-f.  On a 5-bit row it
+// computes
+//
+//     y_i = x_i XOR (NOT x_{i+1} AND x_{i+2})      (indices mod 5)
+//
+// The protected implementation shares each lane bit into n = d+1 shares,
+// applies the NOT to share 0 only (affine), realizes each of the five ANDs
+// as a DOM-indep multiplication with its own n(n-1)/2 fresh randoms, and
+// XORs x_i back sharewise.  The keccak-1/2/3 benchmarks of the paper are
+// this slice at protection orders 1..3.
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+/// One shared chi row at protection order `order` (>= 1).
+/// Inputs: 5 secrets x (order+1) shares, 5 * order*(order+1)/2 randoms.
+circuit::Gadget keccak_chi(int order, bool with_registers = true);
+
+}  // namespace sani::gadgets

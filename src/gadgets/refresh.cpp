@@ -1,0 +1,57 @@
+#include "gadgets/refresh.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/builder.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+circuit::Gadget simple_refresh(int num_shares) {
+  if (num_shares < 2)
+    throw std::invalid_argument("simple_refresh: need >= 2 shares");
+  GadgetBuilder b("refresh_" + std::to_string(num_shares));
+  const auto a = b.secret("a", num_shares);
+  const auto r = b.randoms("r", num_shares - 1);
+
+  std::vector<WireId> c(num_shares);
+  WireId acc = a[0];
+  for (int i = 0; i < num_shares - 1; ++i) acc = b.xor_(acc, r[i]);
+  c[0] = acc;
+  for (int i = 1; i < num_shares; ++i) c[i] = b.xor_(a[i], r[i - 1]);
+  b.output_group("c", c);
+  return b.build();
+}
+
+circuit::Gadget sni_refresh(int num_shares) {
+  if (num_shares < 2)
+    throw std::invalid_argument("sni_refresh: need >= 2 shares");
+  const int n = num_shares;
+  GadgetBuilder b("sni_refresh_" + std::to_string(n));
+  const auto a = b.secret("a", n);
+
+  std::vector<std::vector<WireId>> r(n, std::vector<WireId>(n, circuit::kNoWire));
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      WireId w = b.random("r[" + std::to_string(i) + "," + std::to_string(j) +
+                          "]");
+      r[i][j] = r[j][i] = w;
+    }
+
+  std::vector<WireId> c;
+  for (int i = 0; i < n; ++i) {
+    WireId acc = a[i];
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      acc = b.xor_(acc, r[i][j]);
+    }
+    c.push_back(acc);
+  }
+  b.output_group("c", c);
+  return b.build();
+}
+
+}  // namespace sani::gadgets

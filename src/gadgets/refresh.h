@@ -1,0 +1,28 @@
+#pragma once
+// Mask-refreshing gadgets (Coron [2]; Barthe et al. [3]).
+//
+// Refreshing re-randomizes a sharing without changing the encoded secret.
+// Two standard constructions:
+//
+//  * simple_refresh — n-1 fresh randoms, "additive chain":
+//        c_i = a_i XOR r_{i-1}            (i = 1..n-1)
+//        c_0 = a_0 XOR r_0 XOR ... XOR r_{n-2}
+//    This is exactly the f of the paper's Fig. 1 composition example for
+//    n = 3 (c_0 = a_0 XOR r_0 XOR r_1, c_1 = a_1 XOR r_0, c_2 = a_2 XOR r_1).
+//    It is d-NI but *not* d-SNI.
+//
+//  * sni_refresh — ISW-style pairwise refresh, n(n-1)/2 randoms:
+//        c_i = a_i XOR r_i,0 XOR ... (one r per pair {i,j})
+//    d-SNI; the canonical composition glue.
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+/// Additive-chain refresh of one secret with `num_shares` shares (>= 2).
+circuit::Gadget simple_refresh(int num_shares);
+
+/// ISW pairwise refresh of one secret with `num_shares` shares (>= 2).
+circuit::Gadget sni_refresh(int num_shares);
+
+}  // namespace sani::gadgets

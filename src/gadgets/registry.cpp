@@ -1,0 +1,85 @@
+#include "gadgets/registry.h"
+
+#include <stdexcept>
+
+#include "gadgets/aes_sbox.h"
+#include "gadgets/composition.h"
+#include "gadgets/dom.h"
+#include "gadgets/hpc.h"
+#include "gadgets/isw.h"
+#include "gadgets/keccak.h"
+#include "gadgets/refresh.h"
+#include "gadgets/ti.h"
+#include "gadgets/ti_synth.h"
+#include "gadgets/trichina.h"
+
+namespace sani::gadgets {
+
+namespace {
+
+// Parses "<base>-<k>" suffixed names; returns -1 if no numeric suffix.
+int suffix_number(const std::string& name, const std::string& base) {
+  if (name.rfind(base + "-", 0) != 0) return -1;
+  const std::string num = name.substr(base.size() + 1);
+  if (num.empty()) return -1;
+  for (char c : num)
+    if (c < '0' || c > '9') return -1;
+  return std::stoi(num);
+}
+
+}  // namespace
+
+circuit::Gadget by_name(const std::string& name) {
+  if (name == "ti-1") return ti_and();
+  if (name == "keccak-ti") return keccak_chi_ti();
+  if (name == "trichina-1") return trichina_and();
+  if (name == "composition") return composition_example().gadget;
+  if (int d = suffix_number(name, "isw"); d >= 1) return isw_mult(d);
+  if (int d = suffix_number(name, "dom"); d >= 1) return dom_mult(d);
+  if (int d = suffix_number(name, "keccak"); d >= 1) return keccak_chi(d);
+  if (int d = suffix_number(name, "hpc1"); d >= 1) return hpc1_mult(d);
+  if (int d = suffix_number(name, "hpc2"); d >= 1) return hpc2_mult(d);
+  if (int d = suffix_number(name, "gf4mul"); d >= 1) return masked_gf4_mult(d);
+  if (int d = suffix_number(name, "gf16inv"); d >= 1)
+    return masked_gf16_inv(d, SboxRefresh::kDOperand);
+  if (int d = suffix_number(name, "sboxcore"); d >= 1)
+    return aes_sbox_core(d, SboxRefresh::kDOperand);
+  if (int d = suffix_number(name, "sbox"); d >= 1)
+    return aes_sbox(d, SboxRefresh::kDOperand);
+  if (int n = suffix_number(name, "refresh"); n >= 2)
+    return simple_refresh(n);
+  if (int n = suffix_number(name, "sni-refresh"); n >= 2)
+    return sni_refresh(n);
+  throw std::invalid_argument("unknown gadget '" + name + "'");
+}
+
+int security_level(const std::string& name) {
+  if (name == "ti-1" || name == "trichina-1" || name == "keccak-ti") return 1;
+  if (name == "composition") return 2;
+  for (const char* base : {"isw", "dom", "keccak", "hpc1", "hpc2", "gf4mul",
+                           "gf16inv", "sboxcore", "sbox"})
+    if (int d = suffix_number(name, base); d >= 1) return d;
+  for (const char* base : {"refresh", "sni-refresh"})
+    if (int n = suffix_number(name, base); n >= 2) return n - 1;
+  throw std::invalid_argument("unknown gadget '" + name + "'");
+}
+
+std::vector<std::string> paper_benchmarks() {
+  return {"ti-1",  "trichina-1", "isw-1",    "dom-1", "keccak-1",
+          "dom-2", "keccak-2",   "dom-3",    "keccak-3", "dom-4"};
+}
+
+std::vector<std::string> all_names() {
+  auto names = paper_benchmarks();
+  names.push_back("refresh-3");
+  names.push_back("sni-refresh-3");
+  names.push_back("hpc1-1");
+  names.push_back("hpc2-1");
+  names.push_back("keccak-ti");
+  names.push_back("gf4mul-1");
+  names.push_back("gf16inv-1");
+  names.push_back("composition");
+  return names;
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,30 @@
+#pragma once
+// Gadget registry: name-based construction of the benchmark suite.
+//
+// Names follow the paper's Tables I-III: "ti-1", "trichina-1", "isw-1",
+// "dom-1".."dom-4", "keccak-1".."keccak-3"; plus the refresh gadgets and the
+// composition example this project adds ("refresh-3", "sni-refresh-3",
+// "composition").
+
+#include <string>
+#include <vector>
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+/// Builds a gadget by benchmark name.  Throws std::invalid_argument for
+/// unknown names.
+circuit::Gadget by_name(const std::string& name);
+
+/// The security level (d) each benchmark is verified at — the "sec. lev."
+/// column of the paper's tables.
+int security_level(const std::string& name);
+
+/// The benchmark names of Table I, in table order.
+std::vector<std::string> paper_benchmarks();
+
+/// All registered names (for --list options and tests).
+std::vector<std::string> all_names();
+
+}  // namespace sani::gadgets

@@ -1,0 +1,29 @@
+#include "gadgets/ti.h"
+
+#include "circuit/builder.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+circuit::Gadget ti_and() {
+  GadgetBuilder b("ti_1");
+  const auto a = b.secret("a", 3);
+  const auto bb = b.secret("b", 3);
+
+  auto share = [&](int i) {
+    // Output share i uses only input shares i+1 and i+2 (mod 3).
+    const int j = (i + 1) % 3;
+    const int k = (i + 2) % 3;
+    WireId t = b.and_(a[j], bb[j]);
+    t = b.xor_(t, b.and_(a[j], bb[k]));
+    t = b.xor_(t, b.and_(a[k], bb[j]));
+    return t;
+  };
+
+  b.output_group("c", {share(0), share(1), share(2)});
+  return b.build();
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,19 @@
+#pragma once
+// Threshold-Implementation AND (Nikova-Rijmen-Schlaeffer, J.Cryptology'11
+// [22]).
+//
+// Three shares, no fresh randomness.  Non-completeness: output share i is
+// computed without touching input share i, which is what gives first-order
+// security even in the presence of glitches:
+//
+//     c_0 = a_1 b_1 XOR a_1 b_2 XOR a_2 b_1
+//     c_1 = a_2 b_2 XOR a_2 b_0 XOR a_0 b_2
+//     c_2 = a_0 b_0 XOR a_0 b_1 XOR a_1 b_0
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+circuit::Gadget ti_and();
+
+}  // namespace sani::gadgets

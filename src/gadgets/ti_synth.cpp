@@ -1,0 +1,104 @@
+#include "gadgets/ti_synth.h"
+
+#include <stdexcept>
+
+#include "circuit/builder.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+bool eval_anf(const std::vector<Monomial>& bit_anf, std::uint32_t x) {
+  bool acc = false;
+  for (const Monomial& m : bit_anf) {
+    bool term = true;
+    for (int idx : m) term = term && ((x >> idx) & 1);
+    acc = acc != term;
+  }
+  return acc;
+}
+
+circuit::Gadget ti_share_quadratic(const QuadraticAnf& anf, int num_inputs,
+                                   const std::string& name) {
+  GadgetBuilder b(name);
+
+  // shares[input][share index 0..2]
+  std::vector<std::vector<WireId>> shares;
+  for (int i = 0; i < num_inputs; ++i)
+    shares.push_back(b.secret("x" + std::to_string(i), 3));
+
+  for (std::size_t out = 0; out < anf.size(); ++out) {
+    // Terms destined for each output share.
+    std::vector<std::vector<WireId>> terms(3);
+    bool constant_one = false;
+
+    for (const Monomial& m : anf[out]) {
+      for (int idx : m)
+        if (idx < 0 || idx >= num_inputs)
+          throw std::invalid_argument("ti_share_quadratic: bad input index");
+      if (m.size() > 2)
+        throw std::invalid_argument(
+            "ti_share_quadratic: degree > 2 monomial '" + name + "'");
+      if (m.size() == 2 && m[0] == m[1])
+        throw std::invalid_argument(
+            "ti_share_quadratic: repeated index in monomial");
+
+      switch (m.size()) {
+        case 0:
+          // Constant 1: fold into share 0 at the end.
+          constant_one = !constant_one;
+          break;
+        case 1:
+          // x_i -> x_i^(s) for s = 0..2; share s goes to output (s+1)%3
+          // (non-completeness: output k never sees input share k).
+          for (int s = 0; s < 3; ++s)
+            terms[(s + 1) % 3].push_back(shares[m[0]][s]);
+          break;
+        case 2:
+          for (int s = 0; s < 3; ++s)
+            for (int t = 0; t < 3; ++t) {
+              const int k = s == t ? (s + 1) % 3 : 3 - s - t;
+              terms[k].push_back(
+                  b.and_(shares[m[0]][s], shares[m[1]][t],
+                         "p" + std::to_string(out) + "[" +
+                             std::to_string(m[0]) + std::to_string(s) + "," +
+                             std::to_string(m[1]) + std::to_string(t) + "]"));
+            }
+          break;
+      }
+    }
+
+    std::vector<WireId> out_shares(3);
+    for (int k = 0; k < 3; ++k) {
+      WireId acc;
+      if (terms[k].empty()) {
+        acc = b.const0();
+      } else {
+        acc = terms[k][0];
+        for (std::size_t i = 1; i < terms[k].size(); ++i)
+          acc = b.xor_(acc, terms[k][i]);
+      }
+      if (k == 0 && constant_one) acc = b.not_(acc);
+      out_shares[k] = acc;
+    }
+    b.output_group("y" + std::to_string(out), out_shares);
+  }
+  return b.build();
+}
+
+QuadraticAnf keccak_chi_anf() {
+  QuadraticAnf anf(5);
+  for (int i = 0; i < 5; ++i) {
+    const int j = (i + 1) % 5;
+    const int k = (i + 2) % 5;
+    anf[i] = {{i}, {k}, {j, k}};
+  }
+  return anf;
+}
+
+circuit::Gadget keccak_chi_ti() {
+  return ti_share_quadratic(keccak_chi_anf(), 5, "keccak_chi_ti");
+}
+
+}  // namespace sani::gadgets

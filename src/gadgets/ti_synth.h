@@ -1,0 +1,54 @@
+#pragma once
+// Generic threshold-implementation synthesis for quadratic functions
+// (Nikova-Rijmen-Schlaeffer [22], direct sharing).
+//
+// Any function of algebraic degree 2 admits a 3-share TI by *direct
+// sharing*: expand each output bit's ANF over the shared inputs
+// (x = x1 ^ x2 ^ x3) and assign every resulting term to an output share
+// that does not involve the missing input share index:
+//
+//     x_i y_j  (i != j)  ->  output share k, the unique k not in {i, j}
+//     x_i y_i            ->  output share (i mod 3) + 1     (any k != i)
+//     x_i                ->  output share (i mod 3) + 1
+//     1                  ->  output share 1
+//
+// The assignment guarantees *non-completeness* (share k never touches input
+// share index k), which is what gives first-order probing security even
+// under glitches — with zero fresh randomness.  Correctness holds because
+// the three output shares partition the expanded ANF.  Uniformity is NOT
+// guaranteed (the classic TI caveat; check_uniformity decides).
+//
+// The synthesizer takes the unshared ANF and produces the full annotated
+// gadget; ti_and() is the special case anf = {x*y}, and the TI Keccak chi
+// (x_i ^ (~x_{i+1} & x_{i+2}), degree 2) is exposed as keccak_chi_ti().
+
+#include <string>
+#include <vector>
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+/// A monomial is a list of distinct input indices (size 0 = the constant 1,
+/// size 1 = a linear term, size 2 = a quadratic term).
+using Monomial = std::vector<int>;
+/// anf[out_bit] = XOR of monomials.
+using QuadraticAnf = std::vector<std::vector<Monomial>>;
+
+/// Evaluates an ANF on a plain input (test oracle).
+bool eval_anf(const std::vector<Monomial>& bit_anf, std::uint32_t x);
+
+/// Synthesizes the 3-share direct TI of the given quadratic function.
+/// Throws std::invalid_argument on terms of degree > 2 or bad indices.
+circuit::Gadget ti_share_quadratic(const QuadraticAnf& anf, int num_inputs,
+                                   const std::string& name);
+
+/// The ANF of one Keccak chi row: y_i = x_i ^ ((x_{i+1} ^ 1) & x_{i+2})
+///                                    = x_i ^ x_{i+2} ^ x_{i+1} x_{i+2}.
+QuadraticAnf keccak_chi_anf();
+
+/// 3-share TI of the Keccak chi row: first-order (glitch-robust) probing
+/// secure with NO fresh randomness — and famously non-uniform.
+circuit::Gadget keccak_chi_ti();
+
+}  // namespace sani::gadgets

@@ -1,0 +1,26 @@
+#include "gadgets/trichina.h"
+
+#include "circuit/builder.h"
+
+namespace sani::gadgets {
+
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+circuit::Gadget trichina_and() {
+  GadgetBuilder b("trichina_1");
+  const auto a = b.secret("a", 2);
+  const auto bb = b.secret("b", 2);
+  const WireId z = b.random("z");
+
+  WireId acc = b.xor_(z, b.and_(a[0], bb[0], "p00"));
+  acc = b.xor_(acc, b.and_(a[0], bb[1], "p01"));
+  acc = b.xor_(acc, b.and_(a[1], bb[0], "p10"));
+  acc = b.xor_(acc, b.and_(a[1], bb[1], "p11"));
+  const WireId c1 = b.buf(z, "c1_buf");
+
+  b.output_group("c", {acc, c1});
+  return b.build();
+}
+
+}  // namespace sani::gadgets

@@ -1,0 +1,17 @@
+#pragma once
+// Trichina masked AND (Trichina-Korkishko-Lee, AES'05 [23]).
+//
+// First-order gadget with 2 shares per operand and a single fresh random z.
+// The correction chain is strictly left-associated — the whole security
+// argument rests on z entering the chain first:
+//
+//     c_0 = (((z XOR a_0 b_0) XOR a_0 b_1) XOR a_1 b_0) XOR a_1 b_1
+//     c_1 = z
+
+#include "circuit/spec.h"
+
+namespace sani::gadgets {
+
+circuit::Gadget trichina_and();
+
+}  // namespace sani::gadgets

@@ -1,0 +1,90 @@
+#include "spectral/lil_spectrum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sani::spectral {
+
+namespace {
+
+template <typename V>
+auto find_sorted(std::vector<std::pair<Mask, V>>& list, const Mask& key) {
+  return std::lower_bound(
+      list.begin(), list.end(), key,
+      [](const std::pair<Mask, V>& e, const Mask& k) { return e.first < k; });
+}
+
+}  // namespace
+
+LilSpectrum LilSpectrum::from_spectrum(const Spectrum& s) {
+  LilSpectrum l(s.num_vars());
+  l.entries_.reserve(s.nonzero_count());
+  for (const auto& [mask, v] : s.coefficients())
+    l.entries_.emplace_back(mask, v);
+  std::sort(l.entries_.begin(), l.entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  return l;
+}
+
+std::int64_t LilSpectrum::at(const Mask& alpha) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), alpha,
+      [](const Entry& e, const Mask& k) { return e.first < k; });
+  if (it != entries_.end() && it->first == alpha) return it->second;
+  return 0;
+}
+
+void LilSpectrum::accumulate(const Mask& alpha, std::int64_t value) {
+  auto it = find_sorted(entries_, alpha);
+  if (it != entries_.end() && it->first == alpha) {
+    it->second += value;
+    if (it->second == 0) entries_.erase(it);
+    return;
+  }
+  if (value != 0) entries_.insert(it, {alpha, value});
+}
+
+LilSpectrum LilSpectrum::convolve(const LilSpectrum& other) const {
+  if (num_vars_ != other.num_vars_)
+    throw std::invalid_argument("LilSpectrum::convolve: size mismatch");
+  LilSpectrum result(num_vars_);
+  // Sorted-list accumulation, entry by entry — the TCHES'20 container.
+  std::vector<std::pair<Mask, __int128>>& acc = result.wide_;
+  for (const auto& [a, va] : entries_) {
+    for (const auto& [b, vb] : other.entries_) {
+      const Mask key = a ^ b;
+      const __int128 prod = static_cast<__int128>(va) * vb;
+      auto it = find_sorted(acc, key);
+      if (it != acc.end() && it->first == key)
+        it->second += prod;
+      else
+        acc.insert(it, {key, prod});
+    }
+  }
+  result.entries_.reserve(acc.size());
+  for (const auto& [mask, v] : acc) {
+    if (v == 0) continue;
+    __int128 scaled = v >> num_vars_;
+    if ((scaled << num_vars_) != v)
+      throw std::logic_error("LilSpectrum::convolve: inexact scaling");
+    result.entries_.emplace_back(mask, static_cast<std::int64_t>(scaled));
+  }
+  result.wide_.clear();
+  result.wide_.shrink_to_fit();
+  return result;
+}
+
+Mask LilSpectrum::support_union(const Mask& forbidden) const {
+  Mask u;
+  for (const auto& [alpha, v] : entries_)
+    if (!alpha.intersects(forbidden)) u |= alpha;
+  return u;
+}
+
+Spectrum LilSpectrum::to_spectrum() const {
+  Spectrum s(num_vars_);
+  for (const auto& [mask, v] : entries_) s.set(mask, v);
+  return s;
+}
+
+}  // namespace sani::spectral

@@ -1,0 +1,55 @@
+#pragma once
+// List-of-lists spectra — the exact baseline of Molteni & Zaccaria,
+// TCHES 2020 [11], reimplemented as described in Sec. II-B / IV ("LIL").
+//
+// The Walsh data is kept in ordered association lists (sorted by spectral
+// coordinate).  Lookups are binary searches but *insertion shifts the tail
+// of the list*, so convolutions that produce fresh coordinates degrade
+// toward quadratic behaviour in the result size — the performance issue the
+// paper's hash-map container (spectral/spectrum.h) removes.  Keeping this
+// container honest is what makes the Table I / Fig. 6 comparison meaningful.
+
+#include <cstdint>
+#include <vector>
+
+#include "spectral/spectrum.h"
+#include "util/mask.h"
+
+namespace sani::spectral {
+
+class LilSpectrum {
+ public:
+  using Entry = std::pair<Mask, std::int64_t>;
+
+  explicit LilSpectrum(int num_vars) : num_vars_(num_vars) {}
+
+  /// Sorted import from a hash-map spectrum.
+  static LilSpectrum from_spectrum(const Spectrum& s);
+
+  int num_vars() const { return num_vars_; }
+  std::size_t nonzero_count() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::int64_t at(const Mask& alpha) const;
+
+  /// Adds `value` at `alpha`, inserting in sorted position (list shift).
+  void accumulate(const Mask& alpha, std::int64_t value);
+
+  /// Spectrum of (f XOR g): all pairwise products accumulated entry by
+  /// entry, then scaled by 2^-n (exact).
+  LilSpectrum convolve(const LilSpectrum& other) const;
+
+  Mask support_union(const Mask& forbidden) const;
+
+  /// Conversion used by tests to compare against the hash-map path.
+  Spectrum to_spectrum() const;
+
+ private:
+  int num_vars_;
+  std::vector<Entry> entries_;  // sorted by Mask
+  // Accumulation uses a wide intermediate list to keep products exact before
+  // the final 2^-n scaling.
+  std::vector<std::pair<Mask, __int128>> wide_;
+};
+
+}  // namespace sani::spectral

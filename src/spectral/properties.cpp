@@ -1,0 +1,42 @@
+#include "spectral/properties.h"
+
+namespace sani::spectral {
+
+bool is_balanced(const Spectrum& s) { return s.at(Mask{}) == 0; }
+
+int correlation_immunity_order(const Spectrum& s) {
+  int min_weight = s.num_vars() + 1;
+  for (const auto& [alpha, v] : s.coefficients()) {
+    const int w = alpha.popcount();
+    if (w >= 1 && w < min_weight) min_weight = w;
+  }
+  return min_weight - 1;
+}
+
+int resiliency_order(const Spectrum& s) {
+  if (!is_balanced(s)) return -1;
+  return correlation_immunity_order(s);
+}
+
+std::int64_t nonlinearity(const Spectrum& s) {
+  std::int64_t max_abs = 0;
+  for (const auto& [alpha, v] : s.coefficients()) {
+    const std::int64_t a = v < 0 ? -v : v;
+    if (a > max_abs) max_abs = a;
+  }
+  return (std::int64_t{1} << (s.num_vars() - 1)) - max_abs / 2;
+}
+
+bool is_bent(const Spectrum& s) {
+  const int n = s.num_vars();
+  if (n % 2 != 0) return false;
+  const std::int64_t target = std::int64_t{1} << (n / 2);
+  // Bent functions have a full spectrum: 2^n coefficients of magnitude
+  // 2^(n/2).
+  if (s.nonzero_count() != (std::size_t{1} << n)) return false;
+  for (const auto& [alpha, v] : s.coefficients())
+    if (v != target && v != -target) return false;
+  return true;
+}
+
+}  // namespace sani::spectral

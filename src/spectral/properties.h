@@ -1,0 +1,38 @@
+#pragma once
+// Cryptographic properties read off the Walsh spectrum.
+//
+// The verifier's security conditions are special cases of classical
+// spectral criteria (Xiao-Massey [14], Carlet [15]); this module exposes
+// the textbook quantities directly, both as analysis utilities and as an
+// extra validation layer for the gadget constructions:
+//
+//   balancedness          s(0) == 0
+//   correlation immunity  CI(t): s(alpha) == 0 for all 1 <= |alpha| <= t
+//   resiliency            balanced + CI(t)
+//   nonlinearity          2^(n-1) - max|s|/2   (distance to affine functions)
+//   bentness              |s(alpha)| == 2^(n/2) everywhere (even n)
+
+#include <cstdint>
+
+#include "spectral/spectrum.h"
+
+namespace sani::spectral {
+
+/// True iff the function takes both values equally often.
+bool is_balanced(const Spectrum& s);
+
+/// Largest t such that every coefficient with 1 <= |alpha| <= t vanishes
+/// (0 if none; n if the function is constant on the support dimension).
+int correlation_immunity_order(const Spectrum& s);
+
+/// Resiliency order: correlation immunity of a balanced function, -1 if
+/// unbalanced.
+int resiliency_order(const Spectrum& s);
+
+/// Nonlinearity: Hamming distance to the closest affine function.
+std::int64_t nonlinearity(const Spectrum& s);
+
+/// True iff the function is bent (maximally nonlinear; requires even n).
+bool is_bent(const Spectrum& s);
+
+}  // namespace sani::spectral

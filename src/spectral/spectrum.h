@@ -1,0 +1,107 @@
+#pragma once
+// Sparse Walsh spectra in hash maps (the MAP/MAPI container, Sec. III-B).
+//
+// A Spectrum stores the nonzero Walsh coefficients
+//
+//     s_f(alpha) = sum_{x in F_2^n} (-1)^{f(x) XOR <alpha,x>}
+//
+// of a Boolean function over the full n-variable input cube, keyed by the
+// spectral coordinate alpha (a Mask over the same variable indices as the
+// circuit inputs).  unordered_map gives O(1) average insert/update — the
+// paper's stated reason for preferring hash containers over the list-of-
+// lists representation of the earlier exact tool [11].
+//
+// The XOR-convolution theorem drives everything:
+//     s_{f XOR g} = 2^{-n} (s_f (*) s_g),
+// where (*) is convolution over (F_2^n, XOR).  Products are accumulated in
+// __int128, the final division by 2^n is exact by construction (checked).
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "dd/add.h"
+#include "dd/bdd.h"
+#include "util/mask.h"
+
+namespace sani::spectral {
+
+class Spectrum {
+ public:
+  using Map = std::unordered_map<Mask, std::int64_t, MaskHash>;
+
+  explicit Spectrum(int num_vars) : num_vars_(num_vars) {}
+
+  /// The spectrum of the constant-0 function: single coefficient 2^n at 0.
+  static Spectrum constant_zero(int num_vars);
+
+  /// Computes the spectrum of f symbolically: Fujita transform to an ADD,
+  /// then one map entry per nonzero coefficient.
+  static Spectrum from_bdd(const dd::Bdd& f);
+
+  /// Converts a spectrum ADD (over spectral variables) into a map.
+  static Spectrum from_add(const dd::Add& spectrum, int num_vars);
+
+  /// Ground-truth construction: dense truth-table + fast Walsh-Hadamard.
+  /// `f(x)` is called for every assignment mask x; requires num_vars <= 24.
+  template <typename Fn>
+  static Spectrum from_function(int num_vars, Fn&& f);
+
+  int num_vars() const { return num_vars_; }
+
+  std::int64_t at(const Mask& alpha) const {
+    auto it = map_.find(alpha);
+    return it == map_.end() ? 0 : it->second;
+  }
+  /// Inserts/overwrites a coefficient (erases on zero).
+  void set(const Mask& alpha, std::int64_t value);
+
+  std::size_t nonzero_count() const { return map_.size(); }
+  const Map& coefficients() const { return map_; }
+
+  /// Spectrum of (f XOR g) from the spectra of f and g.
+  Spectrum convolve(const Spectrum& other) const;
+
+  /// Union of supp(alpha) over all nonzero coefficients whose alpha does not
+  /// intersect `forbidden` (used with forbidden = random coordinates to
+  /// collect the share-variable dependency of the observed distribution).
+  Mask support_union(const Mask& forbidden) const;
+
+  /// Rebuilds the ADD representation (used by the MAPI verification step).
+  dd::Add to_add(dd::Manager& manager) const;
+
+  /// Parseval check: sum of squared coefficients == 2^{2n}.  Validates that
+  /// the map really is a Boolean function's spectrum.
+  bool parseval_ok() const;
+
+  friend bool operator==(const Spectrum& a, const Spectrum& b) {
+    return a.num_vars_ == b.num_vars_ && a.map_ == b.map_;
+  }
+
+ private:
+  int num_vars_;
+  Map map_;
+};
+
+/// In-place fast Walsh-Hadamard transform of a length-2^n vector.
+void fwht(std::vector<std::int64_t>& v);
+
+template <typename Fn>
+Spectrum Spectrum::from_function(int num_vars, Fn&& f) {
+  if (num_vars > 24)
+    throw std::invalid_argument("Spectrum::from_function: too many variables");
+  const std::size_t size = std::size_t{1} << num_vars;
+  std::vector<std::int64_t> v(size);
+  for (std::size_t x = 0; x < size; ++x) {
+    Mask m{static_cast<std::uint64_t>(x), 0};
+    v[x] = f(m) ? -1 : 1;
+  }
+  fwht(v);
+  Spectrum s(num_vars);
+  for (std::size_t a = 0; a < size; ++a)
+    if (v[a] != 0) s.map_.emplace(Mask{static_cast<std::uint64_t>(a), 0}, v[a]);
+  return s;
+}
+
+}  // namespace sani::spectral

@@ -1,0 +1,50 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace sani {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    options_.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  for (const auto& [k, v] : options_)
+    if (k == name) return true;
+  return false;
+}
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+  for (const auto& [k, v] : options_)
+    if (k == name && !v.empty()) return v;
+  return std::nullopt;
+}
+
+int CliArgs::value_int(const std::string& name, int def) const {
+  auto v = value(name);
+  return v ? std::atoi(v->c_str()) : def;
+}
+
+std::string CliArgs::value_or(const std::string& name,
+                              const std::string& def) const {
+  auto v = value(name);
+  return v ? *v : def;
+}
+
+}  // namespace sani

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal command-line parsing for the bench/example binaries.
+//
+// Supports `--flag`, `--key value` and `--key=value`.  Unknown arguments are
+// collected as positionals.  Deliberately tiny: the harness binaries need a
+// handful of switches (--full, --level N, --gadget NAME), not a framework.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sani {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was passed (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// The value of `--name value` / `--name=value`, if present.
+  std::optional<std::string> value(const std::string& name) const;
+
+  /// Integer-valued option with a default.
+  int value_int(const std::string& name, int def) const;
+
+  /// String-valued option with a default.
+  std::string value_or(const std::string& name, const std::string& def) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> options_;  // name -> value
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace sani

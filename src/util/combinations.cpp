@@ -1,0 +1,49 @@
+#include "util/combinations.h"
+
+#include <limits>
+
+namespace sani {
+
+CombinationIter::CombinationIter(int n, int k)
+    : n_(n), k_(k), valid_(k >= 0 && k <= n) {
+  idx_.reserve(static_cast<std::size_t>(k > 0 ? k : 0));
+  for (int i = 0; i < k; ++i) idx_.push_back(i);
+}
+
+bool CombinationIter::next() {
+  if (!valid_ || k_ == 0) return false;
+  // Find the rightmost index that can still move right.
+  int i = k_ - 1;
+  while (i >= 0 && idx_[static_cast<std::size_t>(i)] == n_ - k_ + i) --i;
+  if (i < 0) return false;
+  ++idx_[static_cast<std::size_t>(i)];
+  for (int j = i + 1; j < k_; ++j)
+    idx_[static_cast<std::size_t>(j)] = idx_[static_cast<std::size_t>(j - 1)] + 1;
+  return true;
+}
+
+std::uint64_t binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t r = 1;
+  for (int i = 1; i <= k; ++i) {
+    std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    if (r > kMax / num) return kMax;  // saturate
+    r = r * num / static_cast<std::uint64_t>(i);
+  }
+  return r;
+}
+
+std::uint64_t count_combinations_up_to(int n, int d) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 0;
+  for (int k = 1; k <= d && k <= n; ++k) {
+    std::uint64_t c = binomial(n, k);
+    if (total > kMax - c) return kMax;
+    total += c;
+  }
+  return total;
+}
+
+}  // namespace sani

@@ -1,0 +1,48 @@
+#pragma once
+// Combination enumeration.
+//
+// The verifier explores all size-k subsets of the observable set (outputs +
+// probes), for k = d down to 1 (Sec. III-C of the paper: starting from the
+// maximum size makes vulnerabilities surface earlier in practice).  These
+// helpers provide an allocation-free enumerator over index combinations and
+// a count utility used for progress reporting.
+
+#include <cstdint>
+#include <vector>
+
+namespace sani {
+
+/// Enumerates all k-element subsets of {0, .., n-1} in lexicographic order.
+///
+/// Usage:
+///   CombinationIter it(n, k);
+///   do { use(it.indices()); } while (it.next());
+///
+/// For k == 0 the single empty combination is produced.
+class CombinationIter {
+ public:
+  CombinationIter(int n, int k);
+
+  /// The current combination, ascending indices, size k.
+  const std::vector<int>& indices() const { return idx_; }
+
+  /// Advances to the next combination; false when exhausted.
+  bool next();
+
+  /// True if (n, k) admits at least one combination (k <= n).
+  bool valid() const { return valid_; }
+
+ private:
+  int n_;
+  int k_;
+  bool valid_;
+  std::vector<int> idx_;
+};
+
+/// Binomial coefficient C(n, k) saturating at UINT64_MAX.
+std::uint64_t binomial(int n, int k);
+
+/// Number of subsets of {0..n-1} of size between 1 and d (saturating).
+std::uint64_t count_combinations_up_to(int n, int d);
+
+}  // namespace sani

@@ -1,0 +1,20 @@
+#include "util/mask.h"
+
+#include <sstream>
+
+namespace sani {
+
+std::string Mask::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for_each_bit([&](int i) {
+    if (!first) os << ',';
+    os << i;
+    first = false;
+  });
+  os << '}';
+  return os.str();
+}
+
+}  // namespace sani

@@ -1,0 +1,159 @@
+#pragma once
+// 128-bit input masks.
+//
+// A Mask identifies a subset of circuit input variables (or of spectral
+// coordinates, which are in one-to-one correspondence with input variables;
+// see spectral/spectrum.h).  The verification workloads in this project deal
+// with gadgets of up to ~100 inputs (shares + randoms), so a fixed 128-bit
+// representation is both sufficient and much faster than a dynamic bitset.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sani {
+
+/// A subset of up to 128 variables, indexed 0..127.
+///
+/// Masks form a group under XOR; this is the index set of sparse Walsh
+/// spectra (spectral coordinates alpha/rho) and the representation of
+/// variable supports.
+struct Mask {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  static constexpr int kMaxBits = 128;
+
+  constexpr Mask() = default;
+  constexpr Mask(std::uint64_t low, std::uint64_t high) : lo(low), hi(high) {}
+
+  /// The mask containing exactly variable `i`. Precondition: 0 <= i < 128.
+  static constexpr Mask bit(int i) {
+    return i < 64 ? Mask{std::uint64_t{1} << i, 0}
+                  : Mask{0, std::uint64_t{1} << (i - 64)};
+  }
+
+  /// The mask containing variables 0..n-1. Precondition: 0 <= n <= 128.
+  static constexpr Mask first_n(int n) {
+    if (n <= 0) return {};
+    if (n >= 128) return Mask{~std::uint64_t{0}, ~std::uint64_t{0}};
+    if (n >= 64)
+      return Mask{~std::uint64_t{0}, (std::uint64_t{1} << (n - 64)) - 1};
+    return Mask{(std::uint64_t{1} << n) - 1, 0};
+  }
+
+  constexpr bool test(int i) const {
+    return i < 64 ? (lo >> i) & 1 : (hi >> (i - 64)) & 1;
+  }
+  constexpr void set(int i) {
+    if (i < 64)
+      lo |= std::uint64_t{1} << i;
+    else
+      hi |= std::uint64_t{1} << (i - 64);
+  }
+  constexpr void reset(int i) {
+    if (i < 64)
+      lo &= ~(std::uint64_t{1} << i);
+    else
+      hi &= ~(std::uint64_t{1} << (i - 64));
+  }
+
+  constexpr bool empty() const { return lo == 0 && hi == 0; }
+  constexpr bool any() const { return !empty(); }
+
+  int popcount() const {
+    return __builtin_popcountll(lo) + __builtin_popcountll(hi);
+  }
+
+  /// Index of the lowest set bit. Precondition: !empty().
+  int lowest_bit() const {
+    return lo ? __builtin_ctzll(lo) : 64 + __builtin_ctzll(hi);
+  }
+
+  /// Index of the highest set bit. Precondition: !empty().
+  int highest_bit() const {
+    return hi ? 127 - __builtin_clzll(hi) : 63 - __builtin_clzll(lo);
+  }
+
+  constexpr friend Mask operator^(Mask a, Mask b) {
+    return {a.lo ^ b.lo, a.hi ^ b.hi};
+  }
+  constexpr friend Mask operator&(Mask a, Mask b) {
+    return {a.lo & b.lo, a.hi & b.hi};
+  }
+  constexpr friend Mask operator|(Mask a, Mask b) {
+    return {a.lo | b.lo, a.hi | b.hi};
+  }
+  constexpr Mask& operator^=(Mask b) {
+    lo ^= b.lo;
+    hi ^= b.hi;
+    return *this;
+  }
+  constexpr Mask& operator&=(Mask b) {
+    lo &= b.lo;
+    hi &= b.hi;
+    return *this;
+  }
+  constexpr Mask& operator|=(Mask b) {
+    lo |= b.lo;
+    hi |= b.hi;
+    return *this;
+  }
+  /// Set difference: the variables in *this that are not in b.
+  constexpr friend Mask operator-(Mask a, Mask b) {
+    return {a.lo & ~b.lo, a.hi & ~b.hi};
+  }
+
+  constexpr friend bool operator==(Mask a, Mask b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  constexpr friend bool operator!=(Mask a, Mask b) { return !(a == b); }
+  /// Lexicographic order (hi word first); used by sorted (LIL) containers.
+  constexpr friend bool operator<(Mask a, Mask b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// True iff *this is a (non-strict) subset of b.
+  constexpr bool subset_of(Mask b) const {
+    return (lo & ~b.lo) == 0 && (hi & ~b.hi) == 0;
+  }
+  constexpr bool intersects(Mask b) const { return ((*this) & b).any(); }
+
+  /// Parity of the intersection with b — the GF(2) inner product
+  /// <*this, b>, used to evaluate characters (-1)^{alpha . x}.
+  bool dot(Mask b) const {
+    return (__builtin_popcountll(lo & b.lo) ^ __builtin_popcountll(hi & b.hi)) &
+           1;
+  }
+
+  /// Calls fn(i) for every set bit i in ascending order.
+  template <typename Fn>
+  void for_each_bit(Fn&& fn) const {
+    for (std::uint64_t w = lo; w;) {
+      int i = __builtin_ctzll(w);
+      fn(i);
+      w &= w - 1;
+    }
+    for (std::uint64_t w = hi; w;) {
+      int i = __builtin_ctzll(w);
+      fn(64 + i);
+      w &= w - 1;
+    }
+  }
+
+  /// Renders as a hex pair or a bit list, e.g. "{0,3,7}".
+  std::string to_string() const;
+};
+
+/// FNV-style mix suitable for unordered_map keys over Masks.
+struct MaskHash {
+  std::size_t operator()(const Mask& m) const {
+    std::uint64_t h = m.lo * 0x9E3779B97F4A7C15ull;
+    h ^= (m.hi + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace sani

@@ -1,0 +1,110 @@
+#include "util/table.h"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace sani {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return add(os.str());
+}
+
+TextTable& TextTable::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+std::vector<std::size_t> TextTable::widths() const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+      if (r[c].size() > w[c]) w[c] = r[c].size();
+  return w;
+}
+
+namespace {
+
+void append_row(std::ostringstream& os, const std::vector<std::string>& cells,
+                const std::vector<std::size_t>& w, const char* sep) {
+  os << sep;
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    os << ' ' << cell << std::string(w[c] - cell.size(), ' ') << ' ' << sep;
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string TextTable::to_ascii() const {
+  const auto w = widths();
+  std::ostringstream os;
+  std::string rule = "+";
+  for (std::size_t c = 0; c < w.size(); ++c)
+    rule += std::string(w[c] + 2, '-') + "+";
+  os << rule << '\n';
+  append_row(os, header_, w, "|");
+  os << rule << '\n';
+  for (const auto& r : rows_) append_row(os, r, w, "|");
+  os << rule << '\n';
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << quote(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string TextTable::to_markdown() const {
+  const auto w = widths();
+  std::ostringstream os;
+  append_row(os, header_, w, "|");
+  os << '|';
+  for (std::size_t c = 0; c < w.size(); ++c)
+    os << std::string(w[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& r : rows_) append_row(os, r, w, "|");
+  return os.str();
+}
+
+}  // namespace sani

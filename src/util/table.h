@@ -1,0 +1,45 @@
+#pragma once
+// Plain-text table rendering.
+//
+// The benchmark binaries regenerate the paper's tables (Table I-III); this
+// small formatter prints aligned ASCII or GitHub-markdown tables so the
+// harness output can be pasted directly into EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace sani {
+
+/// Column-aligned text table.  Rows may be added cell-by-cell; numeric
+/// convenience overloads format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  TextTable& row();
+  TextTable& add(std::string cell);
+  TextTable& add(double value, int precision = 5);
+  TextTable& add(std::int64_t value);
+  TextTable& add(int value) { return add(static_cast<std::int64_t>(value)); }
+  TextTable& add(std::uint64_t value);
+
+  /// Renders with box-drawing separators, columns padded to content width.
+  std::string to_ascii() const;
+
+  /// Renders as a GitHub-flavoured markdown table.
+  std::string to_markdown() const;
+
+  /// Renders as CSV (RFC-4180 quoting) for plotting pipelines.
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::size_t> widths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sani

@@ -1,0 +1,34 @@
+#include "util/timer.h"
+
+#include <algorithm>
+
+namespace sani {
+
+void PhaseTimers::add(const std::string& name, double seconds) {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    names_.push_back(name);
+    seconds_.push_back(seconds);
+  } else {
+    seconds_[static_cast<std::size_t>(it - names_.begin())] += seconds;
+  }
+}
+
+double PhaseTimers::get(const std::string& name) const {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) return 0.0;
+  return seconds_[static_cast<std::size_t>(it - names_.begin())];
+}
+
+double PhaseTimers::total() const {
+  double t = 0;
+  for (double s : seconds_) t += s;
+  return t;
+}
+
+void PhaseTimers::clear() {
+  names_.clear();
+  seconds_.clear();
+}
+
+}  // namespace sani

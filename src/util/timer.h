@@ -1,0 +1,70 @@
+#pragma once
+// Wall-clock timing utilities.
+//
+// The paper's Fig. 6 breaks verification time into "convolution" and
+// "verification" phases; PhaseTimers accumulates named phase durations so the
+// engines can report the same breakout.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace sani {
+
+/// Simple steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds under string labels ("convolution",
+/// "verification", ...).  Not thread-safe; one instance per engine run.
+class PhaseTimers {
+ public:
+  /// Adds `seconds` to phase `name`, creating it on first use.
+  void add(const std::string& name, double seconds);
+
+  /// Accumulated seconds for `name` (0.0 if the phase never ran).
+  double get(const std::string& name) const;
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// Phase names in first-use order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  void clear();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> seconds_;
+};
+
+/// RAII phase scope: adds the elapsed time to `timers[name]` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, std::string name)
+      : timers_(timers), name_(std::move(name)) {}
+  ~ScopedPhase() { timers_.add(name_, watch_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace sani

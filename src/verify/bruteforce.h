@@ -1,0 +1,24 @@
+#pragma once
+// Exhaustive ground truth for small gadgets.
+//
+// Decides the same notions as the spectral engines by direct enumeration of
+// joint distributions: for every combination of <= d observables, tabulate
+// the distribution of the observed tuple conditioned on the share inputs
+// (averaging over the randoms), extract the exact set of share variables the
+// distribution depends on, and apply the notion's threshold.  For probing
+// security, the distribution is conditioned on the *secrets* by averaging
+// over all valid sharings.
+//
+// Cost is Theta(2^#inputs) per combination; use for <= ~20 inputs.  The
+// property tests cross-check every spectral engine against this oracle.
+
+#include "circuit/spec.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+/// Exhaustive verdict; fields mirror verify() but stats are left minimal.
+VerifyResult verify_bruteforce(const circuit::Gadget& gadget,
+                               const VerifyOptions& options);
+
+}  // namespace sani::verify

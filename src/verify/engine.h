@@ -1,0 +1,36 @@
+#pragma once
+// The verification driver (Fig. 5 of the paper).
+//
+// Pipeline: unfold the circuit (probes as BDDs) -> enumerate combinations of
+// outputs/probes up to size d -> compute the Walsh spectrum of every
+// XOR-combination (convolution of base spectra, or a direct Fujita
+// transform) -> test the interference predicate.  Four interchangeable
+// engines implement the representation choices compared in Tables I/II:
+//
+//   LIL    — list-of-lists spectra, list-scan verification  (TCHES'20 [11])
+//   MAP    — hash-map spectra, map-scan verification
+//   MAPI   — hash-map convolution + ADD verification        (the paper)
+//   FUJITA — per-combination Fujita transform + ADD verification
+//
+// All four return identical verdicts (asserted by the cross-engine tests);
+// they differ only in where the time goes, which is exactly what the
+// paper's evaluation measures.
+
+#include "circuit/spec.h"
+#include "circuit/unfold.h"
+#include "verify/observables.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+/// Unfolds `gadget`, builds the observable universe and decides the notion.
+VerifyResult verify(const circuit::Gadget& gadget, const VerifyOptions& options);
+
+/// Same, over a pre-built unfolding and observable set (used to analyse
+/// fixed probe configurations such as the Fig. 1 composition example, and
+/// to amortize unfolding across engines in the benchmarks).
+VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
+                             const ObservableSet& observables,
+                             const VerifyOptions& options);
+
+}  // namespace sani::verify

@@ -1,0 +1,44 @@
+#pragma once
+// A maskVerif-style heuristic prover (Barthe et al. [8]) — the heuristic
+// baseline of Table III.
+//
+// maskVerif proves security by semantic-preserving simplification of the
+// symbolic leakage set; the workhorse rule is *optimistic sampling*: if an
+// observed expression can be written e = r XOR g where the fresh random r
+// occurs nowhere else in the tuple, then e is uniform and independent of the
+// rest and can be discarded.  After the rules run dry, the tuple's remaining
+// variable support over-approximates its dependency set:
+//
+//  * NI/SNI/PINI — if the support already satisfies the threshold, the
+//    combination is proved secure;
+//  * probing — if no secret has *all* of its shares in the support, no
+//    coefficient of the averaged spectrum can touch the secret, so the
+//    combination is proved secure.
+//
+// Anything else is *inconclusive*: the method is sound but incomplete for
+// non-linear gadgets, exactly the trade-off the paper quotes maskVerif's
+// authors on ("more precise approaches remain important, when verification
+// with more efficient methods fail").
+
+#include "circuit/spec.h"
+#include "circuit/unfold.h"
+#include "verify/observables.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+struct HeuristicResult {
+  bool proven_secure = false;      // every combination proved
+  std::uint64_t combinations = 0;  // combinations examined
+  std::uint64_t inconclusive = 0;  // combinations the rules could not prove
+  double seconds = 0.0;
+};
+
+HeuristicResult verify_heuristic(const circuit::Gadget& gadget,
+                                 const VerifyOptions& options);
+
+HeuristicResult verify_heuristic_prepared(const circuit::Unfolded& unfolded,
+                                          const ObservableSet& observables,
+                                          const VerifyOptions& options);
+
+}  // namespace sani::verify

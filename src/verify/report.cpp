@@ -1,0 +1,128 @@
+#include "verify/report.h"
+
+#include <sstream>
+
+#include "verify/checker.h"
+
+namespace sani::verify {
+
+std::string decode_alpha(const circuit::Gadget& gadget,
+                         const circuit::VarMap& vars, const Mask& alpha) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  alpha.for_each_bit([&](int v) {
+    if (!first) os << ", ";
+    first = false;
+    os << gadget.netlist.node(vars.var_to_wire[v]).name;
+  });
+  os << '}';
+  return os.str();
+}
+
+std::string summarize(const std::string& gadget_name,
+                      const VerifyOptions& options, const VerifyResult& result,
+                      double seconds) {
+  std::ostringstream os;
+  os << gadget_name;
+  if (result.timed_out)
+    os << ": timed out";
+  else if (result.secure)
+    os << " is " << options.order << "-" << notion_name(options.notion);
+  else
+    os << " is NOT " << options.order << "-" << notion_name(options.notion);
+  os << " (engine " << engine_name(options.engine) << ", "
+     << result.stats.num_observables << " observables, "
+     << result.stats.combinations << " combinations, " << seconds * 1e3
+     << " ms)";
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_report(const std::string& gadget_name,
+                        const VerifyOptions& options,
+                        const VerifyResult& result, double seconds) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"gadget\":\"" << json_escape(gadget_name) << "\",";
+  os << "\"notion\":\"" << notion_name(options.notion) << "\",";
+  os << "\"order\":" << options.order << ",";
+  os << "\"engine\":\"" << engine_name(options.engine) << "\",";
+  os << "\"robust\":" << (options.probes.glitch_robust ? "true" : "false")
+     << ",";
+  os << "\"secure\":" << (result.secure ? "true" : "false") << ",";
+  os << "\"timed_out\":" << (result.timed_out ? "true" : "false") << ",";
+  os << "\"observables\":" << result.stats.num_observables << ",";
+  os << "\"combinations\":" << result.stats.combinations << ",";
+  os << "\"coefficients\":" << result.stats.coefficients << ",";
+  os << "\"seconds\":" << seconds << ",";
+  os << "\"phases\":{";
+  const auto& names = result.stats.timers.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) os << ',';
+    os << "\"" << json_escape(names[i])
+       << "\":" << result.stats.timers.get(names[i]);
+  }
+  os << "},";
+  os << "\"counterexample\":";
+  if (result.counterexample) {
+    const CounterExample& ce = *result.counterexample;
+    os << "{\"observables\":[";
+    for (std::size_t i = 0; i < ce.observables.size(); ++i) {
+      if (i) os << ',';
+      os << "\"" << json_escape(ce.observables[i]) << "\"";
+    }
+    os << "],\"alpha\":\"" << ce.alpha.to_string() << "\",\"reason\":\""
+       << json_escape(ce.reason) << "\"}";
+  } else {
+    os << "null";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string detailed_report(const circuit::Gadget& gadget,
+                            const circuit::VarMap& vars,
+                            const VerifyOptions& options,
+                            const VerifyResult& result) {
+  std::ostringstream os;
+  os << "gadget: " << gadget.netlist.name() << "\n";
+  os << "notion: " << options.order << "-" << notion_name(options.notion)
+     << "  engine: " << engine_name(options.engine) << "\n";
+  os << "observables: " << result.stats.num_observables
+     << "  combinations: " << result.stats.combinations
+     << "  coefficients: " << result.stats.coefficients << "\n";
+  for (const auto& name : result.stats.timers.names())
+    os << "  phase " << name << ": " << result.stats.timers.get(name) << " s\n";
+  if (result.timed_out) {
+    os << "verdict: TIMED OUT\n";
+    return os.str();
+  }
+  os << "verdict: " << (result.secure ? "SECURE" : "INSECURE") << "\n";
+  if (result.counterexample) {
+    const CounterExample& ce = *result.counterexample;
+    os << "counterexample:\n  observables:";
+    for (const auto& n : ce.observables) os << ' ' << n;
+    os << "\n  witness coordinate: " << decode_alpha(gadget, vars, ce.alpha)
+       << "\n  reason: " << ce.reason << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sani::verify

@@ -1,0 +1,36 @@
+#pragma once
+// Human-readable rendering of verification results.
+
+#include <string>
+
+#include "circuit/spec.h"
+#include "circuit/unfold.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+/// One-line verdict, e.g. "dom_1 is 1-SNI (engine MAPI, 14 observables,
+/// 119 combinations, 0.8 ms)".
+std::string summarize(const std::string& gadget_name,
+                      const VerifyOptions& options, const VerifyResult& result,
+                      double seconds);
+
+/// Multi-line report including the counterexample (if any) with spectral
+/// coordinates decoded to input names.
+std::string detailed_report(const circuit::Gadget& gadget,
+                            const circuit::VarMap& vars,
+                            const VerifyOptions& options,
+                            const VerifyResult& result);
+
+/// Decodes a spectral coordinate into input wire names, e.g. "{a[0], a[2],
+/// b[1]}".
+std::string decode_alpha(const circuit::Gadget& gadget,
+                         const circuit::VarMap& vars, const Mask& alpha);
+
+/// Machine-readable (JSON) rendering of a verification result, for CI
+/// pipelines consuming the sani CLI.
+std::string json_report(const std::string& gadget_name,
+                        const VerifyOptions& options,
+                        const VerifyResult& result, double seconds);
+
+}  // namespace sani::verify

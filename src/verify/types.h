@@ -1,0 +1,126 @@
+#pragma once
+// Security notions, verification options and results.
+//
+// Notions (Sec. II-A of the paper; Barthe et al. [3][4]):
+//
+//  * d-probing security — any d probed wires are jointly independent of the
+//    secrets.
+//  * d-NI — any s <= d observations (outputs + internal probes) can be
+//    simulated with at most s shares of every input.
+//  * d-SNI — strong NI: at most i shares, where i counts only the *internal*
+//    probes among the observations.
+//  * d-PINI — probe-isolating NI (ref [25]; listed as future work in the
+//    paper, implemented here): observations can be simulated from the share
+//    *indices* of the probed outputs plus at most i extra indices.
+//
+// Each notion is decided from the Walsh spectra of XOR-combinations of
+// observables; see checker.h for the exact spectral conditions.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/unfold.h"
+#include "util/mask.h"
+#include "util/timer.h"
+
+namespace sani::verify {
+
+enum class Notion : std::uint8_t { kProbing, kNI, kSNI, kPINI };
+
+const char* notion_name(Notion n);
+
+enum class EngineKind : std::uint8_t {
+  kLIL,     // list-of-lists convolution + list-scan verification [11]
+  kMAP,     // hash-map convolution + map-scan verification
+  kMAPI,    // hash-map convolution + ADD verification (the paper's method)
+  kFUJITA,  // per-combination Fujita transform + ADD verification
+};
+
+const char* engine_name(EngineKind e);
+
+/// Combination enumeration strategy.
+enum class SearchOrder : std::uint8_t {
+  /// Depth-first over the observable set: maximal sharing of convolution
+  /// prefixes (cheapest on secure instances, where everything is enumerated
+  /// anyway).
+  kDepthFirst,
+  /// The paper's Sec. III-C strategy: all combinations of the maximum size
+  /// first, then smaller ones — vulnerabilities are unlikely to be masked
+  /// in larger combinations, so failures surface earlier.
+  kLargestFirst,
+};
+
+/// Probe-universe construction options.
+struct ProbeModelOptions {
+  /// Probe primary-input wires too (shares/randoms); default follows the
+  /// paper: probes are the *intermediate* nodes produced by unfolding.
+  bool include_inputs = false;
+  /// Drop probes whose function duplicates an earlier observable.
+  bool dedupe = true;
+  /// Glitch-extended (robust) probes: a probe observes every stable source
+  /// in its combinational cone.
+  bool glitch_robust = false;
+};
+
+struct VerifyOptions {
+  Notion notion = Notion::kSNI;
+  int order = 1;  // d: maximum number of observations
+  EngineKind engine = EngineKind::kMAPI;
+  ProbeModelOptions probes;
+
+  /// Also run the set-level union check (rigorous NI/SNI/PINI semantics,
+  /// subsumes the per-row T-predicate check; see DESIGN.md Sec. 2).
+  bool union_check = true;
+
+  /// Share-counting convention for NI/SNI.  false (default): at most t
+  /// shares of *each* input (Barthe et al. [4], the convention of
+  /// SILVER/maskVerif).  true: at most t input shares *in total*, the
+  /// stricter T-matrix the paper uses for its Fig. 2 composition witness
+  /// ("one needs only two probed values to get three shares").
+  bool joint_share_count = false;
+
+  /// Wall-clock budget in seconds; 0 = unlimited.  On expiry the engine
+  /// stops and sets VerifyResult::timed_out.
+  double time_limit = 0.0;
+
+  /// Computed-table size of the diagram manager (2^bits entries).
+  int cache_bits = 18;
+
+  /// Diagram variable order for the unfolding.  Verdicts are
+  /// order-invariant (tested); diagram sizes and times are not
+  /// (bench_ordering).
+  circuit::VarOrder var_order = circuit::VarOrder::kDeclared;
+
+  /// Run Rudell sifting on the shared manager after unfolding, before
+  /// verification (dynamic reordering; see dd::Manager::reorder_sift).
+  bool sift_after_unfold = false;
+
+  /// Combination enumeration order (verdict-neutral; affects how fast a
+  /// failing witness is reached).
+  SearchOrder search_order = SearchOrder::kDepthFirst;
+};
+
+/// A witness of a failed check.
+struct CounterExample {
+  std::vector<std::string> observables;  // names of the failing combination
+  Mask alpha;                            // spectral coordinate of the witness
+  std::string reason;                    // human-readable explanation
+};
+
+struct VerifyStats {
+  std::uint64_t combinations = 0;   // XOR-combinations enumerated
+  std::uint64_t coefficients = 0;   // spectrum entries scanned/produced
+  std::size_t num_observables = 0;  // outputs + probes in the universe
+  PhaseTimers timers;               // base / convolution / verification / union
+};
+
+struct VerifyResult {
+  bool secure = true;
+  bool timed_out = false;
+  std::optional<CounterExample> counterexample;
+  VerifyStats stats;
+};
+
+}  // namespace sani::verify

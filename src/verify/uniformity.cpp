@@ -1,0 +1,134 @@
+#include "verify/uniformity.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "circuit/unfold.h"
+#include "spectral/spectrum.h"
+
+namespace sani::verify {
+
+UniformityResult check_uniformity(const circuit::Gadget& gadget) {
+  UniformityResult result;
+  circuit::Unfolded u = circuit::unfold(gadget);
+
+  // Flat list of output shares with their group index.
+  struct Share {
+    circuit::WireId wire;
+    int group;
+  };
+  std::vector<Share> shares;
+  for (std::size_t g = 0; g < gadget.spec.outputs.size(); ++g)
+    for (circuit::WireId w : gadget.spec.outputs[g].shares)
+      shares.push_back({w, static_cast<int>(g)});
+  const std::size_t m = shares.size();
+  if (m > 20)
+    throw std::invalid_argument(
+        "check_uniformity: too many output shares to enumerate");
+  std::vector<std::size_t> group_sizes(gadget.spec.outputs.size());
+  for (std::size_t g = 0; g < gadget.spec.outputs.size(); ++g)
+    group_sizes[g] = gadget.spec.outputs[g].shares.size();
+
+  for (std::size_t sel = 1; sel < (std::size_t{1} << m); ++sel) {
+    // Skip combinations that take all-or-none of every group: those XOR to
+    // a deterministic function of the secrets.
+    std::vector<std::size_t> taken(group_sizes.size(), 0);
+    for (std::size_t j = 0; j < m; ++j)
+      if (sel & (std::size_t{1} << j)) ++taken[shares[j].group];
+    bool complete = true;
+    for (std::size_t g = 0; g < taken.size(); ++g)
+      if (taken[g] != 0 && taken[g] != group_sizes[g]) complete = false;
+    if (complete) continue;
+
+    ++result.combinations_checked;
+    dd::Bdd f = dd::Bdd::zero(*u.manager);
+    for (std::size_t j = 0; j < m; ++j)
+      if (sel & (std::size_t{1} << j)) f ^= u.wire_fn[shares[j].wire];
+    spectral::Spectrum s = spectral::Spectrum::from_bdd(f);
+    for (const auto& [alpha, v] : s.coefficients()) {
+      if (alpha.intersects(u.vars.random_vars)) continue;
+      result.uniform = false;
+      result.witness_alpha = alpha;
+      for (std::size_t j = 0; j < m; ++j)
+        if (sel & (std::size_t{1} << j))
+          result.witness_shares.push_back(
+              gadget.netlist.node(shares[j].wire).name);
+      return result;
+    }
+  }
+  return result;
+}
+
+UniformityResult check_uniformity_bruteforce(const circuit::Gadget& gadget) {
+  UniformityResult result;
+  const circuit::Netlist& nl = gadget.netlist;
+  const auto inputs = nl.inputs();
+  const int n = static_cast<int>(inputs.size());
+  if (n > 20)
+    throw std::invalid_argument("check_uniformity_bruteforce: too large");
+
+  std::map<circuit::WireId, int> pos;
+  for (int i = 0; i < n; ++i) pos[inputs[i]] = i;
+  Mask random_pos;
+  for (circuit::WireId w : gadget.spec.randoms) random_pos.set(pos.at(w));
+
+  std::vector<circuit::WireId> shares;
+  for (const auto& g : gadget.spec.outputs)
+    for (circuit::WireId w : g.shares) shares.push_back(w);
+  const std::size_t m = shares.size();
+  if (m > 16)
+    throw std::invalid_argument("check_uniformity_bruteforce: too many shares");
+
+  // counts[non-random input assignment][output tuple]
+  const int fixed_bits = n - random_pos.popcount();
+  if (fixed_bits + static_cast<int>(m) > 26)
+    throw std::invalid_argument(
+        "check_uniformity_bruteforce: counts table too large");
+  std::vector<std::vector<std::uint32_t>> counts(
+      std::size_t{1} << fixed_bits,
+      std::vector<std::uint32_t>(std::size_t{1} << m, 0));
+
+  for (std::size_t x = 0; x < (std::size_t{1} << n); ++x) {
+    std::vector<bool> in;
+    for (int i = 0; i < n; ++i) in.push_back((x >> i) & 1);
+    const auto v = nl.evaluate(in);
+    std::size_t tuple = 0;
+    for (std::size_t j = 0; j < m; ++j)
+      tuple |= static_cast<std::size_t>(v[shares[j]]) << j;
+    std::size_t fixed = 0;
+    int k = 0;
+    for (int i = 0; i < n; ++i) {
+      if (random_pos.test(i)) continue;
+      fixed |= ((x >> i) & std::size_t{1}) << k;
+      ++k;
+    }
+    ++counts[fixed][tuple];
+  }
+
+  // Uniform output sharing: within each fixed-input class the distribution
+  // must cover *all* 2^(m - #groups) sharings consistent with the output
+  // values, each equally often.  (Merely "equal where nonzero" would accept
+  // deterministic sharings like the TI AND's.)
+  const std::size_t valid_tuples =
+      std::size_t{1} << (m - gadget.spec.outputs.size());
+  for (const auto& dist : counts) {
+    std::size_t support = 0;
+    std::uint32_t nonzero = 0;
+    for (std::uint32_t c : dist)
+      if (c != 0) {
+        ++support;
+        if (nonzero == 0) nonzero = c;
+        if (c != nonzero) {
+          result.uniform = false;
+          return result;
+        }
+      }
+    if (support != valid_tuples) {
+      result.uniform = false;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace sani::verify

@@ -1,0 +1,43 @@
+#pragma once
+// Output-sharing uniformity (the SILVER [12] companion check).
+//
+// A shared implementation has *uniform output sharing* if, for every fixed
+// input sharing, the output shares are distributed uniformly over the valid
+// sharings of the output value (randomized only by the fresh randoms).
+// Uniformity is what lets a gadget feed a threshold implementation (TI
+// security assumes uniformly shared inputs), and its absence is the classic
+// defect of the plain TI AND.
+//
+// Spectral criterion: let F_omega be the XOR of an output-share subset
+// omega.  If omega selects, for every output group, either all or none of
+// the group's shares, F_omega is a deterministic function of the secrets —
+// no constraint.  Otherwise uniformity requires F_omega to be an unbiased
+// coin for *every* input-share assignment, i.e. every Walsh coefficient of
+// F_omega with rho = 0 must vanish.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/spec.h"
+#include "util/mask.h"
+
+namespace sani::verify {
+
+struct UniformityResult {
+  bool uniform = true;
+  /// Witness: names of the output shares in the failing combination, and
+  /// the spectral coordinate of the surviving coefficient.
+  std::vector<std::string> witness_shares;
+  Mask witness_alpha;
+  std::uint64_t combinations_checked = 0;
+};
+
+/// Spectral uniformity check over all 2^m - 1 output-share combinations.
+UniformityResult check_uniformity(const circuit::Gadget& gadget);
+
+/// Exhaustive oracle: enumerates the joint output-share distribution for
+/// every input assignment (inputs <= ~20).
+UniformityResult check_uniformity_bruteforce(const circuit::Gadget& gadget);
+
+}  // namespace sani::verify

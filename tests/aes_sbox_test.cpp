@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "gadgets/aes_sbox.h"
+#include "gadgets/gf_model.h"
+#include "test_util.h"
+#include "verify/bruteforce.h"
+#include "verify/engine.h"
+#include "verify/uniformity.h"
+
+namespace sani::gadgets {
+namespace {
+
+using circuit::Gadget;
+using circuit::WireId;
+using test::Rng;
+
+// ---------------------------------------------------------------------------
+// Software model (the oracle itself must be right).
+// ---------------------------------------------------------------------------
+
+TEST(GfModel, Gf4FieldAxioms) {
+  for (std::uint8_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(gf::gf4_mul(a, 1), a);
+    EXPECT_EQ(gf::gf4_mul(a, 0), 0);
+    EXPECT_EQ(gf::gf4_sq(a), gf::gf4_mul(a, a));
+    EXPECT_EQ(gf::gf4_scale_w(a), gf::gf4_mul(a, 2));
+    if (a) {
+      EXPECT_EQ(gf::gf4_mul(a, gf::gf4_inv(a)), 1);
+    }
+    for (std::uint8_t b = 0; b < 4; ++b)
+      EXPECT_EQ(gf::gf4_mul(a, b), gf::gf4_mul(b, a));
+  }
+}
+
+TEST(GfModel, Gf16FieldAxioms) {
+  for (int a = 0; a < 16; ++a) {
+    EXPECT_EQ(gf::gf16_mul(a, 1), a);
+    if (a) {
+      EXPECT_EQ(gf::gf16_mul(a, gf::gf16_inv(a)), 1);
+    }
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(gf::gf16_mul(a, b), gf::gf16_mul(b, a));
+      for (int c = 0; c < 16 && a < 4; ++c)  // spot associativity
+        EXPECT_EQ(gf::gf16_mul(a, gf::gf16_mul(b, c)),
+                  gf::gf16_mul(gf::gf16_mul(a, b), c));
+    }
+  }
+  EXPECT_EQ(gf::gf16_inv(0), 0);
+}
+
+TEST(GfModel, Gf256FieldAxioms) {
+  for (int a = 1; a < 256; ++a)
+    ASSERT_EQ(gf::gf256_mul(a, gf::gf256_inv(a)), 1) << a;
+  EXPECT_EQ(gf::gf256_inv(0), 0);
+}
+
+TEST(GfModel, IsomorphismIsRingHomomorphism) {
+  // phi(a *_AES b) == phi(a) *_tower phi(b) on a sample grid.
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint8_t a = static_cast<std::uint8_t>(rng.next());
+    std::uint8_t b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(gf::aes_to_tower().apply(gf::aes_mul(a, b)),
+              gf::gf256_mul(gf::aes_to_tower().apply(a),
+                            gf::aes_to_tower().apply(b)));
+  }
+  // Round trip.
+  for (int x = 0; x < 256; ++x)
+    EXPECT_EQ(gf::tower_to_aes().apply(
+                  gf::aes_to_tower().apply(static_cast<std::uint8_t>(x))),
+              x);
+}
+
+TEST(GfModel, SboxMatchesKnownVectors) {
+  // Published AES S-box entries.
+  EXPECT_EQ(gf::aes_sbox(0x00), 0x63);
+  EXPECT_EQ(gf::aes_sbox(0x01), 0x7C);
+  EXPECT_EQ(gf::aes_sbox(0x02), 0x77);
+  EXPECT_EQ(gf::aes_sbox(0x53), 0xED);
+  EXPECT_EQ(gf::aes_sbox(0x10), 0xCA);
+  EXPECT_EQ(gf::aes_sbox(0xFF), 0x16);
+  // Bijectivity.
+  bool seen[256] = {};
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t s = gf::aes_sbox(static_cast<std::uint8_t>(x));
+    EXPECT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit vs model.
+// ---------------------------------------------------------------------------
+
+// Evaluates a shared-input gadget on random share assignments and checks
+// the XOR-combined outputs against `model` applied to the XOR-combined
+// inputs.  in_bits/out_bits are logical widths; the gadget declares one
+// secret per input bit and one output group per output bit.
+void check_masked(const Gadget& g, int in_bits, int out_bits,
+                  const std::function<std::uint8_t(std::uint8_t)>& model,
+                  int samples) {
+  const auto inputs = g.netlist.inputs();
+  std::map<WireId, std::size_t> pos;
+  for (std::size_t i = 0; i < inputs.size(); ++i) pos[inputs[i]] = i;
+  Rng rng(42);
+  for (int t = 0; t < samples; ++t) {
+    std::vector<bool> in(inputs.size());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.bit();
+    const auto v = g.netlist.evaluate(in);
+
+    std::uint8_t x = 0;
+    ASSERT_EQ(g.spec.secrets.size(), static_cast<std::size_t>(in_bits));
+    for (int bit = 0; bit < in_bits; ++bit) {
+      bool val = false;
+      for (WireId w : g.spec.secrets[bit].shares) val = val != in[pos[w]];
+      x |= static_cast<std::uint8_t>(val) << bit;
+    }
+    std::uint8_t y = 0;
+    ASSERT_EQ(g.spec.outputs.size(), static_cast<std::size_t>(out_bits));
+    for (int bit = 0; bit < out_bits; ++bit) {
+      bool val = false;
+      for (WireId w : g.spec.outputs[bit].shares) val = val != v[w];
+      y |= static_cast<std::uint8_t>(val) << bit;
+    }
+    ASSERT_EQ(y, model(x)) << "x=" << int(x) << " trial " << t;
+  }
+}
+
+TEST(MaskedSbox, Gf4MultComputesProduct) {
+  // Exhaustive for order 1 (8 inputs + 2 randoms = 2^10 assignments).
+  Gadget g = masked_gf4_mult(1);
+  const auto inputs = g.netlist.inputs();
+  std::map<WireId, std::size_t> pos;
+  for (std::size_t i = 0; i < inputs.size(); ++i) pos[inputs[i]] = i;
+  for (std::size_t xbits = 0; xbits < (std::size_t{1} << inputs.size());
+       ++xbits) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      in.push_back((xbits >> i) & 1);
+    const auto v = g.netlist.evaluate(in);
+    auto secret = [&](int idx) {
+      bool val = false;
+      for (WireId w : g.spec.secrets[idx].shares) val = val != in[pos[w]];
+      return val;
+    };
+    const std::uint8_t a =
+        static_cast<std::uint8_t>(secret(0) | (secret(1) << 1));
+    const std::uint8_t b =
+        static_cast<std::uint8_t>(secret(2) | (secret(3) << 1));
+    std::uint8_t c = 0;
+    for (int bit = 0; bit < 2; ++bit) {
+      bool val = false;
+      for (WireId w : g.spec.outputs[bit].shares) val = val != v[w];
+      c |= static_cast<std::uint8_t>(val) << bit;
+    }
+    ASSERT_EQ(c, gf::gf4_mul(a, b));
+  }
+}
+
+TEST(MaskedSbox, Gf16InvFunctional) {
+  for (SboxRefresh r :
+       {SboxRefresh::kNone, SboxRefresh::kDOperand, SboxRefresh::kFull})
+    check_masked(masked_gf16_inv(1, r), 4, 4,
+                 [](std::uint8_t x) { return gf::gf16_inv(x); }, 400);
+}
+
+TEST(MaskedSbox, CoreInversionFunctional) {
+  for (SboxRefresh r : {SboxRefresh::kNone, SboxRefresh::kDOperand})
+    check_masked(aes_sbox_core(1, r), 8, 8,
+                 [](std::uint8_t x) { return gf::gf256_inv(x); }, 300);
+}
+
+TEST(MaskedSbox, FullSboxFunctional) {
+  check_masked(aes_sbox(1, SboxRefresh::kDOperand), 8, 8,
+               [](std::uint8_t x) { return gf::aes_sbox(x); }, 300);
+}
+
+TEST(MaskedSbox, SecondOrderFunctional) {
+  check_masked(masked_gf16_inv(2, SboxRefresh::kDOperand), 4, 4,
+               [](std::uint8_t x) { return gf::gf16_inv(x); }, 150);
+}
+
+// ---------------------------------------------------------------------------
+// Security of the building blocks (oracle-checked where feasible).
+// ---------------------------------------------------------------------------
+
+TEST(MaskedSbox, Gf4MultProbingSecureFirstOrder) {
+  Gadget g = masked_gf4_mult(1);
+  verify::VerifyOptions opt;
+  opt.notion = verify::Notion::kProbing;
+  opt.order = 1;
+  verify::VerifyResult oracle = verify::verify_bruteforce(g, opt);
+  EXPECT_TRUE(oracle.secure);
+  opt.engine = verify::EngineKind::kMAPI;
+  EXPECT_TRUE(verify::verify(g, opt).secure);
+}
+
+TEST(MaskedSbox, Gf16InvProbingVerdictMatchesOracle) {
+  // 8 share bits + 6 mult randoms (+ refresh randoms) — exhaustive is fine.
+  for (SboxRefresh r : {SboxRefresh::kNone, SboxRefresh::kDOperand}) {
+    Gadget g = masked_gf16_inv(1, r);
+    verify::VerifyOptions opt;
+    opt.notion = verify::Notion::kProbing;
+    opt.order = 1;
+    verify::VerifyResult oracle = verify::verify_bruteforce(g, opt);
+    opt.engine = verify::EngineKind::kMAPI;
+    EXPECT_EQ(verify::verify(g, opt).secure, oracle.secure)
+        << "refresh=" << static_cast<int>(r);
+  }
+}
+
+TEST(MaskedSbox, StructureCounts) {
+  Gadget g = aes_sbox(1, SboxRefresh::kNone);
+  EXPECT_EQ(g.spec.secrets.size(), 8u);
+  EXPECT_EQ(g.spec.shares_per_secret(), 2);
+  // 15 GF(4) DOM multipliers x 2 random bits at order 1.
+  EXPECT_EQ(g.spec.randoms.size(), 30u);
+  Gadget gr = aes_sbox(1, SboxRefresh::kDOperand);
+  // + 4 refreshed operands (two 4-bit, two 2-bit) x 1 pair.
+  EXPECT_EQ(gr.spec.randoms.size(), 42u);
+  EXPECT_LE(g.netlist.inputs().size(), 62u);  // spectral engine budget
+}
+
+}  // namespace
+}  // namespace sani::gadgets

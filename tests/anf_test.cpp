@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "circuit/unfold.h"
+#include "dd/anf.h"
+#include "gadgets/registry.h"
+#include "gadgets/ti_synth.h"
+#include "test_util.h"
+
+namespace sani::dd {
+namespace {
+
+using test::bdd_from_truth_table;
+using test::random_truth_table;
+using test::Rng;
+
+// Direct ANF computation from a truth table (Moebius over the hypercube).
+std::vector<bool> anf_direct(std::vector<bool> v) {
+  const std::size_t n = v.size();
+  for (std::size_t len = 1; len < n; len <<= 1)
+    for (std::size_t block = 0; block < n; block += len << 1)
+      for (std::size_t i = block; i < block + len; ++i)
+        v[i + len] = v[i + len] != v[i];
+  return v;
+}
+
+TEST(Anf, MatchesDirectMoebius) {
+  Rng rng(51);
+  for (int n : {1, 3, 5, 7}) {
+    Manager m(n);
+    for (int trial = 0; trial < 5; ++trial) {
+      auto truth = random_truth_table(rng, n);
+      Bdd f = bdd_from_truth_table(m, truth, n);
+      Bdd anf = anf_transform(f);
+      auto expect = anf_direct(truth);
+      for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+        EXPECT_EQ(anf.eval(Mask{a, 0}), expect[a]) << "n=" << n << " a=" << a;
+    }
+  }
+}
+
+TEST(Anf, IsInvolution) {
+  Rng rng(52);
+  const int n = 6;
+  Manager m(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    Bdd f = bdd_from_truth_table(m, random_truth_table(rng, n), n);
+    EXPECT_EQ(inverse_anf_transform(anf_transform(f)), f);
+  }
+}
+
+TEST(Anf, KnownDegrees) {
+  Manager m(6);
+  EXPECT_EQ(algebraic_degree(Bdd::zero(m)), -1);
+  EXPECT_EQ(algebraic_degree(Bdd::one(m)), 0);
+  EXPECT_EQ(algebraic_degree(Bdd::var(m, 2)), 1);
+  EXPECT_EQ(algebraic_degree(Bdd::var(m, 0) ^ Bdd::var(m, 5)), 1);
+  EXPECT_EQ(algebraic_degree(Bdd::var(m, 0) & Bdd::var(m, 1)), 2);
+  Bdd maj = (Bdd::var(m, 0) & Bdd::var(m, 1)) |
+            (Bdd::var(m, 1) & Bdd::var(m, 2)) |
+            (Bdd::var(m, 0) & Bdd::var(m, 2));
+  EXPECT_EQ(algebraic_degree(maj), 2);
+  EXPECT_EQ(algebraic_degree(Bdd::var(m, 0) & Bdd::var(m, 1) & Bdd::var(m, 2)),
+            3);
+}
+
+TEST(Anf, DegreeCountsSkippedMonomialVariables) {
+  // f = x1 ^ x1 x2 has ANF indicator "alpha_1 set" (independent of
+  // alpha_2): monomials {x1} and {x1 x2} are both present, so the degree is
+  // 2 even though the indicator BDD never tests alpha_2.  Regression for
+  // the skipped-variable accounting.
+  Manager m(4);
+  Bdd x1 = Bdd::var(m, 1);
+  Bdd x2 = Bdd::var(m, 2);
+  Bdd f = x1 ^ (x1 & x2);
+  EXPECT_EQ(algebraic_degree(f), 2);
+  // And with a skipped variable above the root: g = x3 ^ x0 x3 over alpha_0.
+  Bdd x0 = Bdd::var(m, 0);
+  Bdd x3 = Bdd::var(m, 3);
+  EXPECT_EQ(algebraic_degree(x3 ^ (x0 & x3)), 2);
+  // Exhaustive cross-check against the direct Moebius on random functions.
+  Rng rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto truth = random_truth_table(rng, 4);
+    Bdd f4 = bdd_from_truth_table(m, truth, 4);
+    auto anf = anf_direct(truth);
+    int expect = -1;
+    for (std::size_t a = 0; a < anf.size(); ++a)
+      if (anf[a])
+        expect = std::max(expect, __builtin_popcountll(a));
+    EXPECT_EQ(algebraic_degree(f4), expect) << trial;
+  }
+}
+
+TEST(Anf, DegreeSurvivesReordering) {
+  Manager m(6);
+  Bdd f = (Bdd::var(m, 0) & Bdd::var(m, 3)) ^ Bdd::var(m, 5);
+  EXPECT_EQ(algebraic_degree(f), 2);
+  m.set_variable_order({5, 4, 3, 2, 1, 0});
+  EXPECT_EQ(algebraic_degree(f), 2);
+}
+
+TEST(Anf, ChiIsQuadraticEverywhere) {
+  // Every wire of the unshared-equivalent chi has degree <= 2 — the
+  // precondition the TI synthesizer (gadgets/ti_synth.h) relies on.
+  circuit::Gadget g = gadgets::keccak_chi_ti();
+  circuit::Unfolded u = circuit::unfold(g);
+  int max_deg = -1;
+  for (circuit::WireId w : g.netlist.outputs()) {
+    // Shared outputs are degree <= 2 in the SHARES as well: products of two
+    // shares only.
+    max_deg = std::max(max_deg, algebraic_degree(u.wire_fn[w]));
+  }
+  EXPECT_EQ(max_deg, 2);
+}
+
+TEST(Anf, GadgetOutputDegrees) {
+  // XOR of all output shares of a multiplication gadget == a*b: degree 2 in
+  // the shares means degree (1+1) per operand pair of share variables — the
+  // combined function a*b over shares has degree 2.
+  circuit::Gadget g = gadgets::by_name("isw-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  Bdd sum = Bdd::zero(*u.manager);
+  for (circuit::WireId w : g.spec.outputs[0].shares) sum ^= u.wire_fn[w];
+  EXPECT_EQ(algebraic_degree(sum), 2);  // (a0^a1)(b0^b1)
+  // A refresh gadget stays affine.
+  circuit::Gadget r = gadgets::by_name("sni-refresh-3");
+  circuit::Unfolded ur = circuit::unfold(r);
+  for (circuit::WireId w : r.spec.outputs[0].shares)
+    EXPECT_LE(algebraic_degree(ur.wire_fn[w]), 1);
+}
+
+}  // namespace
+}  // namespace sani::dd

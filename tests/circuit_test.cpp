@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "circuit/cone.h"
+#include "circuit/netlist.h"
+#include "circuit/unfold.h"
+
+namespace sani::circuit {
+namespace {
+
+TEST(Netlist, TopologicalConstruction) {
+  Netlist nl("t");
+  WireId a = nl.add(GateKind::kInput, "a");
+  WireId b = nl.add(GateKind::kInput, "b");
+  WireId x = nl.add(GateKind::kXor, "x", a, b);
+  nl.add_output(x);
+  nl.validate();
+  EXPECT_EQ(nl.num_wires(), 3u);
+  EXPECT_EQ(nl.inputs(), (std::vector<WireId>{a, b}));
+  EXPECT_TRUE(nl.is_output(x));
+  EXPECT_EQ(nl.find("x"), x);
+  EXPECT_EQ(nl.find("nope"), kNoWire);
+}
+
+TEST(Netlist, RejectsForwardReferences) {
+  Netlist nl("t");
+  WireId a = nl.add(GateKind::kInput, "a");
+  EXPECT_THROW(nl.add(GateKind::kAnd, "bad", a, 5), std::invalid_argument);
+  EXPECT_THROW(nl.add(GateKind::kNot, "bad2", kNoWire),
+               std::invalid_argument);
+  EXPECT_THROW(nl.add(GateKind::kNot, "bad3", a, a), std::invalid_argument);
+}
+
+TEST(Netlist, EvaluatesAllGateKinds) {
+  Netlist nl("t");
+  WireId a = nl.add(GateKind::kInput, "a");
+  WireId b = nl.add(GateKind::kInput, "b");
+  WireId s = nl.add(GateKind::kInput, "s");
+  WireId w_and = nl.add(GateKind::kAnd, "and", a, b);
+  WireId w_or = nl.add(GateKind::kOr, "or", a, b);
+  WireId w_xor = nl.add(GateKind::kXor, "xor", a, b);
+  WireId w_xnor = nl.add(GateKind::kXnor, "xnor", a, b);
+  WireId w_nand = nl.add(GateKind::kNand, "nand", a, b);
+  WireId w_nor = nl.add(GateKind::kNor, "nor", a, b);
+  WireId w_andn = nl.add(GateKind::kAndNot, "andn", a, b);
+  WireId w_orn = nl.add(GateKind::kOrNot, "orn", a, b);
+  WireId w_not = nl.add(GateKind::kNot, "not", a);
+  WireId w_mux = nl.add(GateKind::kMux, "mux", a, b, s);
+  WireId w_nmux = nl.add(GateKind::kNmux, "nmux", a, b, s);
+  WireId w_aoi3 = nl.add(GateKind::kAoi3, "aoi3", a, b, s);
+  WireId w_oai3 = nl.add(GateKind::kOai3, "oai3", a, b, s);
+  WireId w_reg = nl.add(GateKind::kReg, "reg", w_xor);
+  WireId w_c0 = nl.add(GateKind::kConst0, "c0");
+  WireId w_c1 = nl.add(GateKind::kConst1, "c1");
+
+  for (int bits = 0; bits < 8; ++bits) {
+    bool va = bits & 1, vb = bits & 2, vs = bits & 4;
+    auto v = nl.evaluate({va, vb, vs});
+    EXPECT_EQ(v[w_and], va && vb);
+    EXPECT_EQ(v[w_or], va || vb);
+    EXPECT_EQ(v[w_xor], va != vb);
+    EXPECT_EQ(v[w_xnor], va == vb);
+    EXPECT_EQ(v[w_nand], !(va && vb));
+    EXPECT_EQ(v[w_nor], !(va || vb));
+    EXPECT_EQ(v[w_andn], va && !vb);
+    EXPECT_EQ(v[w_orn], va || !vb);
+    EXPECT_EQ(v[w_not], !va);
+    EXPECT_EQ(v[w_mux], vs ? vb : va);  // $_MUX_: S ? B : A
+    EXPECT_EQ(v[w_nmux], !(vs ? vb : va));
+    EXPECT_EQ(v[w_aoi3], !((va && vb) || vs));
+    EXPECT_EQ(v[w_oai3], !((va || vb) && vs));
+    EXPECT_EQ(v[w_reg], va != vb);
+    EXPECT_FALSE(v[w_c0]);
+    EXPECT_TRUE(v[w_c1]);
+  }
+}
+
+TEST(Netlist, EvaluateChecksInputCount) {
+  Netlist nl("t");
+  nl.add(GateKind::kInput, "a");
+  EXPECT_THROW(nl.evaluate({}), std::invalid_argument);
+  EXPECT_THROW(nl.evaluate({true, false}), std::invalid_argument);
+}
+
+TEST(Netlist, Stats) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 2);
+  auto r = b.random("r");
+  WireId p = b.and_(a[0], a[1]);
+  WireId q = b.xor_(p, r);
+  WireId rg = b.reg(q);
+  b.output_group("c", {rg, b.buf(a[0])});
+  Gadget g = b.build();
+  NetlistStats s = g.netlist.stats();
+  EXPECT_EQ(s.num_inputs, 3u);
+  EXPECT_EQ(s.num_registers, 1u);
+  EXPECT_EQ(s.num_nonlinear, 1u);
+  EXPECT_EQ(s.depth, 3);  // and -> xor -> reg
+}
+
+TEST(Builder, ValidatesAnnotations) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 2);
+  WireId x = b.xor_(a[0], a[1]);
+  b.output_group("c", {x});
+  Gadget g = b.build();
+  EXPECT_EQ(g.spec.shares_per_secret(), 2);
+  EXPECT_EQ(g.spec.num_output_shares(), 1u);
+}
+
+TEST(Builder, XorAll) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 3);
+  WireId x = b.xor_all({a[0], a[1], a[2]}, "sum");
+  b.output_group("c", {x});
+  Gadget g = b.build();
+  // sum == a0 ^ a1 ^ a2 on all assignments.
+  for (int bits = 0; bits < 8; ++bits) {
+    auto v = g.netlist.evaluate({bool(bits & 1), bool(bits & 2), bool(bits & 4)});
+    EXPECT_EQ(v[x], ((bits & 1) ^ ((bits >> 1) & 1) ^ ((bits >> 2) & 1)) != 0);
+  }
+  EXPECT_EQ(g.netlist.find("sum"), x);
+}
+
+TEST(Unfold, WireFunctionsMatchEvaluation) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 2);
+  auto bb = b.secret("b", 2);
+  WireId r = b.random("r");
+  WireId p = b.and_(a[0], bb[1]);
+  WireId q = b.xor_(p, r);
+  b.output_group("c", {q, b.xor_(a[1], bb[0])});
+  Gadget g = b.build();
+
+  Unfolded u = unfold(g);
+  EXPECT_EQ(u.vars.num_vars, 5);
+  const auto inputs = g.netlist.inputs();
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < inputs.size(); ++i) in.push_back((x >> i) & 1);
+    auto v = g.netlist.evaluate(in);
+    // Assignment mask in dd-variable space (inputs in wire order).
+    Mask assign;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      if (in[i]) assign.set(u.vars.var_of(inputs[i]));
+    for (WireId w = 0; w < g.netlist.num_wires(); ++w)
+      EXPECT_EQ(u.wire_fn[w].eval(assign), v[w]) << "wire " << w;
+  }
+}
+
+TEST(Unfold, VarMapRoles) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 3);
+  b.random("r0");
+  b.public_input("clk");
+  WireId x = b.xor_(a[0], a[1]);
+  b.output_group("c", {b.xor_(x, a[2])});
+  Gadget g = b.build();
+  VarMap vm = make_var_map(g);
+  EXPECT_EQ(vm.num_vars, 5);
+  EXPECT_EQ(vm.secret_vars.size(), 1u);
+  EXPECT_EQ(vm.secret_vars[0].popcount(), 3);
+  EXPECT_EQ(vm.random_vars.popcount(), 1);
+  EXPECT_EQ(vm.public_vars.popcount(), 1);
+  EXPECT_EQ(vm.share_vars, vm.secret_vars[0]);
+}
+
+TEST(Unfold, VariableOrderStrategiesCoverAllInputs) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 2);
+  auto bb = b.secret("b", 2);
+  auto r = b.randoms("r", 2);
+  b.public_input("clk");
+  WireId x = b.xor_(b.and_(a[0], bb[0]), r[0]);
+  b.output_group("c", {b.xor_(x, r[1]), b.xor_(a[1], bb[1])});
+  Gadget g = b.build();
+
+  for (VarOrder order : {VarOrder::kDeclared, VarOrder::kRandomsFirst,
+                         VarOrder::kRandomsLast, VarOrder::kInterleaved}) {
+    VarMap vm = make_var_map(g, order);
+    EXPECT_EQ(vm.num_vars, 7);
+    EXPECT_EQ(vm.share_vars.popcount(), 4);
+    EXPECT_EQ(vm.random_vars.popcount(), 2);
+    EXPECT_EQ(vm.public_vars.popcount(), 1);
+    // Bijection: every var maps back to its wire.
+    for (int v = 0; v < vm.num_vars; ++v)
+      EXPECT_EQ(vm.wire_to_var[vm.var_to_wire[v]], v);
+  }
+  // randoms-first puts randoms at variables 0..1.
+  VarMap rf = make_var_map(g, VarOrder::kRandomsFirst);
+  EXPECT_TRUE(rf.random_vars.test(0));
+  EXPECT_TRUE(rf.random_vars.test(1));
+  // interleaved alternates secrets: a0 b0 a1 b1.
+  VarMap il = make_var_map(g, VarOrder::kInterleaved);
+  EXPECT_EQ(il.wire_to_var[a[0]], 0);
+  EXPECT_EQ(il.wire_to_var[bb[0]], 1);
+  EXPECT_EQ(il.wire_to_var[a[1]], 2);
+  EXPECT_EQ(il.wire_to_var[bb[1]], 3);
+}
+
+TEST(Unfold, FunctionsAgreeAcrossOrders) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 2);
+  auto bb = b.secret("b", 2);
+  WireId r = b.random("r");
+  WireId x = b.xor_(b.and_(a[0], bb[1]), r);
+  b.output_group("c", {x, b.and_(a[1], bb[0])});
+  Gadget g = b.build();
+  const auto inputs = g.netlist.inputs();
+
+  for (VarOrder order : {VarOrder::kRandomsFirst, VarOrder::kInterleaved}) {
+    Unfolded u = unfold(g, 18, order);
+    EXPECT_GT(unfolding_size(u), 0u);
+    for (std::uint64_t bits = 0; bits < 32; ++bits) {
+      std::vector<bool> in;
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        in.push_back((bits >> i) & 1);
+      auto v = g.netlist.evaluate(in);
+      Mask assign;
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        if (in[i]) assign.set(u.vars.var_of(inputs[i]));
+      for (WireId w = 0; w < g.netlist.num_wires(); ++w)
+        EXPECT_EQ(u.wire_fn[w].eval(assign), v[w]);
+    }
+  }
+}
+
+TEST(Cones, StopAtRegisters) {
+  Netlist nl("t");
+  WireId a = nl.add(GateKind::kInput, "a");
+  WireId b = nl.add(GateKind::kInput, "b");
+  WireId c = nl.add(GateKind::kInput, "c");
+  WireId x = nl.add(GateKind::kXor, "x", a, b);
+  WireId r = nl.add(GateKind::kReg, "r", x);
+  WireId y = nl.add(GateKind::kAnd, "y", r, c);
+  auto cones = glitch_cones(nl);
+  EXPECT_EQ(cones[a], (std::vector<WireId>{a}));
+  EXPECT_EQ(cones[x], (std::vector<WireId>{a, b}));
+  EXPECT_EQ(cones[r], (std::vector<WireId>{r}));  // register is stable
+  EXPECT_EQ(cones[y], (std::vector<WireId>{c, r}));
+}
+
+TEST(Spec, RejectsInconsistentGroups) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 2);
+  b.secret("b", 3);  // differing share count
+  WireId x = b.xor_(a[0], a[1]);
+  b.output_group("c", {x});
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sani::circuit

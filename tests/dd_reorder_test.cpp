@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dd/add.h"
+#include "dd/walsh.h"
+#include "test_util.h"
+
+namespace sani::dd {
+namespace {
+
+using test::bdd_from_truth_table;
+using test::random_truth_table;
+using test::Rng;
+
+// The canonical order-sensitive family: sum of products over crossed pairs,
+//   f = (x_0 & x_k) | (x_1 & x_{k+1}) | ... ,   k = n/2.
+// Under the identity order the pairs are maximally separated (exponential
+// BDD); adjacent pairing is linear.
+Bdd crossed_pairs(Manager& m, int n) {
+  Bdd f = Bdd::zero(m);
+  for (int i = 0; i < n / 2; ++i)
+    f |= Bdd::var(m, i) & Bdd::var(m, n / 2 + i);
+  return f;
+}
+
+TEST(Reorder, SwapPreservesSemantics) {
+  Rng rng(31);
+  const int n = 6;
+  Manager m(n, 12);
+  auto t = random_truth_table(rng, n);
+  Bdd f = bdd_from_truth_table(m, t, n);
+  // Reverse the order completely via explicit permutation.
+  std::vector<int> reversed(n);
+  for (int i = 0; i < n; ++i) reversed[i] = n - 1 - i;
+  m.set_variable_order(reversed);
+  EXPECT_EQ(m.var_at_level(0), n - 1);
+  EXPECT_EQ(m.level_of(0), n - 1);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x)
+    EXPECT_EQ(f.eval(Mask{x, 0}), t[x]) << x;
+}
+
+TEST(Reorder, CanonicityHoldsAfterReorder) {
+  Rng rng(32);
+  const int n = 7;
+  Manager m(n, 12);
+  auto t = random_truth_table(rng, n);
+  Bdd f = bdd_from_truth_table(m, t, n);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // A haphazard permutation.
+  std::swap(order[0], order[4]);
+  std::swap(order[2], order[6]);
+  std::swap(order[1], order[5]);
+  m.set_variable_order(order);
+  // Rebuilding the same function finds the same node.
+  Bdd g = bdd_from_truth_table(m, t, n);
+  EXPECT_EQ(f, g);
+  // Fresh operations still work and agree with the shadow.
+  Bdd h = f ^ g;
+  EXPECT_TRUE(h.is_zero());
+}
+
+TEST(Reorder, SiftingShrinksCrossedPairs) {
+  const int n = 14;
+  Manager m(n, 14);
+  Bdd f = crossed_pairs(m, n);
+  const std::size_t before = f.size();
+  m.reorder_sift();
+  const std::size_t after = f.size();
+  // Identity order is exponential (~2^(n/2)); a good order is linear.
+  EXPECT_GT(before, 120u);
+  EXPECT_LT(after, before / 3);
+  // Semantics unchanged.
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); x += 257) {
+    Mask a{x, 0};
+    bool expect = false;
+    for (int i = 0; i < n / 2; ++i)
+      expect = expect || (a.test(i) && a.test(n / 2 + i));
+    EXPECT_EQ(f.eval(a), expect);
+  }
+}
+
+TEST(Reorder, SiftingIsSemanticallyInvisible) {
+  Rng rng(33);
+  const int n = 8;
+  Manager m(n, 12);
+  std::vector<Bdd> fns;
+  std::vector<std::vector<bool>> tables;
+  for (int i = 0; i < 5; ++i) {
+    tables.push_back(random_truth_table(rng, n));
+    fns.push_back(bdd_from_truth_table(m, tables.back(), n));
+  }
+  m.reorder_sift();
+  for (std::size_t i = 0; i < fns.size(); ++i)
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x)
+      ASSERT_EQ(fns[i].eval(Mask{x, 0}), tables[i][x]) << i << " " << x;
+  EXPECT_GT(m.stats().reorder_swaps, 0u);
+}
+
+TEST(Reorder, WalshTransformAfterReorder) {
+  // The spectral coordinates are variable identities, so the spectrum must
+  // be identical whatever the level permutation.
+  Rng rng(34);
+  const int n = 6;
+  Manager m(n, 12);
+  auto t = random_truth_table(rng, n);
+  Bdd f = bdd_from_truth_table(m, t, n);
+  Add before = walsh_transform(f);
+  std::vector<std::int64_t> snapshot;
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+    snapshot.push_back(before.eval(Mask{a, 0}));
+
+  std::vector<int> reversed(n);
+  for (int i = 0; i < n; ++i) reversed[i] = n - 1 - i;
+  m.set_variable_order(reversed);
+
+  Add after = walsh_transform(f);
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+    EXPECT_EQ(after.eval(Mask{a, 0}), snapshot[a]) << a;
+}
+
+TEST(Reorder, SupportIsOrderIndependent) {
+  Manager m(8, 12);
+  Bdd f = (Bdd::var(m, 1) & Bdd::var(m, 6)) ^ Bdd::var(m, 3);
+  Mask s_before = f.support();
+  std::vector<int> order{7, 5, 3, 1, 6, 4, 2, 0};
+  m.set_variable_order(order);
+  EXPECT_EQ(f.support(), s_before);
+  EXPECT_EQ(f.support().to_string(), "{1,3,6}");
+}
+
+TEST(Reorder, SetOrderValidates) {
+  Manager m(4, 12);
+  EXPECT_THROW(m.set_variable_order({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(m.set_variable_order({0, 1, 2, 2}), std::invalid_argument);
+  EXPECT_THROW(m.set_variable_order({0, 1, 2, 5}), std::invalid_argument);
+  m.set_variable_order({3, 2, 1, 0});  // fine
+  EXPECT_EQ(m.variable_order(), (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Reorder, GcAfterReorderKeepsFunctions) {
+  Rng rng(35);
+  const int n = 8;
+  Manager m(n, 12);
+  auto t = random_truth_table(rng, n);
+  Bdd f = bdd_from_truth_table(m, t, n);
+  m.reorder_sift();
+  // Create garbage, collect, and re-check.
+  for (int i = 0; i < 10; ++i)
+    (void)bdd_from_truth_table(m, random_truth_table(rng, n), n);
+  m.collect_garbage();
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x)
+    ASSERT_EQ(f.eval(Mask{x, 0}), t[x]);
+}
+
+class ReorderStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReorderStress, RandomSwapsAgainstShadow) {
+  Rng rng(GetParam());
+  const int n = 7;
+  Manager m(n, 12);
+  std::vector<Bdd> fns;
+  std::vector<std::vector<bool>> tables;
+  for (int i = 0; i < 4; ++i) {
+    tables.push_back(random_truth_table(rng, n));
+    fns.push_back(bdd_from_truth_table(m, tables.back(), n));
+  }
+  for (int round = 0; round < 20; ++round) {
+    // Random permutation via random transpositions of the current order.
+    std::vector<int> order = m.variable_order();
+    std::swap(order[rng.below(n)], order[rng.below(n)]);
+    m.set_variable_order(order);
+    // Interleave fresh operations to stress the rebuilt tables.
+    Bdd combo = fns[rng.below(4)] ^ fns[rng.below(4)];
+    (void)combo;
+    for (std::size_t i = 0; i < fns.size(); ++i)
+      for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); x += 5)
+        ASSERT_EQ(fns[i].eval(Mask{x, 0}), tables[i][x])
+            << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReorderStress,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace sani::dd

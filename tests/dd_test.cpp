@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dd/add.h"
+#include "dd/bdd.h"
+#include "dd/dot.h"
+#include "dd/manager.h"
+#include "test_util.h"
+
+namespace sani::dd {
+namespace {
+
+using test::bdd_from_truth_table;
+using test::random_truth_table;
+using test::Rng;
+
+TEST(Manager, TerminalsAreCanonical) {
+  Manager m(4);
+  EXPECT_EQ(m.terminal(0), m.zero());
+  EXPECT_EQ(m.terminal(1), m.one());
+  EXPECT_EQ(m.terminal(42), m.terminal(42));
+  EXPECT_NE(m.terminal(42), m.terminal(-42));
+  EXPECT_EQ(m.terminal_value(m.terminal(-7)), -7);
+  EXPECT_EQ(m.terminal_value(m.terminal(INT64_MIN)), INT64_MIN);
+}
+
+TEST(Manager, ReductionRule) {
+  Manager m(4);
+  // lo == hi collapses.
+  EXPECT_EQ(m.make(0, m.one(), m.one()), m.one());
+  // Hash-consing: same triple -> same node.
+  NodeId a = m.make(1, m.zero(), m.one());
+  NodeId b = m.make(1, m.zero(), m.one());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bdd, BasicOperators) {
+  Manager m(3);
+  Bdd x = Bdd::var(m, 0);
+  Bdd y = Bdd::var(m, 1);
+  EXPECT_EQ(x & x, x);
+  EXPECT_EQ(x | x, x);
+  EXPECT_TRUE((x ^ x).is_zero());
+  EXPECT_TRUE((x | !x).is_one());
+  EXPECT_TRUE((x & !x).is_zero());
+  EXPECT_EQ(!!x, x);
+  EXPECT_EQ(x & y, y & x);
+  EXPECT_EQ(x.ite(y, !y), (x & y) | ((!x) & (!y)));
+}
+
+TEST(Bdd, MatchesTruthTableSemantics) {
+  // Exhaustive check of all binary ops on random functions of 4 variables.
+  Rng rng(1);
+  Manager m(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto tf = random_truth_table(rng, 4);
+    auto tg = random_truth_table(rng, 4);
+    Bdd f = bdd_from_truth_table(m, tf, 4);
+    Bdd g = bdd_from_truth_table(m, tg, 4);
+    for (std::size_t x = 0; x < 16; ++x) {
+      Mask a{x, 0};
+      EXPECT_EQ(f.eval(a), tf[x]);
+      EXPECT_EQ((f & g).eval(a), tf[x] && tg[x]);
+      EXPECT_EQ((f | g).eval(a), tf[x] || tg[x]);
+      EXPECT_EQ((f ^ g).eval(a), tf[x] != tg[x]);
+      EXPECT_EQ((!f).eval(a), !tf[x]);
+    }
+  }
+}
+
+TEST(Bdd, CanonicityGivesFunctionEquality) {
+  Rng rng(2);
+  Manager m(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto t = random_truth_table(rng, 5);
+    Bdd f = bdd_from_truth_table(m, t, 5);
+    // Rebuild through a different syntactic route: f = NOT NOT f via xors.
+    Bdd g = (f ^ Bdd::one(m)) ^ Bdd::one(m);
+    EXPECT_EQ(f, g);
+  }
+}
+
+TEST(Bdd, CofactorAndQuantifiers) {
+  Manager m(4);
+  Bdd x0 = Bdd::var(m, 0);
+  Bdd x1 = Bdd::var(m, 1);
+  Bdd x2 = Bdd::var(m, 2);
+  Bdd f = (x0 & x1) | x2;
+
+  EXPECT_EQ(f.cofactor(0, true), x1 | x2);
+  EXPECT_EQ(f.cofactor(0, false), x2);
+
+  Mask q;
+  q.set(1);
+  EXPECT_EQ(f.exists(q), x0 | x2);
+  EXPECT_EQ(f.forall(q), x2);
+
+  // Quantifying a variable not in the support is the identity.
+  Mask q3;
+  q3.set(3);
+  EXPECT_EQ(f.exists(q3), f);
+  EXPECT_EQ(f.forall(q3), f);
+}
+
+TEST(Bdd, SupportAndSatCount) {
+  Manager m(6);
+  Bdd f = (Bdd::var(m, 1) & Bdd::var(m, 4)) ^ Bdd::var(m, 3);
+  Mask s = f.support();
+  EXPECT_EQ(s.to_string(), "{1,3,4}");
+  // #sat of x1x4 ^ x3 over 6 vars: per assignment of (x1,x4,x3): xor true in
+  // 4 of 8 cases -> 4/8 * 64 = 32.
+  EXPECT_DOUBLE_EQ(f.sat_count(), 32.0);
+  EXPECT_DOUBLE_EQ(Bdd::one(m).sat_count(), 64.0);
+  EXPECT_DOUBLE_EQ(Bdd::zero(m).sat_count(), 0.0);
+}
+
+TEST(Bdd, AnySat) {
+  Manager m(5);
+  Bdd f = Bdd::var(m, 0) & !Bdd::var(m, 3);
+  Mask a;
+  ASSERT_TRUE(f.any_sat(&a));
+  EXPECT_TRUE(f.eval(a));
+  EXPECT_FALSE(Bdd::zero(m).any_sat(&a));
+}
+
+TEST(Add, Arithmetic) {
+  Manager m(3);
+  Add two = Add::constant(m, 2);
+  Add three = Add::constant(m, 3);
+  EXPECT_EQ((two + three).eval(Mask{}), 5);
+  EXPECT_EQ((two - three).eval(Mask{}), -1);
+  EXPECT_EQ((two * three).eval(Mask{}), 6);
+  EXPECT_EQ(two.min(three), two);
+  EXPECT_EQ(two.max(three), three);
+  EXPECT_EQ(Add::constant(m, -4).abs(), Add::constant(m, 4));
+}
+
+TEST(Add, IteAndNonzero) {
+  Manager m(2);
+  Bdd x = Bdd::var(m, 0);
+  Add f = Add::constant(m, 7).ite(x, Add::constant(m, 0));
+  EXPECT_EQ(f.eval(Mask::bit(0)), 7);
+  EXPECT_EQ(f.eval(Mask{}), 0);
+  EXPECT_EQ(f.nonzero(), x);
+  EXPECT_EQ(f.iszero(), !x);
+  EXPECT_EQ(f.max_abs(), 7);
+  EXPECT_DOUBLE_EQ(f.nonzero_count(), 2.0);  // x=1 over 2 vars
+}
+
+TEST(Add, MixedDepthArithmetic) {
+  Manager m(3);
+  Bdd x = Bdd::var(m, 0);
+  Bdd y = Bdd::var(m, 1);
+  Add fx = Add::constant(m, 5).ite(x, Add::constant(m, 1));
+  Add fy = Add::constant(m, 10).ite(y, Add::constant(m, -1));
+  Add sum = fx + fy;
+  for (std::uint64_t bits = 0; bits < 4; ++bits) {
+    Mask a{bits, 0};
+    std::int64_t expect = (a.test(0) ? 5 : 1) + (a.test(1) ? 10 : -1);
+    EXPECT_EQ(sum.eval(a), expect);
+  }
+}
+
+TEST(Manager, GarbageCollectionKeepsReferencedNodes) {
+  Manager m(8);
+  Bdd keep = Bdd::var(m, 0) & Bdd::var(m, 1);
+  {
+    // Create garbage.
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+      auto t = random_truth_table(rng, 8);
+      Bdd tmp = bdd_from_truth_table(m, t, 8);
+      (void)tmp;
+    }
+  }
+  std::size_t live_before = m.stats().live_nodes;
+  std::size_t freed = m.collect_garbage();
+  EXPECT_GT(freed, 0u);
+  EXPECT_LT(m.stats().live_nodes, live_before);
+  // The referenced function still evaluates correctly after collection.
+  EXPECT_TRUE(keep.eval(Mask::bit(0) | Mask::bit(1)));
+  EXPECT_FALSE(keep.eval(Mask::bit(0)));
+  // And operations on it still work (unique table was rebuilt coherently).
+  EXPECT_EQ(keep & keep, keep);
+}
+
+TEST(Manager, GcPreservesSemanticsOfRebuiltFunctions) {
+  Manager m(6);
+  Rng rng(4);
+  auto t = random_truth_table(rng, 6);
+  Bdd f = bdd_from_truth_table(m, t, 6);
+  m.collect_garbage();
+  Bdd g = bdd_from_truth_table(m, t, 6);
+  EXPECT_EQ(f, g);  // canonicity survives collection
+}
+
+TEST(Manager, StatsTrackCacheAndPeak) {
+  Manager m(10);
+  Rng rng(5);
+  auto t1 = random_truth_table(rng, 10);
+  Bdd f = bdd_from_truth_table(m, t1, 10);
+  Bdd g = f ^ Bdd::var(m, 0);
+  (void)g;
+  EXPECT_GT(m.stats().peak_nodes, 0u);
+  EXPECT_GT(m.stats().cache_misses, 0u);
+}
+
+TEST(Dot, WritesWellFormedGraph) {
+  Manager m(2);
+  Bdd f = Bdd::var(m, 0) ^ Bdd::var(m, 1);
+  std::ostringstream os;
+  write_dot(os, f, "f", {"a", "b"});
+  std::string s = os.str();
+  EXPECT_NE(s.find("digraph"), std::string::npos);
+  EXPECT_NE(s.find("\"a\""), std::string::npos);
+  EXPECT_NE(s.find("style=dashed"), std::string::npos);
+  EXPECT_EQ(s.find("x0"), std::string::npos);  // names supplied
+}
+
+TEST(Manager, CubeBuildsConjunction) {
+  Manager m(5);
+  Mask vars = Mask::bit(1) | Mask::bit(3);
+  Bdd cube(&m, m.cube(vars));
+  EXPECT_TRUE(cube.eval(vars));
+  EXPECT_FALSE(cube.eval(Mask::bit(1)));
+  EXPECT_EQ(cube, Bdd::var(m, 1) & Bdd::var(m, 3));
+}
+
+TEST(Manager, RejectsTooManyVars) {
+  EXPECT_THROW(Manager(129), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sani::dd

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "gadgets/isw.h"
+#include "verify/bruteforce.h"
+#include "verify/engine.h"
+
+namespace sani::verify {
+namespace {
+
+using circuit::Gadget;
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+// Failure injection: classic implementation mistakes that keep the gadget
+// *functionally* correct but leak through an intermediate wire.  The exact
+// verifier must flag every one of them (and agree with the oracle).
+
+// ISW with the parenthesisation flaw: computing (a_i b_j ^ a_j b_i) as a
+// wire *before* adding r_ij.  Same output function as isw-1, but the
+// unblinded cross-pair wire correlates with both secrets at once.
+Gadget isw_flawed() {
+  GadgetBuilder b("isw_flawed");
+  const auto a = b.secret("a", 2);
+  const auto bb = b.secret("b", 2);
+  const WireId r = b.random("r");
+
+  const WireId p01 = b.and_(a[0], bb[1], "p01");
+  const WireId p10 = b.and_(a[1], bb[0], "p10");
+  const WireId cross = b.xor_(p01, p10, "cross");  // the flaw: probe-able!
+  const WireId z10 = b.xor_(cross, r, "z10");
+
+  const WireId c0 = b.xor_(b.and_(a[0], bb[0], "p00"), r);
+  const WireId c1 = b.xor_(b.and_(a[1], bb[1], "p11"), z10);
+  b.output_group("c", {c0, c1});
+  return b.build();
+}
+
+TEST(Flawed, IswParenthesisationFlawIsCaught) {
+  Gadget flawed = isw_flawed();
+  // Functionally still an AND gadget.
+  for (int bits = 0; bits < 32; ++bits) {
+    std::vector<bool> in;
+    for (int i = 0; i < 5; ++i) in.push_back((bits >> i) & 1);
+    auto v = flawed.netlist.evaluate(in);
+    bool c = v[flawed.spec.outputs[0].shares[0]] ^
+             v[flawed.spec.outputs[0].shares[1]];
+    EXPECT_EQ(c, (in[0] ^ in[1]) && (in[2] ^ in[3]));
+  }
+
+  VerifyOptions opt;
+  opt.notion = Notion::kProbing;
+  opt.order = 1;
+  VerifyResult oracle = verify_bruteforce(flawed, opt);
+  EXPECT_FALSE(oracle.secure);
+  for (EngineKind e : {EngineKind::kLIL, EngineKind::kMAP, EngineKind::kMAPI,
+                       EngineKind::kFUJITA}) {
+    opt.engine = e;
+    VerifyResult r = verify(flawed, opt);
+    EXPECT_FALSE(r.secure) << engine_name(e);
+    ASSERT_TRUE(r.counterexample.has_value());
+  }
+  // The witness names the unblinded wire (or an equivalent one).
+  opt.engine = EngineKind::kMAPI;
+  VerifyResult r = verify(flawed, opt);
+  ASSERT_TRUE(r.counterexample.has_value());
+  EXPECT_EQ(r.counterexample->observables.size(), 1u);
+
+  // The correctly parenthesised gadget is secure — the only difference is
+  // the order of two XORs.
+  EXPECT_TRUE(verify(gadgets::isw_mult(1), opt).secure);
+}
+
+// Randomness reuse across gadget instances: two DOM multipliers sharing one
+// fresh bit.  Each instance alone is fine; the pair of resharing wires
+// cancels the random.
+Gadget dom_shared_randomness() {
+  GadgetBuilder b("dom_reuse");
+  const auto a = b.secret("a", 2);
+  const auto x = b.secret("x", 2);
+  const auto y = b.secret("y", 2);
+  const WireId z = b.random("z");  // reused by both instances: the flaw
+
+  auto dom = [&](const std::vector<WireId>& p, const std::vector<WireId>& q,
+                 const std::string& tag) {
+    std::vector<WireId> c(2);
+    for (int i = 0; i < 2; ++i) {
+      WireId inner = b.and_(p[i], q[i], tag + ".p" + std::to_string(i));
+      WireId crossw = b.and_(p[i], q[1 - i], tag + ".x" + std::to_string(i));
+      c[i] = b.xor_(inner, b.reg(b.xor_(crossw, z)));
+    }
+    return c;
+  };
+
+  auto c1 = dom(a, x, "m1");
+  auto c2 = dom(a, y, "m2");
+  b.output_group("c1", c1);
+  b.output_group("c2", c2);
+  return b.build();
+}
+
+TEST(Flawed, RandomnessReuseAcrossInstancesIsCaught) {
+  Gadget g = dom_shared_randomness();
+  VerifyOptions opt;
+  opt.notion = Notion::kProbing;
+  opt.order = 2;  // the leak needs the pair of blinded wires
+  VerifyResult oracle = verify_bruteforce(g, opt);
+  opt.engine = EngineKind::kMAPI;
+  VerifyResult r = verify(g, opt);
+  EXPECT_EQ(r.secure, oracle.secure);
+  EXPECT_FALSE(r.secure);
+}
+
+// Degenerate "masking" with a single share per secret: probing the share is
+// probing the secret.
+TEST(Flawed, SingleShareMaskingIsInsecure) {
+  GadgetBuilder b("unmasked");
+  auto a = b.secret("a", 1);
+  auto bb = b.secret("b", 1);
+  WireId c = b.and_(a[0], bb[0], "c");
+  b.output_group("o", {b.buf(c)});
+  Gadget g = b.build();
+
+  VerifyOptions opt;
+  opt.notion = Notion::kProbing;
+  opt.order = 1;
+  VerifyResult oracle = verify_bruteforce(g, opt);
+  EXPECT_FALSE(oracle.secure);
+  opt.engine = EngineKind::kMAPI;
+  EXPECT_FALSE(verify(g, opt).secure);
+}
+
+// A refresh that forgot one share: c2 = a2 unprotected is fine in itself
+// (one share leaks nothing) — but the gadget is not SNI because probing
+// output c2 (zero internal probes) reveals a share.
+TEST(Flawed, IncompleteRefreshFailsSni) {
+  GadgetBuilder b("half_refresh");
+  auto a = b.secret("a", 3);
+  auto r = b.randoms("r", 1);
+  b.output_group("c", {b.xor_(a[0], r[0]), b.xor_(a[1], r[0]),
+                       b.buf(a[2], "c2")});
+  Gadget g = b.build();
+
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  VerifyResult oracle = verify_bruteforce(g, opt);
+  EXPECT_FALSE(oracle.secure);
+  opt.engine = EngineKind::kMAPI;
+  VerifyResult res = verify(g, opt);
+  EXPECT_FALSE(res.secure);
+  // Still probing secure at order 1 (any single wire is blinded or a lone
+  // share).
+  VerifyOptions probing;
+  probing.notion = Notion::kProbing;
+  probing.order = 1;
+  EXPECT_TRUE(verify(g, probing).secure);
+}
+
+}  // namespace
+}  // namespace sani::verify

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "circuit/unfold.h"
+#include "gadgets/composition.h"
+#include "gadgets/dom.h"
+#include "gadgets/isw.h"
+#include "gadgets/keccak.h"
+#include "gadgets/refresh.h"
+#include "gadgets/registry.h"
+#include "gadgets/ti.h"
+#include "gadgets/trichina.h"
+
+namespace sani::gadgets {
+namespace {
+
+using circuit::Gadget;
+using circuit::WireId;
+
+// Checks that XOR-ing each output group's shares equals `expect` applied to
+// the unshared secret values, for every input assignment (exhaustive).
+void check_functional(
+    const Gadget& g,
+    const std::function<std::vector<bool>(const std::vector<bool>&)>& expect) {
+  const auto inputs = g.netlist.inputs();
+  ASSERT_LE(inputs.size(), 22u);
+  const std::size_t size = std::size_t{1} << inputs.size();
+  for (std::size_t x = 0; x < size; ++x) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      in.push_back((x >> i) & 1);
+    const auto v = g.netlist.evaluate(in);
+
+    // Unshared secrets: XOR of each share group.
+    std::map<WireId, std::size_t> pos;
+    for (std::size_t i = 0; i < inputs.size(); ++i) pos[inputs[i]] = i;
+    std::vector<bool> secrets;
+    for (const auto& grp : g.spec.secrets) {
+      bool s = false;
+      for (WireId w : grp.shares) s = s != in[pos[w]];
+      secrets.push_back(s);
+    }
+    const std::vector<bool> want = expect(secrets);
+    ASSERT_EQ(want.size(), g.spec.outputs.size());
+    for (std::size_t o = 0; o < g.spec.outputs.size(); ++o) {
+      bool got = false;
+      for (WireId w : g.spec.outputs[o].shares) got = got != v[w];
+      EXPECT_EQ(got, want[o]) << g.netlist.name() << " output " << o
+                              << " at x=" << x;
+    }
+  }
+}
+
+std::vector<bool> binary_and(const std::vector<bool>& s) {
+  return {s[0] && s[1]};
+}
+std::vector<bool> identity1(const std::vector<bool>& s) { return {s[0]}; }
+
+TEST(Gadgets, IswComputesAnd) {
+  for (int d = 1; d <= 3; ++d) {
+    Gadget g = isw_mult(d);
+    EXPECT_EQ(g.spec.shares_per_secret(), d + 1);
+    EXPECT_EQ(g.spec.randoms.size(),
+              static_cast<std::size_t>((d + 1) * d / 2));
+    if (d <= 2) check_functional(g, binary_and);
+  }
+}
+
+TEST(Gadgets, DomComputesAnd) {
+  for (int d = 1; d <= 3; ++d) {
+    Gadget g = dom_mult(d);
+    EXPECT_EQ(g.spec.shares_per_secret(), d + 1);
+    EXPECT_EQ(g.spec.randoms.size(),
+              static_cast<std::size_t>((d + 1) * d / 2));
+    if (d <= 2) check_functional(g, binary_and);
+  }
+}
+
+TEST(Gadgets, DomWithoutRegistersSameFunction) {
+  Gadget with = dom_mult(1, true);
+  Gadget without = dom_mult(1, false);
+  EXPECT_GT(with.netlist.stats().num_registers, 0u);
+  EXPECT_EQ(without.netlist.stats().num_registers, 0u);
+  check_functional(without, binary_and);
+}
+
+TEST(Gadgets, TrichinaComputesAnd) {
+  Gadget g = trichina_and();
+  EXPECT_EQ(g.spec.shares_per_secret(), 2);
+  EXPECT_EQ(g.spec.randoms.size(), 1u);
+  check_functional(g, binary_and);
+}
+
+TEST(Gadgets, TiComputesAnd) {
+  Gadget g = ti_and();
+  EXPECT_EQ(g.spec.shares_per_secret(), 3);
+  EXPECT_TRUE(g.spec.randoms.empty());
+  check_functional(g, binary_and);
+}
+
+TEST(Gadgets, TiNonCompleteness) {
+  // Output share i must not depend on input shares with index i.
+  Gadget g = ti_and();
+  circuit::Unfolded u = circuit::unfold(g);
+  for (int i = 0; i < 3; ++i) {
+    WireId out = g.spec.outputs[0].shares[i];
+    Mask support = u.wire_fn[out].support();
+    for (const auto& grp : u.vars.secret_share_var)
+      EXPECT_FALSE(support.test(grp[i]))
+          << "output share " << i << " touches input share " << i;
+  }
+}
+
+TEST(Gadgets, RefreshPreservesSecret) {
+  for (int n = 2; n <= 4; ++n) {
+    check_functional(simple_refresh(n), identity1);
+    check_functional(sni_refresh(n), identity1);
+  }
+  EXPECT_EQ(simple_refresh(3).spec.randoms.size(), 2u);
+  EXPECT_EQ(sni_refresh(3).spec.randoms.size(), 3u);
+}
+
+TEST(Gadgets, RefreshMatchesPaperFigureOne) {
+  // o_f = [a0^r0^r1, a1^r0, a2^r1] — check each output share's exact
+  // function, not just the XOR total.
+  Gadget g = simple_refresh(3);
+  circuit::Unfolded u = circuit::unfold(g);
+  const auto& vm = u.vars;
+  int a0 = vm.secret_share_var[0][0];
+  int a1 = vm.secret_share_var[0][1];
+  int a2 = vm.secret_share_var[0][2];
+  std::vector<int> rv;
+  vm.random_vars.for_each_bit([&](int v) { rv.push_back(v); });
+  ASSERT_EQ(rv.size(), 2u);
+  dd::Manager& m = *u.manager;
+  auto var = [&](int v) { return dd::Bdd::var(m, v); };
+  EXPECT_EQ(u.wire_fn[g.spec.outputs[0].shares[0]],
+            var(a0) ^ var(rv[0]) ^ var(rv[1]));
+  EXPECT_EQ(u.wire_fn[g.spec.outputs[0].shares[1]], var(a1) ^ var(rv[0]));
+  EXPECT_EQ(u.wire_fn[g.spec.outputs[0].shares[2]], var(a2) ^ var(rv[1]));
+}
+
+TEST(Gadgets, KeccakChiFunctional) {
+  Gadget g = keccak_chi(1);
+  EXPECT_EQ(g.spec.secrets.size(), 5u);
+  EXPECT_EQ(g.spec.outputs.size(), 5u);
+  EXPECT_EQ(g.spec.randoms.size(), 5u);
+  check_functional(g, [](const std::vector<bool>& x) {
+    std::vector<bool> y(5);
+    for (int i = 0; i < 5; ++i)
+      y[i] = x[i] != (!x[(i + 1) % 5] && x[(i + 2) % 5]);
+    return y;
+  });
+}
+
+TEST(Gadgets, KeccakChiHigherOrderShapes) {
+  for (int d = 2; d <= 3; ++d) {
+    Gadget g = keccak_chi(d);
+    EXPECT_EQ(g.spec.shares_per_secret(), d + 1);
+    EXPECT_EQ(g.spec.randoms.size(),
+              static_cast<std::size_t>(5 * (d + 1) * d / 2));
+    EXPECT_EQ(g.netlist.inputs().size(),
+              static_cast<std::size_t>(5 * (d + 1) + 5 * (d + 1) * d / 2));
+  }
+}
+
+TEST(Gadgets, CompositionStructure) {
+  Composition c = composition_example();
+  EXPECT_EQ(c.gadget.spec.secrets.size(), 2u);
+  EXPECT_EQ(c.gadget.spec.shares_per_secret(), 3);
+  EXPECT_EQ(c.gadget.spec.randoms.size(), 5u);  // 2 for f, 3 for g
+  EXPECT_NE(c.gadget.netlist.find(c.probe_f_name), circuit::kNoWire);
+  EXPECT_NE(c.gadget.netlist.find(c.probe_g_name), circuit::kNoWire);
+  // h computes a AND b.
+  check_functional(c.gadget, binary_and);
+}
+
+TEST(Registry, BuildsAllNames) {
+  for (const auto& name : all_names()) {
+    Gadget g = by_name(name);
+    EXPECT_GT(g.netlist.num_wires(), 0u) << name;
+    EXPECT_GE(security_level(name), 1) << name;
+  }
+  EXPECT_THROW(by_name("nope-7"), std::invalid_argument);
+  EXPECT_THROW(security_level("nope-7"), std::invalid_argument);
+}
+
+TEST(Registry, PaperBenchmarkLevels) {
+  EXPECT_EQ(security_level("ti-1"), 1);
+  EXPECT_EQ(security_level("dom-3"), 3);
+  EXPECT_EQ(security_level("keccak-2"), 2);
+  EXPECT_EQ(paper_benchmarks().size(), 10u);
+}
+
+}  // namespace
+}  // namespace sani::gadgets

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "gadgets/registry.h"
+#include "verify/engine.h"
+#include "verify/heuristic.h"
+
+namespace sani::verify {
+namespace {
+
+// The heuristic is sound: whenever it proves a (gadget, notion) secure, the
+// exact engine must agree.  The converse may fail (inconclusive on secure
+// non-linear circuits) — that incompleteness is the reason exact tools like
+// the paper's exist.
+
+class Soundness
+    : public ::testing::TestWithParam<std::tuple<const char*, Notion>> {};
+
+TEST_P(Soundness, ProvenImpliesExactSecure) {
+  auto [name, notion] = GetParam();
+  circuit::Gadget g = gadgets::by_name(name);
+  VerifyOptions opt;
+  opt.notion = notion;
+  opt.order = gadgets::security_level(name);
+
+  HeuristicResult h = verify_heuristic(g, opt);
+  if (h.proven_secure) {
+    VerifyResult exact = verify(g, opt);
+    EXPECT_TRUE(exact.secure)
+        << name << " " << notion_name(notion)
+        << ": heuristic proved secure but exact engine disagrees";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGadgets, Soundness,
+    ::testing::Combine(::testing::Values("ti-1", "trichina-1", "isw-1",
+                                         "dom-1", "refresh-3",
+                                         "sni-refresh-3"),
+                       ::testing::Values(Notion::kProbing, Notion::kNI,
+                                         Notion::kSNI)));
+
+TEST(Heuristic, ProvesLinearRefreshOutright) {
+  // Pure refresh gadgets are linear; optimistic sampling eliminates every
+  // observation, so the heuristic is complete here.
+  circuit::Gadget g = gadgets::by_name("sni-refresh-3");
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  HeuristicResult h = verify_heuristic(g, opt);
+  EXPECT_TRUE(h.proven_secure);
+  EXPECT_EQ(h.inconclusive, 0u);
+  EXPECT_GT(h.combinations, 0u);
+}
+
+TEST(Heuristic, ProvesDomProbingSecurity) {
+  // DOM-1 probing security is provable by sampling alone: every observation
+  // either avoids a full share group or contains a removable fresh random.
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  VerifyOptions opt;
+  opt.notion = Notion::kProbing;
+  opt.order = 1;
+  HeuristicResult h = verify_heuristic(g, opt);
+  EXPECT_TRUE(h.proven_secure);
+}
+
+TEST(Heuristic, InconclusiveIsNotInsecure) {
+  // ISW-1 is 1-SNI, but the blinded cross term (r ^ a0 b1) ^ a1 b0 resists
+  // plain support counting after sampling; the heuristic must report
+  // inconclusive rather than insecure, and the exact engine settles it.
+  circuit::Gadget g = gadgets::by_name("isw-1");
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 1;
+  HeuristicResult h = verify_heuristic(g, opt);
+  VerifyResult exact = verify(g, opt);
+  EXPECT_TRUE(exact.secure);
+  if (!h.proven_secure) {
+    EXPECT_GT(h.inconclusive, 0u);
+  }
+}
+
+TEST(Heuristic, CompleteOnRandomLinearCircuits) {
+  // maskVerif's algorithm "is sound and complete for linear systems"
+  // (quoted in the paper, Sec. II-B).  Our optimistic-sampling heuristic
+  // inherits that: on XOR-only gadgets its verdict must *equal* the exact
+  // engine's, not merely under-approximate it.
+  std::uint64_t state = 4242;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 16;
+  };
+  for (int trial = 0; trial < 12; ++trial) {
+    circuit::GadgetBuilder b("lin" + std::to_string(trial));
+    std::vector<circuit::WireId> wires;
+    for (auto w : b.secret("a", 2)) wires.push_back(w);
+    for (auto w : b.secret("c", 2)) wires.push_back(w);
+    for (auto w : b.randoms("r", 2)) wires.push_back(w);
+    for (int i = 0; i < 5; ++i)
+      wires.push_back(b.xor_(wires[next() % wires.size()],
+                             wires[next() % wires.size()]));
+    b.output_group("o", {b.buf(wires[wires.size() - 1]),
+                         b.buf(wires[wires.size() - 2])});
+    circuit::Gadget g = b.build();
+
+    for (Notion notion : {Notion::kProbing, Notion::kNI, Notion::kSNI}) {
+      VerifyOptions opt;
+      opt.notion = notion;
+      opt.order = 1 + static_cast<int>(next() % 2);
+      HeuristicResult h = verify_heuristic(g, opt);
+      VerifyResult exact = verify(g, opt);
+      EXPECT_EQ(h.proven_secure, exact.secure)
+          << "trial " << trial << " " << notion_name(notion) << " d="
+          << opt.order;
+    }
+  }
+}
+
+TEST(Heuristic, ReportsTiming) {
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  VerifyOptions opt;
+  opt.order = 1;
+  HeuristicResult h = verify_heuristic(g, opt);
+  EXPECT_GE(h.seconds, 0.0);
+  EXPECT_GT(h.combinations, 0u);
+}
+
+}  // namespace
+}  // namespace sani::verify

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "circuit/unfold.h"
+#include "gadgets/registry.h"
+#include "verify/observables.h"
+#include "verify/report.h"
+
+namespace sani::verify {
+namespace {
+
+using circuit::Gadget;
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+TEST(Observables, OutputsComeFirstWithIndices) {
+  Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ObservableSet set = build_observables(g, u, {});
+  ASSERT_GE(set.num_outputs, 2u);
+  for (std::size_t i = 0; i < set.num_outputs; ++i) {
+    EXPECT_EQ(set.items[i].kind, Observable::Kind::kOutput);
+    EXPECT_GE(set.items[i].output_share_index, 0);
+    EXPECT_EQ(set.items[i].fns.size(), 1u);
+  }
+  for (std::size_t i = set.num_outputs; i < set.size(); ++i)
+    EXPECT_EQ(set.items[i].kind, Observable::Kind::kProbe);
+}
+
+TEST(Observables, ConstantsAndDuplicatesDropped) {
+  GadgetBuilder b("g");
+  auto a = b.secret("a", 2);
+  WireId r = b.random("r");
+  WireId x = b.xor_(a[0], r, "x");
+  WireId x_dup = b.buf(x, "x_dup");       // same function as x
+  WireId c = b.const1("one");
+  (void)c;
+  b.output_group("o", {b.xor_(x_dup, a[1], "o0")});
+  Gadget g = b.build();
+  circuit::Unfolded u = circuit::unfold(g);
+
+  ObservableSet with = build_observables(g, u, {});
+  ProbeModelOptions no_dedupe;
+  no_dedupe.dedupe = false;
+  ObservableSet without = build_observables(g, u, no_dedupe);
+  EXPECT_LT(with.size(), without.size());
+  // No observable is a constant function.
+  for (const auto& o : with.items)
+    EXPECT_FALSE(o.fns[0].is_zero() || o.fns[0].is_one()) << o.name;
+}
+
+TEST(Observables, IncludeInputsOption) {
+  Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ProbeModelOptions with_inputs;
+  with_inputs.include_inputs = true;
+  EXPECT_GT(build_observables(g, u, with_inputs).size(),
+            build_observables(g, u, {}).size());
+}
+
+TEST(Observables, FixedProbesByName) {
+  Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ObservableSet set = build_observables_with_probes(g, u, {"p[0,1]"});
+  EXPECT_EQ(set.size(), set.num_outputs + 1);
+  EXPECT_EQ(set.items.back().name, "p[0,1]");
+  EXPECT_THROW(build_observables_with_probes(g, u, {"no_such_wire"}),
+               std::invalid_argument);
+}
+
+TEST(Observables, RobustProbesCarryCones) {
+  Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ProbeModelOptions robust;
+  robust.glitch_robust = true;
+  ObservableSet set = build_observables(g, u, robust);
+  bool saw_tuple = false;
+  for (const auto& o : set.items)
+    if (o.fns.size() > 1) saw_tuple = true;
+  EXPECT_TRUE(saw_tuple);
+}
+
+TEST(Report, DecodeAlphaNamesInputs) {
+  Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  Mask alpha;
+  alpha.set(u.vars.secret_share_var[0][0]);
+  alpha.set(u.vars.secret_share_var[1][1]);
+  std::string s = decode_alpha(g, u.vars, alpha);
+  EXPECT_NE(s.find("a[0]"), std::string::npos);
+  EXPECT_NE(s.find("b[1]"), std::string::npos);
+  EXPECT_EQ(decode_alpha(g, u.vars, Mask{}), "{}");
+}
+
+TEST(Report, SummarizeForms) {
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  VerifyResult secure;
+  secure.stats.num_observables = 5;
+  secure.stats.combinations = 15;
+  EXPECT_NE(summarize("g", opt, secure, 0.001).find("is 2-SNI"),
+            std::string::npos);
+  VerifyResult insecure;
+  insecure.secure = false;
+  EXPECT_NE(summarize("g", opt, insecure, 0.001).find("NOT 2-SNI"),
+            std::string::npos);
+  VerifyResult timed;
+  timed.timed_out = true;
+  EXPECT_NE(summarize("g", opt, timed, 0.001).find("timed out"),
+            std::string::npos);
+}
+
+TEST(Report, JsonShapes) {
+  VerifyOptions opt;
+  opt.notion = Notion::kProbing;
+  opt.order = 1;
+  VerifyResult r;
+  r.secure = false;
+  CounterExample ce;
+  ce.observables = {"w\"eird"};
+  ce.reason = "line1\nline2";
+  r.counterexample = ce;
+  std::string json = json_report("g,1", opt, r, 0.5);
+  EXPECT_NE(json.find("\"secure\":false"), std::string::npos);
+  EXPECT_NE(json.find("\\\"eird"), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\\n"), std::string::npos);       // escaped newline
+  VerifyResult ok;
+  EXPECT_NE(json_report("g", opt, ok, 0.1).find("\"counterexample\":null"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sani::verify

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "circuit/unfold.h"
+#include "gadgets/registry.h"
+#include "dd/anf.h"
+#include "gadgets/gf_model.h"
+#include "spectral/properties.h"
+#include "test_util.h"
+
+namespace sani::spectral {
+namespace {
+
+using test::bdd_from_truth_table;
+using test::random_truth_table;
+using test::Rng;
+
+Spectrum from_expr(dd::Manager& m, const dd::Bdd& f) {
+  (void)m;
+  return Spectrum::from_bdd(f);
+}
+
+TEST(Properties, KnownFunctions) {
+  dd::Manager m(4);
+  auto x = [&](int i) { return dd::Bdd::var(m, i); };
+
+  // XOR of all variables: balanced, CI(n-1) fails... its only coefficient
+  // sits at full weight, so CI order = n-1 = 3, resiliency 3, nonlinearity 0.
+  Spectrum sx = from_expr(m, x(0) ^ x(1) ^ x(2) ^ x(3));
+  EXPECT_TRUE(is_balanced(sx));
+  EXPECT_EQ(correlation_immunity_order(sx), 3);
+  EXPECT_EQ(resiliency_order(sx), 3);
+  EXPECT_EQ(nonlinearity(sx), 0);  // it IS linear
+  EXPECT_FALSE(is_bent(sx));
+
+  // AND: unbalanced, CI 0; a single 1 in the truth table puts it at
+  // distance 1 from the constant-0 function: s(0) = 16 - 2 = 14,
+  // nl = 8 - 7 = 1.
+  Spectrum sa = from_expr(m, x(0) & x(1) & x(2) & x(3));
+  EXPECT_FALSE(is_balanced(sa));
+  EXPECT_EQ(resiliency_order(sa), -1);
+  EXPECT_EQ(nonlinearity(sa), 1);
+
+  // The inner product x0x1 ^ x2x3 is the canonical bent function on 4
+  // variables: nonlinearity 2^(n-1) - 2^(n/2-1) = 6.
+  Spectrum sb = from_expr(m, (x(0) & x(1)) ^ (x(2) & x(3)));
+  EXPECT_TRUE(is_bent(sb));
+  EXPECT_EQ(nonlinearity(sb), 6);
+  EXPECT_FALSE(is_balanced(sb));  // bent functions are never balanced
+  EXPECT_EQ(correlation_immunity_order(sb), 0);
+
+  // Constant: CI order is maximal by convention (no nonzero light terms).
+  Spectrum sc = from_expr(m, dd::Bdd::zero(m));
+  EXPECT_FALSE(is_balanced(sc));
+  EXPECT_EQ(correlation_immunity_order(sc), 4);
+}
+
+TEST(Properties, NonlinearityBound) {
+  // For every function, 0 <= nl <= 2^(n-1) - 2^(n/2-1) (covering radius).
+  Rng rng(61);
+  const int n = 6;
+  dd::Manager m(n);
+  for (int trial = 0; trial < 20; ++trial) {
+    Spectrum s = from_expr(m, bdd_from_truth_table(m, random_truth_table(rng, n), n));
+    const std::int64_t nl = nonlinearity(s);
+    EXPECT_GE(nl, 0);
+    EXPECT_LE(nl, (1 << (n - 1)) - (1 << (n / 2 - 1)));
+  }
+}
+
+TEST(Properties, AesSboxPublishedConstants) {
+  // The AES S-box component functions famously have nonlinearity 112 and
+  // algebraic degree 7 — a cross-validation of the GF model, the Moebius
+  // transform and the spectral property code in one shot.
+  dd::Manager m(8);
+  for (int bit = 0; bit < 8; ++bit) {
+    std::vector<bool> truth(256);
+    for (int x = 0; x < 256; ++x)
+      truth[x] =
+          (gadgets::gf::aes_sbox(static_cast<std::uint8_t>(x)) >> bit) & 1;
+    dd::Bdd f = bdd_from_truth_table(m, truth, 8);
+    Spectrum s = Spectrum::from_bdd(f);
+    EXPECT_TRUE(is_balanced(s)) << "bit " << bit;
+    EXPECT_EQ(nonlinearity(s), 112) << "bit " << bit;
+    EXPECT_EQ(dd::algebraic_degree(f), 7) << "bit " << bit;
+  }
+}
+
+TEST(Properties, MaskedGadgetSharesAreResilient) {
+  // A blinded wire p XOR r (r fresh) is 1-resilient in the combined input
+  // space: its only coefficients involve r.  Check on the DOM-1 cross
+  // products after resharing.
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  const circuit::WireId w = g.netlist.find("$_XOR_$4");
+  if (w != circuit::kNoWire) {
+    Spectrum s = Spectrum::from_bdd(u.wire_fn[w]);
+    EXPECT_TRUE(is_balanced(s));
+    EXPECT_GE(correlation_immunity_order(s), 0);
+  }
+  // Output shares of an SNI refresh are 1-resilient at least.
+  circuit::Gadget r = gadgets::by_name("sni-refresh-3");
+  circuit::Unfolded ur = circuit::unfold(r);
+  for (circuit::WireId out : r.spec.outputs[0].shares) {
+    Spectrum s = Spectrum::from_bdd(ur.wire_fn[out]);
+    EXPECT_TRUE(is_balanced(s));
+    EXPECT_GE(resiliency_order(s), 1);
+  }
+}
+
+}  // namespace
+}  // namespace sani::spectral

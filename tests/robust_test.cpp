@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "gadgets/dom.h"
+#include "gadgets/registry.h"
+#include "gadgets/ti.h"
+#include "verify/bruteforce.h"
+#include "verify/engine.h"
+
+namespace sani::verify {
+namespace {
+
+// Glitch-extended (robust) probing model: a probe observes every stable
+// source of its combinational cone (refs [6][7] of the paper; the model of
+// the companion TCHES'20 work).
+
+VerifyOptions robust(Notion notion, int order) {
+  VerifyOptions opt;
+  opt.notion = notion;
+  opt.order = order;
+  opt.probes.glitch_robust = true;
+  return opt;
+}
+
+TEST(Robust, TiIsGlitchRobustProbingSecure) {
+  // Threshold implementations owe their existence to glitch robustness:
+  // non-completeness means even the full cone of any single wire misses one
+  // share of each input.
+  circuit::Gadget g = gadgets::ti_and();
+  VerifyResult r = verify(g, robust(Notion::kProbing, 1));
+  EXPECT_TRUE(r.secure);
+  VerifyResult oracle = verify_bruteforce(g, robust(Notion::kProbing, 1));
+  EXPECT_TRUE(oracle.secure);
+}
+
+TEST(Robust, DomWithRegistersIsRobustProbingSecure) {
+  circuit::Gadget g = gadgets::dom_mult(1, /*with_registers=*/true);
+  VerifyResult r = verify(g, robust(Notion::kProbing, 1));
+  EXPECT_TRUE(r.secure);
+}
+
+TEST(Robust, DomWithoutRegistersLeaksUnderGlitches) {
+  // Removing the resharing registers exposes the classic DOM glitch: the
+  // cone of an output share spans both operand domains before the random
+  // settles.
+  circuit::Gadget g = gadgets::dom_mult(1, /*with_registers=*/false);
+  VerifyResult r = verify(g, robust(Notion::kProbing, 1));
+  EXPECT_FALSE(r.secure);
+  ASSERT_TRUE(r.counterexample.has_value());
+  // Oracle agrees.
+  VerifyResult oracle = verify_bruteforce(g, robust(Notion::kProbing, 1));
+  EXPECT_FALSE(oracle.secure);
+}
+
+TEST(Robust, RegistersChangeTheVerdictNotTheFunction) {
+  // Same Boolean function, different glitch behaviour — the pair
+  // demonstrates why ProbeModelOptions::glitch_robust exists.
+  circuit::Gadget with = gadgets::dom_mult(1, true);
+  circuit::Gadget without = gadgets::dom_mult(1, false);
+  VerifyOptions standard;
+  standard.notion = Notion::kProbing;
+  standard.order = 1;
+  EXPECT_TRUE(verify(with, standard).secure);
+  EXPECT_TRUE(verify(without, standard).secure);  // standard model: both fine
+}
+
+TEST(Robust, EnginesAgreeUnderGlitchModel) {
+  circuit::Gadget g = gadgets::dom_mult(1, false);
+  VerifyResult ref = verify(g, robust(Notion::kProbing, 1));
+  for (EngineKind e : {EngineKind::kLIL, EngineKind::kMAP, EngineKind::kMAPI,
+                       EngineKind::kFUJITA}) {
+    VerifyOptions opt = robust(Notion::kProbing, 1);
+    opt.engine = e;
+    EXPECT_EQ(verify(g, opt).secure, ref.secure) << engine_name(e);
+  }
+}
+
+TEST(Robust, BruteForceMatchesSpectralOnRobustNi) {
+  for (bool with_regs : {true, false}) {
+    circuit::Gadget g = gadgets::dom_mult(1, with_regs);
+    for (Notion notion : {Notion::kProbing, Notion::kNI, Notion::kSNI}) {
+      VerifyOptions opt = robust(notion, 1);
+      VerifyResult oracle = verify_bruteforce(g, opt);
+      opt.engine = EngineKind::kMAPI;
+      EXPECT_EQ(verify(g, opt).secure, oracle.secure)
+          << "regs=" << with_regs << " " << notion_name(notion);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sani::verify

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "spectral/lil_spectrum.h"
+#include "spectral/spectrum.h"
+#include "test_util.h"
+
+namespace sani::spectral {
+namespace {
+
+using test::bdd_from_truth_table;
+using test::random_truth_table;
+using test::Rng;
+
+TEST(Spectrum, FromBddMatchesFromFunction) {
+  Rng rng(21);
+  for (int n : {2, 4, 6}) {
+    dd::Manager m(n);
+    for (int trial = 0; trial < 5; ++trial) {
+      auto truth = random_truth_table(rng, n);
+      dd::Bdd f = bdd_from_truth_table(m, truth, n);
+      Spectrum via_bdd = Spectrum::from_bdd(f);
+      Spectrum via_table = Spectrum::from_function(
+          n, [&](const Mask& x) { return truth[x.lo]; });
+      EXPECT_EQ(via_bdd, via_table);
+      EXPECT_TRUE(via_bdd.parseval_ok());
+    }
+  }
+}
+
+TEST(Spectrum, ConstantZeroSpectrum) {
+  Spectrum s = Spectrum::constant_zero(5);
+  EXPECT_EQ(s.nonzero_count(), 1u);
+  EXPECT_EQ(s.at(Mask{}), 32);
+  EXPECT_TRUE(s.parseval_ok());
+}
+
+TEST(Spectrum, ConvolutionTheorem) {
+  // spectrum(f XOR g) == convolve(spectrum(f), spectrum(g)), ground truth by
+  // explicit tables.
+  Rng rng(22);
+  const int n = 6;
+  dd::Manager m(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto tf = random_truth_table(rng, n);
+    auto tg = random_truth_table(rng, n);
+    Spectrum sf = Spectrum::from_function(n, [&](const Mask& x) { return tf[x.lo]; });
+    Spectrum sg = Spectrum::from_function(n, [&](const Mask& x) { return tg[x.lo]; });
+    Spectrum expect = Spectrum::from_function(
+        n, [&](const Mask& x) { return tf[x.lo] != tg[x.lo]; });
+    EXPECT_EQ(sf.convolve(sg), expect);
+    EXPECT_EQ(sg.convolve(sf), expect);  // commutative
+  }
+}
+
+TEST(Spectrum, ConvolutionWithIdentity) {
+  Rng rng(23);
+  const int n = 5;
+  auto t = random_truth_table(rng, n);
+  Spectrum s = Spectrum::from_function(n, [&](const Mask& x) { return t[x.lo]; });
+  EXPECT_EQ(s.convolve(Spectrum::constant_zero(n)), s);
+}
+
+TEST(Spectrum, SupportUnionSkipsForbidden) {
+  Spectrum s(6);
+  s.set(Mask::bit(0) | Mask::bit(2), 4);
+  s.set(Mask::bit(1) | Mask::bit(5), 4);  // bit 5 forbidden
+  s.set(Mask::bit(3), 8);
+  Mask forbidden = Mask::bit(5);
+  Mask u = s.support_union(forbidden);
+  EXPECT_EQ(u.to_string(), "{0,2,3}");
+}
+
+TEST(Spectrum, SetErasesZeros) {
+  Spectrum s(4);
+  s.set(Mask::bit(1), 4);
+  EXPECT_EQ(s.nonzero_count(), 1u);
+  s.set(Mask::bit(1), 0);
+  EXPECT_EQ(s.nonzero_count(), 0u);
+}
+
+TEST(Spectrum, ToAddRoundTrip) {
+  Rng rng(24);
+  const int n = 6;
+  dd::Manager m(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto truth = random_truth_table(rng, n);
+    dd::Bdd f = bdd_from_truth_table(m, truth, n);
+    Spectrum s = Spectrum::from_bdd(f);
+    dd::Add a = s.to_add(m);
+    Spectrum back = Spectrum::from_add(a, n);
+    EXPECT_EQ(back, s);
+    // Every coefficient agrees pointwise too.
+    for (std::uint64_t alpha = 0; alpha < (std::uint64_t{1} << n); ++alpha)
+      EXPECT_EQ(a.eval(Mask{alpha, 0}), s.at(Mask{alpha, 0}));
+  }
+}
+
+TEST(Fwht, SelfInverseUpToScale) {
+  std::vector<std::int64_t> v{3, -1, 4, 1, -5, 9, 2, 6};
+  auto orig = v;
+  fwht(v);
+  fwht(v);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], orig[i] * 8);
+}
+
+TEST(Fwht, RejectsNonPowerOfTwo) {
+  std::vector<std::int64_t> v(6, 0);
+  EXPECT_THROW(fwht(v), std::invalid_argument);
+}
+
+TEST(LilSpectrum, AgreesWithHashMapSpectrum) {
+  Rng rng(25);
+  const int n = 6;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto tf = random_truth_table(rng, n);
+    auto tg = random_truth_table(rng, n);
+    Spectrum sf = Spectrum::from_function(n, [&](const Mask& x) { return tf[x.lo]; });
+    Spectrum sg = Spectrum::from_function(n, [&](const Mask& x) { return tg[x.lo]; });
+    LilSpectrum lf = LilSpectrum::from_spectrum(sf);
+    LilSpectrum lg = LilSpectrum::from_spectrum(sg);
+    EXPECT_EQ(lf.convolve(lg).to_spectrum(), sf.convolve(sg));
+    EXPECT_EQ(lf.support_union(Mask{}), sf.support_union(Mask{}));
+  }
+}
+
+TEST(LilSpectrum, EntriesStaySorted) {
+  LilSpectrum l(8);
+  l.accumulate(Mask::bit(7), 1);
+  l.accumulate(Mask::bit(2), 2);
+  l.accumulate(Mask::bit(4), 3);
+  l.accumulate(Mask::bit(2), -2);  // cancels out
+  const auto& e = l.entries();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_TRUE(e[0].first < e[1].first);
+  EXPECT_EQ(l.at(Mask::bit(2)), 0);
+  EXPECT_EQ(l.at(Mask::bit(4)), 3);
+}
+
+TEST(Spectrum, ConvolutionSizeMismatchThrows) {
+  Spectrum a(4), b(5);
+  EXPECT_THROW(a.convolve(b), std::invalid_argument);
+  LilSpectrum la(4), lb(5);
+  EXPECT_THROW(la.convolve(lb), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sani::spectral

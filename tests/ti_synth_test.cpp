@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuit/unfold.h"
+#include "gadgets/ti.h"
+#include "gadgets/ti_synth.h"
+#include "verify/bruteforce.h"
+#include "verify/engine.h"
+#include "verify/uniformity.h"
+
+namespace sani::gadgets {
+namespace {
+
+using circuit::Gadget;
+using circuit::WireId;
+
+// Exhaustive functional check of a synthesized TI gadget against its ANF.
+void check_ti_functional(const Gadget& g, const QuadraticAnf& anf,
+                         int num_inputs) {
+  const auto inputs = g.netlist.inputs();
+  ASSERT_EQ(inputs.size(), static_cast<std::size_t>(3 * num_inputs));
+  std::map<WireId, std::size_t> pos;
+  for (std::size_t i = 0; i < inputs.size(); ++i) pos[inputs[i]] = i;
+  for (std::size_t bits = 0; bits < (std::size_t{1} << inputs.size());
+       ++bits) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      in.push_back((bits >> i) & 1);
+    const auto v = g.netlist.evaluate(in);
+    std::uint32_t x = 0;
+    for (int i = 0; i < num_inputs; ++i) {
+      bool val = false;
+      for (WireId w : g.spec.secrets[i].shares) val = val != in[pos[w]];
+      x |= static_cast<std::uint32_t>(val) << i;
+    }
+    for (std::size_t out = 0; out < anf.size(); ++out) {
+      bool got = false;
+      for (WireId w : g.spec.outputs[out].shares) got = got != v[w];
+      ASSERT_EQ(got, eval_anf(anf[out], x))
+          << "bits=" << bits << " out=" << out;
+    }
+  }
+}
+
+TEST(TiSynth, EvalAnf) {
+  std::vector<Monomial> f{{0}, {1, 2}, {}};  // x0 ^ x1 x2 ^ 1
+  EXPECT_TRUE(eval_anf(f, 0b000));   // 0 ^ 0 ^ 1
+  EXPECT_FALSE(eval_anf(f, 0b001));  // 1 ^ 0 ^ 1
+  EXPECT_FALSE(eval_anf(f, 0b110));  // 0 ^ 1 ^ 1
+  EXPECT_TRUE(eval_anf(f, 0b111));   // 1 ^ 1 ^ 1
+}
+
+TEST(TiSynth, SynthesizedAndMatchesHandWrittenTi) {
+  QuadraticAnf and_anf{{{0, 1}}};
+  Gadget synth = ti_share_quadratic(and_anf, 2, "ti_and_synth");
+  check_ti_functional(synth, and_anf, 2);
+  // Same verdicts as the classic hand-written TI AND.
+  Gadget classic = ti_and();
+  for (verify::Notion notion :
+       {verify::Notion::kProbing, verify::Notion::kNI}) {
+    verify::VerifyOptions opt;
+    opt.notion = notion;
+    opt.order = 1;
+    EXPECT_EQ(verify::verify(synth, opt).secure,
+              verify::verify(classic, opt).secure)
+        << verify::notion_name(notion);
+  }
+}
+
+TEST(TiSynth, NonCompletenessByConstruction) {
+  Gadget g = keccak_chi_ti();
+  circuit::Unfolded u = circuit::unfold(g);
+  for (std::size_t out = 0; out < g.spec.outputs.size(); ++out)
+    for (int k = 0; k < 3; ++k) {
+      Mask support =
+          u.wire_fn[g.spec.outputs[out].shares[k]].support();
+      for (const auto& group : u.vars.secret_share_var)
+        EXPECT_FALSE(support.test(group[k]))
+            << "output " << out << " share " << k
+            << " touches an index-" << k << " input share";
+    }
+}
+
+TEST(TiSynth, KeccakChiTiFunctional) {
+  Gadget g = keccak_chi_ti();
+  EXPECT_TRUE(g.spec.randoms.empty());
+  // Spot-check the shared function against the unshared chi on samples
+  // (2^15 inputs exhaustively is fine too, but sampling keeps it quick).
+  const auto inputs = g.netlist.inputs();
+  std::map<WireId, std::size_t> pos;
+  for (std::size_t i = 0; i < inputs.size(); ++i) pos[inputs[i]] = i;
+  std::uint64_t state = 99;
+  for (int t = 0; t < 2000; ++t) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      in.push_back((state >> (i % 48)) & 1);
+    const auto v = g.netlist.evaluate(in);
+    std::uint32_t x = 0;
+    for (int i = 0; i < 5; ++i) {
+      bool val = false;
+      for (WireId w : g.spec.secrets[i].shares) val = val != in[pos[w]];
+      x |= static_cast<std::uint32_t>(val) << i;
+    }
+    for (int i = 0; i < 5; ++i) {
+      const bool expect =
+          (((x >> i) & 1) ^ ((~(x >> ((i + 1) % 5)) & (x >> ((i + 2) % 5))) & 1)) != 0;
+      bool got = false;
+      for (WireId w : g.spec.outputs[i].shares) got = got != v[w];
+      ASSERT_EQ(got, expect) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(TiSynth, KeccakChiTiIsProbingSecureWithoutRandomness) {
+  Gadget g = keccak_chi_ti();
+  verify::VerifyOptions opt;
+  opt.notion = verify::Notion::kProbing;
+  opt.order = 1;
+  verify::VerifyResult oracle = verify::verify_bruteforce(g, opt);
+  EXPECT_TRUE(oracle.secure);
+  opt.engine = verify::EngineKind::kMAPI;
+  EXPECT_TRUE(verify::verify(g, opt).secure);
+  // The TI promise extends to glitch-extended probes.
+  opt.probes.glitch_robust = true;
+  EXPECT_TRUE(verify::verify(g, opt).secure);
+}
+
+TEST(TiSynth, KeccakChiTiIsNotUniform) {
+  // The well-known limitation of the plain 3-share TI chi.
+  verify::UniformityResult r = verify::check_uniformity(keccak_chi_ti());
+  EXPECT_FALSE(r.uniform);
+}
+
+TEST(TiSynth, Errors) {
+  EXPECT_THROW(ti_share_quadratic({{{0, 1, 2}}}, 3, "cubic"),
+               std::invalid_argument);
+  EXPECT_THROW(ti_share_quadratic({{{0, 5}}}, 3, "badidx"),
+               std::invalid_argument);
+  EXPECT_THROW(ti_share_quadratic({{{1, 1}}}, 3, "repeated"),
+               std::invalid_argument);
+}
+
+TEST(TiSynth, ConstantAndLinearTerms) {
+  // y = 1 ^ x0 ^ x0 x1  over 2 inputs.
+  QuadraticAnf anf{{{}, {0}, {0, 1}}};
+  Gadget g = ti_share_quadratic(anf, 2, "affine_quad");
+  check_ti_functional(g, anf, 2);
+}
+
+}  // namespace
+}  // namespace sani::gadgets

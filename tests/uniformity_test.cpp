@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "circuit/builder.h"
+#include "gadgets/registry.h"
+#include "verify/uniformity.h"
+
+namespace sani::verify {
+namespace {
+
+TEST(Uniformity, ClassicVerdicts) {
+  // The famous one: the plain TI AND has *non-uniform* output sharing —
+  // it consumes no randomness, so the sharing is deterministic.
+  EXPECT_FALSE(check_uniformity(gadgets::by_name("ti-1")).uniform);
+  // Freshly blinded constructions are uniform.
+  EXPECT_TRUE(check_uniformity(gadgets::by_name("dom-1")).uniform);
+  EXPECT_TRUE(check_uniformity(gadgets::by_name("isw-1")).uniform);
+  EXPECT_TRUE(check_uniformity(gadgets::by_name("trichina-1")).uniform);
+  EXPECT_TRUE(check_uniformity(gadgets::by_name("refresh-3")).uniform);
+  EXPECT_TRUE(check_uniformity(gadgets::by_name("sni-refresh-3")).uniform);
+}
+
+TEST(Uniformity, WitnessIsReported) {
+  UniformityResult r = check_uniformity(gadgets::by_name("ti-1"));
+  ASSERT_FALSE(r.uniform);
+  EXPECT_FALSE(r.witness_shares.empty());
+  EXPECT_TRUE(r.witness_alpha.any());
+  EXPECT_GT(r.combinations_checked, 0u);
+}
+
+class UniformityOracle : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UniformityOracle, SpectralMatchesBruteForce) {
+  circuit::Gadget g = gadgets::by_name(GetParam());
+  EXPECT_EQ(check_uniformity(g).uniform,
+            check_uniformity_bruteforce(g).uniform)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Gadgets, UniformityOracle,
+                         ::testing::Values("ti-1", "trichina-1", "isw-1",
+                                           "dom-1", "refresh-2", "refresh-3",
+                                           "sni-refresh-3", "isw-2", "dom-2",
+                                           "hpc2-1"));
+
+TEST(Uniformity, DetectsInsufficientRandomness) {
+  // Two output shares re-using ONE random in a correlated way: (a0^r, a1^r)
+  // — the pair's XOR a0^a1 is deterministic... that's the complete
+  // combination (fine), but a three-share output with only one random
+  // cannot be uniform.
+  circuit::GadgetBuilder b("thin");
+  auto a = b.secret("a", 3);
+  circuit::WireId r = b.random("r");
+  b.output_group("c", {b.xor_(a[0], r), b.xor_(a[1], r), b.buf(a[2])});
+  circuit::Gadget g = b.build();
+  EXPECT_FALSE(check_uniformity(g).uniform);
+  EXPECT_FALSE(check_uniformity_bruteforce(g).uniform);
+}
+
+TEST(Uniformity, CompleteCombinationsAreExempt) {
+  // A deterministic single-share output group (identity "sharing" with one
+  // share) has no partial combination at all: trivially uniform.
+  circuit::GadgetBuilder b("one_share");
+  auto a = b.secret("a", 2);
+  b.output_group("c", {b.xor_(a[0], a[1])});
+  circuit::Gadget g = b.build();
+  UniformityResult r = check_uniformity(g);
+  EXPECT_TRUE(r.uniform);
+  EXPECT_EQ(r.combinations_checked, 0u);
+  EXPECT_TRUE(check_uniformity_bruteforce(g).uniform);
+}
+
+TEST(Uniformity, KeccakChiMatchesOracle) {
+  circuit::Gadget g = gadgets::by_name("keccak-1");
+  UniformityResult spectral = check_uniformity(g);
+  UniformityResult oracle = check_uniformity_bruteforce(g);
+  EXPECT_EQ(spectral.uniform, oracle.uniform);
+}
+
+}  // namespace
+}  // namespace sani::verify

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+#include "util/combinations.h"
+#include "util/mask.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace sani {
+namespace {
+
+TEST(Mask, BitBasics) {
+  Mask m;
+  EXPECT_TRUE(m.empty());
+  m.set(0);
+  m.set(63);
+  m.set(64);
+  m.set(127);
+  EXPECT_EQ(m.popcount(), 4);
+  EXPECT_TRUE(m.test(63));
+  EXPECT_TRUE(m.test(64));
+  EXPECT_FALSE(m.test(65));
+  m.reset(64);
+  EXPECT_FALSE(m.test(64));
+  EXPECT_EQ(m.lowest_bit(), 0);
+  EXPECT_EQ(m.highest_bit(), 127);
+}
+
+TEST(Mask, BitFactory) {
+  for (int i : {0, 1, 63, 64, 100, 127}) {
+    Mask m = Mask::bit(i);
+    EXPECT_EQ(m.popcount(), 1);
+    EXPECT_TRUE(m.test(i));
+  }
+}
+
+TEST(Mask, FirstN) {
+  EXPECT_TRUE(Mask::first_n(0).empty());
+  EXPECT_EQ(Mask::first_n(5).popcount(), 5);
+  EXPECT_EQ(Mask::first_n(64).popcount(), 64);
+  EXPECT_EQ(Mask::first_n(65).popcount(), 65);
+  EXPECT_EQ(Mask::first_n(128).popcount(), 128);
+  EXPECT_TRUE(Mask::first_n(65).test(64));
+  EXPECT_FALSE(Mask::first_n(65).test(65));
+}
+
+TEST(Mask, SetAlgebra) {
+  Mask a = Mask::bit(3) | Mask::bit(70);
+  Mask b = Mask::bit(3) | Mask::bit(5);
+  EXPECT_EQ((a & b), Mask::bit(3));
+  EXPECT_EQ((a ^ b), Mask::bit(70) | Mask::bit(5));
+  EXPECT_EQ((a - b), Mask::bit(70));
+  EXPECT_TRUE(Mask::bit(3).subset_of(a));
+  EXPECT_FALSE(a.subset_of(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((a - b).intersects(b));
+}
+
+TEST(Mask, DotIsGf2InnerProduct) {
+  Mask a = Mask::bit(1) | Mask::bit(2) | Mask::bit(100);
+  EXPECT_TRUE(a.dot(Mask::bit(1)));
+  EXPECT_FALSE(a.dot(Mask::bit(1) | Mask::bit(2)));
+  EXPECT_TRUE(a.dot(Mask::bit(1) | Mask::bit(2) | Mask::bit(100)));
+  EXPECT_FALSE(a.dot(Mask::bit(7)));
+}
+
+TEST(Mask, ForEachBitAscending) {
+  Mask m = Mask::bit(5) | Mask::bit(64) | Mask::bit(9);
+  std::vector<int> bits;
+  m.for_each_bit([&](int i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<int>{5, 9, 64}));
+  EXPECT_EQ(m.to_string(), "{5,9,64}");
+}
+
+TEST(Mask, OrderingIsTotal) {
+  Mask a = Mask::bit(3);
+  Mask b = Mask::bit(64);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Combinations, EnumeratesAll) {
+  CombinationIter it(5, 3);
+  ASSERT_TRUE(it.valid());
+  int count = 0;
+  std::vector<int> first = it.indices();
+  EXPECT_EQ(first, (std::vector<int>{0, 1, 2}));
+  do {
+    ++count;
+  } while (it.next());
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Combinations, EdgeCases) {
+  EXPECT_FALSE(CombinationIter(3, 4).valid());
+  CombinationIter zero(3, 0);
+  EXPECT_TRUE(zero.valid());
+  EXPECT_TRUE(zero.indices().empty());
+  EXPECT_FALSE(zero.next());
+  CombinationIter full(3, 3);
+  EXPECT_EQ(full.indices(), (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(full.next());
+}
+
+TEST(Combinations, Binomial) {
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(4, 5), 0u);
+  EXPECT_EQ(binomial(60, 30), 118264581564861424ull);
+  EXPECT_EQ(count_combinations_up_to(4, 2), 4u + 6u);
+}
+
+TEST(Timers, Accumulates) {
+  PhaseTimers t;
+  t.add("a", 1.0);
+  t.add("b", 2.0);
+  t.add("a", 0.5);
+  EXPECT_DOUBLE_EQ(t.get("a"), 1.5);
+  EXPECT_DOUBLE_EQ(t.get("b"), 2.0);
+  EXPECT_DOUBLE_EQ(t.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), 3.5);
+  EXPECT_EQ(t.names().size(), 2u);
+}
+
+TEST(Table, RendersAlignedAscii) {
+  TextTable t({"name", "value"});
+  t.row().add("x").add(std::int64_t{42});
+  t.row().add("longer").add(3.14159, 2);
+  std::string s = t.to_ascii();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 3.14  |"), std::string::npos);
+  std::string md = t.to_markdown();
+  EXPECT_NE(md.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  TextTable t({"name", "note"});
+  t.row().add("plain").add("with,comma");
+  t.row().add("q\"uote").add("multi\nline");
+  std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,note\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--full", "--level", "3",
+                        "--gadget=dom-2", "positional"};
+  CliArgs args(6, argv);
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_FALSE(args.has("quick"));
+  EXPECT_EQ(args.value_int("level", 1), 3);
+  EXPECT_EQ(args.value_or("gadget", ""), "dom-2");
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "positional");
+}
+
+}  // namespace
+}  // namespace sani

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dd/walsh.h"
+#include "test_util.h"
+
+namespace sani::dd {
+namespace {
+
+using test::bdd_from_truth_table;
+using test::random_truth_table;
+using test::Rng;
+
+// Direct evaluation of Eq. 1 for ground truth.
+std::int64_t walsh_direct(const std::vector<bool>& truth, int n,
+                          std::uint64_t alpha) {
+  std::int64_t sum = 0;
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+    int parity = truth[x] ? 1 : 0;
+    parity ^= __builtin_popcountll(alpha & x) & 1;
+    sum += parity ? -1 : 1;
+  }
+  return sum;
+}
+
+TEST(Walsh, MatchesDirectDefinitionOnRandomFunctions) {
+  Rng rng(11);
+  for (int n : {1, 2, 3, 5, 7}) {
+    Manager m(n);
+    for (int trial = 0; trial < 5; ++trial) {
+      auto truth = random_truth_table(rng, n);
+      Bdd f = bdd_from_truth_table(m, truth, n);
+      Add spectrum = walsh_transform(f);
+      for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+        EXPECT_EQ(spectrum.eval(Mask{a, 0}), walsh_direct(truth, n, a))
+            << "n=" << n << " alpha=" << a;
+    }
+  }
+}
+
+TEST(Walsh, KnownSpectra) {
+  Manager m(3);
+  // Constant 0: single coefficient 2^n at alpha = 0.
+  Add s0 = walsh_transform(Bdd::zero(m));
+  EXPECT_EQ(s0.eval(Mask{}), 8);
+  EXPECT_EQ(s0.eval(Mask::bit(0)), 0);
+  // Constant 1: -2^n at alpha = 0.
+  EXPECT_EQ(walsh_transform(Bdd::one(m)).eval(Mask{}), -8);
+  // Single literal x1: zero except at alpha = {1} where it is 2^n... with
+  // sign: sum (-1)^{x1 ^ x1} = +8?  (-1)^{f ^ ax}: f=x1, alpha={1} gives
+  // (-1)^0 everywhere = +8.
+  Add s1 = walsh_transform(Bdd::var(m, 1));
+  EXPECT_EQ(s1.eval(Mask::bit(1)), 8);
+  EXPECT_EQ(s1.eval(Mask{}), 0);
+  EXPECT_EQ(s1.eval(Mask::bit(0)), 0);
+  // XOR of two variables: single coefficient at {0,1}.
+  Add sx = walsh_transform(Bdd::var(m, 0) ^ Bdd::var(m, 1));
+  EXPECT_EQ(sx.eval(Mask::bit(0) | Mask::bit(1)), 8);
+  EXPECT_EQ(sx.eval(Mask::bit(0)), 0);
+  // AND: 2 at {}, 2 at {0}, 2 at {1}, -2 at {0,1}, each scaled by 2 for the
+  // third (absent) variable.
+  Add sa = walsh_transform(Bdd::var(m, 0) & Bdd::var(m, 1));
+  EXPECT_EQ(sa.eval(Mask{}), 4);
+  EXPECT_EQ(sa.eval(Mask::bit(0)), 4);
+  EXPECT_EQ(sa.eval(Mask::bit(1)), 4);
+  EXPECT_EQ(sa.eval(Mask::bit(0) | Mask::bit(1)), -4);
+}
+
+TEST(Walsh, InverseRoundTrip) {
+  Rng rng(12);
+  const int n = 6;
+  Manager m(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto truth = random_truth_table(rng, n);
+    Bdd f = bdd_from_truth_table(m, truth, n);
+    Add spectrum = walsh_transform(f);
+    Add signs = inverse_walsh_transform(spectrum);
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x)
+      EXPECT_EQ(signs.eval(Mask{x, 0}), truth[x] ? -1 : 1);
+  }
+}
+
+TEST(Walsh, LinearFunctionsHaveSingletonSpectra) {
+  const int n = 10;
+  Manager m(n);
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::uint64_t coeffs = rng.next() & ((std::uint64_t{1} << n) - 1);
+    Bdd f = Bdd::zero(m);
+    for (int i = 0; i < n; ++i)
+      if ((coeffs >> i) & 1) f ^= Bdd::var(m, i);
+    Add spectrum = walsh_transform(f);
+    // Exactly one nonzero coefficient, of magnitude 2^n, at alpha = coeffs.
+    EXPECT_DOUBLE_EQ(spectrum.nonzero_count(), 1.0);
+    EXPECT_EQ(spectrum.eval(Mask{coeffs, 0}), std::int64_t{1} << n);
+  }
+}
+
+TEST(Walsh, TooManyVariablesRejected) {
+  Manager m(70);
+  EXPECT_THROW(walsh_transform(Bdd::var(m, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sani::dd

@@ -1,0 +1,180 @@
+// sani — command-line exact verifier for probing security / (S)NI / PINI.
+//
+// The end-to-end tool of the paper's Fig. 5: annotated Yosys-ILANG in,
+// verdict (and witness) out.  Built-in gadgets are available by name so the
+// tool doubles as a benchmark runner.
+//
+// Usage:
+//   sani verify   (--file g.ilang | --gadget dom-2) [--notion sni]
+//                 [--order D] [--engine mapi] [--robust] [--joint]
+//                 [--no-union] [--time-limit S] [--var-order NAME]
+//   sani uniform  (--file g.ilang | --gadget ti-1)
+//   sani stats    (--file g.ilang | --gadget keccak-2)
+//   sani emit     --gadget isw-2                  # print annotated ILANG
+//   sani list                                     # built-in gadget names
+//
+// Exit code: 0 = secure/uniform, 1 = insecure/non-uniform, 2 = timeout,
+// 64 = usage error.
+
+#include <iostream>
+
+#include "circuit/ilang.h"
+#include "circuit/unfold.h"
+#include "gadgets/registry.h"
+#include "util/cli.h"
+#include "util/timer.h"
+#include "verify/engine.h"
+#include "verify/report.h"
+#include "verify/uniformity.h"
+
+using namespace sani;
+
+namespace {
+
+int usage(const std::string& msg = "") {
+  if (!msg.empty()) std::cerr << "error: " << msg << "\n";
+  std::cerr <<
+      "usage: sani <verify|uniform|stats|emit|list> [options]\n"
+      "  --file PATH | --gadget NAME    circuit to analyse\n"
+      "  --notion probing|ni|sni|pini   security notion (default sni)\n"
+      "  --order D                      number of observations (default:\n"
+      "                                 the gadget's design order, or 1)\n"
+      "  --engine lil|map|mapi|fujita   implementation (default mapi)\n"
+      "  --robust                       glitch-extended probes\n"
+      "  --joint                        total share counting (paper Fig. 2)\n"
+      "  --no-union                     per-row T-predicate check only\n"
+      "  --time-limit S                 wall-clock budget in seconds\n"
+      "  --var-order declared|randoms-first|randoms-last|interleaved\n"
+      "  --sift                         dynamic reordering after unfolding\n"
+      "  --largest-first                max-size combinations first "
+      "(Sec. III-C)\n"
+      "  --format text|json             output format for verify\n";
+  return 64;
+}
+
+circuit::Gadget load(const CliArgs& args, std::string* label) {
+  if (auto f = args.value("file")) {
+    *label = *f;
+    return circuit::parse_ilang_file(*f);
+  }
+  std::string name = args.value_or("gadget", "");
+  if (name.empty()) throw std::invalid_argument("need --file or --gadget");
+  *label = name;
+  return gadgets::by_name(name);
+}
+
+int default_order(const CliArgs& args) {
+  if (auto g = args.value("gadget")) {
+    try {
+      return gadgets::security_level(*g);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  return 1;
+}
+
+verify::VerifyOptions options_from(const CliArgs& args) {
+  verify::VerifyOptions opt;
+  const std::string notion = args.value_or("notion", "sni");
+  if (notion == "probing") opt.notion = verify::Notion::kProbing;
+  else if (notion == "ni") opt.notion = verify::Notion::kNI;
+  else if (notion == "sni") opt.notion = verify::Notion::kSNI;
+  else if (notion == "pini") opt.notion = verify::Notion::kPINI;
+  else throw std::invalid_argument("unknown notion '" + notion + "'");
+
+  const std::string engine = args.value_or("engine", "mapi");
+  if (engine == "lil") opt.engine = verify::EngineKind::kLIL;
+  else if (engine == "map") opt.engine = verify::EngineKind::kMAP;
+  else if (engine == "mapi") opt.engine = verify::EngineKind::kMAPI;
+  else if (engine == "fujita") opt.engine = verify::EngineKind::kFUJITA;
+  else throw std::invalid_argument("unknown engine '" + engine + "'");
+
+  opt.order = args.value_int("order", default_order(args));
+  opt.sift_after_unfold = args.has("sift");
+  if (args.has("largest-first"))
+    opt.search_order = verify::SearchOrder::kLargestFirst;
+  opt.probes.glitch_robust = args.has("robust");
+  opt.joint_share_count = args.has("joint");
+  opt.union_check = !args.has("no-union");
+  opt.time_limit = args.value_int("time-limit", 0);
+
+  const std::string vo = args.value_or("var-order", "declared");
+  if (vo == "declared") opt.var_order = circuit::VarOrder::kDeclared;
+  else if (vo == "randoms-first")
+    opt.var_order = circuit::VarOrder::kRandomsFirst;
+  else if (vo == "randoms-last")
+    opt.var_order = circuit::VarOrder::kRandomsLast;
+  else if (vo == "interleaved")
+    opt.var_order = circuit::VarOrder::kInterleaved;
+  else throw std::invalid_argument("unknown var-order '" + vo + "'");
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  CliArgs args(argc - 1, argv + 1);
+
+  try {
+    if (cmd == "list") {
+      for (const auto& name : gadgets::all_names()) std::cout << name << "\n";
+      return 0;
+    }
+
+    std::string label;
+    if (cmd == "emit") {
+      circuit::Gadget g = load(args, &label);
+      std::cout << circuit::write_ilang_string(g);
+      return 0;
+    }
+    if (cmd == "stats") {
+      circuit::Gadget g = load(args, &label);
+      circuit::NetlistStats s = g.netlist.stats();
+      std::cout << label << ": " << s.num_inputs << " inputs ("
+                << g.spec.secrets.size() << " secrets x "
+                << g.spec.shares_per_secret() << " shares, "
+                << g.spec.randoms.size() << " randoms, "
+                << g.spec.publics.size() << " publics), " << s.num_gates
+                << " gates (" << s.num_nonlinear << " nonlinear, "
+                << s.num_registers << " registers), depth " << s.depth
+                << ", " << g.spec.num_output_shares() << " output shares\n";
+      return 0;
+    }
+    if (cmd == "uniform") {
+      circuit::Gadget g = load(args, &label);
+      verify::UniformityResult r = verify::check_uniformity(g);
+      if (r.uniform) {
+        std::cout << label << ": output sharing is uniform ("
+                  << r.combinations_checked << " combinations)\n";
+        return 0;
+      }
+      std::cout << label << ": output sharing is NOT uniform; witness:";
+      for (const auto& s : r.witness_shares) std::cout << ' ' << s;
+      std::cout << "\n";
+      return 1;
+    }
+    if (cmd == "verify") {
+      circuit::Gadget g = load(args, &label);
+      verify::VerifyOptions opt = options_from(args);
+      Stopwatch watch;
+      verify::VerifyResult r = verify::verify(g, opt);
+      const double seconds = watch.seconds();
+      if (args.value_or("format", "text") == "json") {
+        std::cout << verify::json_report(label, opt, r, seconds) << "\n";
+      } else {
+        std::cout << verify::summarize(label, opt, r, seconds) << "\n";
+        if (!r.secure && r.counterexample) {
+          circuit::Unfolded u =
+              circuit::unfold(g, opt.cache_bits, opt.var_order);
+          std::cout << verify::detailed_report(g, u.vars, opt, r);
+        }
+      }
+      return r.timed_out ? 2 : (r.secure ? 0 : 1);
+    }
+    return usage("unknown command '" + cmd + "'");
+  } catch (const std::exception& e) {
+    return usage(e.what());
+  }
+}
