@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_containers.dir/bench_containers.cpp.o"
+  "CMakeFiles/bench_containers.dir/bench_containers.cpp.o.d"
+  "bench_containers"
+  "bench_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

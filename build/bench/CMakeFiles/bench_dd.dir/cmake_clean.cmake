@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dd.dir/bench_dd.cpp.o"
+  "CMakeFiles/bench_dd.dir/bench_dd.cpp.o.d"
+  "bench_dd"
+  "bench_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

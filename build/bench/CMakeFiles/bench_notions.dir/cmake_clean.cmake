@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_notions.dir/bench_notions.cpp.o"
+  "CMakeFiles/bench_notions.dir/bench_notions.cpp.o.d"
+  "bench_notions"
+  "bench_notions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_notions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ordering.dir/bench_ordering.cpp.o"
+  "CMakeFiles/bench_ordering.dir/bench_ordering.cpp.o.d"
+  "bench_ordering"
+  "bench_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

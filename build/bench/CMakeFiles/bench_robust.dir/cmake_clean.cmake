@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robust.dir/bench_robust.cpp.o"
+  "CMakeFiles/bench_robust.dir/bench_robust.cpp.o.d"
+  "bench_robust"
+  "bench_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

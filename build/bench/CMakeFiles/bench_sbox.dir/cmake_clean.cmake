@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sbox.dir/bench_sbox.cpp.o"
+  "CMakeFiles/bench_sbox.dir/bench_sbox.cpp.o.d"
+  "bench_sbox"
+  "bench_sbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_sbox_analysis.dir/aes_sbox_analysis.cpp.o"
+  "CMakeFiles/aes_sbox_analysis.dir/aes_sbox_analysis.cpp.o.d"
+  "aes_sbox_analysis"
+  "aes_sbox_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_sbox_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_example.dir/composition_example.cpp.o"
+  "CMakeFiles/composition_example.dir/composition_example.cpp.o.d"
+  "composition_example"
+  "composition_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

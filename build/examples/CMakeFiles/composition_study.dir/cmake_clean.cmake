@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_study.dir/composition_study.cpp.o"
+  "CMakeFiles/composition_study.dir/composition_study.cpp.o.d"
+  "composition_study"
+  "composition_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

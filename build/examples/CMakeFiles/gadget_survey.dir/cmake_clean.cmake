@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_survey.dir/gadget_survey.cpp.o"
+  "CMakeFiles/gadget_survey.dir/gadget_survey.cpp.o.d"
+  "gadget_survey"
+  "gadget_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

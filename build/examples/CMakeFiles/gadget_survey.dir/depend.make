@@ -1,0 +1,2 @@
+# Empty dependencies file for gadget_survey.
+# This may be replaced when dependencies are built.

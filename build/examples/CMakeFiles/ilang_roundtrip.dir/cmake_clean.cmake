@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilang_roundtrip.dir/ilang_roundtrip.cpp.o"
+  "CMakeFiles/ilang_roundtrip.dir/ilang_roundtrip.cpp.o.d"
+  "ilang_roundtrip"
+  "ilang_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilang_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

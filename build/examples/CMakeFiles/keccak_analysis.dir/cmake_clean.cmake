@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keccak_analysis.dir/keccak_analysis.cpp.o"
+  "CMakeFiles/keccak_analysis.dir/keccak_analysis.cpp.o.d"
+  "keccak_analysis"
+  "keccak_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keccak_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

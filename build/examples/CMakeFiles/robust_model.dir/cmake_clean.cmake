@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_model.dir/robust_model.cpp.o"
+  "CMakeFiles/robust_model.dir/robust_model.cpp.o.d"
+  "robust_model"
+  "robust_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_explorer.dir/spectral_explorer.cpp.o"
+  "CMakeFiles/spectral_explorer.dir/spectral_explorer.cpp.o.d"
+  "spectral_explorer"
+  "spectral_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/builder.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/builder.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/builder.cpp.o.d"
+  "/root/repo/src/circuit/cone.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/cone.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/cone.cpp.o.d"
+  "/root/repo/src/circuit/ilang_parser.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/ilang_parser.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/ilang_parser.cpp.o.d"
+  "/root/repo/src/circuit/ilang_writer.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/ilang_writer.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/ilang_writer.cpp.o.d"
+  "/root/repo/src/circuit/instantiate.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/instantiate.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/instantiate.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/spec.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/spec.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/spec.cpp.o.d"
+  "/root/repo/src/circuit/unfold.cpp" "src/circuit/CMakeFiles/sani_circuit.dir/unfold.cpp.o" "gcc" "src/circuit/CMakeFiles/sani_circuit.dir/unfold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dd/CMakeFiles/sani_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sani_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sani_circuit.dir/builder.cpp.o"
+  "CMakeFiles/sani_circuit.dir/builder.cpp.o.d"
+  "CMakeFiles/sani_circuit.dir/cone.cpp.o"
+  "CMakeFiles/sani_circuit.dir/cone.cpp.o.d"
+  "CMakeFiles/sani_circuit.dir/ilang_parser.cpp.o"
+  "CMakeFiles/sani_circuit.dir/ilang_parser.cpp.o.d"
+  "CMakeFiles/sani_circuit.dir/ilang_writer.cpp.o"
+  "CMakeFiles/sani_circuit.dir/ilang_writer.cpp.o.d"
+  "CMakeFiles/sani_circuit.dir/instantiate.cpp.o"
+  "CMakeFiles/sani_circuit.dir/instantiate.cpp.o.d"
+  "CMakeFiles/sani_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/sani_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/sani_circuit.dir/spec.cpp.o"
+  "CMakeFiles/sani_circuit.dir/spec.cpp.o.d"
+  "CMakeFiles/sani_circuit.dir/unfold.cpp.o"
+  "CMakeFiles/sani_circuit.dir/unfold.cpp.o.d"
+  "libsani_circuit.a"
+  "libsani_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sani_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

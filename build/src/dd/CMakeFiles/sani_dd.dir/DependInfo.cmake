@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/anf.cpp" "src/dd/CMakeFiles/sani_dd.dir/anf.cpp.o" "gcc" "src/dd/CMakeFiles/sani_dd.dir/anf.cpp.o.d"
+  "/root/repo/src/dd/dot.cpp" "src/dd/CMakeFiles/sani_dd.dir/dot.cpp.o" "gcc" "src/dd/CMakeFiles/sani_dd.dir/dot.cpp.o.d"
+  "/root/repo/src/dd/manager.cpp" "src/dd/CMakeFiles/sani_dd.dir/manager.cpp.o" "gcc" "src/dd/CMakeFiles/sani_dd.dir/manager.cpp.o.d"
+  "/root/repo/src/dd/walsh.cpp" "src/dd/CMakeFiles/sani_dd.dir/walsh.cpp.o" "gcc" "src/dd/CMakeFiles/sani_dd.dir/walsh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sani_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

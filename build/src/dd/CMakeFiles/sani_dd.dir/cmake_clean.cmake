@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sani_dd.dir/anf.cpp.o"
+  "CMakeFiles/sani_dd.dir/anf.cpp.o.d"
+  "CMakeFiles/sani_dd.dir/dot.cpp.o"
+  "CMakeFiles/sani_dd.dir/dot.cpp.o.d"
+  "CMakeFiles/sani_dd.dir/manager.cpp.o"
+  "CMakeFiles/sani_dd.dir/manager.cpp.o.d"
+  "CMakeFiles/sani_dd.dir/walsh.cpp.o"
+  "CMakeFiles/sani_dd.dir/walsh.cpp.o.d"
+  "libsani_dd.a"
+  "libsani_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sani_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsani_dd.a"
+)

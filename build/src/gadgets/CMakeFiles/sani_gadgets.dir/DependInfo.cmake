@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gadgets/aes_sbox.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/aes_sbox.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/aes_sbox.cpp.o.d"
+  "/root/repo/src/gadgets/compose.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/compose.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/compose.cpp.o.d"
+  "/root/repo/src/gadgets/composition.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/composition.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/composition.cpp.o.d"
+  "/root/repo/src/gadgets/dom.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/dom.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/dom.cpp.o.d"
+  "/root/repo/src/gadgets/gf_model.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/gf_model.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/gf_model.cpp.o.d"
+  "/root/repo/src/gadgets/hpc.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/hpc.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/hpc.cpp.o.d"
+  "/root/repo/src/gadgets/isw.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/isw.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/isw.cpp.o.d"
+  "/root/repo/src/gadgets/keccak.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/keccak.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/keccak.cpp.o.d"
+  "/root/repo/src/gadgets/refresh.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/refresh.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/refresh.cpp.o.d"
+  "/root/repo/src/gadgets/registry.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/registry.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/registry.cpp.o.d"
+  "/root/repo/src/gadgets/ti.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/ti.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/ti.cpp.o.d"
+  "/root/repo/src/gadgets/ti_synth.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/ti_synth.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/ti_synth.cpp.o.d"
+  "/root/repo/src/gadgets/trichina.cpp" "src/gadgets/CMakeFiles/sani_gadgets.dir/trichina.cpp.o" "gcc" "src/gadgets/CMakeFiles/sani_gadgets.dir/trichina.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/sani_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/sani_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sani_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sani_gadgets.dir/aes_sbox.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/aes_sbox.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/compose.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/compose.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/composition.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/composition.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/dom.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/dom.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/gf_model.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/gf_model.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/hpc.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/hpc.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/isw.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/isw.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/keccak.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/keccak.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/refresh.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/refresh.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/registry.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/registry.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/ti.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/ti.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/ti_synth.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/ti_synth.cpp.o.d"
+  "CMakeFiles/sani_gadgets.dir/trichina.cpp.o"
+  "CMakeFiles/sani_gadgets.dir/trichina.cpp.o.d"
+  "libsani_gadgets.a"
+  "libsani_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sani_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

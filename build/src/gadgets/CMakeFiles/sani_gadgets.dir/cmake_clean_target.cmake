@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsani_gadgets.a"
+)

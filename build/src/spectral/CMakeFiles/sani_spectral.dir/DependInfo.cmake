@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectral/lil_spectrum.cpp" "src/spectral/CMakeFiles/sani_spectral.dir/lil_spectrum.cpp.o" "gcc" "src/spectral/CMakeFiles/sani_spectral.dir/lil_spectrum.cpp.o.d"
+  "/root/repo/src/spectral/properties.cpp" "src/spectral/CMakeFiles/sani_spectral.dir/properties.cpp.o" "gcc" "src/spectral/CMakeFiles/sani_spectral.dir/properties.cpp.o.d"
+  "/root/repo/src/spectral/spectrum.cpp" "src/spectral/CMakeFiles/sani_spectral.dir/spectrum.cpp.o" "gcc" "src/spectral/CMakeFiles/sani_spectral.dir/spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dd/CMakeFiles/sani_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sani_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

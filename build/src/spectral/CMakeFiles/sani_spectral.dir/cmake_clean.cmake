@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sani_spectral.dir/lil_spectrum.cpp.o"
+  "CMakeFiles/sani_spectral.dir/lil_spectrum.cpp.o.d"
+  "CMakeFiles/sani_spectral.dir/properties.cpp.o"
+  "CMakeFiles/sani_spectral.dir/properties.cpp.o.d"
+  "CMakeFiles/sani_spectral.dir/spectrum.cpp.o"
+  "CMakeFiles/sani_spectral.dir/spectrum.cpp.o.d"
+  "libsani_spectral.a"
+  "libsani_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sani_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

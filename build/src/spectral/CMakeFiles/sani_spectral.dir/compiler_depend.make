@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sani_spectral.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sani_util.dir/cli.cpp.o"
+  "CMakeFiles/sani_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sani_util.dir/combinations.cpp.o"
+  "CMakeFiles/sani_util.dir/combinations.cpp.o.d"
+  "CMakeFiles/sani_util.dir/mask.cpp.o"
+  "CMakeFiles/sani_util.dir/mask.cpp.o.d"
+  "CMakeFiles/sani_util.dir/table.cpp.o"
+  "CMakeFiles/sani_util.dir/table.cpp.o.d"
+  "CMakeFiles/sani_util.dir/timer.cpp.o"
+  "CMakeFiles/sani_util.dir/timer.cpp.o.d"
+  "libsani_util.a"
+  "libsani_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sani_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

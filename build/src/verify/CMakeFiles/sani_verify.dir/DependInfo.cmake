@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/bruteforce.cpp" "src/verify/CMakeFiles/sani_verify.dir/bruteforce.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/bruteforce.cpp.o.d"
+  "/root/repo/src/verify/checker.cpp" "src/verify/CMakeFiles/sani_verify.dir/checker.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/checker.cpp.o.d"
+  "/root/repo/src/verify/engine.cpp" "src/verify/CMakeFiles/sani_verify.dir/engine.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/engine.cpp.o.d"
+  "/root/repo/src/verify/heuristic.cpp" "src/verify/CMakeFiles/sani_verify.dir/heuristic.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/heuristic.cpp.o.d"
+  "/root/repo/src/verify/observables.cpp" "src/verify/CMakeFiles/sani_verify.dir/observables.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/observables.cpp.o.d"
+  "/root/repo/src/verify/predicate.cpp" "src/verify/CMakeFiles/sani_verify.dir/predicate.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/predicate.cpp.o.d"
+  "/root/repo/src/verify/report.cpp" "src/verify/CMakeFiles/sani_verify.dir/report.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/report.cpp.o.d"
+  "/root/repo/src/verify/uniformity.cpp" "src/verify/CMakeFiles/sani_verify.dir/uniformity.cpp.o" "gcc" "src/verify/CMakeFiles/sani_verify.dir/uniformity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/sani_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/sani_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/sani_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sani_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

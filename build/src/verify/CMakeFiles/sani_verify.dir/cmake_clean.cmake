@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sani_verify.dir/bruteforce.cpp.o"
+  "CMakeFiles/sani_verify.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/sani_verify.dir/checker.cpp.o"
+  "CMakeFiles/sani_verify.dir/checker.cpp.o.d"
+  "CMakeFiles/sani_verify.dir/engine.cpp.o"
+  "CMakeFiles/sani_verify.dir/engine.cpp.o.d"
+  "CMakeFiles/sani_verify.dir/heuristic.cpp.o"
+  "CMakeFiles/sani_verify.dir/heuristic.cpp.o.d"
+  "CMakeFiles/sani_verify.dir/observables.cpp.o"
+  "CMakeFiles/sani_verify.dir/observables.cpp.o.d"
+  "CMakeFiles/sani_verify.dir/predicate.cpp.o"
+  "CMakeFiles/sani_verify.dir/predicate.cpp.o.d"
+  "CMakeFiles/sani_verify.dir/report.cpp.o"
+  "CMakeFiles/sani_verify.dir/report.cpp.o.d"
+  "CMakeFiles/sani_verify.dir/uniformity.cpp.o"
+  "CMakeFiles/sani_verify.dir/uniformity.cpp.o.d"
+  "libsani_verify.a"
+  "libsani_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sani_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

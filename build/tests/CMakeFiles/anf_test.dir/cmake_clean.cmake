@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anf_test.dir/anf_test.cpp.o"
+  "CMakeFiles/anf_test.dir/anf_test.cpp.o.d"
+  "anf_test"
+  "anf_test.pdb"
+  "anf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bruteforce_test.dir/bruteforce_test.cpp.o"
+  "CMakeFiles/bruteforce_test.dir/bruteforce_test.cpp.o.d"
+  "bruteforce_test"
+  "bruteforce_test.pdb"
+  "bruteforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

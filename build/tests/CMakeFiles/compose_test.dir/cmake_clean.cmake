@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_test.dir/compose_test.cpp.o"
+  "CMakeFiles/compose_test.dir/compose_test.cpp.o.d"
+  "compose_test"
+  "compose_test.pdb"
+  "compose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_reorder_test.dir/dd_reorder_test.cpp.o"
+  "CMakeFiles/dd_reorder_test.dir/dd_reorder_test.cpp.o.d"
+  "dd_reorder_test"
+  "dd_reorder_test.pdb"
+  "dd_reorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_test.dir/dd_test.cpp.o"
+  "CMakeFiles/dd_test.dir/dd_test.cpp.o.d"
+  "dd_test"
+  "dd_test.pdb"
+  "dd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flawed_test.dir/flawed_test.cpp.o"
+  "CMakeFiles/flawed_test.dir/flawed_test.cpp.o.d"
+  "flawed_test"
+  "flawed_test.pdb"
+  "flawed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flawed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

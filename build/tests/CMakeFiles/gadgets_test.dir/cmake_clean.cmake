@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadgets_test.dir/gadgets_test.cpp.o"
+  "CMakeFiles/gadgets_test.dir/gadgets_test.cpp.o.d"
+  "gadgets_test"
+  "gadgets_test.pdb"
+  "gadgets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadgets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

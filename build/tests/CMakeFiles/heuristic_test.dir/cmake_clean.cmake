@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristic_test.dir/heuristic_test.cpp.o"
+  "CMakeFiles/heuristic_test.dir/heuristic_test.cpp.o.d"
+  "heuristic_test"
+  "heuristic_test.pdb"
+  "heuristic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

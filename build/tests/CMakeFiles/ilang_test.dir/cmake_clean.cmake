@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilang_test.dir/ilang_test.cpp.o"
+  "CMakeFiles/ilang_test.dir/ilang_test.cpp.o.d"
+  "ilang_test"
+  "ilang_test.pdb"
+  "ilang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observables_test.dir/observables_test.cpp.o"
+  "CMakeFiles/observables_test.dir/observables_test.cpp.o.d"
+  "observables_test"
+  "observables_test.pdb"
+  "observables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pini_test.dir/pini_test.cpp.o"
+  "CMakeFiles/pini_test.dir/pini_test.cpp.o.d"
+  "pini_test"
+  "pini_test.pdb"
+  "pini_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pini_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

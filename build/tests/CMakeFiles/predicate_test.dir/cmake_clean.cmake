@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_test.dir/predicate_test.cpp.o"
+  "CMakeFiles/predicate_test.dir/predicate_test.cpp.o.d"
+  "predicate_test"
+  "predicate_test.pdb"
+  "predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/properties_test.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/properties_test.dir/properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/sani_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadgets/CMakeFiles/sani_gadgets.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/sani_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectral/CMakeFiles/sani_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/dd/CMakeFiles/sani_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sani_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_test.dir/robust_test.cpp.o"
+  "CMakeFiles/robust_test.dir/robust_test.cpp.o.d"
+  "robust_test"
+  "robust_test.pdb"
+  "robust_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

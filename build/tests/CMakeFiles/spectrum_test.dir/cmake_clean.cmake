@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_test.dir/spectrum_test.cpp.o"
+  "CMakeFiles/spectrum_test.dir/spectrum_test.cpp.o.d"
+  "spectrum_test"
+  "spectrum_test.pdb"
+  "spectrum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ti_synth_test.dir/ti_synth_test.cpp.o"
+  "CMakeFiles/ti_synth_test.dir/ti_synth_test.cpp.o.d"
+  "ti_synth_test"
+  "ti_synth_test.pdb"
+  "ti_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ti_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

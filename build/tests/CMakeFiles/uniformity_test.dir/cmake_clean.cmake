@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniformity_test.dir/uniformity_test.cpp.o"
+  "CMakeFiles/uniformity_test.dir/uniformity_test.cpp.o.d"
+  "uniformity_test"
+  "uniformity_test.pdb"
+  "uniformity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniformity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walsh_test.dir/walsh_test.cpp.o"
+  "CMakeFiles/walsh_test.dir/walsh_test.cpp.o.d"
+  "walsh_test"
+  "walsh_test.pdb"
+  "walsh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/dd_test[1]_include.cmake")
+include("/root/repo/build/tests/dd_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/dd_reorder_test[1]_include.cmake")
+include("/root/repo/build/tests/walsh_test[1]_include.cmake")
+include("/root/repo/build/tests/spectrum_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/ilang_test[1]_include.cmake")
+include("/root/repo/build/tests/gadgets_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/bruteforce_test[1]_include.cmake")
+include("/root/repo/build/tests/heuristic_test[1]_include.cmake")
+include("/root/repo/build/tests/robust_test[1]_include.cmake")
+include("/root/repo/build/tests/pini_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_test[1]_include.cmake")
+include("/root/repo/build/tests/uniformity_test[1]_include.cmake")
+include("/root/repo/build/tests/aes_sbox_test[1]_include.cmake")
+include("/root/repo/build/tests/checker_test[1]_include.cmake")
+include("/root/repo/build/tests/ti_synth_test[1]_include.cmake")
+include("/root/repo/build/tests/flawed_test[1]_include.cmake")
+include("/root/repo/build/tests/anf_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/observables_test[1]_include.cmake")

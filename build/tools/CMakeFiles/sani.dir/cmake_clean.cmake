@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sani.dir/sani.cpp.o"
+  "CMakeFiles/sani.dir/sani.cpp.o.d"
+  "sani"
+  "sani.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sani.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
