@@ -1,0 +1,56 @@
+#include "sched/cancel.h"
+
+#include <chrono>
+
+namespace sani::sched {
+
+std::int64_t CancelToken::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CancelToken::set_deadline_after(double seconds) {
+  if (seconds <= 0) {
+    deadline_ns_.store(0, std::memory_order_release);
+    return;
+  }
+  deadline_ns_.store(now_ns() + static_cast<std::int64_t>(seconds * 1e9),
+                     std::memory_order_release);
+}
+
+void CancelToken::cancel() {
+  std::int64_t expected = 0;
+  cancel_ns_.compare_exchange_strong(expected, now_ns(),
+                                     std::memory_order_acq_rel);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+bool CancelToken::expired() const {
+  const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+  return d != 0 && now_ns() >= d;
+}
+
+void CancelToken::acknowledge() {
+  // The signal instant: the first cancel() if one happened, else the
+  // deadline (when expired).  Latency = now - signal.
+  std::int64_t signal = cancel_ns_.load(std::memory_order_acquire);
+  if (signal == 0) {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    if (d == 0 || now_ns() < d) return;  // nothing to acknowledge
+    signal = d;
+  }
+  const std::int64_t latency = now_ns() - signal;
+  std::int64_t prev = max_latency_ns_.load(std::memory_order_relaxed);
+  while (latency > prev &&
+         !max_latency_ns_.compare_exchange_weak(prev, latency,
+                                                std::memory_order_acq_rel)) {
+  }
+}
+
+double CancelToken::max_ack_latency() const {
+  return static_cast<double>(max_latency_ns_.load(std::memory_order_acquire)) *
+         1e-9;
+}
+
+}  // namespace sani::sched

@@ -1,0 +1,67 @@
+#pragma once
+// Cooperative cancellation for the verification runtime.
+//
+// A CancelToken carries two independent stop signals that workers poll at
+// combination and shard boundaries (the dd::Manager has no interruption
+// points of its own, so cancellation is cooperative by construction):
+//
+//  * cancel()    — an explicit request, raised e.g. when one worker finds a
+//                  counterexample and the remaining probe-space shards can
+//                  no longer improve on it;
+//  * a deadline  — set_deadline_after(s) arms a wall-clock budget
+//                  (--time-limit); expired() turns true once it passes.
+//
+// Workers call acknowledge() when they observe a signal and stop; the token
+// records the maximum signal-to-acknowledge gap ("cancel latency"), which
+// verify::Report surfaces so shard sizing can be tuned against
+// responsiveness.
+//
+// All members are safe to call concurrently from any thread.
+
+#include <atomic>
+#include <cstdint>
+
+namespace sani::sched {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the deadline `seconds` from now; seconds <= 0 disarms it.
+  void set_deadline_after(double seconds);
+
+  /// Raises the explicit cancellation signal (idempotent).
+  void cancel();
+
+  /// True once cancel() has been called.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// True once the armed deadline has passed (false when disarmed).
+  bool expired() const;
+
+  /// Either signal: the cooperative "should I stop?" poll.
+  bool stop_requested() const { return cancelled() || expired(); }
+
+  /// Records that this thread observed a stop signal and is stopping now;
+  /// updates the latency high-water mark.  No-op if no signal is active.
+  void acknowledge();
+
+  /// Maximum seconds between a signal (cancel() call or deadline expiry)
+  /// and a worker's acknowledge(); 0 when never signalled/acknowledged.
+  double max_ack_latency() const;
+
+ private:
+  static std::int64_t now_ns();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};   // steady-clock ns; 0 = none
+  std::atomic<std::int64_t> cancel_ns_{0};     // time of first cancel()
+  std::atomic<std::int64_t> max_latency_ns_{0};
+};
+
+}  // namespace sani::sched

@@ -1,0 +1,47 @@
+#include "sched/shard.h"
+
+#include <algorithm>
+
+#include "util/combinations.h"
+
+namespace sani::sched {
+
+namespace {
+
+void shard_one_size(int n, int k, int workers, const ShardPlanOptions& opts,
+                    std::vector<Shard>& out) {
+  const std::uint64_t total = binomial(n, k);
+  if (total == 0) return;
+  std::uint64_t size;
+  if (opts.fixed_size > 0) {
+    size = opts.fixed_size;
+  } else {
+    const std::uint64_t target_shards =
+        static_cast<std::uint64_t>(workers) *
+        static_cast<std::uint64_t>(opts.oversubscribe > 0 ? opts.oversubscribe
+                                                          : 1);
+    size = (total + target_shards - 1) / target_shards;
+    size = std::clamp(size, opts.min_size, opts.max_size);
+  }
+  if (size == 0) size = 1;
+  for (std::uint64_t begin = 0; begin < total; begin += size)
+    out.push_back(Shard{k, begin, std::min(begin + size, total)});
+}
+
+}  // namespace
+
+std::vector<Shard> plan_shards(int n, int d, int workers, bool largest_first,
+                               const ShardPlanOptions& options) {
+  std::vector<Shard> out;
+  if (workers < 1) workers = 1;
+  if (largest_first) {
+    for (int k = std::min(d, n); k >= 1; --k)
+      shard_one_size(n, k, workers, options, out);
+  } else {
+    for (int k = 1; k <= d && k <= n; ++k)
+      shard_one_size(n, k, workers, options, out);
+  }
+  return out;
+}
+
+}  // namespace sani::sched

@@ -41,6 +41,11 @@ int CliArgs::value_int(const std::string& name, int def) const {
   return v ? std::atoi(v->c_str()) : def;
 }
 
+double CliArgs::value_double(const std::string& name, double def) const {
+  auto v = value(name);
+  return v ? std::atof(v->c_str()) : def;
+}
+
 std::string CliArgs::value_or(const std::string& name,
                               const std::string& def) const {
   auto v = value(name);

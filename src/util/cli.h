@@ -24,6 +24,9 @@ class CliArgs {
   /// Integer-valued option with a default.
   int value_int(const std::string& name, int def) const;
 
+  /// Double-valued option with a default (fractional --time-limit etc.).
+  double value_double(const std::string& name, double def) const;
+
   /// String-valued option with a default.
   std::string value_or(const std::string& name, const std::string& def) const;
 

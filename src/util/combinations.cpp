@@ -10,15 +10,26 @@ CombinationIter::CombinationIter(int n, int k)
   for (int i = 0; i < k; ++i) idx_.push_back(i);
 }
 
+CombinationIter::CombinationIter(int n, int k, const std::vector<int>& start)
+    : n_(n), k_(k),
+      valid_(k >= 0 && k <= n && static_cast<int>(start.size()) == k),
+      idx_(start) {}
+
 bool CombinationIter::next() {
   if (!valid_ || k_ == 0) return false;
+  return next_combination(idx_, n_);
+}
+
+bool next_combination(std::vector<int>& combo, int n) {
+  const int k = static_cast<int>(combo.size());
   // Find the rightmost index that can still move right.
-  int i = k_ - 1;
-  while (i >= 0 && idx_[static_cast<std::size_t>(i)] == n_ - k_ + i) --i;
+  int i = k - 1;
+  while (i >= 0 && combo[static_cast<std::size_t>(i)] == n - k + i) --i;
   if (i < 0) return false;
-  ++idx_[static_cast<std::size_t>(i)];
-  for (int j = i + 1; j < k_; ++j)
-    idx_[static_cast<std::size_t>(j)] = idx_[static_cast<std::size_t>(j - 1)] + 1;
+  ++combo[static_cast<std::size_t>(i)];
+  for (int j = i + 1; j < k; ++j)
+    combo[static_cast<std::size_t>(j)] =
+        combo[static_cast<std::size_t>(j - 1)] + 1;
   return true;
 }
 
@@ -33,6 +44,36 @@ std::uint64_t binomial(int n, int k) {
     r = r * num / static_cast<std::uint64_t>(i);
   }
   return r;
+}
+
+std::uint64_t combination_rank(int n, const std::vector<int>& combo) {
+  const int k = static_cast<int>(combo.size());
+  std::uint64_t rank = 0;
+  int prev = -1;
+  for (int i = 0; i < k; ++i) {
+    // Combinations starting with a smaller value at position i (and any
+    // admissible tail) all precede this one.
+    for (int v = prev + 1; v < combo[static_cast<std::size_t>(i)]; ++v)
+      rank += binomial(n - 1 - v, k - 1 - i);
+    prev = combo[static_cast<std::size_t>(i)];
+  }
+  return rank;
+}
+
+std::vector<int> unrank_combination(int n, int k, std::uint64_t rank) {
+  std::vector<int> combo;
+  combo.reserve(static_cast<std::size_t>(k));
+  int v = 0;
+  for (int i = 0; i < k; ++i) {
+    for (;; ++v) {
+      const std::uint64_t below = binomial(n - 1 - v, k - 1 - i);
+      if (rank < below) break;
+      rank -= below;
+    }
+    combo.push_back(v);
+    ++v;
+  }
+  return combo;
 }
 
 std::uint64_t count_combinations_up_to(int n, int d) {

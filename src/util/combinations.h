@@ -23,6 +23,11 @@ class CombinationIter {
  public:
   CombinationIter(int n, int k);
 
+  /// Starts the enumeration at an arbitrary combination (ascending indices
+  /// in [0, n)) instead of the first one — used by the sharded runtime to
+  /// resume at a shard's begin rank.
+  CombinationIter(int n, int k, const std::vector<int>& start);
+
   /// The current combination, ascending indices, size k.
   const std::vector<int>& indices() const { return idx_; }
 
@@ -39,10 +44,22 @@ class CombinationIter {
   std::vector<int> idx_;
 };
 
+/// In-place successor in lexicographic order; false when `combo` was the
+/// last size-|combo| subset of {0..n-1}.
+bool next_combination(std::vector<int>& combo, int n);
+
 /// Binomial coefficient C(n, k) saturating at UINT64_MAX.
 std::uint64_t binomial(int n, int k);
 
 /// Number of subsets of {0..n-1} of size between 1 and d (saturating).
 std::uint64_t count_combinations_up_to(int n, int d);
+
+/// Lexicographic rank (combinatorial number system) of a size-k combination
+/// among all size-k subsets of {0..n-1}.  Inverse of unrank_combination.
+std::uint64_t combination_rank(int n, const std::vector<int>& combo);
+
+/// The combination of lexicographic rank `rank` among size-k subsets of
+/// {0..n-1}.  Precondition: rank < C(n, k) (and C(n, k) not saturated).
+std::vector<int> unrank_combination(int n, int k, std::uint64_t rank);
 
 }  // namespace sani

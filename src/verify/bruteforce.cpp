@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "circuit/cone.h"
+#include "sched/cancel.h"
 #include "util/combinations.h"
 #include "verify/checker.h"
 #include "verify/observables.h"
@@ -173,10 +174,20 @@ VerifyResult verify_bruteforce(const circuit::Gadget& gadget,
 
   const int num_secret_bits = static_cast<int>(u.secret_pos.size());
 
+  sched::CancelToken deadline;
+  if (options.time_limit > 0) deadline.set_deadline_after(options.time_limit);
+
   for (int k = options.order; k >= 1; --k) {
     CombinationIter it(N, k);
     if (!it.valid()) continue;
     do {
+      // Per-combination deadline poll: a timeout fires mid-enumeration and
+      // returns the partial-progress result (sani exit code 2).
+      if (deadline.expired()) {
+        result.timed_out = true;
+        deadline.acknowledge();
+        return result;
+      }
       ++result.stats.combinations;
       const auto& combo = it.indices();
 

@@ -1,0 +1,146 @@
+#pragma once
+// The verification execution core (internal header).
+//
+// Driver owns one engine backend over one dd::Manager and checks
+// XOR-combinations of observables against the notion's spectral predicate.
+// It is consumed two ways:
+//
+//  * run() — the serial engines (verify/engine.cpp): full enumeration in
+//    the configured search order, plus the set-level union pass.
+//  * prepare() + run_shard() — the parallel runtime (verify/parallel.cpp):
+//    each pool worker constructs its own Driver over a private manager
+//    (replayed unfolding) and executes contiguous rank ranges of the
+//    combination space, sharing convolution prefixes between
+//    lexicographically adjacent combinations exactly like the serial
+//    largest-first walk.
+//
+// Cancellation is cooperative: the sched::CancelToken (external, or an
+// internal one armed from VerifyOptions::time_limit) is polled at every
+// combination.  All mutable state is confined to the Driver, so distinct
+// Drivers on distinct managers run concurrently without sharing.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "circuit/unfold.h"
+#include "sched/cancel.h"
+#include "sched/shard.h"
+#include "util/mask.h"
+#include "verify/checker.h"
+#include "verify/observables.h"
+#include "verify/predicate.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+namespace detail {
+class Backend;
+}
+
+/// Per-combination dependency data for the set-level union check.
+struct QInfo {
+  RowContext row;
+  std::vector<Mask> V;  // per-secret deps of rows covering exactly this Q
+};
+
+/// Keyed by the combination's ascending observable indices.  Each
+/// combination is checked exactly once across all shards, so per-worker
+/// maps have disjoint key sets and merge trivially.
+using QInfoMap = std::map<std::vector<int>, QInfo>;
+
+class Driver {
+ public:
+  /// `cancel` may be null: the driver then arms an internal token from
+  /// options.time_limit.  An external token is polled but never armed.
+  Driver(const circuit::Unfolded& unfolded, const ObservableSet& obs,
+         const VerifyOptions& options, sched::CancelToken* cancel = nullptr);
+  ~Driver();
+
+  /// Full serial verification (enumeration + union pass).
+  VerifyResult run();
+
+  // --- shard-mode API (parallel runtime) -----------------------------------
+
+  /// A failure found inside a shard, tagged with its combination for the
+  /// deterministic cross-worker merge.
+  struct ShardFailure {
+    std::vector<int> combo;
+    CounterExample ce;
+  };
+
+  struct ShardOutcome {
+    std::optional<ShardFailure> failure;  // first failure within the shard
+    bool timed_out = false;               // deadline expired mid-shard
+    bool abandoned = false;               // stopped: cannot beat best failure
+  };
+
+  /// Builds the backend and the per-observable base spectra ("base" phase).
+  /// Idempotent; run_shard() calls it on first use.
+  void prepare();
+
+  /// Checks lexicographic ranks [shard.begin, shard.end) of the size-k
+  /// combinations.  Stops at the shard's first failure, on deadline expiry,
+  /// or — once the cancel token fires — at the first combination for which
+  /// `still_relevant` returns false (the parallel controller passes the
+  /// "is this combination still ordered before the best known failure?"
+  /// predicate, which keeps the merged witness deterministic).
+  void run_shard(const sched::Shard& shard,
+                 const std::function<bool(const std::vector<int>&)>&
+                     still_relevant,
+                 ShardOutcome& out);
+
+  /// Set-level union pass over an arbitrary (possibly merged) QInfo map.
+  void union_pass_over(const QInfoMap& qinfo, VerifyResult& result);
+
+  /// Union-check data accumulated so far (shard mode).
+  const QInfoMap& qinfo() const { return qinfo_; }
+
+  /// Counters accumulated by this driver (shard mode reads them per worker).
+  const VerifyStats& stats() const { return stats_; }
+
+  /// Peak node count of the underlying manager (per-worker DD pressure).
+  std::size_t peak_nodes() const;
+
+ private:
+  struct CheckFailure {
+    Mask alpha;
+    std::string reason;
+  };
+
+  RowContext context_for_path() const;
+  dd::Bdd violation_region(const RowContext& row);
+
+  /// Checks the current path_ as one combination; failure data on failure.
+  std::optional<CheckFailure> check_current();
+
+  /// Rebuilds the backend stack so that path_ == combo, popping/pushing
+  /// only the differing suffix (prefix sharing).
+  void sync_path(const std::vector<int>& combo);
+
+  CounterExample make_counterexample(const std::vector<int>& combo,
+                                     const CheckFailure& failure) const;
+
+  bool expired(VerifyResult& result);
+  void dfs(int start, VerifyResult& result);
+  void largest_first(VerifyResult& result);
+
+  const circuit::Unfolded& unfolded_;
+  const ObservableSet& obs_;
+  const VerifyOptions& options_;
+  Checker checker_;
+  PredicateBuilder preds_;
+  std::unique_ptr<detail::Backend> backend_;
+  bool prepared_ = false;
+  Mask relevant_publics_;
+  std::vector<int> path_;
+  QInfoMap qinfo_;
+  VerifyStats stats_;
+  sched::CancelToken own_cancel_;
+  sched::CancelToken* cancel_;
+};
+
+}  // namespace sani::verify

@@ -19,18 +19,32 @@
 #include "circuit/spec.h"
 #include "circuit/unfold.h"
 #include "verify/observables.h"
+#include "verify/parallel.h"
 #include "verify/types.h"
 
 namespace sani::verify {
 
 /// Unfolds `gadget`, builds the observable universe and decides the notion.
+/// With options.jobs != 1 this dispatches to the sharded parallel runtime
+/// (verify/parallel.h): same verdict, same witness, N workers.
 VerifyResult verify(const circuit::Gadget& gadget, const VerifyOptions& options);
 
 /// Same, over a pre-built unfolding and observable set (used to analyse
 /// fixed probe configurations such as the Fig. 1 composition example, and
-/// to amortize unfolding across engines in the benchmarks).
+/// to amortize unfolding across engines in the benchmarks).  Always runs
+/// serially: a pre-built manager cannot be shared across workers, so
+/// options.jobs is ignored here — use the replay overload below (or
+/// verify()) for parallel execution.
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const ObservableSet& observables,
                              const VerifyOptions& options);
+
+/// Parallel-capable variant: when options.jobs != 1 and `replay` is
+/// non-null, the pre-built input is ignored and each worker builds its own
+/// replica via `replay` (which must reproduce the same observable universe).
+VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
+                             const ObservableSet& observables,
+                             const VerifyOptions& options,
+                             const PrepareFn& replay);
 
 }  // namespace sani::verify

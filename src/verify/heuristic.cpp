@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dd/anf.h"
+#include "sched/cancel.h"
 #include "util/combinations.h"
 #include "util/timer.h"
 #include "verify/checker.h"
@@ -138,10 +139,19 @@ HeuristicResult verify_heuristic_prepared(const circuit::Unfolded& unfolded,
   const Checker checker(vars, options.notion, options.joint_share_count);
   const int N = static_cast<int>(obs.size());
 
+  sched::CancelToken deadline;
+  if (options.time_limit > 0) deadline.set_deadline_after(options.time_limit);
+
   for (int k = options.order; k >= 1; --k) {
     CombinationIter it(N, k);
     if (!it.valid()) continue;
     do {
+      if (deadline.expired()) {
+        result.timed_out = true;
+        deadline.acknowledge();
+        result.seconds = watch.seconds();
+        return result;
+      }
       ++result.combinations;
       const auto& combo = it.indices();
 

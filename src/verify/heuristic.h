@@ -29,6 +29,7 @@ namespace sani::verify {
 
 struct HeuristicResult {
   bool proven_secure = false;      // every combination proved
+  bool timed_out = false;          // options.time_limit hit mid-enumeration
   std::uint64_t combinations = 0;  // combinations examined
   std::uint64_t inconclusive = 0;  // combinations the rules could not prove
   double seconds = 0.0;

@@ -1,0 +1,164 @@
+#include "verify/parallel.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sched/cancel.h"
+#include "sched/pool.h"
+#include "sched/shard.h"
+#include "util/combinations.h"
+#include "util/timer.h"
+#include "verify/driver.h"
+
+namespace sani::verify {
+
+namespace {
+
+/// The serial engine's total order on combinations.  Depth-first search
+/// visits prefixes before their extensions and smaller index sequences
+/// first — exactly std::vector's lexicographic operator<.  Largest-first
+/// visits sizes descending, ranks ascending within a size.  The parallel
+/// merge reports the minimum failing combination under this order, which is
+/// precisely the combination the serial walk would have failed on first.
+bool combo_before(const std::vector<int>& a, const std::vector<int>& b,
+                  bool largest_first) {
+  if (largest_first && a.size() != b.size()) return a.size() > b.size();
+  return a < b;
+}
+
+struct WorkerCtx {
+  explicit WorkerCtx(PreparedInput in, const VerifyOptions& options,
+                     sched::CancelToken& cancel)
+      : input(std::move(in)),
+        driver(std::make_unique<Driver>(input.unfolded, input.observables,
+                                        options, &cancel)) {}
+
+  PreparedInput input;
+  std::unique_ptr<Driver> driver;
+  std::uint64_t shards = 0;
+};
+
+}  // namespace
+
+VerifyResult verify_parallel(const PrepareFn& prepare,
+                             const VerifyOptions& options) {
+  int jobs = options.jobs;
+  if (jobs == 0) jobs = sched::Pool::hardware_threads();
+  if (jobs < 1) jobs = 1;
+
+  sched::CancelToken cancel;
+  if (options.time_limit > 0) cancel.set_deadline_after(options.time_limit);
+
+  // One replica on the calling thread: sizes the probe space for the shard
+  // plan, and seeds worker 0 so it starts checking while the other workers
+  // are still replaying their unfoldings.
+  PreparedInput first = prepare();
+  const int N = static_cast<int>(first.observables.size());
+
+  VerifyResult result;
+  result.stats.num_observables = static_cast<std::size_t>(N);
+
+  const bool largest =
+      options.search_order == SearchOrder::kLargestFirst;
+  sched::ShardPlanOptions plan_options;
+  if (options.shard_size > 0) plan_options.fixed_size = options.shard_size;
+  const std::vector<sched::Shard> shards =
+      sched::plan_shards(N, options.order, jobs, largest, plan_options);
+
+  std::vector<std::unique_ptr<WorkerCtx>> ctx(static_cast<std::size_t>(jobs));
+  ctx[0] = std::make_unique<WorkerCtx>(std::move(first), options, cancel);
+
+  // The deterministic merge state: the best (order-minimal) failure so far.
+  std::mutex best_mu;
+  std::optional<Driver::ShardFailure> best;
+  std::atomic<std::uint64_t> skipped{0};
+  std::atomic<std::uint64_t> abandoned{0};
+  std::atomic<bool> timed_out{false};
+
+  // True while `combo` is still ordered before the best known failure —
+  // i.e. checking it can still change the reported witness.
+  auto still_relevant = [&](const std::vector<int>& combo) {
+    std::lock_guard<std::mutex> lk(best_mu);
+    return !best || combo_before(combo, best->combo, largest);
+  };
+
+  sched::Pool pool(jobs);
+  const sched::PoolStats pool_stats = pool.run(
+      shards.size(), [&](int worker, std::size_t task) {
+        auto& slot = ctx[static_cast<std::size_t>(worker)];
+        if (!slot)
+          slot = std::make_unique<WorkerCtx>(prepare(), options, cancel);
+        const sched::Shard& shard = shards[task];
+
+        // Claiming a whole shard is pointless once a failure ordered before
+        // its first combination exists; skip it outright.
+        if (cancel.cancelled() &&
+            !still_relevant(
+                unrank_combination(N, shard.k, shard.begin))) {
+          skipped.fetch_add(1, std::memory_order_relaxed);
+          cancel.acknowledge();
+          return;
+        }
+
+        Driver::ShardOutcome out;
+        slot->driver->run_shard(shard, still_relevant, out);
+        ++slot->shards;
+        if (out.timed_out) timed_out.store(true, std::memory_order_relaxed);
+        if (out.abandoned) abandoned.fetch_add(1, std::memory_order_relaxed);
+        if (out.failure) {
+          std::lock_guard<std::mutex> lk(best_mu);
+          if (!best || combo_before(out.failure->combo, best->combo, largest))
+            best = std::move(out.failure);
+          cancel.cancel();
+        }
+      });
+
+  // Merge: counters, per-worker stats, union-check data.
+  QInfoMap merged_qinfo;
+  result.stats.parallel.jobs = jobs;
+  result.stats.parallel.shards_total = shards.size();
+  result.stats.parallel.shards_stolen = pool_stats.tasks_stolen;
+  result.stats.parallel.shards_skipped =
+      skipped.load(std::memory_order_relaxed);
+  result.stats.parallel.shards_abandoned =
+      abandoned.load(std::memory_order_relaxed);
+  result.stats.parallel.workers.resize(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    const auto& slot = ctx[static_cast<std::size_t>(w)];
+    if (!slot) continue;  // this worker never claimed a shard
+    const VerifyStats& ws = slot->driver->stats();
+    WorkerStats& out = result.stats.parallel.workers[static_cast<std::size_t>(w)];
+    out.shards = slot->shards;
+    out.combinations = ws.combinations;
+    out.coefficients = ws.coefficients;
+    out.peak_nodes = slot->driver->peak_nodes();
+    result.stats.combinations += ws.combinations;
+    result.stats.coefficients += ws.coefficients;
+    for (const auto& name : ws.timers.names())
+      result.stats.timers.add(name, ws.timers.get(name));
+    if (options.union_check && options.notion != Notion::kProbing)
+      for (const auto& [combo, info] : slot->driver->qinfo())
+        merged_qinfo.emplace(combo, info);
+  }
+
+  if (best) {
+    result.secure = false;
+    result.counterexample = std::move(best->ce);
+  } else if (timed_out.load(std::memory_order_relaxed) || cancel.expired()) {
+    result.timed_out = true;
+  } else if (options.union_check && options.notion != Notion::kProbing) {
+    // Every combination passed the per-row check; the set-level pass runs
+    // once, on the merged dependency data (identical to the serial pass —
+    // the per-worker maps partition the combination space).
+    ScopedPhase phase(result.stats.timers, "union");
+    ctx[0]->driver->union_pass_over(merged_qinfo, result);
+  }
+  result.stats.parallel.cancel_latency = cancel.max_ack_latency();
+  return result;
+}
+
+}  // namespace sani::verify

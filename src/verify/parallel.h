@@ -1,0 +1,44 @@
+#pragma once
+// Sharded parallel verification (VerifyOptions::jobs != 1).
+//
+// The combination space is embarrassingly parallel — the paper's cost model
+// is dominated by the C(|Q|, d) per-combination checks — but the dd::Manager
+// is not: garbage collection and reordering run at single-threaded safe
+// points.  The runtime therefore replays the gadget's unfolding once per
+// worker (PrepareFn), shards the combination space by lexicographic rank
+// (sched::plan_shards), executes shards on a work-stealing pool
+// (sched::Pool), and merges failures deterministically: the reported
+// counterexample is the smallest failing combination in the serial engine's
+// search order, independent of thread count and completion order.  A shared
+// sched::CancelToken propagates the first counterexample and the
+// --time-limit deadline cooperatively.
+
+#include <functional>
+
+#include "circuit/unfold.h"
+#include "verify/observables.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+/// A per-worker replica of the verification input: a private manager with
+/// the unfolding replayed into it, plus the observable universe built over
+/// it.  Every PrepareFn call must yield the same universe (same names, same
+/// order, same functions) — the replicas differ only in which manager owns
+/// the nodes.
+struct PreparedInput {
+  circuit::Unfolded unfolded;
+  ObservableSet observables;
+};
+
+/// Invoked once per worker, on the worker's own thread (and once on the
+/// calling thread to size the probe space).
+using PrepareFn = std::function<PreparedInput()>;
+
+/// Runs the sharded parallel verification.  `options.jobs` selects the
+/// worker count (0 = hardware concurrency); jobs == 1 still goes through
+/// the runtime with a single worker.
+VerifyResult verify_parallel(const PrepareFn& prepare,
+                             const VerifyOptions& options);
+
+}  // namespace sani::verify

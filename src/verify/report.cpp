@@ -72,6 +72,27 @@ std::string json_report(const std::string& gadget_name,
   os << "\"combinations\":" << result.stats.combinations << ",";
   os << "\"coefficients\":" << result.stats.coefficients << ",";
   os << "\"seconds\":" << seconds << ",";
+  os << "\"jobs\":"
+     << (result.stats.parallel.jobs > 0 ? result.stats.parallel.jobs : 1)
+     << ",";
+  if (result.stats.parallel.jobs > 0) {
+    const ParallelStats& p = result.stats.parallel;
+    os << "\"parallel\":{";
+    os << "\"shards\":" << p.shards_total << ",";
+    os << "\"shards_stolen\":" << p.shards_stolen << ",";
+    os << "\"shards_skipped\":" << p.shards_skipped << ",";
+    os << "\"shards_abandoned\":" << p.shards_abandoned << ",";
+    os << "\"cancel_latency\":" << p.cancel_latency << ",";
+    os << "\"workers\":[";
+    for (std::size_t w = 0; w < p.workers.size(); ++w) {
+      if (w) os << ',';
+      os << "{\"shards\":" << p.workers[w].shards
+         << ",\"combinations\":" << p.workers[w].combinations
+         << ",\"coefficients\":" << p.workers[w].coefficients
+         << ",\"peak_nodes\":" << p.workers[w].peak_nodes << "}";
+    }
+    os << "]},";
+  }
   os << "\"phases\":{";
   const auto& names = result.stats.timers.names();
   for (std::size_t i = 0; i < names.size(); ++i) {
@@ -110,6 +131,18 @@ std::string detailed_report(const circuit::Gadget& gadget,
      << "  coefficients: " << result.stats.coefficients << "\n";
   for (const auto& name : result.stats.timers.names())
     os << "  phase " << name << ": " << result.stats.timers.get(name) << " s\n";
+  if (result.stats.parallel.jobs > 0) {
+    const ParallelStats& p = result.stats.parallel;
+    os << "parallel: " << p.jobs << " jobs, " << p.shards_total << " shards ("
+       << p.shards_stolen << " stolen, " << p.shards_skipped << " skipped, "
+       << p.shards_abandoned << " abandoned), cancel latency "
+       << p.cancel_latency << " s\n";
+    for (std::size_t w = 0; w < p.workers.size(); ++w)
+      os << "  worker " << w << ": " << p.workers[w].shards << " shards, "
+         << p.workers[w].combinations << " combinations, "
+         << p.workers[w].coefficients << " coefficients, peak "
+         << p.workers[w].peak_nodes << " nodes\n";
+  }
   if (result.timed_out) {
     os << "verdict: TIMED OUT\n";
     return os.str();

@@ -82,8 +82,23 @@ struct VerifyOptions {
   bool joint_share_count = false;
 
   /// Wall-clock budget in seconds; 0 = unlimited.  On expiry the engine
-  /// stops and sets VerifyResult::timed_out.
+  /// stops mid-enumeration (the deadline is polled at every combination)
+  /// and sets VerifyResult::timed_out.
   double time_limit = 0.0;
+
+  /// Worker count for the sharded parallel runtime (src/sched).  1 = the
+  /// serial engine (default); 0 = one worker per hardware thread; N > 1 =
+  /// exactly N workers.  Each worker owns a private dd::Manager and replays
+  /// the gadget's unfolding (the manager's GC/reordering safe-point design
+  /// is single-threaded); verdicts and witnesses are independent of the
+  /// worker count — see DESIGN.md "Threading model".
+  int jobs = 1;
+
+  /// Combinations per shard for the parallel runtime; 0 = auto sizing from
+  /// the worker count (sched::plan_shards).  Small values tighten the
+  /// cancellation latency and exercise stealing; large values amortize
+  /// shard setup.
+  std::uint64_t shard_size = 0;
 
   /// Computed-table size of the diagram manager (2^bits entries).
   int cache_bits = 18;
@@ -109,11 +124,32 @@ struct CounterExample {
   std::string reason;                    // human-readable explanation
 };
 
+/// Per-worker counters of a parallel run (VerifyOptions::jobs != 1).
+struct WorkerStats {
+  std::uint64_t shards = 0;        // shards this worker executed
+  std::uint64_t combinations = 0;  // combinations it checked
+  std::uint64_t coefficients = 0;  // spectrum entries it scanned/produced
+  std::size_t peak_nodes = 0;      // its private manager's peak node count
+};
+
+/// Runtime counters of a parallel run; `jobs` stays 0 on serial runs.
+struct ParallelStats {
+  int jobs = 0;                        // workers actually used
+  std::uint64_t shards_total = 0;      // shards the plan produced
+  std::uint64_t shards_stolen = 0;     // executed by a non-owner worker
+  std::uint64_t shards_skipped = 0;    // cancelled before starting
+  std::uint64_t shards_abandoned = 0;  // cancelled mid-shard
+  double cancel_latency = 0.0;  // max cancel-to-acknowledge gap (seconds)
+  std::vector<WorkerStats> workers;
+};
+
 struct VerifyStats {
   std::uint64_t combinations = 0;   // XOR-combinations enumerated
   std::uint64_t coefficients = 0;   // spectrum entries scanned/produced
   std::size_t num_observables = 0;  // outputs + probes in the universe
   PhaseTimers timers;               // base / convolution / verification / union
+                                    // (summed across workers when parallel)
+  ParallelStats parallel;
 };
 
 struct VerifyResult {

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/builder.h"
+#include "gadgets/registry.h"
+#include "util/combinations.h"
+#include "verify/bruteforce.h"
+#include "verify/engine.h"
+#include "verify/heuristic.h"
+
+namespace sani::verify {
+namespace {
+
+using circuit::Gadget;
+using circuit::GadgetBuilder;
+using circuit::WireId;
+
+// Verdict + witness, flattened for equality assertions.  Two runs agree iff
+// their fingerprints are identical strings.
+std::string fingerprint(const VerifyResult& r) {
+  std::string fp = r.timed_out ? "timeout" : (r.secure ? "secure" : "insecure");
+  if (r.counterexample) {
+    fp += " |";
+    for (const auto& o : r.counterexample->observables) fp += " " + o;
+    fp += " | alpha=" + r.counterexample->alpha.to_string();
+    fp += " | " + r.counterexample->reason;
+  }
+  return fp;
+}
+
+// The tentpole acceptance criterion: for every registry gadget and order,
+// the parallel runtime returns the serial engine's verdict AND witness for
+// any worker count.  shard_size is pinned small so even tiny probe spaces
+// split into many shards (exercising the merge, not just one worker).
+TEST(Parallel, DeterministicAcrossJobCountsAllRegistryGadgets) {
+  for (const std::string& name : gadgets::all_names()) {
+    const Gadget g = gadgets::by_name(name);
+    for (int order : {1, 2}) {
+      VerifyOptions opt;
+      opt.notion = Notion::kSNI;
+      opt.order = order;
+      opt.jobs = 1;
+      const VerifyResult serial = verify(g, opt);
+      const std::string want = fingerprint(serial);
+      for (int jobs : {2, 4}) {
+        opt.jobs = jobs;
+        opt.shard_size = 7;
+        const VerifyResult parallel = verify(g, opt);
+        EXPECT_EQ(fingerprint(parallel), want)
+            << name << " order " << order << " jobs " << jobs;
+        if (serial.secure && !serial.timed_out) {
+          EXPECT_EQ(parallel.stats.combinations, serial.stats.combinations)
+              << name << " order " << order << " jobs " << jobs;
+        }
+        EXPECT_EQ(parallel.stats.parallel.jobs, jobs);
+      }
+    }
+  }
+}
+
+// Largest-first search visits a different serial order (sizes descending);
+// the parallel merge must reproduce *that* witness too.
+TEST(Parallel, DeterministicUnderLargestFirst) {
+  const Gadget g = gadgets::by_name("isw-2");
+  VerifyOptions opt;
+  opt.notion = Notion::kPINI;
+  opt.order = 2;
+  opt.search_order = SearchOrder::kLargestFirst;
+  opt.jobs = 1;
+  const std::string want = fingerprint(verify(g, opt));
+  EXPECT_NE(want.find("insecure"), std::string::npos);
+  for (int jobs : {2, 4}) {
+    opt.jobs = jobs;
+    opt.shard_size = 5;
+    EXPECT_EQ(fingerprint(verify(g, opt)), want) << "jobs " << jobs;
+  }
+}
+
+// A wide gadget with one seeded leak on the very first observable: output
+// share c0 = a0 ^ a1 recombines the secret, followed by a long tail of
+// properly blinded wires.  The first shard fails immediately; everything
+// after it can only be skipped or abandoned.
+Gadget wide_flawed(int tail) {
+  GadgetBuilder b("wide_flawed");
+  const auto a = b.secret("a", 2);
+  const auto r = b.randoms("r", tail);
+  std::vector<WireId> blinded;
+  for (int i = 0; i < tail; ++i)
+    blinded.push_back(b.xor_(a[i % 2], r[static_cast<std::size_t>(i)],
+                             "m" + std::to_string(i)));
+  const WireId leak = b.xor_(a[0], a[1], "leak");  // the seeded flaw
+  b.output_group("c", {leak, b.buf(blinded[0], "c1")});
+  return b.build();
+}
+
+TEST(Parallel, CounterexampleCancelsRemainingShards) {
+  const Gadget g = wide_flawed(48);
+  VerifyOptions opt;
+  opt.notion = Notion::kProbing;
+  opt.order = 1;
+
+  opt.jobs = 1;
+  const VerifyResult serial = verify(g, opt);
+  ASSERT_FALSE(serial.secure);
+  const std::uint64_t total =
+      count_combinations_up_to(static_cast<int>(serial.stats.num_observables),
+                               opt.order);
+
+  opt.jobs = 4;
+  opt.shard_size = 2;  // many shards after the failing one
+  const VerifyResult parallel = verify(g, opt);
+  EXPECT_EQ(fingerprint(parallel), fingerprint(serial));
+  // Worker 0 is seeded with the pre-built replica, so it reaches the leak in
+  // shard 0 while the other workers are still replaying their unfoldings;
+  // the rest of the probe space must not have been enumerated.
+  EXPECT_LT(parallel.stats.combinations, total);
+  EXPECT_GE(parallel.stats.parallel.shards_skipped +
+                parallel.stats.parallel.shards_abandoned,
+            1u);
+}
+
+// --time-limit must fire *mid-enumeration*, not only between sizes: a tiny
+// budget on a 25k-combination space has to come back partial.
+TEST(Parallel, TimeLimitFiresMidEnumerationSerial) {
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  opt.time_limit = 0.005;
+  opt.jobs = 1;
+  const VerifyResult r = verify(gadgets::by_name("keccak-3"), opt);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(r.stats.combinations, 25425u);  // C(225,1) + C(225,2)
+}
+
+TEST(Parallel, TimeLimitFiresMidEnumerationParallel) {
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  opt.time_limit = 0.005;
+  opt.jobs = 4;
+  const VerifyResult r = verify(gadgets::by_name("keccak-3"), opt);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.counterexample.has_value());
+  EXPECT_LT(r.stats.combinations, 25425u);
+}
+
+TEST(Parallel, TimeLimitFiresInBruteforce) {
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 3;
+  opt.time_limit = 0.002;
+  const VerifyResult r =
+      verify_bruteforce(gadgets::by_name("dom-3"), opt);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(Parallel, TimeLimitFiresInHeuristic) {
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  opt.time_limit = 0.002;
+  const HeuristicResult r =
+      verify_heuristic(gadgets::by_name("keccak-3"), opt);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.proven_secure);
+}
+
+// jobs = 0 resolves to the hardware thread count and must behave like any
+// other worker count.
+TEST(Parallel, JobsZeroUsesHardwareConcurrency) {
+  const Gadget g = gadgets::by_name("dom-2");
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  opt.jobs = 1;
+  const std::string want = fingerprint(verify(g, opt));
+  opt.jobs = 0;
+  const VerifyResult r = verify(g, opt);
+  EXPECT_EQ(fingerprint(r), want);
+  EXPECT_GE(r.stats.parallel.jobs, 1);
+}
+
+// The replay overload of verify_prepared: parallel when given a prepare
+// function, byte-identical to the serial prepared path.
+TEST(Parallel, PreparedReplayOverloadMatchesSerial) {
+  const Gadget g = gadgets::by_name("dom-2");
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+
+  circuit::Unfolded unfolded = circuit::unfold(g, opt.cache_bits);
+  ObservableSet obs = build_observables(g, unfolded, opt.probes);
+  opt.jobs = 1;
+  const std::string want = fingerprint(verify_prepared(unfolded, obs, opt));
+
+  opt.jobs = 2;
+  opt.shard_size = 9;
+  const VerifyResult r = verify_prepared(
+      unfolded, obs, opt, [&g, &opt]() {
+        PreparedInput input;
+        input.unfolded = circuit::unfold(g, opt.cache_bits);
+        input.observables =
+            build_observables(g, input.unfolded, opt.probes);
+        return input;
+      });
+  EXPECT_EQ(fingerprint(r), want);
+  EXPECT_EQ(r.stats.parallel.jobs, 2);
+}
+
+}  // namespace
+}  // namespace sani::verify

@@ -8,6 +8,7 @@
 //   sani verify   (--file g.ilang | --gadget dom-2) [--notion sni]
 //                 [--order D] [--engine mapi] [--robust] [--joint]
 //                 [--no-union] [--time-limit S] [--var-order NAME]
+//                 [--jobs N]                    # 0 = all hardware threads
 //   sani uniform  (--file g.ilang | --gadget ti-1)
 //   sani stats    (--file g.ilang | --gadget keccak-2)
 //   sani emit     --gadget isw-2                  # print annotated ILANG
@@ -43,7 +44,10 @@ int usage(const std::string& msg = "") {
       "  --robust                       glitch-extended probes\n"
       "  --joint                        total share counting (paper Fig. 2)\n"
       "  --no-union                     per-row T-predicate check only\n"
-      "  --time-limit S                 wall-clock budget in seconds\n"
+      "  --time-limit S                 wall-clock budget in seconds "
+      "(fractional ok)\n"
+      "  --jobs N                       worker threads (default 1; 0 = all\n"
+      "                                 hardware threads)\n"
       "  --var-order declared|randoms-first|randoms-last|interleaved\n"
       "  --sift                         dynamic reordering after unfolding\n"
       "  --largest-first                max-size combinations first "
@@ -96,7 +100,9 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   opt.probes.glitch_robust = args.has("robust");
   opt.joint_share_count = args.has("joint");
   opt.union_check = !args.has("no-union");
-  opt.time_limit = args.value_int("time-limit", 0);
+  opt.time_limit = args.value_double("time-limit", 0.0);
+  opt.jobs = args.value_int("jobs", 1);
+  if (opt.jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
 
   const std::string vo = args.value_or("var-order", "declared");
   if (vo == "declared") opt.var_order = circuit::VarOrder::kDeclared;
