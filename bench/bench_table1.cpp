@@ -5,12 +5,50 @@
 // Absolute times differ on other hardware; the shape to reproduce is the
 // per-gadget speedup column: ~2x on the small gadgets, around parity on
 // dom-2/3/4, and orders of magnitude on keccak-2/3.
+//
+// --json [PATH] additionally writes the rows as machine-readable JSON
+// (default PATH: BENCH_table1.json).  The committed baseline at the repo
+// root was generated with `bench_table1 --quick --json`; absolute seconds
+// in it are machine-specific — compare speedup shape, not time.
+
+#include <fstream>
 
 #include "bench_common.h"
 #include "util/table.h"
 
 using namespace sani;
 using namespace sani::bench;
+
+namespace {
+
+struct JsonRow {
+  std::string gadget;
+  int level = 0;
+  RunResult lil;
+  RunResult mapi;
+  std::string speedup;
+};
+
+void write_json(const std::string& path, const std::vector<JsonRow>& rows,
+                double median_speedup) {
+  std::ofstream os(path);
+  os << "{\n  \"table\": \"I\",\n  \"notion\": \"sni\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    os << "    {\"gadget\": \"" << r.gadget << "\", \"level\": " << r.level
+       << ", \"lil_seconds\": " << r.lil.seconds
+       << ", \"lil_timed_out\": " << (r.lil.timed_out ? "true" : "false")
+       << ", \"mapi_seconds\": " << r.mapi.seconds
+       << ", \"mapi_timed_out\": " << (r.mapi.timed_out ? "true" : "false")
+       << ", \"speedup\": \"" << r.speedup << "\", \"secure\": "
+       << (r.mapi.result.secure ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"median_speedup\": " << median_speedup
+     << ",\n  \"paper_median_speedup\": 1.88\n}\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
@@ -20,6 +58,7 @@ int main(int argc, char** argv) {
   TextTable table({"sec. lev.", "gadget", "LIL (s)", "MAPI (s)", "speed-up",
                    "SNI"});
   std::vector<double> speedups;
+  std::vector<JsonRow> json_rows;
   for (const std::string& name : select_gadgets(args)) {
     RunResult lil = run_gadget(name, verify::EngineKind::kLIL, timeout);
     RunResult mapi = run_gadget(name, verify::EngineKind::kMAPI, timeout);
@@ -43,10 +82,17 @@ int main(int argc, char** argv) {
         .add(fmt_time(mapi))
         .add(speedup)
         .add(fmt_verdict(mapi));
+    json_rows.push_back({name, gadgets::security_level(name), lil, mapi,
+                         speedup});
   }
   std::cout << table.to_ascii();
   std::cout << "median speed-up (completed rows): " << std::fixed
             << std::setprecision(2) << median(speedups)
             << "   (paper: 1.88)\n";
+  if (args.has("json")) {
+    const std::string path = args.value_or("json", "BENCH_table1.json");
+    write_json(path, json_rows, median(speedups));
+    std::cout << "json rows written to " << path << "\n";
+  }
   return 0;
 }

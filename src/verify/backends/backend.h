@@ -1,0 +1,73 @@
+#pragma once
+// The engine backend interface (the mutable layer of the pipeline).
+//
+// A backend maintains the engine-specific representation of the rows at the
+// current combination: a stack of row sets, one level per observable on the
+// enumeration path.  The per-observable base data lives in the shared,
+// immutable verify::Basis (or, for manager-bound representations, is built
+// once per backend in prepare()); the stack levels are immutable row sets
+// shared with the prefix memo, so pushing a previously seen prefix is a
+// pointer copy.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dd/bdd.h"
+#include "util/mask.h"
+#include "util/timer.h"
+#include "verify/basis.h"
+#include "verify/checker.h"
+#include "verify/observables.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+/// Construction context for a backend.  `manager`/`observables`/`rho_zero`
+/// are only set for engines whose registry entry has needs_manager (the ADD
+/// verification step and the FUJITA transform are manager-bound); scan
+/// backends run entirely on the shared Basis.
+struct BackendContext {
+  std::shared_ptr<const Basis> basis;
+  dd::Manager* manager = nullptr;
+  const ObservableSet* observables = nullptr;  // manager-bound BDD functions
+  dd::Bdd rho_zero;                            // FUJITA set-level check
+  PhaseTimers* timers = nullptr;
+  std::uint64_t* coefficients = nullptr;
+  CacheStats* memo_stats = nullptr;
+  std::int64_t memo_capacity = 0;
+  int order = 1;  // full-depth rows are never reused; the memo skips them
+};
+
+/// Per-combination inputs of the row check, provided by the RowCheck layer.
+struct RowCheckQuery {
+  dd::Bdd violation_region;                 // ADD backends
+  const ForbiddenRegion* region = nullptr;  // scan backends
+  std::uint64_t* coefficients = nullptr;    // region lookups are counted here
+};
+
+/// Engine-specific representation of the rows at the current combination.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Builds any manager-bound base data and the root row.  The shared,
+  /// manager-independent base spectra are prepared once in build_basis().
+  virtual void prepare() = 0;
+
+  /// Extends the current combination by the last element of `path` (the
+  /// full path is the memo key); the row set becomes the cross product of
+  /// the previous rows with the observable's XOR-subsets.
+  virtual void push(const std::vector<int>& path) = 0;
+  virtual void pop() = 0;
+
+  /// Applies the per-row check to every row of the current combination.
+  virtual std::optional<Mask> check_rows(const RowCheckQuery& q) = 0;
+
+  /// Unions the rho=0 share supports of the current rows into V (per
+  /// secret), for the set-level check.
+  virtual void accumulate_deps(std::vector<Mask>& V) = 0;
+};
+
+}  // namespace sani::verify

@@ -1,0 +1,85 @@
+#include "verify/backends/map_backend.h"
+
+#include "dd/add.h"
+
+namespace sani::verify {
+
+using spectral::Spectrum;
+
+MapBackend::MapBackend(const BackendContext& ctx, bool use_add)
+    : basis_(ctx.basis),
+      manager_(ctx.manager),
+      use_add_(use_add),
+      timers_(*ctx.timers),
+      coefficients_(*ctx.coefficients),
+      order_(ctx.order),
+      memo_(ctx.memo_capacity, ctx.memo_stats) {}
+
+void MapBackend::prepare() {
+  rows_.push_back(std::make_shared<RowSet>(
+      RowSet{Spectrum::constant_zero(basis_->vars.num_vars)}));
+}
+
+void MapBackend::push(const std::vector<int>& path) {
+  ScopedPhase phase(timers_, "convolution");
+  // Full-depth rows can never be reused as prefixes; keep them out of the
+  // memo so its slots hold prefixes only.
+  const bool memoize = static_cast<int>(path.size()) < order_;
+  if (memoize) {
+    if (const auto* hit = memo_.find(path)) {
+      rows_.push_back(hit->rows);
+      coefficients_ += hit->coefficients;
+      return;
+    }
+  }
+  const RowSet& cur = *rows_.back();
+  const std::vector<Spectrum>& base = basis_->spectra[path.back()];
+  auto next = std::make_shared<RowSet>();
+  next->reserve(cur.size() * base.size());
+  std::uint64_t coeffs = 0;
+  for (const Spectrum& r : cur)
+    for (const Spectrum& s : base) {
+      next->push_back(r.convolve(s));
+      coeffs += next->back().nonzero_count();
+    }
+  coefficients_ += coeffs;
+  if (memoize) memo_.insert(path, {next, coeffs});
+  rows_.push_back(std::move(next));
+}
+
+void MapBackend::pop() { rows_.pop_back(); }
+
+std::optional<Mask> MapBackend::check_rows(const RowCheckQuery& q) {
+  ScopedPhase phase(timers_, "verification");
+  for (const Spectrum& r : *rows_.back()) {
+    if (use_add_) {
+      // The paper's MAPI step: W as an ADD, multiplied against the
+      // violation region T; a nonzero product is a witness.
+      dd::Add w = r.to_add(*manager_);
+      dd::Bdd hit = w.nonzero() & q.violation_region;
+      Mask alpha;
+      if (hit.any_sat(&alpha)) return alpha;
+    } else {
+      // MAP verification = product of W with the materialized relation
+      // vector T: every forbidden coordinate is looked up in the hash map.
+      if (q.region->empty()) continue;
+      Mask witness;
+      if (q.region->find_violation(
+              [&](const Mask& a) { return r.at(a) != 0; }, &witness,
+              q.coefficients))
+        return witness;
+    }
+  }
+  return std::nullopt;
+}
+
+void MapBackend::accumulate_deps(std::vector<Mask>& V) {
+  for (const Spectrum& r : *rows_.back())
+    for (const auto& [alpha, v] : r.coefficients()) {
+      if (alpha.intersects(basis_->vars.random_vars)) continue;
+      for (std::size_t i = 0; i < V.size(); ++i)
+        V[i] |= alpha & basis_->vars.secret_vars[i];
+    }
+}
+
+}  // namespace sani::verify

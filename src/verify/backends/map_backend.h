@@ -1,0 +1,36 @@
+#pragma once
+// Hash-map backend (MAP and MAPI engines).
+//
+// Convolution runs on the shared Basis' hash-map spectra.  Verification is
+// either the scan product with the materialized ForbiddenRegion (MAP) or
+// the paper's symbolic ADD product (MAPI; needs the manager).
+
+#include "verify/backends/backend.h"
+#include "verify/prefix_memo.h"
+
+namespace sani::verify {
+
+class MapBackend : public Backend {
+ public:
+  MapBackend(const BackendContext& ctx, bool use_add);
+
+  void prepare() override;
+  void push(const std::vector<int>& path) override;
+  void pop() override;
+  std::optional<Mask> check_rows(const RowCheckQuery& q) override;
+  void accumulate_deps(std::vector<Mask>& V) override;
+
+ private:
+  using RowSet = std::vector<spectral::Spectrum>;
+
+  std::shared_ptr<const Basis> basis_;
+  dd::Manager* manager_;  // MAPI verification only
+  bool use_add_;
+  PhaseTimers& timers_;
+  std::uint64_t& coefficients_;
+  int order_;
+  PrefixMemo<RowSet> memo_;
+  std::vector<std::shared_ptr<const RowSet>> rows_;
+};
+
+}  // namespace sani::verify

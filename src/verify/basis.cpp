@@ -1,0 +1,63 @@
+#include "verify/basis.h"
+
+#include "util/timer.h"
+#include "verify/backends/registry.h"
+
+namespace sani::verify {
+
+std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
+                                         const ObservableSet& observables,
+                                         const BasisNeeds& needs) {
+  Stopwatch watch;
+  auto basis = std::make_shared<Basis>();
+  basis->vars = unfolded.vars;
+  basis->num_outputs = observables.num_outputs;
+  basis->obs.reserve(observables.items.size());
+
+  Mask used;
+  for (const auto& o : observables.items) {
+    ObservableInfo info;
+    info.kind = o.kind;
+    info.name = o.name;
+    info.output_group = o.output_group;
+    info.output_share_index = o.output_share_index;
+    info.num_subsets = (std::size_t{1} << o.fns.size()) - 1;
+    basis->obs.push_back(std::move(info));
+
+    for (const auto& f : o.fns) used |= f.support();
+
+    if (!needs.spectra) continue;
+    std::vector<spectral::Spectrum> subsets;
+    subsets.reserve((std::size_t{1} << o.fns.size()) - 1);
+    for_each_xor_subset(o, *unfolded.manager, [&](const dd::Bdd& x) {
+      subsets.push_back(spectral::Spectrum::from_bdd(x));
+      basis->base_coefficients += subsets.back().nonzero_count();
+    });
+    if (needs.lil) {
+      std::vector<spectral::LilSpectrum> lil;
+      lil.reserve(subsets.size());
+      for (const auto& s : subsets)
+        lil.push_back(spectral::LilSpectrum::from_spectrum(s));
+      basis->lil.push_back(std::move(lil));
+    }
+    basis->spectra.push_back(std::move(subsets));
+  }
+  // Public coordinates can only appear in spectra if some observable's
+  // function touches them; the scan engines' relation vector is restricted
+  // to that slice.
+  basis->relevant_publics = used & unfolded.vars.public_vars;
+  basis->build_seconds = watch.seconds();
+  return basis;
+}
+
+std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
+                                         const ObservableSet& observables,
+                                         EngineKind engine) {
+  const BackendInfo& info = backend_info(engine);
+  BasisNeeds needs;
+  needs.spectra = info.needs_spectra;
+  needs.lil = info.needs_lil;
+  return build_basis(unfolded, observables, needs);
+}
+
+}  // namespace sani::verify

@@ -86,8 +86,7 @@ ForbiddenRegion::ForbiddenRegion(const Checker& checker,
                                  const circuit::VarMap& vars,
                                  const RowContext& row,
                                  const Mask& extra_vars)
-    : checker_(checker),
-      row_(row),
+    : row_(row),
       notion_(checker.notion()),
       joint_(checker.joint_share_count()),
       threshold_(checker.threshold(row)) {

@@ -113,8 +113,7 @@ class ForbiddenRegion {
   bool forbidden(std::uint64_t idx) const;
   Mask expand(std::uint64_t idx) const;
 
-  const Checker& checker_;
-  const RowContext& row_;
+  RowContext row_;  // by value: cached regions outlive the caller's row
   std::vector<int> positions_;  // compact bit -> dd variable
   std::vector<std::uint64_t> group_compact_;  // per secret
   std::uint64_t shares_compact_ = 0;

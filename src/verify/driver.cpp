@@ -1,319 +1,29 @@
 #include "verify/driver.h"
 
-#include <algorithm>
 #include <stdexcept>
 
-#include "dd/add.h"
-#include "dd/walsh.h"
-#include "spectral/lil_spectrum.h"
-#include "spectral/spectrum.h"
 #include "util/combinations.h"
 #include "util/timer.h"
+#include "verify/backends/backend.h"
+#include "verify/backends/registry.h"
 
 namespace sani::verify {
 
-namespace detail {
-
-using spectral::LilSpectrum;
-using spectral::Spectrum;
-
-struct RowCheckQuery {
-  const Checker* checker = nullptr;
-  const RowContext* row = nullptr;
-  dd::Bdd violation_region;                // used by the ADD backends
-  const ForbiddenRegion* region = nullptr; // used by the scan backends
-  std::uint64_t* coefficients = nullptr;
-  PhaseTimers* timers = nullptr;
-};
-
-/// Engine-specific representation of the rows at the current combination.
-class Backend {
- public:
-  virtual ~Backend() = default;
-
-  /// Precomputes per-observable base data ("base" phase).  For a glitch-
-  /// extended observable with m member functions this prepares the spectra
-  /// of all 2^m - 1 nonempty XOR-subsets; in the standard model m == 1.
-  virtual void prepare(const ObservableSet& obs) = 0;
-
-  /// Extends the current combination by observable `i`; the row set becomes
-  /// the cross product of previous rows with the observable's subsets.
-  virtual void push(int i) = 0;
-  virtual void pop() = 0;
-
-  /// Applies the per-row check to every row of the current combination.
-  virtual std::optional<Mask> check_rows(const RowCheckQuery& q) = 0;
-
-  /// Unions the rho=0 share supports of the current rows into V (per
-  /// secret), for the set-level check.
-  virtual void accumulate_deps(std::vector<Mask>& V) = 0;
-};
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Hash-map backend (MAP and MAPI)
-// ---------------------------------------------------------------------------
-
-class MapBackend : public Backend {
- public:
-  MapBackend(dd::Manager& mgr, const circuit::VarMap& vars, bool use_add,
-             PhaseTimers& timers, std::uint64_t& coefficients)
-      : mgr_(mgr),
-        vars_(vars),
-        use_add_(use_add),
-        timers_(timers),
-        coefficients_(coefficients) {}
-
-  void prepare(const ObservableSet& obs) override {
-    ScopedPhase phase(timers_, "base");
-    for (const auto& o : obs.items) {
-      std::vector<Spectrum> subsets;
-      const std::size_t m = o.fns.size();
-      for (std::size_t sel = 1; sel < (std::size_t{1} << m); ++sel) {
-        dd::Bdd x = dd::Bdd::zero(mgr_);
-        for (std::size_t j = 0; j < m; ++j)
-          if (sel & (std::size_t{1} << j)) x ^= o.fns[j];
-        subsets.push_back(Spectrum::from_bdd(x));
-        coefficients_ += subsets.back().nonzero_count();
-      }
-      base_.push_back(std::move(subsets));
-    }
-    rows_.push_back({Spectrum::constant_zero(vars_.num_vars)});
-  }
-
-  void push(int i) override {
-    ScopedPhase phase(timers_, "convolution");
-    std::vector<Spectrum> next;
-    next.reserve(rows_.back().size() * base_[i].size());
-    for (const Spectrum& r : rows_.back())
-      for (const Spectrum& s : base_[i]) {
-        next.push_back(r.convolve(s));
-        coefficients_ += next.back().nonzero_count();
-      }
-    rows_.push_back(std::move(next));
-  }
-
-  void pop() override { rows_.pop_back(); }
-
-  std::optional<Mask> check_rows(const RowCheckQuery& q) override {
-    ScopedPhase phase(timers_, "verification");
-    for (const Spectrum& r : rows_.back()) {
-      if (use_add_) {
-        // The paper's MAPI step: W as an ADD, multiplied against the
-        // violation region T; a nonzero product is a witness.
-        dd::Add w = r.to_add(mgr_);
-        dd::Bdd hit = w.nonzero() & q.violation_region;
-        Mask alpha;
-        if (hit.any_sat(&alpha)) return alpha;
-      } else {
-        // MAP verification = product of W with the materialized relation
-        // vector T: every forbidden coordinate is looked up in the hash map.
-        if (q.region->empty()) continue;
-        Mask witness;
-        if (q.region->find_violation(
-                [&](const Mask& a) { return r.at(a) != 0; }, &witness,
-                q.coefficients))
-          return witness;
-      }
-    }
-    return std::nullopt;
-  }
-
-  void accumulate_deps(std::vector<Mask>& V) override {
-    for (const Spectrum& r : rows_.back())
-      for (const auto& [alpha, v] : r.coefficients()) {
-        if (alpha.intersects(vars_.random_vars)) continue;
-        for (std::size_t i = 0; i < V.size(); ++i)
-          V[i] |= alpha & vars_.secret_vars[i];
-      }
-  }
-
- private:
-  dd::Manager& mgr_;
-  const circuit::VarMap& vars_;
-  bool use_add_;
-  PhaseTimers& timers_;
-  std::uint64_t& coefficients_;
-  std::vector<std::vector<Spectrum>> base_;
-  std::vector<std::vector<Spectrum>> rows_;
-};
-
-// ---------------------------------------------------------------------------
-// List-of-lists backend (LIL)
-// ---------------------------------------------------------------------------
-
-class LilBackend : public Backend {
- public:
-  LilBackend(dd::Manager& mgr, const circuit::VarMap& vars,
-             PhaseTimers& timers, std::uint64_t& coefficients)
-      : mgr_(mgr), vars_(vars), timers_(timers), coefficients_(coefficients) {}
-
-  void prepare(const ObservableSet& obs) override {
-    ScopedPhase phase(timers_, "base");
-    for (const auto& o : obs.items) {
-      std::vector<LilSpectrum> subsets;
-      const std::size_t m = o.fns.size();
-      for (std::size_t sel = 1; sel < (std::size_t{1} << m); ++sel) {
-        dd::Bdd x = dd::Bdd::zero(mgr_);
-        for (std::size_t j = 0; j < m; ++j)
-          if (sel & (std::size_t{1} << j)) x ^= o.fns[j];
-        subsets.push_back(LilSpectrum::from_spectrum(Spectrum::from_bdd(x)));
-        coefficients_ += subsets.back().nonzero_count();
-      }
-      base_.push_back(std::move(subsets));
-    }
-    rows_.push_back({LilSpectrum::from_spectrum(
-        Spectrum::constant_zero(vars_.num_vars))});
-  }
-
-  void push(int i) override {
-    ScopedPhase phase(timers_, "convolution");
-    std::vector<LilSpectrum> next;
-    next.reserve(rows_.back().size() * base_[i].size());
-    for (const LilSpectrum& r : rows_.back())
-      for (const LilSpectrum& s : base_[i]) {
-        next.push_back(r.convolve(s));
-        coefficients_ += next.back().nonzero_count();
-      }
-    rows_.push_back(std::move(next));
-  }
-
-  void pop() override { rows_.pop_back(); }
-
-  std::optional<Mask> check_rows(const RowCheckQuery& q) override {
-    ScopedPhase phase(timers_, "verification");
-    // LIL verification = product with the materialized relation vector,
-    // each forbidden coordinate resolved by binary search in the sorted
-    // list (the TCHES'20 baseline's cost model).
-    if (q.region->empty()) return std::nullopt;
-    for (const LilSpectrum& r : rows_.back()) {
-      Mask witness;
-      if (q.region->find_violation(
-              [&](const Mask& a) { return r.at(a) != 0; }, &witness,
-              q.coefficients))
-        return witness;
-    }
-    return std::nullopt;
-  }
-
-  void accumulate_deps(std::vector<Mask>& V) override {
-    for (const LilSpectrum& r : rows_.back())
-      for (const auto& [alpha, v] : r.entries()) {
-        if (alpha.intersects(vars_.random_vars)) continue;
-        for (std::size_t i = 0; i < V.size(); ++i)
-          V[i] |= alpha & vars_.secret_vars[i];
-      }
-  }
-
- private:
-  dd::Manager& mgr_;
-  const circuit::VarMap& vars_;
-  PhaseTimers& timers_;
-  std::uint64_t& coefficients_;
-  std::vector<std::vector<LilSpectrum>> base_;
-  std::vector<std::vector<LilSpectrum>> rows_;
-};
-
-// ---------------------------------------------------------------------------
-// Fujita backend: transform the XOR-combination directly
-// ---------------------------------------------------------------------------
-
-class FujitaBackend : public Backend {
- public:
-  FujitaBackend(dd::Manager& mgr, const circuit::VarMap& vars,
-                PhaseTimers& timers, std::uint64_t& coefficients)
-      : mgr_(mgr), vars_(vars), timers_(timers), coefficients_(coefficients) {}
-
-  void prepare(const ObservableSet& obs) override {
-    ScopedPhase phase(timers_, "base");
-    for (const auto& o : obs.items) {
-      std::vector<dd::Bdd> subsets;
-      const std::size_t m = o.fns.size();
-      for (std::size_t sel = 1; sel < (std::size_t{1} << m); ++sel) {
-        dd::Bdd x = dd::Bdd::zero(mgr_);
-        for (std::size_t j = 0; j < m; ++j)
-          if (sel & (std::size_t{1} << j)) x ^= o.fns[j];
-        subsets.push_back(x);
-      }
-      base_.push_back(std::move(subsets));
-    }
-    rows_.push_back({Row{dd::Bdd::zero(mgr_), dd::Add()}});
-  }
-
-  void push(int i) override {
-    ScopedPhase phase(timers_, "convolution");
-    std::vector<Row> next;
-    next.reserve(rows_.back().size() * base_[i].size());
-    for (const Row& r : rows_.back())
-      for (const dd::Bdd& s : base_[i]) {
-        Row row;
-        row.fn = r.fn ^ s;
-        // The spectral transform replaces the convolution step entirely.
-        row.spectrum = dd::walsh_transform(row.fn);
-        coefficients_ +=
-            static_cast<std::uint64_t>(row.spectrum.nonzero_count());
-        next.push_back(std::move(row));
-      }
-    rows_.push_back(std::move(next));
-  }
-
-  void pop() override { rows_.pop_back(); }
-
-  std::optional<Mask> check_rows(const RowCheckQuery& q) override {
-    ScopedPhase phase(timers_, "verification");
-    for (const Row& r : rows_.back()) {
-      dd::Bdd hit = r.spectrum.nonzero() & q.violation_region;
-      Mask alpha;
-      if (hit.any_sat(&alpha)) return alpha;
-    }
-    return std::nullopt;
-  }
-
-  void accumulate_deps(std::vector<Mask>& V) override {
-    dd::Bdd rho0 = rho0_;
-    for (const Row& r : rows_.back()) {
-      dd::Bdd nz = r.spectrum.nonzero() & rho0;
-      vars_.share_vars.for_each_bit([&](int v) {
-        if (!dd::Bdd(&mgr_, mgr_.cofactor(nz.node(), v, true)).is_zero()) {
-          for (std::size_t i = 0; i < V.size(); ++i)
-            if (vars_.secret_vars[i].test(v)) V[i].set(v);
-        }
-      });
-    }
-  }
-
-  void set_rho_zero(const dd::Bdd& rho0) { rho0_ = rho0; }
-
- private:
-  struct Row {
-    dd::Bdd fn;
-    dd::Add spectrum;
-  };
-
-  dd::Manager& mgr_;
-  const circuit::VarMap& vars_;
-  PhaseTimers& timers_;
-  std::uint64_t& coefficients_;
-  dd::Bdd rho0_;
-  std::vector<std::vector<dd::Bdd>> base_;
-  std::vector<std::vector<Row>> rows_;
-};
-
-}  // namespace
-}  // namespace detail
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-Driver::Driver(const circuit::Unfolded& unfolded, const ObservableSet& obs,
-               const VerifyOptions& options, sched::CancelToken* cancel)
-    : unfolded_(unfolded),
-      obs_(obs),
+Driver::Driver(std::shared_ptr<const Basis> basis,
+               const VerifyOptions& options, sched::CancelToken* cancel,
+               dd::Manager* manager, const ObservableSet* observables)
+    : basis_(std::move(basis)),
       options_(options),
-      checker_(unfolded.vars, options.notion, options.joint_share_count),
-      preds_(*unfolded.manager, unfolded.vars, options.joint_share_count),
+      manager_(manager),
+      obs_fns_(observables),
+      preds_(backend_info(options.engine).needs_manager && manager
+                 ? std::make_unique<PredicateBuilder>(
+                       *manager, basis_->vars, options.joint_share_count)
+                 : nullptr),
+      rowcheck_(basis_->vars, options.notion, options.joint_share_count,
+                basis_->relevant_publics, preds_.get(),
+                &stats_.region_cache),
+      qinfo_(static_cast<int>(basis_->size())),
       cancel_(cancel) {
   if (!cancel_) {
     if (options_.time_limit > 0)
@@ -328,38 +38,28 @@ void Driver::prepare() {
   if (prepared_) return;
   prepared_ = true;
 
-  switch (options_.engine) {
-    case EngineKind::kMAP:
-    case EngineKind::kMAPI:
-      backend_ = std::make_unique<detail::MapBackend>(
-          *unfolded_.manager, unfolded_.vars,
-          options_.engine == EngineKind::kMAPI, stats_.timers,
-          stats_.coefficients);
-      break;
-    case EngineKind::kLIL:
-      backend_ = std::make_unique<detail::LilBackend>(
-          *unfolded_.manager, unfolded_.vars, stats_.timers,
-          stats_.coefficients);
-      break;
-    case EngineKind::kFUJITA: {
-      auto b = std::make_unique<detail::FujitaBackend>(
-          *unfolded_.manager, unfolded_.vars, stats_.timers,
-          stats_.coefficients);
-      b->set_rho_zero(preds_.rho_zero());
-      backend_ = std::move(b);
-      break;
-    }
-  }
+  const BackendInfo& info = backend_info(options_.engine);
+  if (info.needs_manager && (!manager_ || !obs_fns_))
+    throw std::logic_error(std::string("engine ") + info.name +
+                           " needs a manager-bound input replica");
 
-  // Public coordinates can only appear in spectra if some observable's
-  // function touches them; restrict the scan engines' relation vector to
-  // that slice.
-  Mask used;
-  for (const auto& o : obs_.items)
-    for (const auto& f : o.fns) used |= f.support();
-  relevant_publics_ = used & unfolded_.vars.public_vars;
+  BackendContext ctx;
+  ctx.basis = basis_;
+  ctx.manager = manager_;
+  ctx.observables = obs_fns_;
+  if (preds_) ctx.rho_zero = preds_->rho_zero();
+  ctx.timers = &stats_.timers;
+  ctx.coefficients = &stats_.coefficients;
+  ctx.memo_stats = &stats_.prefix_memo;
+  ctx.memo_capacity = options_.memo_capacity;
+  ctx.order = options_.order;
+  backend_ = info.make(ctx);
+  backend_->prepare();
+}
 
-  backend_->prepare(obs_);
+void Driver::count_basis_build() {
+  stats_.coefficients += basis_->base_coefficients;
+  stats_.timers.add("base", basis_->build_seconds);
 }
 
 VerifyResult Driver::run() {
@@ -377,7 +77,9 @@ VerifyResult Driver::run() {
     union_pass_over(qinfo_, result);
   }
 
-  stats_.num_observables = obs_.size();
+  stats_.num_observables = basis_->size();
+  stats_.qinfo_entries = qinfo_.size();
+  stats_.qinfo_peak_bytes = qinfo_.peak_bytes();
   result.stats = stats_;
   return result;
 }
@@ -386,7 +88,7 @@ RowContext Driver::context_for_path() const {
   RowContext row;
   row.num_observables = static_cast<int>(path_.size());
   for (int i : path_) {
-    const Observable& o = obs_.items[i];
+    const ObservableInfo& o = basis_->obs[static_cast<std::size_t>(i)];
     if (o.kind == Observable::Kind::kOutput) {
       ++row.num_outputs;
       row.output_indices.insert(o.output_share_index);
@@ -397,35 +99,10 @@ RowContext Driver::context_for_path() const {
   return row;
 }
 
-dd::Bdd Driver::violation_region(const RowContext& row) {
-  switch (options_.notion) {
-    case Notion::kNI:
-    case Notion::kSNI:
-      return preds_.ni_violation(checker_.threshold(row));
-    case Notion::kProbing:
-      return preds_.probing_violation();
-    case Notion::kPINI:
-      return preds_.pini_violation(row.output_indices, row.num_internal);
-  }
-  return preds_.probing_violation();
-}
-
 std::optional<Driver::CheckFailure> Driver::check_current() {
   ++stats_.combinations;
   const RowContext row = context_for_path();
-  detail::RowCheckQuery q;
-  q.checker = &checker_;
-  q.row = &row;
-  q.coefficients = &stats_.coefficients;
-  q.timers = &stats_.timers;
-  std::optional<ForbiddenRegion> region;
-  if (options_.engine == EngineKind::kMAPI ||
-      options_.engine == EngineKind::kFUJITA) {
-    q.violation_region = violation_region(row);
-  } else {
-    region.emplace(checker_, unfolded_.vars, row, relevant_publics_);
-    q.region = &*region;
-  }
+  RowCheckQuery q = rowcheck_.query(row, &stats_.coefficients);
 
   if (auto alpha = backend_->check_rows(q)) {
     return CheckFailure{*alpha,
@@ -435,9 +112,9 @@ std::optional<Driver::CheckFailure> Driver::check_current() {
   if (options_.union_check && options_.notion != Notion::kProbing) {
     QInfo info;
     info.row = row;
-    info.V.assign(unfolded_.vars.secret_vars.size(), Mask{});
+    info.V.assign(basis_->vars.secret_vars.size(), Mask{});
     backend_->accumulate_deps(info.V);
-    qinfo_.emplace(path_, std::move(info));
+    qinfo_.insert(path_, std::move(info));
   }
   return std::nullopt;
 }
@@ -445,7 +122,8 @@ std::optional<Driver::CheckFailure> Driver::check_current() {
 CounterExample Driver::make_counterexample(const std::vector<int>& combo,
                                            const CheckFailure& failure) const {
   CounterExample ce;
-  for (int i : combo) ce.observables.push_back(obs_.items[i].name);
+  for (int i : combo)
+    ce.observables.push_back(basis_->obs[static_cast<std::size_t>(i)].name);
   ce.alpha = failure.alpha;
   ce.reason = failure.reason;
   return ce;
@@ -461,9 +139,8 @@ void Driver::sync_path(const std::vector<int>& combo) {
     path_.pop_back();
   }
   while (path_.size() < combo.size()) {
-    const int i = combo[path_.size()];
-    backend_->push(i);
-    path_.push_back(i);
+    path_.push_back(combo[path_.size()]);
+    backend_->push(path_);
   }
 }
 
@@ -479,10 +156,10 @@ bool Driver::expired(VerifyResult& result) {
 void Driver::dfs(int start, VerifyResult& result) {
   if (!result.secure || result.timed_out) return;
   if (static_cast<int>(path_.size()) >= options_.order) return;
-  for (int i = start; i < static_cast<int>(obs_.size()); ++i) {
+  for (int i = start; i < static_cast<int>(basis_->size()); ++i) {
     if (expired(result)) return;
     path_.push_back(i);
-    backend_->push(i);
+    backend_->push(path_);
     const auto failure = check_current();
     if (failure) {
       result.secure = false;
@@ -500,7 +177,7 @@ void Driver::dfs(int start, VerifyResult& result) {
 /// Lexicographically adjacent combinations share convolution prefixes, so
 /// the backend stack is diffed rather than rebuilt.
 void Driver::largest_first(VerifyResult& result) {
-  const int N = static_cast<int>(obs_.size());
+  const int N = static_cast<int>(basis_->size());
   for (int k = options_.order; k >= 1; --k) {
     if (!result.secure || result.timed_out) break;
     CombinationIter it(N, k);
@@ -523,7 +200,7 @@ void Driver::run_shard(
     const std::function<bool(const std::vector<int>&)>& still_relevant,
     ShardOutcome& out) {
   prepare();
-  const int N = static_cast<int>(obs_.size());
+  const int N = static_cast<int>(basis_->size());
   if (shard.k < 1 || shard.k > N || shard.begin >= shard.end) return;
 
   std::vector<int> combo = unrank_combination(N, shard.k, shard.begin);
@@ -551,13 +228,14 @@ void Driver::run_shard(
   }
 }
 
-void Driver::union_pass_over(const QInfoMap& qinfo, VerifyResult& result) {
-  for (const auto& [q_path, info] : qinfo) {
+void Driver::union_pass_over(const QInfoStore& qinfo, VerifyResult& result) {
+  for (const std::vector<int>& q_path : qinfo.sorted_combos()) {
     if (cancel_->expired()) {
       result.timed_out = true;
       cancel_->acknowledge();
       return;
     }
+    const QInfo& info = *qinfo.find(q_path);
     // V(Q) = union of deps over all sub-combinations of Q.
     std::vector<Mask> V(info.V.size());
     const std::size_t k = q_path.size();
@@ -565,15 +243,17 @@ void Driver::union_pass_over(const QInfoMap& qinfo, VerifyResult& result) {
       std::vector<int> sub;
       for (std::size_t j = 0; j < k; ++j)
         if (sel & (std::size_t{1} << j)) sub.push_back(q_path[j]);
-      auto it = qinfo.find(sub);
-      if (it == qinfo.end()) continue;
-      for (std::size_t s = 0; s < V.size(); ++s) V[s] |= it->second.V[s];
+      const QInfo* it = qinfo.find(sub);
+      if (!it) continue;
+      for (std::size_t s = 0; s < V.size(); ++s) V[s] |= it->V[s];
     }
     std::string reason;
-    if (checker_.union_violates(V, info.row, &reason)) {
+    if (rowcheck_.checker().union_violates(V, info.row, &reason)) {
       result.secure = false;
       CounterExample ce;
-      for (int i : q_path) ce.observables.push_back(obs_.items[i].name);
+      for (int i : q_path)
+        ce.observables.push_back(
+            basis_->obs[static_cast<std::size_t>(i)].name);
       for (const Mask& v : V) ce.alpha |= v;
       ce.reason = "set-level dependency check failed: " + reason;
       result.counterexample = std::move(ce);
@@ -583,7 +263,7 @@ void Driver::union_pass_over(const QInfoMap& qinfo, VerifyResult& result) {
 }
 
 std::size_t Driver::peak_nodes() const {
-  return unfolded_.manager->stats().peak_nodes;
+  return manager_ ? manager_->stats().peak_nodes : 0;
 }
 
 }  // namespace sani::verify

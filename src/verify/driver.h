@@ -1,26 +1,25 @@
 #pragma once
 // The verification execution core (internal header).
 //
-// Driver owns one engine backend over one dd::Manager and checks
-// XOR-combinations of observables against the notion's spectral predicate.
-// It is consumed two ways:
+// Driver runs one engine backend over a shared, immutable verify::Basis and
+// checks XOR-combinations of observables against the notion's spectral
+// predicate.  It is consumed two ways:
 //
 //  * run() — the serial engines (verify/engine.cpp): full enumeration in
 //    the configured search order, plus the set-level union pass.
 //  * prepare() + run_shard() — the parallel runtime (verify/parallel.cpp):
-//    each pool worker constructs its own Driver over a private manager
-//    (replayed unfolding) and executes contiguous rank ranges of the
-//    combination space, sharing convolution prefixes between
-//    lexicographically adjacent combinations exactly like the serial
-//    largest-first walk.
+//    pool workers execute contiguous rank ranges of the combination space.
+//    Scan-engine workers (LIL/MAP) share one Basis and need nothing else;
+//    ADD-engine workers (MAPI/FUJITA) additionally hold a private
+//    dd::Manager replica (replayed unfolding) for the symbolic
+//    verification step.
 //
 // Cancellation is cooperative: the sched::CancelToken (external, or an
 // internal one armed from VerifyOptions::time_limit) is polled at every
-// combination.  All mutable state is confined to the Driver, so distinct
-// Drivers on distinct managers run concurrently without sharing.
+// combination.  All mutable state is confined to the Driver; the Basis is
+// read-only, so Drivers over one Basis run concurrently without sharing.
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,38 +29,37 @@
 #include "sched/cancel.h"
 #include "sched/shard.h"
 #include "util/mask.h"
-#include "verify/checker.h"
+#include "verify/basis.h"
 #include "verify/observables.h"
 #include "verify/predicate.h"
+#include "verify/qinfo.h"
+#include "verify/rowcheck.h"
 #include "verify/types.h"
 
 namespace sani::verify {
 
-namespace detail {
 class Backend;
-}
-
-/// Per-combination dependency data for the set-level union check.
-struct QInfo {
-  RowContext row;
-  std::vector<Mask> V;  // per-secret deps of rows covering exactly this Q
-};
-
-/// Keyed by the combination's ascending observable indices.  Each
-/// combination is checked exactly once across all shards, so per-worker
-/// maps have disjoint key sets and merge trivially.
-using QInfoMap = std::map<std::vector<int>, QInfo>;
 
 class Driver {
  public:
+  /// `manager`/`observables` carry the manager-bound half of the input and
+  /// are required exactly when the engine's registry entry has
+  /// needs_manager (MAPI/FUJITA); the scan engines run entirely on `basis`.
   /// `cancel` may be null: the driver then arms an internal token from
   /// options.time_limit.  An external token is polled but never armed.
-  Driver(const circuit::Unfolded& unfolded, const ObservableSet& obs,
-         const VerifyOptions& options, sched::CancelToken* cancel = nullptr);
+  Driver(std::shared_ptr<const Basis> basis, const VerifyOptions& options,
+         sched::CancelToken* cancel = nullptr, dd::Manager* manager = nullptr,
+         const ObservableSet* observables = nullptr);
   ~Driver();
 
   /// Full serial verification (enumeration + union pass).
   VerifyResult run();
+
+  /// Credits the one-time basis build (base coefficients + "base" phase
+  /// seconds) to this driver's stats.  The basis is built once and shared,
+  /// so exactly one accounting site calls this: the serial entry points do;
+  /// the parallel controller credits the merged result instead.
+  void count_basis_build();
 
   // --- shard-mode API (parallel runtime) -----------------------------------
 
@@ -78,7 +76,7 @@ class Driver {
     bool abandoned = false;               // stopped: cannot beat best failure
   };
 
-  /// Builds the backend and the per-observable base spectra ("base" phase).
+  /// Builds the backend (and, for the ADD engines, its manager-bound base).
   /// Idempotent; run_shard() calls it on first use.
   void prepare();
 
@@ -93,16 +91,17 @@ class Driver {
                      still_relevant,
                  ShardOutcome& out);
 
-  /// Set-level union pass over an arbitrary (possibly merged) QInfo map.
-  void union_pass_over(const QInfoMap& qinfo, VerifyResult& result);
+  /// Set-level union pass over an arbitrary (possibly merged) store.
+  void union_pass_over(const QInfoStore& qinfo, VerifyResult& result);
 
   /// Union-check data accumulated so far (shard mode).
-  const QInfoMap& qinfo() const { return qinfo_; }
+  const QInfoStore& qinfo() const { return qinfo_; }
 
   /// Counters accumulated by this driver (shard mode reads them per worker).
   const VerifyStats& stats() const { return stats_; }
 
-  /// Peak node count of the underlying manager (per-worker DD pressure).
+  /// Peak node count of the private manager; 0 for the scan engines (they
+  /// never touch a manager).
   std::size_t peak_nodes() const;
 
  private:
@@ -112,7 +111,6 @@ class Driver {
   };
 
   RowContext context_for_path() const;
-  dd::Bdd violation_region(const RowContext& row);
 
   /// Checks the current path_ as one combination; failure data on failure.
   std::optional<CheckFailure> check_current();
@@ -128,16 +126,16 @@ class Driver {
   void dfs(int start, VerifyResult& result);
   void largest_first(VerifyResult& result);
 
-  const circuit::Unfolded& unfolded_;
-  const ObservableSet& obs_;
+  std::shared_ptr<const Basis> basis_;
   const VerifyOptions& options_;
-  Checker checker_;
-  PredicateBuilder preds_;
-  std::unique_ptr<detail::Backend> backend_;
+  dd::Manager* manager_;             // ADD engines only
+  const ObservableSet* obs_fns_;     // manager-bound BDD functions (ditto)
+  std::unique_ptr<PredicateBuilder> preds_;
+  RowCheck rowcheck_;
+  std::unique_ptr<Backend> backend_;
   bool prepared_ = false;
-  Mask relevant_publics_;
   std::vector<int> path_;
-  QInfoMap qinfo_;
+  QInfoStore qinfo_;
   VerifyStats stats_;
   sched::CancelToken own_cancel_;
   sched::CancelToken* cancel_;

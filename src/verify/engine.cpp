@@ -1,8 +1,10 @@
 #include "verify/engine.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "verify/backends/registry.h"
 #include "verify/driver.h"
 #include "verify/parallel.h"
 
@@ -13,8 +15,31 @@ VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const VerifyOptions& options) {
   if (options.order < 1)
     throw std::invalid_argument("verify: order must be >= 1");
-  Driver driver(unfolded, observables, options);
-  return driver.run();
+  const BackendInfo& info = backend_info(options.engine);
+
+  if (options.jobs != 1 && !info.needs_manager) {
+    // Scan engines are manager-independent once the Basis is built, so a
+    // pre-built unfolding is no obstacle to parallel execution.
+    return verify_parallel_basis(
+        build_basis(unfolded, observables, options.engine), options);
+  }
+
+  std::shared_ptr<const Basis> basis =
+      build_basis(unfolded, observables, options.engine);
+  Driver driver(basis, options, nullptr, unfolded.manager.get(),
+                &observables);
+  driver.count_basis_build();
+  VerifyResult result = driver.run();
+  if (options.jobs != 1) {
+    // ADD engines need one manager replica per worker, and a pre-built
+    // manager cannot be shared across threads; say so instead of silently
+    // running serial.
+    result.warnings.push_back(
+        std::string("--jobs ignored: engine ") + info.name +
+        " verifies on decision diagrams and needs per-worker manager "
+        "replicas; use verify() or the replay overload of verify_prepared()");
+  }
+  return result;
 }
 
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
@@ -34,8 +59,8 @@ VerifyResult verify(const circuit::Gadget& gadget,
   if (options.jobs != 1) {
     if (options.order < 1)
       throw std::invalid_argument("verify: order must be >= 1");
-    // Each worker replays the unfolding into a private manager; the
-    // managers' GC/reordering safe points are single-threaded by design.
+    // The runtime replays the unfolding per worker only when the engine
+    // verifies on decision diagrams; the scan engines share one Basis.
     return verify_parallel(
         [&gadget, options]() {
           PreparedInput input;

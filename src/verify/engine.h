@@ -31,10 +31,12 @@ VerifyResult verify(const circuit::Gadget& gadget, const VerifyOptions& options)
 
 /// Same, over a pre-built unfolding and observable set (used to analyse
 /// fixed probe configurations such as the Fig. 1 composition example, and
-/// to amortize unfolding across engines in the benchmarks).  Always runs
-/// serially: a pre-built manager cannot be shared across workers, so
-/// options.jobs is ignored here — use the replay overload below (or
-/// verify()) for parallel execution.
+/// to amortize unfolding across engines in the benchmarks).  The scan
+/// engines (LIL, MAP) honor options.jobs here: their prepared Basis is
+/// manager-independent and shared across workers.  The ADD engines cannot
+/// share a pre-built manager across workers, so they run serially and
+/// record a warning in VerifyResult::warnings — use the replay overload
+/// below (or verify()) for their parallel execution.
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const ObservableSet& observables,
                              const VerifyOptions& options);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "sched/shard.h"
 #include "util/combinations.h"
 #include "util/timer.h"
+#include "verify/backends/registry.h"
 #include "verify/driver.h"
 
 namespace sani::verify {
@@ -31,21 +33,21 @@ bool combo_before(const std::vector<int>& a, const std::vector<int>& b,
 }
 
 struct WorkerCtx {
-  explicit WorkerCtx(PreparedInput in, const VerifyOptions& options,
-                     sched::CancelToken& cancel)
-      : input(std::move(in)),
-        driver(std::make_unique<Driver>(input.unfolded, input.observables,
-                                        options, &cancel)) {}
-
-  PreparedInput input;
+  std::optional<PreparedInput> input;  // ADD engines: private replica
   std::unique_ptr<Driver> driver;
   std::uint64_t shards = 0;
+  std::uint64_t replays = 0;  // unfoldings replayed on this worker's thread
 };
 
-}  // namespace
-
-VerifyResult verify_parallel(const PrepareFn& prepare,
-                             const VerifyOptions& options) {
+/// The pool run over a shared basis.  `prepare` is null for the scan
+/// engines (workers need nothing beyond the basis) and set for the ADD
+/// engines (each worker replays a private manager replica); `first` is the
+/// calling-thread replica that seeds worker 0 in replay mode.
+VerifyResult run_pool(std::shared_ptr<const Basis> basis,
+                      const PrepareFn& prepare,
+                      std::optional<PreparedInput> first,
+                      const VerifyOptions& options) {
+  const bool replay_mode = static_cast<bool>(prepare);
   int jobs = options.jobs;
   if (jobs == 0) jobs = sched::Pool::hardware_threads();
   if (jobs < 1) jobs = 1;
@@ -53,24 +55,28 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
   sched::CancelToken cancel;
   if (options.time_limit > 0) cancel.set_deadline_after(options.time_limit);
 
-  // One replica on the calling thread: sizes the probe space for the shard
-  // plan, and seeds worker 0 so it starts checking while the other workers
-  // are still replaying their unfoldings.
-  PreparedInput first = prepare();
-  const int N = static_cast<int>(first.observables.size());
+  const int N = static_cast<int>(basis->size());
 
   VerifyResult result;
   result.stats.num_observables = static_cast<std::size_t>(N);
 
-  const bool largest =
-      options.search_order == SearchOrder::kLargestFirst;
+  const bool largest = options.search_order == SearchOrder::kLargestFirst;
   sched::ShardPlanOptions plan_options;
   if (options.shard_size > 0) plan_options.fixed_size = options.shard_size;
   const std::vector<sched::Shard> shards =
       sched::plan_shards(N, options.order, jobs, largest, plan_options);
 
-  std::vector<std::unique_ptr<WorkerCtx>> ctx(static_cast<std::size_t>(jobs));
-  ctx[0] = std::make_unique<WorkerCtx>(std::move(first), options, cancel);
+  std::vector<WorkerCtx> ctx(static_cast<std::size_t>(jobs));
+  if (replay_mode) {
+    // Worker 0 starts checking on the calling thread's replica while the
+    // other workers are still replaying their unfoldings.
+    ctx[0].input = std::move(first);
+    ctx[0].driver = std::make_unique<Driver>(
+        basis, options, &cancel, ctx[0].input->unfolded.manager.get(),
+        &ctx[0].input->observables);
+  } else {
+    ctx[0].driver = std::make_unique<Driver>(basis, options, &cancel);
+  }
 
   // The deterministic merge state: the best (order-minimal) failure so far.
   std::mutex best_mu;
@@ -89,24 +95,32 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
   sched::Pool pool(jobs);
   const sched::PoolStats pool_stats = pool.run(
       shards.size(), [&](int worker, std::size_t task) {
-        auto& slot = ctx[static_cast<std::size_t>(worker)];
-        if (!slot)
-          slot = std::make_unique<WorkerCtx>(prepare(), options, cancel);
+        WorkerCtx& slot = ctx[static_cast<std::size_t>(worker)];
+        if (!slot.driver) {
+          if (replay_mode) {
+            slot.input = prepare();
+            ++slot.replays;
+            slot.driver = std::make_unique<Driver>(
+                basis, options, &cancel, slot.input->unfolded.manager.get(),
+                &slot.input->observables);
+          } else {
+            slot.driver = std::make_unique<Driver>(basis, options, &cancel);
+          }
+        }
         const sched::Shard& shard = shards[task];
 
         // Claiming a whole shard is pointless once a failure ordered before
         // its first combination exists; skip it outright.
         if (cancel.cancelled() &&
-            !still_relevant(
-                unrank_combination(N, shard.k, shard.begin))) {
+            !still_relevant(unrank_combination(N, shard.k, shard.begin))) {
           skipped.fetch_add(1, std::memory_order_relaxed);
           cancel.acknowledge();
           return;
         }
 
         Driver::ShardOutcome out;
-        slot->driver->run_shard(shard, still_relevant, out);
-        ++slot->shards;
+        slot.driver->run_shard(shard, still_relevant, out);
+        ++slot.shards;
         if (out.timed_out) timed_out.store(true, std::memory_order_relaxed);
         if (out.abandoned) abandoned.fetch_add(1, std::memory_order_relaxed);
         if (out.failure) {
@@ -117,9 +131,14 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
         }
       });
 
-  // Merge: counters, per-worker stats, union-check data.
-  QInfoMap merged_qinfo;
+  // Merge: counters, per-worker stats, union-check data.  The one-time
+  // basis build is credited here, once — not per worker.
+  result.stats.coefficients += basis->base_coefficients;
+  result.stats.timers.add("base", basis->build_seconds);
+
+  QInfoStore merged_qinfo(N);
   result.stats.parallel.jobs = jobs;
+  result.stats.parallel.shared_basis = !replay_mode;
   result.stats.parallel.shards_total = shards.size();
   result.stats.parallel.shards_stolen = pool_stats.tasks_stolen;
   result.stats.parallel.shards_skipped =
@@ -128,22 +147,30 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
       abandoned.load(std::memory_order_relaxed);
   result.stats.parallel.workers.resize(static_cast<std::size_t>(jobs));
   for (int w = 0; w < jobs; ++w) {
-    const auto& slot = ctx[static_cast<std::size_t>(w)];
-    if (!slot) continue;  // this worker never claimed a shard
-    const VerifyStats& ws = slot->driver->stats();
-    WorkerStats& out = result.stats.parallel.workers[static_cast<std::size_t>(w)];
-    out.shards = slot->shards;
+    const WorkerCtx& slot = ctx[static_cast<std::size_t>(w)];
+    WorkerStats& out =
+        result.stats.parallel.workers[static_cast<std::size_t>(w)];
+    out.replays = slot.replays;
+    result.stats.parallel.replays += slot.replays;
+    if (!slot.driver) continue;  // this worker never claimed a shard
+    const VerifyStats& ws = slot.driver->stats();
+    out.shards = slot.shards;
     out.combinations = ws.combinations;
     out.coefficients = ws.coefficients;
-    out.peak_nodes = slot->driver->peak_nodes();
+    out.peak_nodes = slot.driver->peak_nodes();
     result.stats.combinations += ws.combinations;
     result.stats.coefficients += ws.coefficients;
+    result.stats.prefix_memo.hits += ws.prefix_memo.hits;
+    result.stats.prefix_memo.misses += ws.prefix_memo.misses;
+    result.stats.region_cache.hits += ws.region_cache.hits;
+    result.stats.region_cache.misses += ws.region_cache.misses;
     for (const auto& name : ws.timers.names())
       result.stats.timers.add(name, ws.timers.get(name));
     if (options.union_check && options.notion != Notion::kProbing)
-      for (const auto& [combo, info] : slot->driver->qinfo())
-        merged_qinfo.emplace(combo, info);
+      merged_qinfo.merge_from(slot.driver->qinfo());
   }
+  result.stats.qinfo_entries = merged_qinfo.size();
+  result.stats.qinfo_peak_bytes = merged_qinfo.peak_bytes();
 
   if (best) {
     result.secure = false;
@@ -153,12 +180,42 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
   } else if (options.union_check && options.notion != Notion::kProbing) {
     // Every combination passed the per-row check; the set-level pass runs
     // once, on the merged dependency data (identical to the serial pass —
-    // the per-worker maps partition the combination space).
+    // the per-worker stores partition the combination space).
     ScopedPhase phase(result.stats.timers, "union");
-    ctx[0]->driver->union_pass_over(merged_qinfo, result);
+    ctx[0].driver->union_pass_over(merged_qinfo, result);
   }
   result.stats.parallel.cancel_latency = cancel.max_ack_latency();
   return result;
+}
+
+}  // namespace
+
+VerifyResult verify_parallel(const PrepareFn& prepare,
+                             const VerifyOptions& options) {
+  const BackendInfo& info = backend_info(options.engine);
+
+  // One build on the calling thread: sizes the probe space and yields the
+  // shared Basis every worker reads.
+  PreparedInput first = prepare();
+  std::shared_ptr<const Basis> basis =
+      build_basis(first.unfolded, first.observables, options.engine);
+
+  if (!info.needs_manager) {
+    // Scan engines: the Basis is the whole prepared input; the replica
+    // (and its manager) can be dropped before the pool starts.
+    return run_pool(std::move(basis), nullptr, std::nullopt, options);
+  }
+  return run_pool(std::move(basis), prepare, std::move(first), options);
+}
+
+VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
+                                   const VerifyOptions& options) {
+  const BackendInfo& info = backend_info(options.engine);
+  if (info.needs_manager)
+    throw std::logic_error(
+        std::string("verify_parallel_basis: engine ") + info.name +
+        " needs per-worker manager replicas; use verify_parallel()");
+  return run_pool(std::move(basis), nullptr, std::nullopt, options);
 }
 
 }  // namespace sani::verify

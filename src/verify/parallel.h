@@ -2,37 +2,49 @@
 // Sharded parallel verification (VerifyOptions::jobs != 1).
 //
 // The combination space is embarrassingly parallel — the paper's cost model
-// is dominated by the C(|Q|, d) per-combination checks — but the dd::Manager
-// is not: garbage collection and reordering run at single-threaded safe
-// points.  The runtime therefore replays the gadget's unfolding once per
-// worker (PrepareFn), shards the combination space by lexicographic rank
-// (sched::plan_shards), executes shards on a work-stealing pool
-// (sched::Pool), and merges failures deterministically: the reported
-// counterexample is the smallest failing combination in the serial engine's
-// search order, independent of thread count and completion order.  A shared
-// sched::CancelToken propagates the first counterexample and the
-// --time-limit deadline cooperatively.
+// is dominated by the C(|Q|, d) per-combination checks.  What the workers
+// share depends on the engine's registry entry:
+//
+//  * Scan engines (LIL, MAP; needs_manager == false): the whole prepared
+//    input is one immutable verify::Basis of plain spectra, built once and
+//    shared read-only by every worker.  No per-worker unfolding replays
+//    happen at all (ParallelStats::shared_basis, WorkerStats::replays).
+//  * ADD engines (MAPI, FUJITA; needs_manager == true): the convolution
+//    side still reads the shared Basis, but the symbolic verification step
+//    multiplies against predicate BDDs, and the dd::Manager's GC/reordering
+//    safe points are single-threaded — so each worker additionally replays
+//    the gadget's unfolding (PrepareFn) into a private manager replica.
+//
+// Shards are contiguous lexicographic rank ranges (sched::plan_shards)
+// executed on a work-stealing pool (sched::Pool); failures merge
+// deterministically: the reported counterexample is the smallest failing
+// combination in the serial engine's search order, independent of thread
+// count and completion order.  A shared sched::CancelToken propagates the
+// first counterexample and the --time-limit deadline cooperatively.
 
 #include <functional>
+#include <memory>
 
 #include "circuit/unfold.h"
+#include "verify/basis.h"
 #include "verify/observables.h"
 #include "verify/types.h"
 
 namespace sani::verify {
 
-/// A per-worker replica of the verification input: a private manager with
-/// the unfolding replayed into it, plus the observable universe built over
-/// it.  Every PrepareFn call must yield the same universe (same names, same
-/// order, same functions) — the replicas differ only in which manager owns
-/// the nodes.
+/// A per-worker replica of the manager-bound verification input: a private
+/// manager with the unfolding replayed into it, plus the observable
+/// universe built over it.  Every PrepareFn call must yield the same
+/// universe (same names, same order, same functions) — the replicas differ
+/// only in which manager owns the nodes.
 struct PreparedInput {
   circuit::Unfolded unfolded;
   ObservableSet observables;
 };
 
-/// Invoked once per worker, on the worker's own thread (and once on the
-/// calling thread to size the probe space).
+/// Invoked once on the calling thread (to size the probe space and build
+/// the shared Basis) and, for the ADD engines only, once per additional
+/// worker on the worker's own thread.
 using PrepareFn = std::function<PreparedInput()>;
 
 /// Runs the sharded parallel verification.  `options.jobs` selects the
@@ -40,5 +52,12 @@ using PrepareFn = std::function<PreparedInput()>;
 /// the runtime with a single worker.
 VerifyResult verify_parallel(const PrepareFn& prepare,
                              const VerifyOptions& options);
+
+/// Runs the sharded parallel verification directly over a prepared shared
+/// Basis — no unfolding, no replays.  Only valid for engines whose registry
+/// entry has needs_manager == false (LIL, MAP); this is how the non-replay
+/// verify_prepared() overload honors --jobs for the scan engines.
+VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
+                                   const VerifyOptions& options);
 
 }  // namespace sani::verify

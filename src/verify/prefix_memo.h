@@ -1,0 +1,81 @@
+#pragma once
+// Bounded LRU memo for convolution prefixes.
+//
+// Within one enumeration walk, sync_path() already reuses the rows of the
+// longest common prefix between lexicographically *adjacent* combinations.
+// What it cannot reuse are prefixes that come back after the stack popped
+// below them: a shard boundary restarts the path from scratch, and the
+// largest-first order revisits every size-(k-1) prefix as a combination of
+// its own after the size-k pass.  The memo keeps the most recently used
+// prefix row sets keyed by the combination prefix, so that reuse survives
+// shard boundaries and largest-first restarts.
+//
+// Entries hold shared_ptr row sets: the backend's stack and the memo share
+// one immutable row set, so a hit costs a pointer copy and eviction never
+// invalidates rows still on the stack.  The stored coefficient count is
+// credited on every hit, keeping VerifyStats::coefficients independent of
+// the memo capacity (asserted by tests).
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "verify/types.h"
+
+namespace sani::verify {
+
+/// LRU map from combination prefix to the rows at that prefix.
+/// `capacity` < 0 = unbounded, 0 = disabled (every lookup misses).
+template <typename RowSet>
+class PrefixMemo {
+ public:
+  struct Entry {
+    std::shared_ptr<const RowSet> rows;
+    std::uint64_t coefficients = 0;  // nonzero count credited on a hit
+  };
+
+  PrefixMemo(std::int64_t capacity, CacheStats* stats)
+      : capacity_(capacity), stats_(stats) {}
+
+  /// Looks up `key`, refreshing its LRU position.  Counts a hit or miss.
+  const Entry* find(const std::vector<int>& key) {
+    if (capacity_ != 0) {
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (stats_) ++stats_->hits;
+        return &it->second->second;
+      }
+    }
+    if (stats_) ++stats_->misses;
+    return nullptr;
+  }
+
+  /// Inserts `entry` at `key`, evicting the least recently used entry when
+  /// over capacity.  No-op when disabled or the key is already present.
+  void insert(const std::vector<int>& key, Entry entry) {
+    if (capacity_ == 0 || index_.count(key)) return;
+    lru_.emplace_front(key, std::move(entry));
+    index_.emplace(key, lru_.begin());
+    if (capacity_ > 0 &&
+        static_cast<std::int64_t>(lru_.size()) > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+
+  std::size_t size() const { return lru_.size(); }
+
+ private:
+  using Lru = std::list<std::pair<std::vector<int>, Entry>>;
+
+  std::int64_t capacity_;
+  CacheStats* stats_;
+  Lru lru_;  // front = most recently used
+  std::map<std::vector<int>, typename Lru::iterator> index_;
+};
+
+}  // namespace sani::verify

@@ -71,13 +71,28 @@ std::string json_report(const std::string& gadget_name,
   os << "\"observables\":" << result.stats.num_observables << ",";
   os << "\"combinations\":" << result.stats.combinations << ",";
   os << "\"coefficients\":" << result.stats.coefficients << ",";
+  os << "\"caches\":{";
+  os << "\"prefix_memo\":{\"hits\":" << result.stats.prefix_memo.hits
+     << ",\"misses\":" << result.stats.prefix_memo.misses << "},";
+  os << "\"region_cache\":{\"hits\":" << result.stats.region_cache.hits
+     << ",\"misses\":" << result.stats.region_cache.misses << "}},";
+  os << "\"qinfo\":{\"entries\":" << result.stats.qinfo_entries
+     << ",\"peak_bytes\":" << result.stats.qinfo_peak_bytes << "},";
   os << "\"seconds\":" << seconds << ",";
+  os << "\"warnings\":[";
+  for (std::size_t i = 0; i < result.warnings.size(); ++i) {
+    if (i) os << ',';
+    os << "\"" << json_escape(result.warnings[i]) << "\"";
+  }
+  os << "],";
   os << "\"jobs\":"
      << (result.stats.parallel.jobs > 0 ? result.stats.parallel.jobs : 1)
      << ",";
   if (result.stats.parallel.jobs > 0) {
     const ParallelStats& p = result.stats.parallel;
     os << "\"parallel\":{";
+    os << "\"shared_basis\":" << (p.shared_basis ? "true" : "false") << ",";
+    os << "\"replays\":" << p.replays << ",";
     os << "\"shards\":" << p.shards_total << ",";
     os << "\"shards_stolen\":" << p.shards_stolen << ",";
     os << "\"shards_skipped\":" << p.shards_skipped << ",";
@@ -89,6 +104,7 @@ std::string json_report(const std::string& gadget_name,
       os << "{\"shards\":" << p.workers[w].shards
          << ",\"combinations\":" << p.workers[w].combinations
          << ",\"coefficients\":" << p.workers[w].coefficients
+         << ",\"replays\":" << p.workers[w].replays
          << ",\"peak_nodes\":" << p.workers[w].peak_nodes << "}";
     }
     os << "]},";
@@ -129,18 +145,29 @@ std::string detailed_report(const circuit::Gadget& gadget,
   os << "observables: " << result.stats.num_observables
      << "  combinations: " << result.stats.combinations
      << "  coefficients: " << result.stats.coefficients << "\n";
+  os << "caches: prefix memo " << result.stats.prefix_memo.hits << " hits / "
+     << result.stats.prefix_memo.misses << " misses, region cache "
+     << result.stats.region_cache.hits << " hits / "
+     << result.stats.region_cache.misses << " misses\n";
+  if (result.stats.qinfo_entries > 0)
+    os << "union-check arena: " << result.stats.qinfo_entries
+       << " entries, peak " << result.stats.qinfo_peak_bytes << " bytes\n";
   for (const auto& name : result.stats.timers.names())
     os << "  phase " << name << ": " << result.stats.timers.get(name) << " s\n";
   if (result.stats.parallel.jobs > 0) {
     const ParallelStats& p = result.stats.parallel;
-    os << "parallel: " << p.jobs << " jobs, " << p.shards_total << " shards ("
+    os << "parallel: " << p.jobs << " jobs ("
+       << (p.shared_basis ? "shared basis, no replays"
+                          : "per-worker manager replicas")
+       << ", " << p.replays << " replays), " << p.shards_total << " shards ("
        << p.shards_stolen << " stolen, " << p.shards_skipped << " skipped, "
        << p.shards_abandoned << " abandoned), cancel latency "
        << p.cancel_latency << " s\n";
     for (std::size_t w = 0; w < p.workers.size(); ++w)
       os << "  worker " << w << ": " << p.workers[w].shards << " shards, "
          << p.workers[w].combinations << " combinations, "
-         << p.workers[w].coefficients << " coefficients, peak "
+         << p.workers[w].coefficients << " coefficients, "
+         << p.workers[w].replays << " replays, peak "
          << p.workers[w].peak_nodes << " nodes\n";
   }
   if (result.timed_out) {

@@ -115,6 +115,13 @@ struct VerifyOptions {
   /// Combination enumeration order (verdict-neutral; affects how fast a
   /// failing witness is reached).
   SearchOrder search_order = SearchOrder::kDepthFirst;
+
+  /// Capacity (entries) of the per-worker convolution-prefix memo: row sets
+  /// of recently built combination prefixes are kept so prefix reuse
+  /// survives shard boundaries and largest-first restarts.  0 disables the
+  /// memo, negative values make it unbounded.  Verdicts, witnesses and
+  /// coefficient counts are memo-invariant (tested).
+  std::int64_t memo_capacity = 64;
 };
 
 /// A witness of a failed check.
@@ -124,21 +131,31 @@ struct CounterExample {
   std::string reason;                    // human-readable explanation
 };
 
+/// Hit/miss counters of one cache (prefix memo, row-check region cache).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
 /// Per-worker counters of a parallel run (VerifyOptions::jobs != 1).
 struct WorkerStats {
   std::uint64_t shards = 0;        // shards this worker executed
   std::uint64_t combinations = 0;  // combinations it checked
   std::uint64_t coefficients = 0;  // spectrum entries it scanned/produced
+  std::uint64_t replays = 0;       // unfolding replays this worker performed
   std::size_t peak_nodes = 0;      // its private manager's peak node count
 };
 
 /// Runtime counters of a parallel run; `jobs` stays 0 on serial runs.
 struct ParallelStats {
   int jobs = 0;                        // workers actually used
+  bool shared_basis = false;           // workers share one prepared Basis
+                                       // (no per-worker manager replica)
   std::uint64_t shards_total = 0;      // shards the plan produced
   std::uint64_t shards_stolen = 0;     // executed by a non-owner worker
   std::uint64_t shards_skipped = 0;    // cancelled before starting
   std::uint64_t shards_abandoned = 0;  // cancelled mid-shard
+  std::uint64_t replays = 0;           // per-worker unfolding replays, total
   double cancel_latency = 0.0;  // max cancel-to-acknowledge gap (seconds)
   std::vector<WorkerStats> workers;
 };
@@ -147,6 +164,11 @@ struct VerifyStats {
   std::uint64_t combinations = 0;   // XOR-combinations enumerated
   std::uint64_t coefficients = 0;   // spectrum entries scanned/produced
   std::size_t num_observables = 0;  // outputs + probes in the universe
+  CacheStats prefix_memo;           // convolution-prefix memo (per combination
+                                    // prefix; summed across workers)
+  CacheStats region_cache;          // row-check region/predicate cache
+  std::uint64_t qinfo_entries = 0;      // union-check combinations recorded
+  std::uint64_t qinfo_peak_bytes = 0;   // peak size of the union-check arena
   PhaseTimers timers;               // base / convolution / verification / union
                                     // (summed across workers when parallel)
   ParallelStats parallel;
@@ -156,6 +178,9 @@ struct VerifyResult {
   bool secure = true;
   bool timed_out = false;
   std::optional<CounterExample> counterexample;
+  /// Non-fatal diagnostics (e.g. "--jobs ignored for this engine here");
+  /// surfaced by the sani CLI on stderr.
+  std::vector<std::string> warnings;
   VerifyStats stats;
 };
 

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/unfold.h"
+#include "gadgets/registry.h"
+#include "spectral/spectrum.h"
+#include "verify/backends/registry.h"
+#include "verify/basis.h"
+#include "verify/engine.h"
+#include "verify/qinfo.h"
+
+namespace sani::verify {
+namespace {
+
+constexpr EngineKind kAllEngines[] = {EngineKind::kLIL, EngineKind::kMAP,
+                                      EngineKind::kMAPI, EngineKind::kFUJITA};
+
+std::string fingerprint(const VerifyResult& r) {
+  std::string fp = r.timed_out ? "timeout" : (r.secure ? "secure" : "insecure");
+  if (r.counterexample) {
+    fp += " |";
+    for (const auto& o : r.counterexample->observables) fp += " " + o;
+    fp += " | alpha=" + r.counterexample->alpha.to_string();
+    fp += " | " + r.counterexample->reason;
+  }
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// The shared Basis must reproduce exactly the base spectra the old
+// per-backend prepare() loops computed: Spectrum::from_bdd of every nonempty
+// XOR-subset of every observable, in subset-enumeration order.
+// ---------------------------------------------------------------------------
+
+void expect_basis_matches_direct(const char* name, bool robust) {
+  circuit::Gadget g = gadgets::by_name(name);
+  circuit::Unfolded u = circuit::unfold(g);
+  ProbeModelOptions probes;
+  probes.glitch_robust = robust;
+  ObservableSet obs = build_observables(g, u, probes);
+
+  BasisNeeds needs;
+  needs.spectra = true;
+  needs.lil = true;
+  std::shared_ptr<const Basis> basis = build_basis(u, obs, needs);
+
+  ASSERT_EQ(basis->size(), obs.size());
+  std::uint64_t direct_coeffs = 0;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    std::vector<spectral::Spectrum> direct;
+    for_each_xor_subset(obs.items[i], *u.manager, [&](const dd::Bdd& x) {
+      direct.push_back(spectral::Spectrum::from_bdd(x));
+      direct_coeffs += direct.back().nonzero_count();
+    });
+    ASSERT_EQ(basis->obs[i].num_subsets, direct.size()) << name << " obs " << i;
+    ASSERT_EQ(basis->spectra[i].size(), direct.size()) << name << " obs " << i;
+    for (std::size_t s = 0; s < direct.size(); ++s) {
+      EXPECT_TRUE(basis->spectra[i][s] == direct[s])
+          << name << " obs " << i << " subset " << s;
+      // The sorted-list mirror holds the same coefficients.
+      ASSERT_EQ(basis->lil[i][s].nonzero_count(), direct[s].nonzero_count());
+      for (const auto& [alpha, v] : basis->lil[i][s].entries())
+        EXPECT_EQ(v, direct[s].at(alpha));
+    }
+  }
+  EXPECT_EQ(basis->base_coefficients, direct_coeffs) << name;
+  EXPECT_EQ(basis->num_outputs, obs.num_outputs);
+}
+
+TEST(Basis, MatchesDirectSpectraStandardModel) {
+  expect_basis_matches_direct("dom-1", false);
+  expect_basis_matches_direct("isw-2", false);
+}
+
+TEST(Basis, MatchesDirectSpectraRobustModel) {
+  expect_basis_matches_direct("dom-1", true);
+  expect_basis_matches_direct("dom-2", true);
+}
+
+TEST(Basis, FujitaBasisCarriesMetadataOnly) {
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ObservableSet obs = build_observables(g, u, {});
+  std::shared_ptr<const Basis> basis =
+      build_basis(u, obs, EngineKind::kFUJITA);
+  EXPECT_EQ(basis->size(), obs.size());
+  EXPECT_TRUE(basis->spectra.empty());
+  EXPECT_TRUE(basis->lil.empty());
+  EXPECT_EQ(basis->base_coefficients, 0u);
+  std::shared_ptr<const Basis> lil_basis =
+      build_basis(u, obs, EngineKind::kLIL);
+  EXPECT_FALSE(lil_basis->spectra.empty());
+  EXPECT_FALSE(lil_basis->lil.empty());
+  std::shared_ptr<const Basis> map_basis =
+      build_basis(u, obs, EngineKind::kMAP);
+  EXPECT_FALSE(map_basis->spectra.empty());
+  EXPECT_TRUE(map_basis->lil.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry.
+// ---------------------------------------------------------------------------
+
+TEST(Registry, RoundTripsEveryEngine) {
+  for (EngineKind kind : kAllEngines) {
+    const BackendInfo& info = backend_info(kind);
+    EXPECT_EQ(info.kind, kind);
+    const BackendInfo* by_name = backend_by_name(info.name);
+    ASSERT_NE(by_name, nullptr) << info.name;
+    EXPECT_EQ(by_name->kind, kind);
+  }
+  EXPECT_EQ(backend_by_name("bogus"), nullptr);
+  const std::string names = backend_name_list();
+  for (const char* expected : {"lil", "map", "mapi", "fujita"})
+    EXPECT_NE(names.find(expected), std::string::npos) << expected;
+}
+
+TEST(Registry, CapabilityFlagsMatchEngineFamilies) {
+  EXPECT_FALSE(backend_info(EngineKind::kLIL).needs_manager);
+  EXPECT_FALSE(backend_info(EngineKind::kMAP).needs_manager);
+  EXPECT_TRUE(backend_info(EngineKind::kMAPI).needs_manager);
+  EXPECT_TRUE(backend_info(EngineKind::kFUJITA).needs_manager);
+  EXPECT_TRUE(backend_info(EngineKind::kLIL).needs_lil);
+  EXPECT_FALSE(backend_info(EngineKind::kFUJITA).needs_spectra);
+}
+
+// ---------------------------------------------------------------------------
+// Prefix memo: verdicts, witnesses, combination and coefficient counts must
+// be identical for any capacity (0 = off, 1 = thrashing, -1 = unbounded,
+// 64 = default).
+// ---------------------------------------------------------------------------
+
+TEST(PrefixMemo, CapacityIsObservationallyInvariant) {
+  for (const char* name : {"dom-2", "refresh-3"}) {
+    circuit::Gadget g = gadgets::by_name(name);
+    for (EngineKind engine : kAllEngines) {
+      for (SearchOrder order :
+           {SearchOrder::kDepthFirst, SearchOrder::kLargestFirst}) {
+        VerifyOptions ref_opt;
+        ref_opt.notion = Notion::kSNI;
+        ref_opt.order = 2;
+        ref_opt.engine = engine;
+        ref_opt.search_order = order;
+        ref_opt.memo_capacity = 0;
+        const VerifyResult ref = verify(g, ref_opt);
+        EXPECT_EQ(ref.stats.prefix_memo.hits, 0u);
+        for (std::int64_t capacity : {std::int64_t{1}, std::int64_t{-1},
+                                      std::int64_t{64}}) {
+          VerifyOptions opt = ref_opt;
+          opt.memo_capacity = capacity;
+          const VerifyResult r = verify(g, opt);
+          EXPECT_EQ(fingerprint(r), fingerprint(ref))
+              << name << " " << engine_name(engine) << " memo " << capacity;
+          EXPECT_EQ(r.stats.combinations, ref.stats.combinations)
+              << name << " " << engine_name(engine) << " memo " << capacity;
+          EXPECT_EQ(r.stats.coefficients, ref.stats.coefficients)
+              << name << " " << engine_name(engine) << " memo " << capacity;
+        }
+      }
+    }
+  }
+}
+
+TEST(PrefixMemo, LargestFirstRevisitsPrefixesFromTheMemo) {
+  // The size-1 pass of largest-first re-pushes every singleton the size-2
+  // pass already built; with the memo on, those are hits.
+  circuit::Gadget g = gadgets::by_name("dom-2");
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  opt.search_order = SearchOrder::kLargestFirst;
+  opt.memo_capacity = -1;
+  const VerifyResult r = verify(g, opt);
+  EXPECT_GT(r.stats.prefix_memo.hits, 0u);
+  EXPECT_GT(r.stats.prefix_memo.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Row-check region cache: one region per combination signature, every later
+// combination with the same signature is a hit — for the scan regions and
+// the predicate BDDs alike.
+// ---------------------------------------------------------------------------
+
+TEST(RowCheck, RegionCacheCountersAreVisible) {
+  circuit::Gadget g = gadgets::by_name("dom-2");
+  for (EngineKind engine : kAllEngines) {
+    VerifyOptions opt;
+    opt.notion = Notion::kSNI;
+    opt.order = 2;
+    opt.engine = engine;
+    const VerifyResult r = verify(g, opt);
+    EXPECT_GT(r.stats.region_cache.misses, 0u) << engine_name(engine);
+    EXPECT_GT(r.stats.region_cache.hits, 0u) << engine_name(engine);
+    // Every combination queries the cache exactly once.
+    EXPECT_EQ(r.stats.region_cache.hits + r.stats.region_cache.misses,
+              r.stats.combinations)
+        << engine_name(engine);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The non-replay verify_prepared overload: scan engines honor --jobs over
+// the shared basis; ADD engines run serially and say so.
+// ---------------------------------------------------------------------------
+
+TEST(Prepared, ScanEnginesHonorJobsWithoutReplay) {
+  circuit::Gadget g = gadgets::by_name("dom-2");
+  circuit::Unfolded u = circuit::unfold(g);
+  ObservableSet obs = build_observables(g, u, {});
+  for (EngineKind engine : {EngineKind::kLIL, EngineKind::kMAP}) {
+    VerifyOptions opt;
+    opt.notion = Notion::kSNI;
+    opt.order = 2;
+    opt.engine = engine;
+    opt.jobs = 1;
+    const std::string want = fingerprint(verify_prepared(u, obs, opt));
+    opt.jobs = 2;
+    opt.shard_size = 9;
+    const VerifyResult r = verify_prepared(u, obs, opt);
+    EXPECT_EQ(fingerprint(r), want) << engine_name(engine);
+    EXPECT_EQ(r.stats.parallel.jobs, 2) << engine_name(engine);
+    EXPECT_TRUE(r.stats.parallel.shared_basis) << engine_name(engine);
+    EXPECT_EQ(r.stats.parallel.replays, 0u) << engine_name(engine);
+    EXPECT_TRUE(r.warnings.empty()) << engine_name(engine);
+  }
+}
+
+TEST(Prepared, AddEnginesWarnWhenJobsCannotApply) {
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ObservableSet obs = build_observables(g, u, {});
+  for (EngineKind engine : {EngineKind::kMAPI, EngineKind::kFUJITA}) {
+    VerifyOptions opt;
+    opt.notion = Notion::kSNI;
+    opt.order = 1;
+    opt.engine = engine;
+    opt.jobs = 4;
+    const VerifyResult r = verify_prepared(u, obs, opt);
+    ASSERT_EQ(r.warnings.size(), 1u) << engine_name(engine);
+    EXPECT_NE(r.warnings[0].find("--jobs ignored"), std::string::npos);
+    EXPECT_EQ(r.stats.parallel.jobs, 0) << engine_name(engine);
+
+    VerifyOptions serial = opt;
+    serial.jobs = 1;
+    const VerifyResult s = verify_prepared(u, obs, serial);
+    EXPECT_EQ(fingerprint(r), fingerprint(s)) << engine_name(engine);
+    EXPECT_TRUE(s.warnings.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QInfoStore: rank-keyed arena must behave like the old per-path map.
+// ---------------------------------------------------------------------------
+
+TEST(QInfoStore, FindsInsertedCombosAndSortsLexicographically) {
+  QInfoStore store(5);
+  // Insertion order deliberately not lexicographic.
+  for (const std::vector<int>& combo : std::vector<std::vector<int>>{
+           {1, 3}, {0}, {2, 4}, {0, 1}, {4}, {1}}) {
+    QInfo info;
+    info.row.num_observables = static_cast<int>(combo.size());
+    info.V.assign(1, Mask{});
+    info.V[0].set(combo.front());
+    store.insert(combo, std::move(info));
+  }
+  EXPECT_EQ(store.size(), 6u);
+  const QInfo* hit = store.find({1, 3});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->row.num_observables, 2);
+  EXPECT_TRUE(hit->V[0].test(1));
+  EXPECT_EQ(store.find({3}), nullptr);
+  EXPECT_EQ(store.find({0, 2}), nullptr);
+
+  const std::vector<std::vector<int>> want = {{0},    {0, 1}, {1},
+                                              {1, 3}, {2, 4}, {4}};
+  EXPECT_EQ(store.sorted_combos(), want);
+  EXPECT_GT(store.bytes(), 0u);
+  EXPECT_GE(store.peak_bytes(), store.bytes());
+}
+
+TEST(QInfoStore, MergesDisjointStores) {
+  QInfoStore a(6), b(6);
+  QInfo info;
+  info.V.assign(1, Mask{});
+  a.insert({0, 2}, info);
+  b.insert({1, 5}, info);
+  b.insert({3}, info);
+  a.merge_from(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_NE(a.find({0, 2}), nullptr);
+  EXPECT_NE(a.find({1, 5}), nullptr);
+  EXPECT_NE(a.find({3}), nullptr);
+  const std::vector<std::vector<int>> want = {{0, 2}, {1, 5}, {3}};
+  EXPECT_EQ(a.sorted_combos(), want);
+}
+
+TEST(QInfoStore, PeakBytesReportedInStats) {
+  circuit::Gadget g = gadgets::by_name("dom-2");
+  VerifyOptions opt;
+  opt.notion = Notion::kSNI;
+  opt.order = 2;
+  const VerifyResult r = verify(g, opt);
+  ASSERT_TRUE(r.secure);
+  EXPECT_EQ(r.stats.qinfo_entries, r.stats.combinations);
+  EXPECT_GT(r.stats.qinfo_peak_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace sani::verify

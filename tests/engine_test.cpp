@@ -53,6 +53,42 @@ INSTANTIATE_TEST_SUITE_P(
                                          "sni-refresh-2", "sni-refresh-3"),
                        ::testing::ValuesIn(kAllNotions)));
 
+// All four backends walk the shared enumeration in the same order, so on an
+// insecure instance they must agree on the *failing combination* too (the
+// witness coordinate alpha may differ between representations) — under both
+// search orders.
+TEST(CrossEngine, SameFailingCombinationUnderBothSearchOrders) {
+  for (const char* name : {"ti-1", "refresh-3", "isw-2"}) {
+    circuit::Gadget g = gadgets::by_name(name);
+    const Notion notion =
+        std::string(name) == "isw-2" ? Notion::kPINI : Notion::kSNI;
+    const int d = std::string(name) == "ti-1" ? 1 : 2;
+    for (SearchOrder order :
+         {SearchOrder::kDepthFirst, SearchOrder::kLargestFirst}) {
+      VerifyOptions opt;
+      opt.notion = notion;
+      opt.order = d;
+      opt.search_order = order;
+      opt.engine = EngineKind::kMAPI;
+      VerifyResult ref = verify(g, opt);
+      ASSERT_FALSE(ref.secure) << name;
+      ASSERT_TRUE(ref.counterexample.has_value()) << name;
+      for (EngineKind e : kAllEngines) {
+        opt.engine = e;
+        VerifyResult r = verify(g, opt);
+        ASSERT_FALSE(r.secure) << name << " " << engine_name(e);
+        ASSERT_TRUE(r.counterexample.has_value())
+            << name << " " << engine_name(e);
+        EXPECT_EQ(r.counterexample->observables,
+                  ref.counterexample->observables)
+            << name << " " << engine_name(e);
+        EXPECT_EQ(r.stats.combinations, ref.stats.combinations)
+            << name << " " << engine_name(e);
+      }
+    }
+  }
+}
+
 // Level-2 gadgets are slower; cover them with the two hash-map engines plus
 // FUJITA on a single notion each.
 TEST(CrossEngine, LevelTwoAgreement) {

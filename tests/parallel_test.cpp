@@ -182,6 +182,108 @@ TEST(Parallel, JobsZeroUsesHardwareConcurrency) {
   EXPECT_GE(r.stats.parallel.jobs, 1);
 }
 
+// The scan engines share one read-only Basis across the pool: no worker may
+// replay the unfolding, and the verdict/witness must not depend on the
+// worker count.  The ADD engines keep per-worker manager replicas, so they
+// replay at most jobs-1 times (worker 0 inherits the pre-built replica).
+TEST(Parallel, ScanEnginesShareBasisWithoutReplay) {
+  const Gadget g = gadgets::by_name("dom-2");
+  for (EngineKind engine : {EngineKind::kLIL, EngineKind::kMAP}) {
+    VerifyOptions opt;
+    opt.notion = Notion::kSNI;
+    opt.order = 2;
+    opt.engine = engine;
+    opt.jobs = 1;
+    const std::string want = fingerprint(verify(g, opt));
+    for (int jobs : {2, 4}) {
+      opt.jobs = jobs;
+      opt.shard_size = 7;
+      const VerifyResult r = verify(g, opt);
+      EXPECT_EQ(fingerprint(r), want)
+          << engine_name(engine) << " jobs " << jobs;
+      EXPECT_TRUE(r.stats.parallel.shared_basis)
+          << engine_name(engine) << " jobs " << jobs;
+      EXPECT_EQ(r.stats.parallel.replays, 0u)
+          << engine_name(engine) << " jobs " << jobs;
+      for (const WorkerStats& w : r.stats.parallel.workers)
+        EXPECT_EQ(w.replays, 0u) << engine_name(engine) << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(Parallel, AddEnginesReplayAtMostJobsMinusOne) {
+  const Gadget g = gadgets::by_name("dom-2");
+  for (EngineKind engine : {EngineKind::kMAPI, EngineKind::kFUJITA}) {
+    VerifyOptions opt;
+    opt.notion = Notion::kSNI;
+    opt.order = 2;
+    opt.engine = engine;
+    opt.jobs = 1;
+    const std::string want = fingerprint(verify(g, opt));
+    for (int jobs : {2, 4}) {
+      opt.jobs = jobs;
+      opt.shard_size = 7;
+      const VerifyResult r = verify(g, opt);
+      EXPECT_EQ(fingerprint(r), want)
+          << engine_name(engine) << " jobs " << jobs;
+      EXPECT_FALSE(r.stats.parallel.shared_basis)
+          << engine_name(engine) << " jobs " << jobs;
+      EXPECT_LE(r.stats.parallel.replays, static_cast<std::uint64_t>(jobs - 1))
+          << engine_name(engine) << " jobs " << jobs;
+    }
+  }
+}
+
+// Cross-engine parallel agreement: every engine returns the same verdict and
+// the same failing combination (the witness coordinate may legitimately
+// differ between representations) under both search orders and any job
+// count.
+TEST(Parallel, CrossEngineAgreementBothSearchOrders) {
+  constexpr EngineKind kEngines[] = {EngineKind::kLIL, EngineKind::kMAP,
+                                     EngineKind::kMAPI, EngineKind::kFUJITA};
+  for (const char* name : {"ti-1", "dom-1", "refresh-3", "isw-2"}) {
+    const Gadget g = gadgets::by_name(name);
+    for (int order : {1, 2}) {
+      for (SearchOrder search :
+           {SearchOrder::kDepthFirst, SearchOrder::kLargestFirst}) {
+        bool have_ref = false;
+        bool ref_secure = false;
+        std::vector<std::string> ref_combo;
+        for (EngineKind engine : kEngines) {
+          VerifyOptions opt;
+          opt.notion = Notion::kSNI;
+          opt.order = order;
+          opt.engine = engine;
+          opt.search_order = search;
+          opt.jobs = 1;
+          const VerifyResult serial = verify(g, opt);
+          const std::string want = fingerprint(serial);
+          for (int jobs : {2, 4}) {
+            opt.jobs = jobs;
+            opt.shard_size = 5;
+            EXPECT_EQ(fingerprint(verify(g, opt)), want)
+                << name << " order " << order << " "
+                << engine_name(engine) << " jobs " << jobs;
+          }
+          const std::vector<std::string> combo =
+              serial.counterexample ? serial.counterexample->observables
+                                    : std::vector<std::string>{};
+          if (!have_ref) {
+            have_ref = true;
+            ref_secure = serial.secure;
+            ref_combo = combo;
+          } else {
+            EXPECT_EQ(serial.secure, ref_secure)
+                << name << " order " << order << " " << engine_name(engine);
+            EXPECT_EQ(combo, ref_combo)
+                << name << " order " << order << " " << engine_name(engine);
+          }
+        }
+      }
+    }
+  }
+}
+
 // The replay overload of verify_prepared: parallel when given a prepare
 // function, byte-identical to the serial prepared path.
 TEST(Parallel, PreparedReplayOverloadMatchesSerial) {

@@ -24,6 +24,7 @@
 #include "gadgets/registry.h"
 #include "util/cli.h"
 #include "util/timer.h"
+#include "verify/backends/registry.h"
 #include "verify/engine.h"
 #include "verify/report.h"
 #include "verify/uniformity.h"
@@ -40,7 +41,9 @@ int usage(const std::string& msg = "") {
       "  --notion probing|ni|sni|pini   security notion (default sni)\n"
       "  --order D                      number of observations (default:\n"
       "                                 the gadget's design order, or 1)\n"
-      "  --engine lil|map|mapi|fujita   implementation (default mapi)\n"
+      "  --engine NAME                  implementation (default mapi); one\n"
+      "                                 of: " +
+          verify::backend_name_list() + "\n"
       "  --robust                       glitch-extended probes\n"
       "  --joint                        total share counting (paper Fig. 2)\n"
       "  --no-union                     per-row T-predicate check only\n"
@@ -48,6 +51,9 @@ int usage(const std::string& msg = "") {
       "(fractional ok)\n"
       "  --jobs N                       worker threads (default 1; 0 = all\n"
       "                                 hardware threads)\n"
+      "  --memo N                       convolution-prefix memo capacity\n"
+      "                                 (default 64; 0 = off, -1 = "
+      "unbounded)\n"
       "  --var-order declared|randoms-first|randoms-last|interleaved\n"
       "  --sift                         dynamic reordering after unfolding\n"
       "  --largest-first                max-size combinations first "
@@ -87,11 +93,12 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   else throw std::invalid_argument("unknown notion '" + notion + "'");
 
   const std::string engine = args.value_or("engine", "mapi");
-  if (engine == "lil") opt.engine = verify::EngineKind::kLIL;
-  else if (engine == "map") opt.engine = verify::EngineKind::kMAP;
-  else if (engine == "mapi") opt.engine = verify::EngineKind::kMAPI;
-  else if (engine == "fujita") opt.engine = verify::EngineKind::kFUJITA;
-  else throw std::invalid_argument("unknown engine '" + engine + "'");
+  if (const verify::BackendInfo* info = verify::backend_by_name(engine))
+    opt.engine = info->kind;
+  else
+    throw std::invalid_argument("unknown engine '" + engine +
+                                "' (registered engines: " +
+                                verify::backend_name_list() + ")");
 
   opt.order = args.value_int("order", default_order(args));
   opt.sift_after_unfold = args.has("sift");
@@ -103,6 +110,7 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   opt.time_limit = args.value_double("time-limit", 0.0);
   opt.jobs = args.value_int("jobs", 1);
   if (opt.jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+  opt.memo_capacity = args.value_int("memo", 64);
 
   const std::string vo = args.value_or("var-order", "declared");
   if (vo == "declared") opt.var_order = circuit::VarOrder::kDeclared;
@@ -167,6 +175,7 @@ int main(int argc, char** argv) {
       Stopwatch watch;
       verify::VerifyResult r = verify::verify(g, opt);
       const double seconds = watch.seconds();
+      for (const auto& w : r.warnings) std::cerr << "warning: " << w << "\n";
       if (args.value_or("format", "text") == "json") {
         std::cout << verify::json_report(label, opt, r, seconds) << "\n";
       } else {
