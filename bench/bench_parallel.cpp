@@ -1,9 +1,13 @@
 // Parallel-runtime scaling sweep: wall-clock time of the sharded runtime
-// (src/sched/) at jobs = 1, 2, 4, 8 on two mid-size suite entries —
-// keccak-2 under SNI and dom-3 under NI.  Emits one json_report row per
-// run (same schema as `sani verify --format json`, including the "jobs"
-// and "parallel" fields) so the rows concatenate with the other bench
-// outputs, followed by a speedup summary table.
+// (src/sched/) at jobs = 1, 2, 4, 8 on mid-size suite entries — keccak-2
+// under SNI and dom-3 under NI with the paper's MAPI engine, plus ADD-engine
+// rows (keccak-2 under FUJITA, isw-3 under MAPI) that exercise the
+// frozen-basis thaw path: every worker imports the shared Basis' frozen
+// forest into its private manager instead of replaying the unfolding, so
+// the ADD engines now scale like the scan engines.  Emits one json_report
+// row per run (same schema as `sani verify --format json`, including the
+// "jobs", "parallel", "frozen" and "dd" fields) so the rows concatenate
+// with the other bench outputs, followed by a speedup summary table.
 //
 // Flags:
 //   --timeout S    per-run wall-clock budget, default 120 s
@@ -26,6 +30,7 @@ namespace {
 struct SweepCase {
   std::string gadget;
   verify::Notion notion;
+  verify::EngineKind engine;
 };
 
 }  // namespace
@@ -36,11 +41,13 @@ int main(int argc, char** argv) {
   const int jobs_max = args.value_int("jobs-max", 8);
 
   const std::vector<SweepCase> cases = {
-      {"keccak-2", verify::Notion::kSNI},
-      {"dom-3", verify::Notion::kNI},
+      {"keccak-2", verify::Notion::kSNI, verify::EngineKind::kMAPI},
+      {"dom-3", verify::Notion::kNI, verify::EngineKind::kMAPI},
+      {"keccak-2", verify::Notion::kSNI, verify::EngineKind::kFUJITA},
+      {"isw-3", verify::Notion::kSNI, verify::EngineKind::kMAPI},
   };
 
-  TextTable table({"gadget", "notion", "jobs", "seconds", "speedup",
+  TextTable table({"gadget", "notion", "engine", "jobs", "seconds", "speedup",
                    "shards", "stolen"});
   for (const SweepCase& c : cases) {
     const circuit::Gadget g = gadgets::by_name(c.gadget);
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
       verify::VerifyOptions opt;
       opt.notion = c.notion;
       opt.order = gadgets::security_level(c.gadget);
+      opt.engine = c.engine;
       opt.union_check = false;  // the paper's per-row methodology
       opt.time_limit = timeout;
       opt.jobs = jobs;
@@ -68,6 +76,7 @@ int main(int argc, char** argv) {
       table.row()
           .add(c.gadget)
           .add(verify::notion_name(c.notion))
+          .add(verify::engine_name(c.engine))
           .add(std::to_string(jobs))
           .add(secs.str())
           .add(speedup.str())

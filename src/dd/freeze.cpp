@@ -1,0 +1,95 @@
+#include "dd/freeze.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "dd/manager.h"
+
+namespace sani::dd {
+
+std::int64_t FrozenForest::eval(std::size_t root_index,
+                                const Mask& assignment) const {
+  Ref r = roots.at(root_index);
+  while (!is_leaf(r)) {
+    const Node& n = nodes[index_of(r)];
+    r = assignment.test(var_order[static_cast<std::size_t>(n.level)]) ? n.hi
+                                                                      : n.lo;
+  }
+  return leaves[index_of(r)];
+}
+
+FrozenForest Manager::export_forest(const std::vector<NodeId>& roots,
+                                    std::vector<std::string> names) const {
+  if (!names.empty() && names.size() != roots.size())
+    throw std::invalid_argument("export_forest: names/roots size mismatch");
+  FrozenForest f;
+  f.var_order = level_to_var_;
+  f.root_names = std::move(names);
+
+  // One post-order walk over the shared DAG: children are assigned their
+  // frozen reference before any parent is visited, so the node array comes
+  // out topologically sorted and deduplicated for free.
+  std::unordered_map<NodeId, FrozenForest::Ref> ref;
+  ref.reserve(roots.size() * 4);
+  std::unordered_map<std::int64_t, std::uint32_t> leaf_index;
+  visit_postorder(roots, [&](NodeId n) {
+    if (is_terminal(n)) {
+      const std::int64_t v = terminal_value(n);
+      auto [it, fresh] =
+          leaf_index.emplace(v, static_cast<std::uint32_t>(f.leaves.size()));
+      if (fresh) f.leaves.push_back(v);
+      ref.emplace(n, FrozenForest::leaf_ref(it->second));
+      return;
+    }
+    FrozenForest::Node node;
+    node.level = static_cast<std::int32_t>(node_level(n));
+    node.lo = ref.at(node_lo(n));
+    node.hi = ref.at(node_hi(n));
+    ref.emplace(n, FrozenForest::node_ref(
+                       static_cast<std::uint32_t>(f.nodes.size())));
+    f.nodes.push_back(node);
+  });
+
+  f.roots.reserve(roots.size());
+  for (NodeId r : roots) f.roots.push_back(ref.at(r));
+  return f;
+}
+
+std::vector<NodeId> Manager::import_forest(const FrozenForest& forest) {
+  if (forest.num_vars() != num_vars_)
+    throw std::invalid_argument("import_forest: variable count mismatch");
+  // Canonicity is only order-relative: node-for-node reconstruction (and
+  // identical any_sat witnesses) requires this manager to use the order the
+  // forest was levelized under.  Cheap on a freshly created manager.
+  if (level_to_var_ != forest.var_order) set_variable_order(forest.var_order);
+
+  std::vector<NodeId> leaf_ids;
+  leaf_ids.reserve(forest.leaves.size());
+  for (std::int64_t v : forest.leaves) leaf_ids.push_back(terminal(v));
+
+  auto resolve = [&](FrozenForest::Ref r, const std::vector<NodeId>& node_ids) {
+    return FrozenForest::is_leaf(r) ? leaf_ids[FrozenForest::index_of(r)]
+                                    : node_ids[FrozenForest::index_of(r)];
+  };
+
+  // One forward pass: the topological order guarantees both children exist
+  // by the time a node is built, and make() re-establishes hash-consing, so
+  // the import is O(nodes) and reduction-preserving.  Neither terminal()
+  // nor make() runs a GC safe point — callers must wrap the returned roots
+  // in handles before the next top-level operation.
+  std::vector<NodeId> node_ids;
+  node_ids.reserve(forest.nodes.size());
+  for (const FrozenForest::Node& n : forest.nodes) {
+    const int var = forest.var_order[static_cast<std::size_t>(n.level)];
+    node_ids.push_back(
+        make(var, resolve(n.lo, node_ids), resolve(n.hi, node_ids)));
+  }
+
+  std::vector<NodeId> roots;
+  roots.reserve(forest.roots.size());
+  for (FrozenForest::Ref r : forest.roots)
+    roots.push_back(resolve(r, node_ids));
+  return roots;
+}
+
+}  // namespace sani::dd

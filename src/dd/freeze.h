@@ -1,0 +1,84 @@
+#pragma once
+// Frozen forests: a compact, immutable, manager-free encoding of a
+// multi-rooted BDD/ADD forest.
+//
+// A dd::Manager is a live hash-consed node store — mutable, GC'd, and bound
+// to one thread at a time.  A FrozenForest is the opposite: a flat,
+// levelized array of (level, lo, hi) triples in topological order (children
+// strictly before parents), an int64 leaf pool, the variable order the
+// nodes were levelized under, and the root references.  The same idea as
+// the levelized arrays of polynomial-time BDD verification (Drechsler) and
+// the spectral arrays of Yu et al.: once flattened, the forest can be
+// copied, shared read-only across threads, and re-imported into any manager
+// in O(nodes) without replaying the computation that built it.
+//
+// This is what makes verify::Basis manager-independent for the ADD engines:
+// the base XOR-subset functions and spectra are frozen once at build time,
+// and every parallel worker *thaws* them into its private manager
+// (Manager::import_forest) instead of replaying the circuit unfolding.
+//
+// Invariants of a well-formed forest (produced by Manager::export_forest):
+//  * nodes[i].lo / .hi reference either earlier nodes (index < i) or
+//    leaves, so a single forward pass reconstructs the forest;
+//  * levels strictly increase from parent to child (node levels are the
+//    positions in `var_order`, leaves sit below every level);
+//  * no node has lo == hi and no two nodes repeat a (level, lo, hi) triple
+//    — importing is therefore reduction-preserving: thawed roots have
+//    exactly the same node counts as the originals.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/mask.h"
+
+namespace sani::dd {
+
+/// Manager-free encoding of a multi-rooted decision-diagram forest.
+struct FrozenForest {
+  /// A reference is a tagged 32-bit index: high bit set = index into
+  /// `leaves`, clear = index into `nodes`.
+  using Ref = std::uint32_t;
+  static constexpr Ref kLeafTag = 0x80000000u;
+  static constexpr Ref leaf_ref(std::uint32_t index) { return index | kLeafTag; }
+  static constexpr Ref node_ref(std::uint32_t index) { return index; }
+  static constexpr bool is_leaf(Ref r) { return (r & kLeafTag) != 0; }
+  static constexpr std::uint32_t index_of(Ref r) { return r & ~kLeafTag; }
+
+  struct Node {
+    std::int32_t level;  // position of the node's variable in `var_order`
+    Ref lo;
+    Ref hi;
+  };
+
+  /// The variable order the nodes were levelized under (outermost first;
+  /// var_order[level] = variable id).  Importing adopts this order.
+  std::vector<int> var_order;
+  /// Topologically sorted: every child reference points to an earlier node.
+  std::vector<Node> nodes;
+  /// Distinct terminal values (BDD roots only ever reference 0/1 entries).
+  std::vector<std::int64_t> leaves;
+  /// The exported roots, in the order they were passed to export_forest.
+  /// Roots may be plain leaf references (constant functions).
+  std::vector<Ref> roots;
+  /// Optional names parallel to `roots` (empty when unnamed).
+  std::vector<std::string> root_names;
+
+  int num_vars() const { return static_cast<int>(var_order.size()); }
+  std::size_t node_count() const { return nodes.size(); }
+  bool empty() const { return roots.empty(); }
+
+  /// Serialized footprint in bytes (the report's `frozen.bytes`).
+  std::size_t bytes() const {
+    return nodes.size() * sizeof(Node) + leaves.size() * sizeof(std::int64_t) +
+           roots.size() * sizeof(Ref) + var_order.size() * sizeof(int) +
+           sizeof(*this);
+  }
+
+  /// Evaluates root `root_index` at the point whose variable-v coordinate is
+  /// assignment.test(v) — directly on the frozen encoding, no manager
+  /// involved.  Used by tests to prove thawing preserves the function.
+  std::int64_t eval(std::size_t root_index, const Mask& assignment) const;
+};
+
+}  // namespace sani::dd

@@ -566,17 +566,9 @@ NodeId Manager::abs(NodeId f) {
 
 Mask Manager::support(NodeId f) {
   Mask result;
-  std::vector<NodeId> stack{f};
-  std::vector<bool> seen(nodes_.size(), false);
-  while (!stack.empty()) {
-    NodeId n = stack.back();
-    stack.pop_back();
-    if (seen[n] || is_terminal(n)) continue;
-    seen[n] = true;
-    result.set(nodes_[n].var);
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
-  }
+  visit_postorder({f}, [&](NodeId n) {
+    if (!is_terminal(n)) result.set(nodes_[n].var);
+  });
   return result;
 }
 
@@ -606,22 +598,12 @@ double Manager::sat_count(NodeId f) {
 
 std::int64_t Manager::max_abs_terminal(NodeId f) {
   std::int64_t best = 0;
-  std::vector<NodeId> stack{f};
-  std::vector<bool> seen(nodes_.size(), false);
-  while (!stack.empty()) {
-    NodeId n = stack.back();
-    stack.pop_back();
-    if (seen[n]) continue;
-    seen[n] = true;
-    if (is_terminal(n)) {
-      std::int64_t v = terminal_value(n);
-      if (v < 0) v = -v;
-      if (v > best) best = v;
-    } else {
-      stack.push_back(nodes_[n].lo);
-      stack.push_back(nodes_[n].hi);
-    }
-  }
+  visit_postorder({f}, [&](NodeId n) {
+    if (!is_terminal(n)) return;
+    std::int64_t v = terminal_value(n);
+    if (v < 0) v = -v;
+    if (v > best) best = v;
+  });
   return best;
 }
 
@@ -664,19 +646,7 @@ bool Manager::reaches_nonzero(NodeId f) const {
 
 std::size_t Manager::dag_size(NodeId f) const {
   std::size_t count = 0;
-  std::vector<NodeId> stack{f};
-  std::vector<bool> seen(nodes_.size(), false);
-  while (!stack.empty()) {
-    NodeId n = stack.back();
-    stack.pop_back();
-    if (seen[n]) continue;
-    seen[n] = true;
-    ++count;
-    if (!is_terminal(n)) {
-      stack.push_back(nodes_[n].lo);
-      stack.push_back(nodes_[n].hi);
-    }
-  }
+  visit_postorder({f}, [&](NodeId) { ++count; });
   return count;
 }
 

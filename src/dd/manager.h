@@ -28,11 +28,14 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/mask.h"
 
 namespace sani::dd {
+
+struct FrozenForest;  // freeze.h
 
 /// Index of a node in the manager's arena.
 using NodeId = std::uint32_t;
@@ -131,6 +134,48 @@ class Manager {
 
   /// Number of distinct nodes (incl. terminals) reachable from `n`.
   std::size_t dag_size(NodeId n) const;
+
+  /// Visits every node reachable from `roots` exactly once, children before
+  /// parents (post-order over the shared DAG).  The one reusable DAG walk
+  /// behind dag_size/support/max_abs_terminal and export_forest.
+  template <typename Fn>
+  void visit_postorder(const std::vector<NodeId>& roots, Fn&& visit) const {
+    std::vector<std::pair<NodeId, bool>> stack;
+    stack.reserve(roots.size() + 64);
+    std::vector<bool> seen(nodes_.size(), false);
+    for (NodeId r : roots) stack.emplace_back(r, false);
+    while (!stack.empty()) {
+      const auto [n, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        visit(n);
+        continue;
+      }
+      if (seen[n]) continue;
+      seen[n] = true;
+      stack.emplace_back(n, true);
+      if (!is_terminal(n)) {
+        stack.emplace_back(nodes_[n].lo, false);
+        stack.emplace_back(nodes_[n].hi, false);
+      }
+    }
+  }
+
+  // --- Frozen forests (freeze.h) ------------------------------------------
+
+  /// Flattens the forest reachable from `roots` into a manager-free
+  /// FrozenForest levelized under the *current* variable order.  `names`,
+  /// when non-empty, must parallel `roots`.
+  FrozenForest export_forest(const std::vector<NodeId>& roots,
+                             std::vector<std::string> names = {}) const;
+
+  /// Reconstructs a frozen forest in this manager: adopts the forest's
+  /// variable order, then one make() per frozen node in topological order —
+  /// O(nodes), reduction-preserving (thawed roots have the original node
+  /// counts).  Returns the root NodeIds in forest order; wrap them in
+  /// handles before the next top-level operation (import itself never
+  /// triggers a GC safe point).
+  std::vector<NodeId> import_forest(const FrozenForest& forest);
 
   // --- Reference counting (used by the Bdd/Add handles) ------------------
 

@@ -164,4 +164,9 @@ int Pool::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+int default_jobs(int requested) {
+  if (requested == 0) return Pool::hardware_threads();
+  return requested < 1 ? 1 : requested;
+}
+
 }  // namespace sani::sched

@@ -11,9 +11,9 @@
 // is disturbed as little as possible.
 //
 // Tasks are plain indices; all task state lives with the caller.  Per-worker
-// state (the verification runtime's private dd::Manager replicas) is keyed
-// by the `worker` id passed to the task function: a slot is only ever
-// touched by the worker that owns it.
+// state (the verification runtime's per-worker Drivers and their private
+// dd::Managers) is keyed by the `worker` id passed to the task function: a
+// slot is only ever touched by the worker that owns it.
 //
 // The pool does not cancel running tasks — cancellation is cooperative via
 // sched::CancelToken, polled inside the task body.  An exception thrown by
@@ -56,5 +56,10 @@ class Pool {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Resolves a requested worker count to the count actually used: 0 expands
+/// to hardware_threads(), anything below 1 clamps to 1.  The single policy
+/// site for the "--jobs 0" convention — callers record the return value.
+int default_jobs(int requested);
 
 }  // namespace sani::sched

@@ -4,10 +4,11 @@
 // A backend maintains the engine-specific representation of the rows at the
 // current combination: a stack of row sets, one level per observable on the
 // enumeration path.  The per-observable base data lives in the shared,
-// immutable verify::Basis (or, for manager-bound representations, is built
-// once per backend in prepare()); the stack levels are immutable row sets
-// shared with the prefix memo, so pushing a previously seen prefix is a
-// pointer copy.
+// immutable verify::Basis; for the manager-bound representations it arrives
+// pre-thawed (the Driver imports the Basis' frozen forest into its private
+// manager and hands the handles over).  The stack levels are immutable row
+// sets shared with the prefix memo, so pushing a previously seen prefix is
+// a pointer copy.
 
 #include <cstdint>
 #include <memory>
@@ -24,15 +25,17 @@
 
 namespace sani::verify {
 
-/// Construction context for a backend.  `manager`/`observables`/`rho_zero`
-/// are only set for engines whose registry entry has needs_manager (the ADD
+/// Construction context for a backend.  `manager`/`thawed`/`rho_zero` are
+/// only set for engines whose registry entry has needs_thaw (the ADD
 /// verification step and the FUJITA transform are manager-bound); scan
 /// backends run entirely on the shared Basis.
 struct BackendContext {
   std::shared_ptr<const Basis> basis;
   dd::Manager* manager = nullptr;
-  const ObservableSet* observables = nullptr;  // manager-bound BDD functions
-  dd::Bdd rho_zero;                            // FUJITA set-level check
+  /// Handles of the Basis' frozen roots, thawed into `manager` by the
+  /// Driver; indexed by Basis::frozen_fn_roots / frozen_spectrum_roots.
+  const std::vector<dd::Add>* thawed = nullptr;
+  dd::Bdd rho_zero;  // FUJITA set-level check
   PhaseTimers* timers = nullptr;
   std::uint64_t* coefficients = nullptr;
   CacheStats* memo_stats = nullptr;
@@ -52,8 +55,9 @@ class Backend {
  public:
   virtual ~Backend() = default;
 
-  /// Builds any manager-bound base data and the root row.  The shared,
-  /// manager-independent base spectra are prepared once in build_basis().
+  /// Builds the root row and wires up any manager-bound base data (already
+  /// thawed by the Driver).  The shared, manager-independent base spectra
+  /// are prepared once in build_basis().
   virtual void prepare() = 0;
 
   /// Extends the current combination by the last element of `path` (the

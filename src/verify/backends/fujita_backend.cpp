@@ -1,5 +1,7 @@
 #include "verify/backends/fujita_backend.h"
 
+#include <stdexcept>
+
 #include "dd/walsh.h"
 
 namespace sani::verify {
@@ -7,7 +9,7 @@ namespace sani::verify {
 FujitaBackend::FujitaBackend(const BackendContext& ctx)
     : basis_(ctx.basis),
       manager_(ctx.manager),
-      observables_(ctx.observables),
+      thawed_(ctx.thawed),
       rho0_(ctx.rho_zero),
       timers_(*ctx.timers),
       coefficients_(*ctx.coefficients),
@@ -15,13 +17,19 @@ FujitaBackend::FujitaBackend(const BackendContext& ctx)
       memo_(ctx.memo_capacity, ctx.memo_stats) {}
 
 void FujitaBackend::prepare() {
-  // Manager-bound base: the XOR-subset BDDs live in this worker's manager,
-  // so unlike the spectra engines this part is rebuilt per backend.
-  ScopedPhase phase(timers_, "base");
-  for (const auto& o : observables_->items) {
+  // The XOR-subset BDDs were frozen at build_basis() time and thawed into
+  // this worker's manager by the Driver; indexing the handles is all that
+  // is left — no per-worker rebuild.
+  if (!thawed_ || basis_->frozen_fn_roots.size() != basis_->size())
+    throw std::logic_error(
+        "fujita backend: basis has no frozen XOR-subset functions "
+        "(rebuild the basis for this engine)");
+  base_.reserve(basis_->size());
+  for (const std::vector<std::size_t>& roots : basis_->frozen_fn_roots) {
     std::vector<dd::Bdd> subsets;
-    for_each_xor_subset(o, *manager_,
-                        [&](const dd::Bdd& x) { subsets.push_back(x); });
+    subsets.reserve(roots.size());
+    for (std::size_t r : roots)
+      subsets.emplace_back(manager_, (*thawed_)[r].node());
     base_.push_back(std::move(subsets));
   }
   rows_.push_back(std::make_shared<RowSet>(

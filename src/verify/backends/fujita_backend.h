@@ -4,8 +4,9 @@
 // The base XOR-subsets are plain BDDs in the worker's manager; pushing an
 // observable XORs the subset function into the running combination and runs
 // the Fujita spectral transform, so no convolution happens at all.  The
-// base BDDs are manager-bound and therefore built per backend in prepare()
-// (the shared Basis carries only metadata for this engine).
+// shared Basis carries the subset functions as a frozen forest
+// (Basis::frozen_fn_roots); the Driver thaws them into this worker's
+// manager and prepare() merely indexes the handles — no unfolding replay.
 
 #include "dd/add.h"
 #include "verify/backends/backend.h"
@@ -32,7 +33,7 @@ class FujitaBackend : public Backend {
 
   std::shared_ptr<const Basis> basis_;
   dd::Manager* manager_;
-  const ObservableSet* observables_;
+  const std::vector<dd::Add>* thawed_;
   dd::Bdd rho0_;
   PhaseTimers& timers_;
   std::uint64_t& coefficients_;

@@ -3,7 +3,10 @@
 //
 // Convolution runs on the shared Basis' hash-map spectra.  Verification is
 // either the scan product with the materialized ForbiddenRegion (MAP) or
-// the paper's symbolic ADD product (MAPI; needs the manager).
+// the paper's symbolic ADD product (MAPI; needs the manager).  For MAPI the
+// Driver has already thawed the Basis' frozen base-spectrum ADDs into the
+// manager, so the per-row Spectrum::to_add rebuilds hit a warm unique
+// table; the backend itself only needs the manager pointer.
 
 #include "verify/backends/backend.h"
 #include "verify/prefix_memo.h"

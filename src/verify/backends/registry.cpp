@@ -32,20 +32,20 @@ const std::vector<BackendInfo>& backend_registry() {
   static const std::vector<BackendInfo> registry = {
       {EngineKind::kLIL, "lil",
        "list-of-lists convolution + list-scan verification [11]",
-       /*needs_manager=*/false, /*needs_spectra=*/true, /*needs_lil=*/true,
-       &make_lil},
+       /*needs_thaw=*/false, /*needs_spectra=*/true, /*needs_lil=*/true,
+       /*frozen_fns=*/false, /*frozen_spectra=*/false, &make_lil},
       {EngineKind::kMAP, "map",
        "hash-map convolution + map-scan verification",
-       /*needs_manager=*/false, /*needs_spectra=*/true, /*needs_lil=*/false,
-       &make_map},
+       /*needs_thaw=*/false, /*needs_spectra=*/true, /*needs_lil=*/false,
+       /*frozen_fns=*/false, /*frozen_spectra=*/false, &make_map},
       {EngineKind::kMAPI, "mapi",
        "hash-map convolution + ADD verification (the paper's method)",
-       /*needs_manager=*/true, /*needs_spectra=*/true, /*needs_lil=*/false,
-       &make_mapi},
+       /*needs_thaw=*/true, /*needs_spectra=*/true, /*needs_lil=*/false,
+       /*frozen_fns=*/false, /*frozen_spectra=*/true, &make_mapi},
       {EngineKind::kFUJITA, "fujita",
        "per-combination Fujita transform + ADD verification",
-       /*needs_manager=*/true, /*needs_spectra=*/false, /*needs_lil=*/false,
-       &make_fujita},
+       /*needs_thaw=*/true, /*needs_spectra=*/false, /*needs_lil=*/false,
+       /*frozen_fns=*/true, /*frozen_spectra=*/false, &make_fujita},
   };
   return registry;
 }

@@ -4,7 +4,8 @@
 // Single source of truth for the engine list — the CLI resolves --engine
 // names here, the driver constructs backends through the factory, and the
 // runtime reads the capability flags to decide what the Basis must carry
-// and whether parallel workers need private dd::Manager replicas.
+// and whether the Driver must thaw the Basis' frozen DD forest into a
+// private manager before verification.
 
 #include <memory>
 #include <string>
@@ -19,11 +20,15 @@ struct BackendInfo {
   EngineKind kind;
   const char* name;     // CLI spelling ("lil", "map", "mapi", "fujita")
   const char* summary;  // one-line description for --help / errors
-  bool needs_manager;   // verification multiplies against predicate BDDs:
-                        // parallel workers replay the unfolding into a
-                        // private dd::Manager replica
+  bool needs_thaw;      // verification multiplies against predicate BDDs:
+                        // the Driver creates a private dd::Manager and thaws
+                        // the Basis' frozen forest into it (no unfolding
+                        // replay — the Basis is manager-independent for
+                        // every engine)
   bool needs_spectra;   // Basis must carry the hash-map base spectra
   bool needs_lil;       // Basis must carry the sorted-list copies
+  bool frozen_fns;      // Basis must freeze the XOR-subset function BDDs
+  bool frozen_spectra;  // Basis must freeze the base-spectrum ADDs
   std::unique_ptr<Backend> (*make)(const BackendContext& ctx);
 };
 

@@ -1,5 +1,6 @@
 #include "verify/basis.h"
 
+#include "dd/add.h"
 #include "util/timer.h"
 #include "verify/backends/registry.h"
 
@@ -14,6 +15,15 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
   basis->num_outputs = observables.num_outputs;
   basis->obs.reserve(observables.items.size());
 
+  const bool subset_walk =
+      needs.spectra || needs.frozen_fns || needs.frozen_spectra;
+  // Handles keep the to-be-frozen roots alive across GC safe points until
+  // export_forest snapshots them; `roots` records the NodeIds in the order
+  // the index tables refer to them.
+  std::vector<dd::Bdd> fn_handles;
+  std::vector<dd::Add> spectrum_handles;
+  std::vector<dd::NodeId> roots;
+
   Mask used;
   for (const auto& o : observables.items) {
     ObservableInfo info;
@@ -26,12 +36,30 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
 
     for (const auto& f : o.fns) used |= f.support();
 
-    if (!needs.spectra) continue;
+    if (!subset_walk) continue;
+    const std::size_t num_subsets = (std::size_t{1} << o.fns.size()) - 1;
     std::vector<spectral::Spectrum> subsets;
-    subsets.reserve((std::size_t{1} << o.fns.size()) - 1);
+    std::vector<std::size_t> fn_roots;
+    std::vector<std::size_t> spectrum_roots;
+    if (needs.spectra) subsets.reserve(num_subsets);
+    if (needs.frozen_fns) fn_roots.reserve(num_subsets);
+    if (needs.frozen_spectra) spectrum_roots.reserve(num_subsets);
     for_each_xor_subset(o, *unfolded.manager, [&](const dd::Bdd& x) {
-      subsets.push_back(spectral::Spectrum::from_bdd(x));
-      basis->base_coefficients += subsets.back().nonzero_count();
+      if (needs.frozen_fns) {
+        fn_roots.push_back(roots.size());
+        roots.push_back(x.node());
+        fn_handles.push_back(x);
+      }
+      if (needs.spectra) {
+        subsets.push_back(spectral::Spectrum::from_bdd(x));
+        basis->base_coefficients += subsets.back().nonzero_count();
+        if (needs.frozen_spectra) {
+          dd::Add w = subsets.back().to_add(*unfolded.manager);
+          spectrum_roots.push_back(roots.size());
+          roots.push_back(w.node());
+          spectrum_handles.push_back(std::move(w));
+        }
+      }
     });
     if (needs.lil) {
       std::vector<spectral::LilSpectrum> lil;
@@ -40,8 +68,12 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
         lil.push_back(spectral::LilSpectrum::from_spectrum(s));
       basis->lil.push_back(std::move(lil));
     }
-    basis->spectra.push_back(std::move(subsets));
+    if (needs.spectra) basis->spectra.push_back(std::move(subsets));
+    if (needs.frozen_fns) basis->frozen_fn_roots.push_back(std::move(fn_roots));
+    if (needs.frozen_spectra)
+      basis->frozen_spectrum_roots.push_back(std::move(spectrum_roots));
   }
+  if (!roots.empty()) basis->frozen = unfolded.manager->export_forest(roots);
   // Public coordinates can only appear in spectra if some observable's
   // function touches them; the scan engines' relation vector is restricted
   // to that slice.
@@ -57,6 +89,8 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
   BasisNeeds needs;
   needs.spectra = info.needs_spectra;
   needs.lil = info.needs_lil;
+  needs.frozen_fns = info.frozen_fns;
+  needs.frozen_spectra = info.frozen_spectra;
   return build_basis(unfolded, observables, needs);
 }
 

@@ -11,12 +11,14 @@
 //   3. row checks (verify/rowcheck.h) — cached forbidden regions and
 //      violation predicates.
 //
-// The Basis is deliberately manager-independent: spectra are plain
-// Mask -> int64 containers and the VarMap is a value copy, so one Basis is
-// shared read-only across all parallel workers (no per-worker unfolding
-// replay for the scan engines).  Engines whose *verification* step runs on
-// decision diagrams (MAPI, FUJITA) additionally keep a private dd::Manager
-// replica per worker; only that bound part is per-worker.
+// The Basis is deliberately manager-independent for EVERY engine: spectra
+// are plain Mask -> int64 containers, the VarMap is a value copy, and the
+// decision-diagram material the ADD engines verify against is carried as a
+// dd::FrozenForest — a flat, manager-free node array (see dd/freeze.h).
+// One Basis is therefore shared read-only across all parallel workers;
+// engines whose *verification* step runs on decision diagrams (MAPI,
+// FUJITA) thaw the frozen roots into their private manager on startup
+// (Manager::import_forest, O(nodes)) instead of replaying the unfolding.
 
 #include <cstdint>
 #include <memory>
@@ -25,6 +27,7 @@
 
 #include "circuit/unfold.h"
 #include "dd/bdd.h"
+#include "dd/freeze.h"
 #include "spectral/lil_spectrum.h"
 #include "spectral/spectrum.h"
 #include "util/mask.h"
@@ -45,8 +48,10 @@ struct ObservableInfo {
 
 /// Which representations the Basis must carry (from the backend registry).
 struct BasisNeeds {
-  bool spectra = true;  // hash-map base spectra (LIL/MAP/MAPI)
-  bool lil = false;     // sorted-list copies (LIL only)
+  bool spectra = true;          // hash-map base spectra (LIL/MAP/MAPI)
+  bool lil = false;             // sorted-list copies (LIL only)
+  bool frozen_fns = false;      // freeze the XOR-subset BDDs (FUJITA)
+  bool frozen_spectra = false;  // freeze the base-spectrum ADDs (MAPI)
 };
 
 /// The per-(gadget, probe model) prepared artifact: for every observable,
@@ -63,6 +68,16 @@ struct Basis {
   std::vector<std::vector<spectral::Spectrum>> spectra;
   /// Sorted-list mirror of `spectra` (built only when BasisNeeds::lil).
   std::vector<std::vector<spectral::LilSpectrum>> lil;
+
+  /// Manager-free snapshot of the decision-diagram material the ADD engines
+  /// verify against (empty for the scan engines).  Workers thaw it with
+  /// dd::Manager::import_forest.
+  dd::FrozenForest frozen;
+  /// frozen_fn_roots[i][s] = index into frozen.roots of XOR-subset s of
+  /// observable i's member-function BDD (built when BasisNeeds::frozen_fns).
+  std::vector<std::vector<std::size_t>> frozen_fn_roots;
+  /// Same indexing for the base-spectrum ADDs (BasisNeeds::frozen_spectra).
+  std::vector<std::vector<std::size_t>> frozen_spectrum_roots;
 
   /// Total nonzero base coefficients (counted once, at build time).
   std::uint64_t base_coefficients = 0;

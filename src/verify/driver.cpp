@@ -10,21 +10,23 @@
 namespace sani::verify {
 
 Driver::Driver(std::shared_ptr<const Basis> basis,
-               const VerifyOptions& options, sched::CancelToken* cancel,
-               dd::Manager* manager, const ObservableSet* observables)
+               const VerifyOptions& options, sched::CancelToken* cancel)
     : basis_(std::move(basis)),
       options_(options),
-      manager_(manager),
-      obs_fns_(observables),
-      preds_(backend_info(options.engine).needs_manager && manager
-                 ? std::make_unique<PredicateBuilder>(
-                       *manager, basis_->vars, options.joint_share_count)
-                 : nullptr),
+      manager_(backend_info(options.engine).needs_thaw
+                   ? std::make_unique<dd::Manager>(basis_->vars.num_vars,
+                                                   options.cache_bits)
+                   : nullptr),
+      thawed_(thaw_roots()),
+      preds_(manager_ ? std::make_unique<PredicateBuilder>(
+                            *manager_, basis_->vars, options.joint_share_count)
+                      : nullptr),
       rowcheck_(basis_->vars, options.notion, options.joint_share_count,
                 basis_->relevant_publics, preds_.get(),
                 &stats_.region_cache),
       qinfo_(static_cast<int>(basis_->size())),
       cancel_(cancel) {
+  if (manager_) stats_.timers.add("thaw", thaw_seconds_);
   if (!cancel_) {
     if (options_.time_limit > 0)
       own_cancel_.set_deadline_after(options_.time_limit);
@@ -34,19 +36,32 @@ Driver::Driver(std::shared_ptr<const Basis> basis,
 
 Driver::~Driver() = default;
 
+std::vector<dd::Add> Driver::thaw_roots() {
+  std::vector<dd::Add> thawed;
+  if (!manager_ || basis_->frozen.empty()) return thawed;
+  // Thawing must precede every other node construction so the manager
+  // adopts the forest's variable order while still empty (import_forest
+  // would otherwise rewrite existing diagrams in place).
+  Stopwatch watch;
+  const std::vector<dd::NodeId> roots =
+      manager_->import_forest(basis_->frozen);
+  // import_forest never crosses a GC safe point; wrapping the roots in
+  // handles here makes them GC roots before any later operation can.
+  thawed.reserve(roots.size());
+  for (dd::NodeId r : roots) thawed.emplace_back(manager_.get(), r);
+  thaw_seconds_ = watch.seconds();
+  return thawed;
+}
+
 void Driver::prepare() {
   if (prepared_) return;
   prepared_ = true;
 
   const BackendInfo& info = backend_info(options_.engine);
-  if (info.needs_manager && (!manager_ || !obs_fns_))
-    throw std::logic_error(std::string("engine ") + info.name +
-                           " needs a manager-bound input replica");
-
   BackendContext ctx;
   ctx.basis = basis_;
-  ctx.manager = manager_;
-  ctx.observables = obs_fns_;
+  ctx.manager = manager_.get();
+  ctx.thawed = &thawed_;
   if (preds_) ctx.rho_zero = preds_->rho_zero();
   ctx.timers = &stats_.timers;
   ctx.coefficients = &stats_.coefficients;
@@ -80,6 +95,13 @@ VerifyResult Driver::run() {
   stats_.num_observables = basis_->size();
   stats_.qinfo_entries = qinfo_.size();
   stats_.qinfo_peak_bytes = qinfo_.peak_bytes();
+  stats_.frozen_nodes = basis_->frozen.node_count();
+  stats_.frozen_bytes = basis_->frozen.empty() ? 0 : basis_->frozen.bytes();
+  stats_.thaw_seconds = thaw_seconds_;
+  const dd::ManagerStats dd = manager_stats();
+  stats_.dd_cache_hits = dd.cache_hits;
+  stats_.dd_cache_misses = dd.cache_misses;
+  stats_.dd_peak_nodes = dd.peak_nodes;
   result.stats = stats_;
   return result;
 }
@@ -264,6 +286,10 @@ void Driver::union_pass_over(const QInfoStore& qinfo, VerifyResult& result) {
 
 std::size_t Driver::peak_nodes() const {
   return manager_ ? manager_->stats().peak_nodes : 0;
+}
+
+dd::ManagerStats Driver::manager_stats() const {
+  return manager_ ? manager_->stats() : dd::ManagerStats{};
 }
 
 }  // namespace sani::verify

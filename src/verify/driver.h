@@ -9,10 +9,10 @@
 //    the configured search order, plus the set-level union pass.
 //  * prepare() + run_shard() — the parallel runtime (verify/parallel.cpp):
 //    pool workers execute contiguous rank ranges of the combination space.
-//    Scan-engine workers (LIL/MAP) share one Basis and need nothing else;
-//    ADD-engine workers (MAPI/FUJITA) additionally hold a private
-//    dd::Manager replica (replayed unfolding) for the symbolic
-//    verification step.
+//    Every engine shares the one prepared Basis; for the ADD engines
+//    (MAPI/FUJITA) the Driver additionally owns a private dd::Manager and
+//    thaws the Basis' frozen forest into it at construction
+//    (Manager::import_forest) — no unfolding replay anywhere.
 //
 // Cancellation is cooperative: the sched::CancelToken (external, or an
 // internal one armed from VerifyOptions::time_limit) is polled at every
@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "circuit/unfold.h"
+#include "dd/add.h"
 #include "sched/cancel.h"
 #include "sched/shard.h"
 #include "util/mask.h"
@@ -42,14 +43,14 @@ class Backend;
 
 class Driver {
  public:
-  /// `manager`/`observables` carry the manager-bound half of the input and
-  /// are required exactly when the engine's registry entry has
-  /// needs_manager (MAPI/FUJITA); the scan engines run entirely on `basis`.
-  /// `cancel` may be null: the driver then arms an internal token from
-  /// options.time_limit.  An external token is polled but never armed.
+  /// The Basis is the complete verification input for every engine.  When
+  /// the engine's registry entry has needs_thaw (MAPI/FUJITA) the Driver
+  /// creates a private dd::Manager and thaws the Basis' frozen forest into
+  /// it here; the scan engines never touch a manager.  `cancel` may be
+  /// null: the driver then arms an internal token from options.time_limit.
+  /// An external token is polled but never armed.
   Driver(std::shared_ptr<const Basis> basis, const VerifyOptions& options,
-         sched::CancelToken* cancel = nullptr, dd::Manager* manager = nullptr,
-         const ObservableSet* observables = nullptr);
+         sched::CancelToken* cancel = nullptr);
   ~Driver();
 
   /// Full serial verification (enumeration + union pass).
@@ -104,6 +105,13 @@ class Driver {
   /// never touch a manager).
   std::size_t peak_nodes() const;
 
+  /// Wall-clock cost of thawing the Basis' frozen forest into the private
+  /// manager (0 for the scan engines).
+  double thaw_seconds() const { return thaw_seconds_; }
+
+  /// Private-manager counters (all zero for the scan engines).
+  dd::ManagerStats manager_stats() const;
+
  private:
   struct CheckFailure {
     Mask alpha;
@@ -126,10 +134,15 @@ class Driver {
   void dfs(int start, VerifyResult& result);
   void largest_first(VerifyResult& result);
 
+  /// Imports basis_->frozen into manager_ and wraps the roots in handles
+  /// (records thaw_seconds_); empty for the scan engines.
+  std::vector<dd::Add> thaw_roots();
+
   std::shared_ptr<const Basis> basis_;
   const VerifyOptions& options_;
-  dd::Manager* manager_;             // ADD engines only
-  const ObservableSet* obs_fns_;     // manager-bound BDD functions (ditto)
+  std::unique_ptr<dd::Manager> manager_;  // ADD engines: private thaw target
+  double thaw_seconds_ = 0.0;
+  std::vector<dd::Add> thawed_;  // handles over the thawed frozen roots
   std::unique_ptr<PredicateBuilder> preds_;
   RowCheck rowcheck_;
   std::unique_ptr<Backend> backend_;

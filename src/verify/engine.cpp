@@ -1,10 +1,8 @@
 #include "verify/engine.h"
 
 #include <stdexcept>
-#include <string>
 #include <utility>
 
-#include "verify/backends/registry.h"
 #include "verify/driver.h"
 #include "verify/parallel.h"
 
@@ -15,65 +13,29 @@ VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const VerifyOptions& options) {
   if (options.order < 1)
     throw std::invalid_argument("verify: order must be >= 1");
-  const BackendInfo& info = backend_info(options.engine);
-
-  if (options.jobs != 1 && !info.needs_manager) {
-    // Scan engines are manager-independent once the Basis is built, so a
-    // pre-built unfolding is no obstacle to parallel execution.
-    return verify_parallel_basis(
-        build_basis(unfolded, observables, options.engine), options);
-  }
 
   std::shared_ptr<const Basis> basis =
       build_basis(unfolded, observables, options.engine);
-  Driver driver(basis, options, nullptr, unfolded.manager.get(),
-                &observables);
-  driver.count_basis_build();
-  VerifyResult result = driver.run();
   if (options.jobs != 1) {
-    // ADD engines need one manager replica per worker, and a pre-built
-    // manager cannot be shared across threads; say so instead of silently
-    // running serial.
-    result.warnings.push_back(
-        std::string("--jobs ignored: engine ") + info.name +
-        " verifies on decision diagrams and needs per-worker manager "
-        "replicas; use verify() or the replay overload of verify_prepared()");
+    // The Basis is manager-independent for every engine (the ADD engines'
+    // diagram material is frozen inside it), so a pre-built unfolding is no
+    // obstacle to parallel execution.
+    return verify_parallel_basis(std::move(basis), options);
   }
-  return result;
+  Driver driver(basis, options);
+  driver.count_basis_build();
+  return driver.run();
 }
 
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const ObservableSet& observables,
                              const VerifyOptions& options,
-                             const PrepareFn& replay) {
-  if (options.jobs != 1 && replay) {
-    if (options.order < 1)
-      throw std::invalid_argument("verify: order must be >= 1");
-    return verify_parallel(replay, options);
-  }
+                             const PrepareFn& /*replay*/) {
   return verify_prepared(unfolded, observables, options);
 }
 
 VerifyResult verify(const circuit::Gadget& gadget,
                     const VerifyOptions& options) {
-  if (options.jobs != 1) {
-    if (options.order < 1)
-      throw std::invalid_argument("verify: order must be >= 1");
-    // The runtime replays the unfolding per worker only when the engine
-    // verifies on decision diagrams; the scan engines share one Basis.
-    return verify_parallel(
-        [&gadget, options]() {
-          PreparedInput input;
-          input.unfolded =
-              circuit::unfold(gadget, options.cache_bits, options.var_order);
-          if (options.sift_after_unfold)
-            input.unfolded.manager->reorder_sift();
-          input.observables =
-              build_observables(gadget, input.unfolded, options.probes);
-          return input;
-        },
-        options);
-  }
   circuit::Unfolded unfolded =
       circuit::unfold(gadget, options.cache_bits, options.var_order);
   if (options.sift_after_unfold) unfolded.manager->reorder_sift();

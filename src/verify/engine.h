@@ -31,19 +31,17 @@ VerifyResult verify(const circuit::Gadget& gadget, const VerifyOptions& options)
 
 /// Same, over a pre-built unfolding and observable set (used to analyse
 /// fixed probe configurations such as the Fig. 1 composition example, and
-/// to amortize unfolding across engines in the benchmarks).  The scan
-/// engines (LIL, MAP) honor options.jobs here: their prepared Basis is
-/// manager-independent and shared across workers.  The ADD engines cannot
-/// share a pre-built manager across workers, so they run serially and
-/// record a warning in VerifyResult::warnings — use the replay overload
-/// below (or verify()) for their parallel execution.
+/// to amortize unfolding across engines in the benchmarks).  Every engine
+/// honors options.jobs here: the prepared Basis is manager-independent for
+/// all of them — the ADD engines' decision-diagram material travels as a
+/// frozen forest that each worker thaws into its private manager.
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const ObservableSet& observables,
                              const VerifyOptions& options);
 
-/// Parallel-capable variant: when options.jobs != 1 and `replay` is
-/// non-null, the pre-built input is ignored and each worker builds its own
-/// replica via `replay` (which must reproduce the same observable universe).
+/// Compatibility overload from the replay era: `replay` is ignored — the
+/// frozen Basis removed per-worker unfolding replays, so the pre-built
+/// input serves every engine at any job count.
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const ObservableSet& observables,
                              const VerifyOptions& options,

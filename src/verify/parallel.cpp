@@ -4,7 +4,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -13,7 +12,6 @@
 #include "sched/shard.h"
 #include "util/combinations.h"
 #include "util/timer.h"
-#include "verify/backends/registry.h"
 #include "verify/driver.h"
 
 namespace sani::verify {
@@ -33,24 +31,17 @@ bool combo_before(const std::vector<int>& a, const std::vector<int>& b,
 }
 
 struct WorkerCtx {
-  std::optional<PreparedInput> input;  // ADD engines: private replica
   std::unique_ptr<Driver> driver;
   std::uint64_t shards = 0;
-  std::uint64_t replays = 0;  // unfoldings replayed on this worker's thread
 };
 
-/// The pool run over a shared basis.  `prepare` is null for the scan
-/// engines (workers need nothing beyond the basis) and set for the ADD
-/// engines (each worker replays a private manager replica); `first` is the
-/// calling-thread replica that seeds worker 0 in replay mode.
+/// The pool run over the one shared basis.  Worker 0's Driver is built on
+/// the calling thread; the others are built lazily on their own threads
+/// (the ADD engines thaw the basis' frozen forest into a private manager in
+/// the Driver constructor — the only per-worker setup left).
 VerifyResult run_pool(std::shared_ptr<const Basis> basis,
-                      const PrepareFn& prepare,
-                      std::optional<PreparedInput> first,
                       const VerifyOptions& options) {
-  const bool replay_mode = static_cast<bool>(prepare);
-  int jobs = options.jobs;
-  if (jobs == 0) jobs = sched::Pool::hardware_threads();
-  if (jobs < 1) jobs = 1;
+  const int jobs = sched::default_jobs(options.jobs);
 
   sched::CancelToken cancel;
   if (options.time_limit > 0) cancel.set_deadline_after(options.time_limit);
@@ -67,16 +58,7 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
       sched::plan_shards(N, options.order, jobs, largest, plan_options);
 
   std::vector<WorkerCtx> ctx(static_cast<std::size_t>(jobs));
-  if (replay_mode) {
-    // Worker 0 starts checking on the calling thread's replica while the
-    // other workers are still replaying their unfoldings.
-    ctx[0].input = std::move(first);
-    ctx[0].driver = std::make_unique<Driver>(
-        basis, options, &cancel, ctx[0].input->unfolded.manager.get(),
-        &ctx[0].input->observables);
-  } else {
-    ctx[0].driver = std::make_unique<Driver>(basis, options, &cancel);
-  }
+  ctx[0].driver = std::make_unique<Driver>(basis, options, &cancel);
 
   // The deterministic merge state: the best (order-minimal) failure so far.
   std::mutex best_mu;
@@ -96,17 +78,8 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   const sched::PoolStats pool_stats = pool.run(
       shards.size(), [&](int worker, std::size_t task) {
         WorkerCtx& slot = ctx[static_cast<std::size_t>(worker)];
-        if (!slot.driver) {
-          if (replay_mode) {
-            slot.input = prepare();
-            ++slot.replays;
-            slot.driver = std::make_unique<Driver>(
-                basis, options, &cancel, slot.input->unfolded.manager.get(),
-                &slot.input->observables);
-          } else {
-            slot.driver = std::make_unique<Driver>(basis, options, &cancel);
-          }
-        }
+        if (!slot.driver)
+          slot.driver = std::make_unique<Driver>(basis, options, &cancel);
         const sched::Shard& shard = shards[task];
 
         // Claiming a whole shard is pointless once a failure ordered before
@@ -135,10 +108,16 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   // basis build is credited here, once — not per worker.
   result.stats.coefficients += basis->base_coefficients;
   result.stats.timers.add("base", basis->build_seconds);
+  result.stats.frozen_nodes = basis->frozen.node_count();
+  result.stats.frozen_bytes = basis->frozen.empty() ? 0 : basis->frozen.bytes();
 
   QInfoStore merged_qinfo(N);
   result.stats.parallel.jobs = jobs;
-  result.stats.parallel.shared_basis = !replay_mode;
+  // Every engine shares the one Basis now; the frozen forest replaced the
+  // per-worker unfolding replays, so these are constants, kept as report
+  // fields (and test assertions) rather than run-dependent state.
+  result.stats.parallel.shared_basis = true;
+  result.stats.parallel.replays = 0;
   result.stats.parallel.shards_total = shards.size();
   result.stats.parallel.shards_stolen = pool_stats.tasks_stolen;
   result.stats.parallel.shards_skipped =
@@ -150,14 +129,19 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
     const WorkerCtx& slot = ctx[static_cast<std::size_t>(w)];
     WorkerStats& out =
         result.stats.parallel.workers[static_cast<std::size_t>(w)];
-    out.replays = slot.replays;
-    result.stats.parallel.replays += slot.replays;
     if (!slot.driver) continue;  // this worker never claimed a shard
     const VerifyStats& ws = slot.driver->stats();
     out.shards = slot.shards;
     out.combinations = ws.combinations;
     out.coefficients = ws.coefficients;
+    out.thaw_seconds = slot.driver->thaw_seconds();
     out.peak_nodes = slot.driver->peak_nodes();
+    const dd::ManagerStats dd = slot.driver->manager_stats();
+    result.stats.thaw_seconds += out.thaw_seconds;
+    result.stats.dd_cache_hits += dd.cache_hits;
+    result.stats.dd_cache_misses += dd.cache_misses;
+    if (out.peak_nodes > result.stats.dd_peak_nodes)
+      result.stats.dd_peak_nodes = out.peak_nodes;
     result.stats.combinations += ws.combinations;
     result.stats.coefficients += ws.coefficients;
     result.stats.prefix_memo.hits += ws.prefix_memo.hits;
@@ -192,30 +176,18 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
 
 VerifyResult verify_parallel(const PrepareFn& prepare,
                              const VerifyOptions& options) {
-  const BackendInfo& info = backend_info(options.engine);
-
   // One build on the calling thread: sizes the probe space and yields the
-  // shared Basis every worker reads.
+  // shared Basis (frozen forest included) every worker reads.  The
+  // unfolding and its manager are dropped before the pool starts.
   PreparedInput first = prepare();
-  std::shared_ptr<const Basis> basis =
-      build_basis(first.unfolded, first.observables, options.engine);
-
-  if (!info.needs_manager) {
-    // Scan engines: the Basis is the whole prepared input; the replica
-    // (and its manager) can be dropped before the pool starts.
-    return run_pool(std::move(basis), nullptr, std::nullopt, options);
-  }
-  return run_pool(std::move(basis), prepare, std::move(first), options);
+  return run_pool(build_basis(first.unfolded, first.observables,
+                              options.engine),
+                  options);
 }
 
 VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
                                    const VerifyOptions& options) {
-  const BackendInfo& info = backend_info(options.engine);
-  if (info.needs_manager)
-    throw std::logic_error(
-        std::string("verify_parallel_basis: engine ") + info.name +
-        " needs per-worker manager replicas; use verify_parallel()");
-  return run_pool(std::move(basis), nullptr, std::nullopt, options);
+  return run_pool(std::move(basis), options);
 }
 
 }  // namespace sani::verify

@@ -2,18 +2,16 @@
 // Sharded parallel verification (VerifyOptions::jobs != 1).
 //
 // The combination space is embarrassingly parallel — the paper's cost model
-// is dominated by the C(|Q|, d) per-combination checks.  What the workers
-// share depends on the engine's registry entry:
-//
-//  * Scan engines (LIL, MAP; needs_manager == false): the whole prepared
-//    input is one immutable verify::Basis of plain spectra, built once and
-//    shared read-only by every worker.  No per-worker unfolding replays
-//    happen at all (ParallelStats::shared_basis, WorkerStats::replays).
-//  * ADD engines (MAPI, FUJITA; needs_manager == true): the convolution
-//    side still reads the shared Basis, but the symbolic verification step
-//    multiplies against predicate BDDs, and the dd::Manager's GC/reordering
-//    safe points are single-threaded — so each worker additionally replays
-//    the gadget's unfolding (PrepareFn) into a private manager replica.
+// is dominated by the C(|Q|, d) per-combination checks.  Every engine
+// shares exactly one prepared input: an immutable verify::Basis, built once
+// on the calling thread and read by every worker.  The scan engines (LIL,
+// MAP) need nothing else.  The ADD engines (MAPI, FUJITA) verify on
+// decision diagrams, and the dd::Manager's GC/reordering safe points are
+// single-threaded — so each worker's Driver owns a private manager and
+// *thaws* the Basis' frozen forest into it on startup
+// (dd::Manager::import_forest, O(nodes)).  No worker ever replays the
+// gadget's unfolding: ParallelStats::shared_basis is true and
+// WorkerStats::replays is 0 for every engine.
 //
 // Shards are contiguous lexicographic rank ranges (sched::plan_shards)
 // executed on a work-stealing pool (sched::Pool); failures merge
@@ -32,31 +30,30 @@
 
 namespace sani::verify {
 
-/// A per-worker replica of the manager-bound verification input: a private
-/// manager with the unfolding replayed into it, plus the observable
-/// universe built over it.  Every PrepareFn call must yield the same
-/// universe (same names, same order, same functions) — the replicas differ
-/// only in which manager owns the nodes.
+/// The manager-bound front half of the pipeline: an unfolding plus the
+/// observable universe built over it.  Only needed to *build* the Basis;
+/// workers never see it.
 struct PreparedInput {
   circuit::Unfolded unfolded;
   ObservableSet observables;
 };
 
-/// Invoked once on the calling thread (to size the probe space and build
-/// the shared Basis) and, for the ADD engines only, once per additional
-/// worker on the worker's own thread.
+/// Invoked exactly once, on the calling thread, to size the probe space and
+/// build the shared Basis.  (Historically the ADD engines re-invoked this
+/// per worker to replay private manager replicas; the frozen Basis made
+/// that obsolete.)
 using PrepareFn = std::function<PreparedInput()>;
 
 /// Runs the sharded parallel verification.  `options.jobs` selects the
-/// worker count (0 = hardware concurrency); jobs == 1 still goes through
-/// the runtime with a single worker.
+/// worker count (0 = hardware concurrency; the resolved count is recorded
+/// in ParallelStats::jobs); jobs == 1 still goes through the runtime with a
+/// single worker.
 VerifyResult verify_parallel(const PrepareFn& prepare,
                              const VerifyOptions& options);
 
 /// Runs the sharded parallel verification directly over a prepared shared
-/// Basis — no unfolding, no replays.  Only valid for engines whose registry
-/// entry has needs_manager == false (LIL, MAP); this is how the non-replay
-/// verify_prepared() overload honors --jobs for the scan engines.
+/// Basis — valid for every engine: the Basis carries the frozen forest the
+/// ADD-engine workers thaw, so no unfolding happens here at all.
 VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
                                    const VerifyOptions& options);
 

@@ -33,8 +33,12 @@ std::string summarize(const std::string& gadget_name,
     os << " is NOT " << options.order << "-" << notion_name(options.notion);
   os << " (engine " << engine_name(options.engine) << ", "
      << result.stats.num_observables << " observables, "
-     << result.stats.combinations << " combinations, " << seconds * 1e3
-     << " ms)";
+     << result.stats.combinations << " combinations, ";
+  // Resolved worker count (after --jobs 0 expands to the hardware
+  // concurrency); serial runs leave parallel.jobs at 0.
+  if (result.stats.parallel.jobs > 0)
+    os << result.stats.parallel.jobs << " jobs, ";
+  os << seconds * 1e3 << " ms)";
   return os.str();
 }
 
@@ -78,6 +82,20 @@ std::string json_report(const std::string& gadget_name,
      << ",\"misses\":" << result.stats.region_cache.misses << "}},";
   os << "\"qinfo\":{\"entries\":" << result.stats.qinfo_entries
      << ",\"peak_bytes\":" << result.stats.qinfo_peak_bytes << "},";
+  os << "\"frozen\":{\"nodes\":" << result.stats.frozen_nodes
+     << ",\"bytes\":" << result.stats.frozen_bytes << "},";
+  {
+    const std::uint64_t lookups =
+        result.stats.dd_cache_hits + result.stats.dd_cache_misses;
+    os << "\"dd\":{\"cache_hits\":" << result.stats.dd_cache_hits
+       << ",\"cache_misses\":" << result.stats.dd_cache_misses
+       << ",\"cache_hit_rate\":"
+       << (lookups ? static_cast<double>(result.stats.dd_cache_hits) /
+                         static_cast<double>(lookups)
+                   : 0.0)
+       << ",\"peak_nodes\":" << result.stats.dd_peak_nodes
+       << ",\"thaw_seconds\":" << result.stats.thaw_seconds << "},";
+  }
   os << "\"seconds\":" << seconds << ",";
   os << "\"warnings\":[";
   for (std::size_t i = 0; i < result.warnings.size(); ++i) {
@@ -105,6 +123,7 @@ std::string json_report(const std::string& gadget_name,
          << ",\"combinations\":" << p.workers[w].combinations
          << ",\"coefficients\":" << p.workers[w].coefficients
          << ",\"replays\":" << p.workers[w].replays
+         << ",\"thaw_seconds\":" << p.workers[w].thaw_seconds
          << ",\"peak_nodes\":" << p.workers[w].peak_nodes << "}";
     }
     os << "]},";
@@ -152,22 +171,28 @@ std::string detailed_report(const circuit::Gadget& gadget,
   if (result.stats.qinfo_entries > 0)
     os << "union-check arena: " << result.stats.qinfo_entries
        << " entries, peak " << result.stats.qinfo_peak_bytes << " bytes\n";
+  if (result.stats.frozen_nodes > 0)
+    os << "frozen forest: " << result.stats.frozen_nodes << " nodes, "
+       << result.stats.frozen_bytes << " bytes\n";
+  if (result.stats.dd_cache_hits + result.stats.dd_cache_misses > 0)
+    os << "dd manager: " << result.stats.dd_cache_hits << " cache hits / "
+       << result.stats.dd_cache_misses << " misses, peak "
+       << result.stats.dd_peak_nodes << " nodes, thaw "
+       << result.stats.thaw_seconds << " s\n";
   for (const auto& name : result.stats.timers.names())
     os << "  phase " << name << ": " << result.stats.timers.get(name) << " s\n";
   if (result.stats.parallel.jobs > 0) {
     const ParallelStats& p = result.stats.parallel;
-    os << "parallel: " << p.jobs << " jobs ("
-       << (p.shared_basis ? "shared basis, no replays"
-                          : "per-worker manager replicas")
-       << ", " << p.replays << " replays), " << p.shards_total << " shards ("
+    os << "parallel: " << p.jobs << " jobs (shared basis, " << p.replays
+       << " replays), " << p.shards_total << " shards ("
        << p.shards_stolen << " stolen, " << p.shards_skipped << " skipped, "
        << p.shards_abandoned << " abandoned), cancel latency "
        << p.cancel_latency << " s\n";
     for (std::size_t w = 0; w < p.workers.size(); ++w)
       os << "  worker " << w << ": " << p.workers[w].shards << " shards, "
          << p.workers[w].combinations << " combinations, "
-         << p.workers[w].coefficients << " coefficients, "
-         << p.workers[w].replays << " replays, peak "
+         << p.workers[w].coefficients << " coefficients, thaw "
+         << p.workers[w].thaw_seconds << " s, peak "
          << p.workers[w].peak_nodes << " nodes\n";
   }
   if (result.timed_out) {

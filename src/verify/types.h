@@ -87,11 +87,13 @@ struct VerifyOptions {
   double time_limit = 0.0;
 
   /// Worker count for the sharded parallel runtime (src/sched).  1 = the
-  /// serial engine (default); 0 = one worker per hardware thread; N > 1 =
-  /// exactly N workers.  Each worker owns a private dd::Manager and replays
-  /// the gadget's unfolding (the manager's GC/reordering safe-point design
-  /// is single-threaded); verdicts and witnesses are independent of the
-  /// worker count — see DESIGN.md "Threading model".
+  /// serial engine (default); 0 = one worker per hardware thread (the
+  /// resolved count is recorded in ParallelStats::jobs); N > 1 = exactly N
+  /// workers.  Every engine shares one prepared Basis; ADD-engine workers
+  /// thaw its frozen forest into a private dd::Manager (the manager's
+  /// GC/reordering safe-point design is single-threaded) — no unfolding
+  /// replays.  Verdicts and witnesses are independent of the worker count —
+  /// see DESIGN.md "Threading model".
   int jobs = 1;
 
   /// Combinations per shard for the parallel runtime; 0 = auto sizing from
@@ -142,20 +144,25 @@ struct WorkerStats {
   std::uint64_t shards = 0;        // shards this worker executed
   std::uint64_t combinations = 0;  // combinations it checked
   std::uint64_t coefficients = 0;  // spectrum entries it scanned/produced
-  std::uint64_t replays = 0;       // unfolding replays this worker performed
+  std::uint64_t replays = 0;       // always 0 — unfolding replays were
+                                   // removed with the frozen-basis runtime;
+                                   // kept so reports/tests can assert it
+  double thaw_seconds = 0.0;       // frozen-forest import into its manager
   std::size_t peak_nodes = 0;      // its private manager's peak node count
 };
 
 /// Runtime counters of a parallel run; `jobs` stays 0 on serial runs.
 struct ParallelStats {
-  int jobs = 0;                        // workers actually used
-  bool shared_basis = false;           // workers share one prepared Basis
-                                       // (no per-worker manager replica)
+  int jobs = 0;                        // resolved worker count (after
+                                       // --jobs 0 expands to the hardware
+                                       // concurrency)
+  bool shared_basis = false;           // true on every parallel run: all
+                                       // workers share one prepared Basis
   std::uint64_t shards_total = 0;      // shards the plan produced
   std::uint64_t shards_stolen = 0;     // executed by a non-owner worker
   std::uint64_t shards_skipped = 0;    // cancelled before starting
   std::uint64_t shards_abandoned = 0;  // cancelled mid-shard
-  std::uint64_t replays = 0;           // per-worker unfolding replays, total
+  std::uint64_t replays = 0;           // always 0 (see WorkerStats::replays)
   double cancel_latency = 0.0;  // max cancel-to-acknowledge gap (seconds)
   std::vector<WorkerStats> workers;
 };
@@ -169,8 +176,17 @@ struct VerifyStats {
   CacheStats region_cache;          // row-check region/predicate cache
   std::uint64_t qinfo_entries = 0;      // union-check combinations recorded
   std::uint64_t qinfo_peak_bytes = 0;   // peak size of the union-check arena
-  PhaseTimers timers;               // base / convolution / verification / union
-                                    // (summed across workers when parallel)
+  std::size_t frozen_nodes = 0;     // nodes in the Basis' frozen forest
+  std::size_t frozen_bytes = 0;     // its serialized footprint
+  double thaw_seconds = 0.0;        // frozen-forest import cost (summed
+                                    // across workers when parallel)
+  std::uint64_t dd_cache_hits = 0;    // manager computed-table hits
+  std::uint64_t dd_cache_misses = 0;  // (summed across workers; 0 for the
+                                      // scan engines)
+  std::size_t dd_peak_nodes = 0;    // max private-manager peak node count
+  PhaseTimers timers;               // thaw / base / convolution /
+                                    // verification / union (summed across
+                                    // workers when parallel)
   ParallelStats parallel;
 };
 
@@ -178,8 +194,7 @@ struct VerifyResult {
   bool secure = true;
   bool timed_out = false;
   std::optional<CounterExample> counterexample;
-  /// Non-fatal diagnostics (e.g. "--jobs ignored for this engine here");
-  /// surfaced by the sani CLI on stderr.
+  /// Non-fatal diagnostics; surfaced by the sani CLI on stderr.
   std::vector<std::string> warnings;
   VerifyStats stats;
 };

@@ -79,7 +79,7 @@ TEST(Basis, MatchesDirectSpectraRobustModel) {
   expect_basis_matches_direct("dom-2", true);
 }
 
-TEST(Basis, FujitaBasisCarriesMetadataOnly) {
+TEST(Basis, FujitaBasisCarriesFrozenFunctionsOnly) {
   circuit::Gadget g = gadgets::by_name("dom-1");
   circuit::Unfolded u = circuit::unfold(g);
   ObservableSet obs = build_observables(g, u, {});
@@ -89,14 +89,40 @@ TEST(Basis, FujitaBasisCarriesMetadataOnly) {
   EXPECT_TRUE(basis->spectra.empty());
   EXPECT_TRUE(basis->lil.empty());
   EXPECT_EQ(basis->base_coefficients, 0u);
+  // Instead of spectra, the FUJITA basis freezes every XOR-subset BDD so
+  // workers can thaw them without a replay.
+  EXPECT_FALSE(basis->frozen.empty());
+  ASSERT_EQ(basis->frozen_fn_roots.size(), obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i)
+    EXPECT_EQ(basis->frozen_fn_roots[i].size(), basis->obs[i].num_subsets);
+  EXPECT_TRUE(basis->frozen_spectrum_roots.empty());
   std::shared_ptr<const Basis> lil_basis =
       build_basis(u, obs, EngineKind::kLIL);
   EXPECT_FALSE(lil_basis->spectra.empty());
   EXPECT_FALSE(lil_basis->lil.empty());
+  EXPECT_TRUE(lil_basis->frozen.empty());
   std::shared_ptr<const Basis> map_basis =
       build_basis(u, obs, EngineKind::kMAP);
   EXPECT_FALSE(map_basis->spectra.empty());
   EXPECT_TRUE(map_basis->lil.empty());
+  EXPECT_TRUE(map_basis->frozen.empty());
+}
+
+TEST(Basis, MapiBasisCarriesFrozenSpectra) {
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ObservableSet obs = build_observables(g, u, {});
+  std::shared_ptr<const Basis> basis = build_basis(u, obs, EngineKind::kMAPI);
+  // MAPI keeps the numeric spectra (the backend scans them) and additionally
+  // freezes the base-spectrum ADDs so each worker can pre-warm its private
+  // manager by thawing instead of replaying the unfolding.
+  EXPECT_FALSE(basis->spectra.empty());
+  EXPECT_FALSE(basis->frozen.empty());
+  ASSERT_EQ(basis->frozen_spectrum_roots.size(), obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i)
+    EXPECT_EQ(basis->frozen_spectrum_roots[i].size(),
+              basis->obs[i].num_subsets);
+  EXPECT_TRUE(basis->frozen_fn_roots.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -118,12 +144,22 @@ TEST(Registry, RoundTripsEveryEngine) {
 }
 
 TEST(Registry, CapabilityFlagsMatchEngineFamilies) {
-  EXPECT_FALSE(backend_info(EngineKind::kLIL).needs_manager);
-  EXPECT_FALSE(backend_info(EngineKind::kMAP).needs_manager);
-  EXPECT_TRUE(backend_info(EngineKind::kMAPI).needs_manager);
-  EXPECT_TRUE(backend_info(EngineKind::kFUJITA).needs_manager);
+  // Scan engines run off numeric spectra alone; ADD engines thaw the frozen
+  // forest into a private manager.
+  EXPECT_FALSE(backend_info(EngineKind::kLIL).needs_thaw);
+  EXPECT_FALSE(backend_info(EngineKind::kMAP).needs_thaw);
+  EXPECT_TRUE(backend_info(EngineKind::kMAPI).needs_thaw);
+  EXPECT_TRUE(backend_info(EngineKind::kFUJITA).needs_thaw);
   EXPECT_TRUE(backend_info(EngineKind::kLIL).needs_lil);
   EXPECT_FALSE(backend_info(EngineKind::kFUJITA).needs_spectra);
+  // What each engine asks the basis to freeze: FUJITA rebuilds its base ADDs
+  // from the XOR-subset functions, MAPI pre-warms from the base spectra.
+  EXPECT_TRUE(backend_info(EngineKind::kFUJITA).frozen_fns);
+  EXPECT_FALSE(backend_info(EngineKind::kFUJITA).frozen_spectra);
+  EXPECT_TRUE(backend_info(EngineKind::kMAPI).frozen_spectra);
+  EXPECT_FALSE(backend_info(EngineKind::kMAPI).frozen_fns);
+  EXPECT_FALSE(backend_info(EngineKind::kLIL).frozen_fns);
+  EXPECT_FALSE(backend_info(EngineKind::kMAP).frozen_spectra);
 }
 
 // ---------------------------------------------------------------------------
@@ -201,8 +237,9 @@ TEST(RowCheck, RegionCacheCountersAreVisible) {
 }
 
 // ---------------------------------------------------------------------------
-// The non-replay verify_prepared overload: scan engines honor --jobs over
-// the shared basis; ADD engines run serially and say so.
+// The non-replay verify_prepared overload: every engine honors --jobs over
+// the shared basis — scan engines read the numeric spectra, ADD engines
+// thaw the frozen forest into worker-private managers.
 // ---------------------------------------------------------------------------
 
 TEST(Prepared, ScanEnginesHonorJobsWithoutReplay) {
@@ -227,7 +264,7 @@ TEST(Prepared, ScanEnginesHonorJobsWithoutReplay) {
   }
 }
 
-TEST(Prepared, AddEnginesWarnWhenJobsCannotApply) {
+TEST(Prepared, AddEnginesHonorJobsOverSharedBasis) {
   circuit::Gadget g = gadgets::by_name("dom-1");
   circuit::Unfolded u = circuit::unfold(g);
   ObservableSet obs = build_observables(g, u, {});
@@ -236,17 +273,19 @@ TEST(Prepared, AddEnginesWarnWhenJobsCannotApply) {
     opt.notion = Notion::kSNI;
     opt.order = 1;
     opt.engine = engine;
-    opt.jobs = 4;
-    const VerifyResult r = verify_prepared(u, obs, opt);
-    ASSERT_EQ(r.warnings.size(), 1u) << engine_name(engine);
-    EXPECT_NE(r.warnings[0].find("--jobs ignored"), std::string::npos);
-    EXPECT_EQ(r.stats.parallel.jobs, 0) << engine_name(engine);
+    opt.jobs = 1;
+    const VerifyResult s = verify_prepared(u, obs, opt);
+    EXPECT_TRUE(s.warnings.empty()) << engine_name(engine);
 
-    VerifyOptions serial = opt;
-    serial.jobs = 1;
-    const VerifyResult s = verify_prepared(u, obs, serial);
+    opt.jobs = 4;
+    opt.shard_size = 3;
+    const VerifyResult r = verify_prepared(u, obs, opt);
+    EXPECT_TRUE(r.warnings.empty()) << engine_name(engine);
+    EXPECT_EQ(r.stats.parallel.jobs, 4) << engine_name(engine);
+    EXPECT_TRUE(r.stats.parallel.shared_basis) << engine_name(engine);
+    EXPECT_EQ(r.stats.parallel.replays, 0u) << engine_name(engine);
+    EXPECT_GT(r.stats.frozen_nodes, 0u) << engine_name(engine);
     EXPECT_EQ(fingerprint(r), fingerprint(s)) << engine_name(engine);
-    EXPECT_TRUE(s.warnings.empty());
   }
 }
 

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/unfold.h"
+#include "dd/add.h"
+#include "dd/bdd.h"
+#include "dd/freeze.h"
+#include "dd/manager.h"
+#include "gadgets/registry.h"
+#include "spectral/spectrum.h"
+#include "util/mask.h"
+#include "verify/basis.h"
+#include "verify/observables.h"
+
+namespace sani::dd {
+namespace {
+
+// Deterministic assignment sampler for managers too wide to sweep
+// exhaustively (xorshift64; fixed seed keeps failures reproducible).
+std::vector<Mask> sample_masks(int num_vars, int count) {
+  std::vector<Mask> out;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  out.push_back(Mask{});                        // all-zero point
+  out.push_back(Mask::first_n(num_vars));       // all-one point
+  for (int i = 2; i < count; ++i) {
+    Mask m;
+    for (int v = 0; v < num_vars; ++v)
+      if (next() & 1) m.set(v);
+    out.push_back(m);
+  }
+  return out;
+}
+
+// The core round-trip property: export from `src`, import into a fresh
+// manager, and require (a) identical node counts per root (reduction
+// preserved), (b) identical evaluations at every sampled point, and
+// (c) FrozenForest::eval agreeing with both — all three encodings denote
+// the same functions.
+void expect_round_trip(Manager& src, const std::vector<NodeId>& roots,
+                       const std::vector<Mask>& points) {
+  const FrozenForest frozen = src.export_forest(roots);
+  ASSERT_EQ(frozen.roots.size(), roots.size());
+  EXPECT_EQ(frozen.num_vars(), src.num_vars());
+  EXPECT_GT(frozen.bytes(), 0u);
+
+  Manager dst(src.num_vars());
+  const std::vector<NodeId> thawed_ids = dst.import_forest(frozen);
+  ASSERT_EQ(thawed_ids.size(), roots.size());
+  // Wrap immediately: imported roots are unreferenced until a handle
+  // protects them from the next GC safe point.
+  std::vector<Add> thawed;
+  thawed.reserve(thawed_ids.size());
+  for (NodeId n : thawed_ids) thawed.emplace_back(&dst, n);
+
+  EXPECT_EQ(dst.variable_order(), frozen.var_order);
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    EXPECT_EQ(dst.dag_size(thawed_ids[r]), src.dag_size(roots[r]))
+        << "root " << r;
+    for (const Mask& p : points) {
+      const std::int64_t want = src.eval(roots[r], p);
+      EXPECT_EQ(dst.eval(thawed_ids[r], p), want)
+          << "root " << r << " at " << p.to_string();
+      EXPECT_EQ(frozen.eval(r, p), want)
+          << "root " << r << " at " << p.to_string();
+    }
+  }
+}
+
+std::vector<Mask> all_masks(int num_vars) {
+  std::vector<Mask> out;
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << num_vars); ++bits)
+    out.push_back(Mask{bits, 0});
+  return out;
+}
+
+TEST(Freeze, RoundTripBddRoots) {
+  Manager m(5);
+  const Bdd a = Bdd::var(m, 0), b = Bdd::var(m, 1), c = Bdd::var(m, 2);
+  const Bdd d = Bdd::var(m, 3), e = Bdd::var(m, 4);
+  const std::vector<Bdd> fns = {
+      (a & b) | (c & d),
+      a ^ b ^ c ^ d ^ e,
+      (a | b).ite(c ^ d, e & a),
+      !(a & (b | !c)) ^ (d & e),
+  };
+  std::vector<NodeId> roots;
+  for (const Bdd& f : fns) roots.push_back(f.node());
+  expect_round_trip(m, roots, all_masks(5));
+}
+
+TEST(Freeze, RoundTripAddRoots) {
+  Manager m(4);
+  const Add x0 = Add::from_bdd(Bdd::var(m, 0));
+  const Add x1 = Add::from_bdd(Bdd::var(m, 1));
+  const Add x2 = Add::from_bdd(Bdd::var(m, 2));
+  const Add x3 = Add::from_bdd(Bdd::var(m, 3));
+  const std::vector<Add> fns = {
+      x0 * Add::constant(m, 7) - x1 * Add::constant(m, 3),
+      (x0 + x1 + x2 + x3) * (x0 - x3),
+      x0 * x1 * Add::constant(m, -42) + x2.max(x3),
+  };
+  std::vector<NodeId> roots;
+  for (const Add& f : fns) roots.push_back(f.node());
+  expect_round_trip(m, roots, all_masks(4));
+}
+
+TEST(Freeze, SharedSubgraphsFreezeOnce) {
+  // Two roots sharing a subgraph must not duplicate it in the flat array:
+  // the frozen node count equals the node count of the union DAG.
+  Manager m(4);
+  const Bdd shared = Bdd::var(m, 2) & Bdd::var(m, 3);
+  const Bdd f = Bdd::var(m, 0) ^ shared;
+  const Bdd g = Bdd::var(m, 1) | shared;
+  const FrozenForest frozen = m.export_forest({f.node(), g.node()});
+  std::size_t union_size = 0;
+  m.visit_postorder({f.node(), g.node()}, [&](NodeId n) {
+    if (!m.is_terminal(n)) ++union_size;
+  });
+  EXPECT_EQ(frozen.node_count(), union_size);
+}
+
+TEST(Freeze, ConstantRootsAreLeafReferences) {
+  Manager m(3);
+  const Add k = Add::constant(m, 17);
+  const Bdd t = Bdd::one(m);
+  const Bdd z = Bdd::zero(m);
+  const FrozenForest frozen =
+      m.export_forest({k.node(), t.node(), z.node()}, {"k", "t", "z"});
+  ASSERT_EQ(frozen.roots.size(), 3u);
+  EXPECT_EQ(frozen.node_count(), 0u);  // no internal nodes at all
+  EXPECT_EQ(frozen.root_names, (std::vector<std::string>{"k", "t", "z"}));
+  for (FrozenForest::Ref r : frozen.roots)
+    EXPECT_TRUE(FrozenForest::is_leaf(r));
+  EXPECT_EQ(frozen.eval(0, Mask{}), 17);
+  EXPECT_EQ(frozen.eval(1, Mask{}), 1);
+  EXPECT_EQ(frozen.eval(2, Mask{}), 0);
+
+  Manager dst(3);
+  const std::vector<NodeId> thawed = dst.import_forest(frozen);
+  ASSERT_EQ(thawed.size(), 3u);
+  EXPECT_EQ(dst.terminal_value(thawed[0]), 17);
+  EXPECT_EQ(thawed[1], dst.one());
+  EXPECT_EQ(thawed[2], dst.zero());
+}
+
+TEST(Freeze, ImportAdoptsExportedVariableOrder) {
+  // Export under a non-identity order; the importing manager must adopt it
+  // so the forward make() pass sees children strictly below parents — and
+  // the thawed functions must still evaluate identically.
+  Manager src(4);
+  src.set_variable_order({3, 1, 0, 2});
+  const Bdd f = (Bdd::var(src, 0) & Bdd::var(src, 3)) ^ Bdd::var(src, 2);
+  const Bdd g = Bdd::var(src, 1).ite(f, !f);
+  expect_round_trip(src, {f.node(), g.node()}, all_masks(4));
+
+  const FrozenForest frozen = src.export_forest({f.node(), g.node()});
+  EXPECT_EQ(frozen.var_order, (std::vector<int>{3, 1, 0, 2}));
+}
+
+TEST(Freeze, RoundTripAfterSifting) {
+  // reorder_sift permutes levels in place; a post-sift export must freeze
+  // the sifted order and thaw to the same functions and node counts.
+  Manager src(6);
+  std::vector<Bdd> keep;
+  Bdd f = Bdd::zero(src);
+  for (int v = 0; v < 6; v += 2) {
+    keep.push_back(Bdd::var(src, v) & Bdd::var(src, v + 1));
+    f ^= keep.back();
+  }
+  keep.push_back(f);
+  src.reorder_sift();
+  expect_round_trip(src, {f.node()}, all_masks(6));
+}
+
+TEST(Freeze, ImportRejectsMismatchedVariableCount) {
+  Manager src(5);
+  const Bdd f = Bdd::var(src, 0) ^ Bdd::var(src, 4);
+  const FrozenForest frozen = src.export_forest({f.node()});
+  Manager narrow(3);
+  EXPECT_THROW(narrow.import_forest(frozen), std::invalid_argument);
+}
+
+TEST(Freeze, EmptyForestRoundTrips) {
+  Manager src(4);
+  const FrozenForest frozen = src.export_forest({});
+  EXPECT_TRUE(frozen.empty());
+  Manager dst(4);
+  EXPECT_TRUE(dst.import_forest(frozen).empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: freeze the verification material of a real unfolded gadget —
+// every XOR-subset function BDD and its base-spectrum ADD — under both the
+// standard and the glitch-robust probe model, thaw into a fresh manager,
+// and require node-count and evaluation equality throughout.
+// ---------------------------------------------------------------------------
+
+void expect_gadget_round_trip(const char* name, bool robust) {
+  circuit::Gadget g = gadgets::by_name(name);
+  circuit::Unfolded u = circuit::unfold(g);
+  verify::ProbeModelOptions probes;
+  probes.glitch_robust = robust;
+  verify::ObservableSet obs = verify::build_observables(g, u, probes);
+  Manager& src = *u.manager;
+
+  std::vector<Bdd> fns;        // keep handles alive across safe points
+  std::vector<Add> spectra;
+  for (std::size_t i = 0; i < obs.size(); ++i)
+    verify::for_each_xor_subset(obs.items[i], src, [&](const Bdd& x) {
+      fns.push_back(x);
+      spectra.push_back(spectral::Spectrum::from_bdd(x).to_add(src));
+    });
+  ASSERT_FALSE(fns.empty()) << name;
+
+  std::vector<NodeId> roots;
+  for (const Bdd& f : fns) roots.push_back(f.node());
+  for (const Add& s : spectra) roots.push_back(s.node());
+  expect_round_trip(src, roots, sample_masks(src.num_vars(), 32));
+}
+
+TEST(Freeze, RoundTripUnfoldedGadgetStandardModel) {
+  expect_gadget_round_trip("dom-1", false);
+}
+
+TEST(Freeze, RoundTripUnfoldedGadgetRobustModel) {
+  expect_gadget_round_trip("dom-1", true);
+  expect_gadget_round_trip("isw-2", true);
+}
+
+}  // namespace
+}  // namespace sani::dd

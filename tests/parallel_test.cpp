@@ -5,6 +5,7 @@
 
 #include "circuit/builder.h"
 #include "gadgets/registry.h"
+#include "sched/pool.h"
 #include "util/combinations.h"
 #include "verify/bruteforce.h"
 #include "verify/engine.h"
@@ -55,6 +56,12 @@ TEST(Parallel, DeterministicAcrossJobCountsAllRegistryGadgets) {
               << name << " order " << order << " jobs " << jobs;
         }
         EXPECT_EQ(parallel.stats.parallel.jobs, jobs);
+        // MAPI (the default engine) shares the one frozen Basis like every
+        // other engine: no per-worker unfolding replays, ever.
+        EXPECT_TRUE(parallel.stats.parallel.shared_basis)
+            << name << " order " << order << " jobs " << jobs;
+        EXPECT_EQ(parallel.stats.parallel.replays, 0u)
+            << name << " order " << order << " jobs " << jobs;
       }
     }
   }
@@ -112,9 +119,10 @@ TEST(Parallel, CounterexampleCancelsRemainingShards) {
   opt.shard_size = 2;  // many shards after the failing one
   const VerifyResult parallel = verify(g, opt);
   EXPECT_EQ(fingerprint(parallel), fingerprint(serial));
-  // Worker 0 is seeded with the pre-built replica, so it reaches the leak in
-  // shard 0 while the other workers are still replaying their unfoldings;
-  // the rest of the probe space must not have been enumerated.
+  // Worker 0's Driver is built on the calling thread, so it reaches the
+  // leak in shard 0 while the other workers are still thawing the frozen
+  // basis into their managers; the rest of the probe space must not have
+  // been enumerated.
   EXPECT_LT(parallel.stats.combinations, total);
   EXPECT_GE(parallel.stats.parallel.shards_skipped +
                 parallel.stats.parallel.shards_abandoned,
@@ -168,7 +176,8 @@ TEST(Parallel, TimeLimitFiresInHeuristic) {
 }
 
 // jobs = 0 resolves to the hardware thread count and must behave like any
-// other worker count.
+// other worker count; the *resolved* count (sched::default_jobs) is what
+// the report records, never the literal 0.
 TEST(Parallel, JobsZeroUsesHardwareConcurrency) {
   const Gadget g = gadgets::by_name("dom-2");
   VerifyOptions opt;
@@ -180,12 +189,15 @@ TEST(Parallel, JobsZeroUsesHardwareConcurrency) {
   const VerifyResult r = verify(g, opt);
   EXPECT_EQ(fingerprint(r), want);
   EXPECT_GE(r.stats.parallel.jobs, 1);
+  EXPECT_EQ(r.stats.parallel.jobs, sched::default_jobs(0));
+  EXPECT_EQ(sched::default_jobs(0), sched::Pool::hardware_threads());
+  EXPECT_EQ(r.stats.parallel.workers.size(),
+            static_cast<std::size_t>(r.stats.parallel.jobs));
 }
 
-// The scan engines share one read-only Basis across the pool: no worker may
+// Every engine shares one read-only Basis across the pool: no worker may
 // replay the unfolding, and the verdict/witness must not depend on the
-// worker count.  The ADD engines keep per-worker manager replicas, so they
-// replay at most jobs-1 times (worker 0 inherits the pre-built replica).
+// worker count.  The scan engines need nothing beyond the Basis...
 TEST(Parallel, ScanEnginesShareBasisWithoutReplay) {
   const Gadget g = gadgets::by_name("dom-2");
   for (EngineKind engine : {EngineKind::kLIL, EngineKind::kMAP}) {
@@ -211,25 +223,51 @@ TEST(Parallel, ScanEnginesShareBasisWithoutReplay) {
   }
 }
 
-TEST(Parallel, AddEnginesReplayAtMostJobsMinusOne) {
-  const Gadget g = gadgets::by_name("dom-2");
-  for (EngineKind engine : {EngineKind::kMAPI, EngineKind::kFUJITA}) {
+// ...and the ADD engines (MAPI, FUJITA) thaw the Basis' frozen forest into
+// their private managers — the per-worker unfolding replays of the old
+// runtime are gone for them too.  Verdicts and witnesses stay byte-identical
+// to the serial run on every registry gadget.
+TEST(Parallel, AddEnginesShareBasisWithoutReplay) {
+  struct Case {
+    std::string gadget;
+    EngineKind engine;
+    int order;
+  };
+  std::vector<Case> cases;
+  // Every registry gadget, both ADD engines, at order 1 (FUJITA transforms
+  // per combination, so depth 2 everywhere would dominate the suite)...
+  for (const std::string& name : gadgets::all_names())
+    for (EngineKind engine : {EngineKind::kMAPI, EngineKind::kFUJITA})
+      cases.push_back({name, engine, 1});
+  // ...plus full-depth coverage on the small gadgets.
+  for (const char* name : {"dom-1", "isw-2", "ti-1", "dom-2"})
+    for (EngineKind engine : {EngineKind::kMAPI, EngineKind::kFUJITA})
+      cases.push_back({name, engine, 2});
+
+  for (const Case& c : cases) {
+    const Gadget g = gadgets::by_name(c.gadget);
     VerifyOptions opt;
     opt.notion = Notion::kSNI;
-    opt.order = 2;
-    opt.engine = engine;
+    opt.order = c.order;
+    opt.engine = c.engine;
     opt.jobs = 1;
     const std::string want = fingerprint(verify(g, opt));
     for (int jobs : {2, 4}) {
       opt.jobs = jobs;
       opt.shard_size = 7;
       const VerifyResult r = verify(g, opt);
-      EXPECT_EQ(fingerprint(r), want)
-          << engine_name(engine) << " jobs " << jobs;
-      EXPECT_FALSE(r.stats.parallel.shared_basis)
-          << engine_name(engine) << " jobs " << jobs;
-      EXPECT_LE(r.stats.parallel.replays, static_cast<std::uint64_t>(jobs - 1))
-          << engine_name(engine) << " jobs " << jobs;
+      EXPECT_EQ(fingerprint(r), want) << c.gadget << " order " << c.order
+                                      << " " << engine_name(c.engine)
+                                      << " jobs " << jobs;
+      EXPECT_TRUE(r.stats.parallel.shared_basis)
+          << c.gadget << " " << engine_name(c.engine) << " jobs " << jobs;
+      EXPECT_EQ(r.stats.parallel.replays, 0u)
+          << c.gadget << " " << engine_name(c.engine) << " jobs " << jobs;
+      EXPECT_GT(r.stats.frozen_nodes, 0u)
+          << c.gadget << " " << engine_name(c.engine);
+      for (const WorkerStats& w : r.stats.parallel.workers)
+        EXPECT_EQ(w.replays, 0u)
+            << c.gadget << " " << engine_name(c.engine) << " jobs " << jobs;
     }
   }
 }
@@ -284,8 +322,10 @@ TEST(Parallel, CrossEngineAgreementBothSearchOrders) {
   }
 }
 
-// The replay overload of verify_prepared: parallel when given a prepare
-// function, byte-identical to the serial prepared path.
+// The compatibility overload of verify_prepared (formerly the replay
+// overload): the prepare function is ignored — the frozen Basis serves
+// every worker — and the result stays byte-identical to the serial
+// prepared path.
 TEST(Parallel, PreparedReplayOverloadMatchesSerial) {
   const Gadget g = gadgets::by_name("dom-2");
   VerifyOptions opt;
@@ -309,6 +349,8 @@ TEST(Parallel, PreparedReplayOverloadMatchesSerial) {
       });
   EXPECT_EQ(fingerprint(r), want);
   EXPECT_EQ(r.stats.parallel.jobs, 2);
+  EXPECT_TRUE(r.stats.parallel.shared_basis);
+  EXPECT_EQ(r.stats.parallel.replays, 0u);
 }
 
 }  // namespace

@@ -154,6 +154,20 @@ int main(int argc, char** argv) {
                 << " gates (" << s.num_nonlinear << " nonlinear, "
                 << s.num_registers << " registers), depth " << s.depth
                 << ", " << g.spec.num_output_shares() << " output shares\n";
+      // Diagram-side stats: unfold once and report what the manager saw.
+      circuit::Unfolded u = circuit::unfold(g);
+      const dd::ManagerStats m = u.manager->stats();
+      const std::uint64_t lookups = m.cache_hits + m.cache_misses;
+      const double hit_rate =
+          lookups ? static_cast<double>(m.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+      std::cout << "  unfolding: " << circuit::unfolding_size(u)
+                << " diagram nodes over " << u.vars.num_vars
+                << " variables; manager peak " << m.peak_nodes
+                << " nodes, op-cache hit rate " << hit_rate << " ("
+                << m.cache_hits << " hits / " << m.cache_misses
+                << " misses), " << m.gc_runs << " gc runs\n";
       return 0;
     }
     if (cmd == "uniform") {
