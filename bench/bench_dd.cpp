@@ -1,9 +1,23 @@
 // Ablation: decision-diagram package micro-benchmarks (google-benchmark).
 // Measures the substrate the MAPI/FUJITA engines stand on: apply() on
 // structured BDD families, the Fujita spectral transform, spectrum->ADD
-// conversion, and a garbage-collection cycle.
+// conversion, postorder traversal, terminal-heavy ADD arithmetic, and a
+// garbage-collection cycle.
+//
+// --json [PATH] switches to a deterministic stats harness instead of the
+// timed benchmarks: it runs fixed workloads and writes exact node counts,
+// computed-table hit/miss counters, GC survival numbers and bytes-per-node
+// as machine-readable JSON (default PATH: BENCH_dd.json).  Everything in
+// that file is timing-free, so CI diffs node counts exactly and hit rates
+// within a small tolerance against the committed baseline at the repo root.
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "dd/walsh.h"
 #include "spectral/spectrum.h"
@@ -64,6 +78,35 @@ void BM_SpectrumToAdd(benchmark::State& state) {
   }
 }
 
+// Postorder sweep over a polynomial-size diagram: the epoch-stamped visited
+// set (shared with GC marking) is the only per-call state.
+void BM_VisitPostorder(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  dd::Manager m(n, 14);
+  dd::Bdd f = layered_function(m, n);
+  const std::vector<dd::NodeId> roots{f.node()};
+  for (auto _ : state) {
+    std::size_t count = 0;
+    m.visit_postorder(roots, [&](dd::NodeId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+
+// Terminal-heavy ADD arithmetic: sums of spectra with many distinct
+// coefficient values stress the terminal map (hash-consed int64 leaves).
+void BM_TerminalHeavyAdd(benchmark::State& state) {
+  const int n = 12;
+  dd::Manager m(n, 14);
+  dd::Bdd f = layered_function(m, n);
+  dd::Add s = dd::walsh_transform(f);
+  for (auto _ : state) {
+    dd::Add acc = s;
+    for (int i = 1; i <= static_cast<int>(state.range(0)); ++i)
+      acc = acc + dd::Add::constant(m, i * 2713);
+    benchmark::DoNotOptimize(acc.node());
+  }
+}
+
 void BM_GarbageCollection(benchmark::State& state) {
   const int n = 16;
   for (auto _ : state) {
@@ -81,8 +124,97 @@ void BM_GarbageCollection(benchmark::State& state) {
 BENCHMARK(BM_CachedApply)->Arg(16)->Arg(48);
 BENCHMARK(BM_ColdBuildAndTransform)->Arg(12)->Arg(24)->Arg(36);
 BENCHMARK(BM_SpectrumToAdd)->Arg(64)->Arg(512);
+BENCHMARK(BM_VisitPostorder)->Arg(24)->Arg(48);
+BENCHMARK(BM_TerminalHeavyAdd)->Arg(64);
 BENCHMARK(BM_GarbageCollection);
+
+// ---------------------------------------------------------------------------
+// Deterministic stats harness (--json).  No timers anywhere: every value is
+// a count the manager produces identically on every run and machine.
+
+int run_json(const std::string& path) {
+  std::ostringstream os;
+  os << "{";
+
+  // Workload 1: layered build + Walsh transform on a fresh manager.
+  {
+    const int n = 24;
+    dd::Manager m(n, 14);
+    dd::Bdd f = layered_function(m, n);
+    dd::Add s = dd::walsh_transform(f);
+    benchmark::DoNotOptimize(s.node());
+    const dd::ManagerStats st = m.stats();
+    const std::uint64_t lookups = st.cache_hits + st.cache_misses;
+    os << "\"layered\":{\"n\":" << n
+       << ",\"live_nodes\":" << m.live_node_count()
+       << ",\"peak_nodes\":" << st.peak_nodes
+       << ",\"cache_hits\":" << st.cache_hits
+       << ",\"cache_misses\":" << st.cache_misses << ",\"hit_rate\":"
+       << (lookups ? static_cast<double>(st.cache_hits) /
+                         static_cast<double>(lookups)
+                   : 0.0)
+       << ",\"bytes_per_live_node\":"
+       << m.arena_bytes() / m.live_node_count()
+       << ",\"hot_bytes_per_node\":" << dd::Manager::kHotBytesPerNode
+       << "},";
+  }
+
+  // Workload 2: garbage collection with a referenced survivor, then a
+  // repeat transform that must be answered from surviving cache entries.
+  {
+    const int n = 16;
+    dd::Manager m(n, 12);
+    dd::Bdd keep = layered_function(m, n);
+    dd::Add spectrum = dd::walsh_transform(keep);
+    for (int i = 0; i < 200; ++i) {
+      dd::Bdd junk = layered_function(m, n) ^ dd::Bdd::var(m, i % n);
+      (void)junk;
+    }
+    const std::size_t freed = m.collect_garbage();
+    const dd::ManagerStats after_gc = m.stats();
+    const std::uint64_t hits_before = after_gc.cache_hits;
+    dd::Add again = dd::walsh_transform(keep);
+    const bool stable = again == spectrum;
+    const std::uint64_t post_gc_hits = m.stats().cache_hits - hits_before;
+    os << "\"gc\":{\"gc_runs\":" << after_gc.gc_runs
+       << ",\"nodes_freed\":" << freed
+       << ",\"cache_survived\":" << after_gc.cache_survived
+       << ",\"cache_scrubbed\":" << after_gc.cache_scrubbed
+       << ",\"post_gc_hits\":" << post_gc_hits
+       << ",\"spectrum_stable\":" << (stable ? "true" : "false")
+       << ",\"live_nodes\":" << m.live_node_count() << "}";
+    if (!stable || post_gc_hits == 0) {
+      std::cerr << "bench_dd: GC workload failed (stable=" << stable
+                << ", post_gc_hits=" << post_gc_hits << ")\n";
+      return 1;
+    }
+  }
+
+  os << "}";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_dd: cannot write " << path << "\n";
+    return 1;
+  }
+  out << os.str() << "\n";
+  std::cout << "json stats written to " << path << "\n";
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      const std::string path =
+          (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1]
+                                                  : "BENCH_dd.json";
+      return run_json(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

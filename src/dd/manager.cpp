@@ -12,7 +12,7 @@ namespace sani::dd {
 
 namespace {
 
-constexpr std::size_t kInitialBuckets = 1u << 6;
+constexpr std::size_t kInitialSlots = 1u << 6;
 constexpr std::size_t kInitialGcThreshold = 1u << 16;
 
 bool as_bool(std::int64_t v) { return v != 0; }
@@ -46,6 +46,7 @@ const char* op_name(Op op) {
 
 Manager::Manager(int num_vars, int cache_bits)
     : num_vars_(num_vars),
+      cache_bits_(cache_bits),
       unique_(static_cast<std::size_t>(num_vars < 0 ? 0 : num_vars)),
       var_to_level_(static_cast<std::size_t>(num_vars < 0 ? 0 : num_vars)),
       level_to_var_(static_cast<std::size_t>(num_vars < 0 ? 0 : num_vars)),
@@ -54,7 +55,12 @@ Manager::Manager(int num_vars, int cache_bits)
       gc_threshold_(kInitialGcThreshold) {
   if (num_vars < 0 || num_vars > Mask::kMaxBits)
     throw std::invalid_argument("Manager: num_vars out of [0,128]");
-  for (auto& t : unique_) t.buckets.assign(kInitialBuckets, kNilNode);
+  if (cache_bits < 1 || cache_bits > 30)
+    throw std::invalid_argument("Manager: cache_bits out of [1,30]");
+  for (auto& t : unique_) t.slots.assign(kInitialSlots, kNilNode);
+  cache_used_ = std::make_unique_for_overwrite<std::uint32_t[]>(cache_.size());
+  terminal_map_.keys.assign(kInitialSlots, 0);
+  terminal_map_.vals.assign(kInitialSlots, kNilNode);
   std::iota(var_to_level_.begin(), var_to_level_.end(), 0);
   std::iota(level_to_var_.begin(), level_to_var_.end(), 0);
   zero_ = terminal(0);
@@ -66,83 +72,160 @@ Manager::Manager(int num_vars, int cache_bits)
 // --------------------------------------------------------------------------
 
 NodeId Manager::alloc_node() {
+  NodeId n;
   if (free_list_ != kNilNode) {
-    NodeId n = free_list_;
-    free_list_ = nodes_[n].next;
+    n = free_list_;
+    free_list_ = los_[n];  // free list threads through the lo array
     --free_count_;
-    return n;
+  } else {
+    if (arena_used_ == vars_.size()) {
+      if (arena_used_ >= static_cast<std::size_t>(kNilNode))
+        throw std::runtime_error("Manager: node arena exhausted");
+      const std::size_t grown =
+          vars_.empty() ? std::size_t{1} << 10 : vars_.size() * 2;
+      vars_.resize(grown, 0);
+      los_.resize(grown, kNilNode);
+      his_.resize(grown, kNilNode);
+      refs_.resize(grown, 0);
+    }
+    n = static_cast<NodeId>(arena_used_++);
   }
-  if (nodes_.size() >= static_cast<std::size_t>(kNilNode))
-    throw std::runtime_error("Manager: node arena exhausted");
-  nodes_.push_back(Node{});
-  return static_cast<NodeId>(nodes_.size() - 1);
+  ++live_count_;
+  stats_.live_nodes = live_count_;
+  if (live_count_ > stats_.peak_nodes) stats_.peak_nodes = live_count_;
+  return n;
 }
 
-std::size_t Manager::bucket_of(const SubTable& t, NodeId lo, NodeId hi) const {
+std::size_t Manager::subtable_home(const SubTable& t, NodeId lo,
+                                   NodeId hi) const {
   std::uint64_t h = (static_cast<std::uint64_t>(lo) << 32) | hi;
   h *= 0xFF51AFD7ED558CCDull;
   h ^= h >> 32;
-  return static_cast<std::size_t>(h) & (t.buckets.size() - 1);
+  return static_cast<std::size_t>(h) & (t.slots.size() - 1);
+}
+
+NodeId Manager::subtable_find(const SubTable& t, NodeId lo, NodeId hi) const {
+  const std::size_t mask = t.slots.size() - 1;
+  std::size_t slot = subtable_home(t, lo, hi);
+  std::size_t dist = 0;
+  while (true) {
+    const NodeId occ = t.slots[slot];
+    if (occ == kNilNode) return kNilNode;
+    if (los_[occ] == lo && his_[occ] == hi) return occ;
+    // Robin-hood invariant: residents are ordered by probe distance, so a
+    // resident closer to its home than we are to ours ends the search.
+    const std::size_t occ_dist =
+        (slot - subtable_home(t, los_[occ], his_[occ])) & mask;
+    if (occ_dist < dist) return kNilNode;
+    slot = (slot + 1) & mask;
+    ++dist;
+  }
+}
+
+void Manager::subtable_place(SubTable& t, NodeId cur, std::size_t slot,
+                             std::size_t dist) {
+  const std::size_t mask = t.slots.size() - 1;
+  while (true) {
+    if (t.slots[slot] == kNilNode) {
+      t.slots[slot] = cur;
+      ++t.count;
+      return;
+    }
+    const NodeId occ = t.slots[slot];
+    const std::size_t occ_dist =
+        (slot - subtable_home(t, los_[occ], his_[occ])) & mask;
+    if (occ_dist < dist) {  // rob the rich: displace the closer-to-home entry
+      t.slots[slot] = cur;
+      cur = occ;
+      dist = occ_dist;
+    }
+    slot = (slot + 1) & mask;
+    ++dist;
+  }
 }
 
 void Manager::subtable_insert(int var, NodeId n) {
   SubTable& t = unique_[var];
-  std::size_t slot = bucket_of(t, nodes_[n].lo, nodes_[n].hi);
-  nodes_[n].next = t.buckets[slot];
-  t.buckets[slot] = n;
-  ++t.count;
+  if ((t.count + 1) * 4 > t.slots.size() * 3) subtable_grow(var);
+  subtable_place(t, n, subtable_home(t, los_[n], his_[n]), 0);
 }
 
 void Manager::subtable_remove(int var, NodeId n) {
   SubTable& t = unique_[var];
-  std::size_t slot = bucket_of(t, nodes_[n].lo, nodes_[n].hi);
-  NodeId* link = &t.buckets[slot];
-  while (*link != kNilNode) {
-    if (*link == n) {
-      *link = nodes_[n].next;
-      --t.count;
-      return;
-    }
-    link = &nodes_[*link].next;
+  const std::size_t mask = t.slots.size() - 1;
+  std::size_t slot = subtable_home(t, los_[n], his_[n]);
+  while (t.slots[slot] != n) {
+    assert(t.slots[slot] != kNilNode && "subtable_remove: node not found");
+    slot = (slot + 1) & mask;
   }
-  assert(false && "subtable_remove: node not found");
+  // Backward-shift deletion keeps the probe-distance ordering without
+  // tombstones: slide successors left until an empty slot or a resident
+  // already at its home.
+  std::size_t next = (slot + 1) & mask;
+  while (t.slots[next] != kNilNode) {
+    const NodeId occ = t.slots[next];
+    if (((next - subtable_home(t, los_[occ], his_[occ])) & mask) == 0) break;
+    t.slots[slot] = occ;
+    slot = next;
+    next = (next + 1) & mask;
+  }
+  t.slots[slot] = kNilNode;
+  --t.count;
 }
 
-void Manager::subtable_maybe_resize(int var) {
+void Manager::subtable_grow(int var) {
   SubTable& t = unique_[var];
-  if (t.count <= t.buckets.size() * 3 / 4) return;
-  std::vector<NodeId> old = std::move(t.buckets);
-  t.buckets.assign(old.size() * 2, kNilNode);
+  std::vector<NodeId> old = std::move(t.slots);
+  t.slots.assign(old.size() * 2, kNilNode);
   t.count = 0;
-  for (NodeId head : old)
-    for (NodeId n = head; n != kNilNode;) {
-      NodeId next = nodes_[n].next;
-      subtable_insert(var, n);
-      n = next;
-    }
+  for (NodeId n : old)
+    if (n != kNilNode) subtable_insert(var, n);
+}
+
+std::size_t Manager::terminal_home(std::int64_t value) const {
+  std::uint64_t h = static_cast<std::uint64_t>(value);
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h) & (terminal_map_.vals.size() - 1);
+}
+
+void Manager::terminal_map_grow() {
+  TerminalMap old = std::move(terminal_map_);
+  terminal_map_.keys.assign(old.keys.size() * 2, 0);
+  terminal_map_.vals.assign(old.vals.size() * 2, kNilNode);
+  terminal_map_.count = old.count;
+  for (std::size_t i = 0; i < old.vals.size(); ++i) {
+    if (old.vals[i] == kNilNode) continue;
+    std::size_t slot = terminal_home(old.keys[i]);
+    while (terminal_map_.vals[slot] != kNilNode)
+      slot = (slot + 1) & (terminal_map_.vals.size() - 1);
+    terminal_map_.keys[slot] = old.keys[i];
+    terminal_map_.vals[slot] = old.vals[i];
+  }
 }
 
 NodeId Manager::terminal(std::int64_t value) {
-  for (const auto& [v, n] : terminals_)
-    if (v == value) return n;
+  const std::size_t mask = terminal_map_.vals.size() - 1;
+  std::size_t slot = terminal_home(value);
+  while (terminal_map_.vals[slot] != kNilNode) {
+    if (terminal_map_.keys[slot] == value) return terminal_map_.vals[slot];
+    slot = (slot + 1) & mask;
+  }
   NodeId n = alloc_node();
-  Node& node = nodes_[n];
-  node.var = kTermVar;
-  node.lo = static_cast<NodeId>(static_cast<std::uint64_t>(value));
-  node.hi = static_cast<NodeId>(static_cast<std::uint64_t>(value) >> 32);
-  node.next = kNilNode;
-  node.ref = 1;  // terminals are immortal
-  node.mark = false;
-  terminals_.emplace_back(value, n);
-  stats_.live_nodes = nodes_.size() - free_count_;
-  if (stats_.live_nodes > stats_.peak_nodes)
-    stats_.peak_nodes = stats_.live_nodes;
+  vars_[n] = kTermVar;
+  los_[n] = static_cast<NodeId>(static_cast<std::uint64_t>(value));
+  his_[n] = static_cast<NodeId>(static_cast<std::uint64_t>(value) >> 32);
+  refs_[n] = 1;  // terminals are immortal
+  terminal_map_.keys[slot] = value;
+  terminal_map_.vals[slot] = n;
+  if (++terminal_map_.count * 4 > terminal_map_.vals.size() * 3)
+    terminal_map_grow();
   return n;
 }
 
 std::int64_t Manager::terminal_value(NodeId n) const {
   assert(is_terminal(n));
-  return pack_value(nodes_[n].lo, nodes_[n].hi);
+  return pack_value(los_[n], his_[n]);
 }
 
 NodeId Manager::make(int var, NodeId lo, NodeId hi) {
@@ -151,23 +234,28 @@ NodeId Manager::make(int var, NodeId lo, NodeId hi) {
   assert(node_level(lo) > var_to_level_[var]);
   assert(node_level(hi) > var_to_level_[var]);
   SubTable& t = unique_[var];
-  std::size_t slot = bucket_of(t, lo, hi);
-  for (NodeId n = t.buckets[slot]; n != kNilNode; n = nodes_[n].next) {
-    const Node& node = nodes_[n];
-    if (node.lo == lo && node.hi == hi) return n;
+  if ((t.count + 1) * 4 > t.slots.size() * 3) subtable_grow(var);
+  // Single fused probe: a robin-hood search that ends with a miss is
+  // already standing on the new node's insertion point.
+  const std::size_t mask = t.slots.size() - 1;
+  std::size_t slot = subtable_home(t, lo, hi);
+  std::size_t dist = 0;
+  while (true) {
+    const NodeId occ = t.slots[slot];
+    if (occ == kNilNode) break;
+    if (los_[occ] == lo && his_[occ] == hi) return occ;
+    const std::size_t occ_dist =
+        (slot - subtable_home(t, los_[occ], his_[occ])) & mask;
+    if (occ_dist < dist) break;  // invariant: key would already sit here
+    slot = (slot + 1) & mask;
+    ++dist;
   }
   NodeId n = alloc_node();
-  Node& node = nodes_[n];
-  node.var = var;
-  node.lo = lo;
-  node.hi = hi;
-  node.ref = 0;
-  node.mark = false;
-  subtable_insert(var, n);
-  subtable_maybe_resize(var);
-  stats_.live_nodes = nodes_.size() - free_count_;
-  if (stats_.live_nodes > stats_.peak_nodes)
-    stats_.peak_nodes = stats_.live_nodes;
+  vars_[n] = var;
+  los_[n] = lo;
+  his_[n] = hi;
+  refs_[n] = 0;
+  subtable_place(t, n, slot, dist);
   return n;
 }
 
@@ -175,125 +263,130 @@ NodeId Manager::var_node(int var) { return make(var, zero_, one_); }
 NodeId Manager::nvar_node(int var) { return make(var, one_, zero_); }
 
 // --------------------------------------------------------------------------
-// Reference counting and garbage collection
+// Shared visit stamps and garbage collection
 // --------------------------------------------------------------------------
 
-void Manager::ref(NodeId n) {
-  if (nodes_[n].ref != UINT32_MAX) ++nodes_[n].ref;
+std::uint32_t Manager::begin_visit() const {
+  if (stamps_.size() < vars_.size()) stamps_.resize(vars_.size(), 0);
+  if (++stamp_epoch_ == 0) {
+    // Epoch counter wrapped: old stamps could alias the new epoch, so reset
+    // them all once per 2^32 walks.
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    stamp_epoch_ = 1;
+  }
+  return stamp_epoch_;
 }
 
-void Manager::deref(NodeId n) {
-  if (nodes_[n].ref != UINT32_MAX && nodes_[n].ref > 0) --nodes_[n].ref;
-}
-
-void Manager::mark_rec(NodeId root) {
+void Manager::mark_rec(NodeId root, std::uint32_t epoch) {
   std::vector<NodeId> stack{root};
   while (!stack.empty()) {
     NodeId n = stack.back();
     stack.pop_back();
-    Node& node = nodes_[n];
-    if (node.mark) continue;
-    node.mark = true;
-    if (node.var != kTermVar) {
-      stack.push_back(node.lo);
-      stack.push_back(node.hi);
+    if (stamps_[n] == epoch) continue;
+    stamps_[n] = epoch;
+    if (vars_[n] != kTermVar) {
+      stack.push_back(los_[n]);
+      stack.push_back(his_[n]);
     }
   }
 }
 
-void Manager::clear_cache() {
-  for (auto& entry : cache_) entry = CacheEntry{};
+void Manager::scrub_cache(std::uint32_t epoch) {
+  // Entries referencing a node that is about to be swept must go: the freed
+  // NodeId will be recycled for an unrelated function, and a stale hit would
+  // silently corrupt results.  Everything whose operands and result survive
+  // stays hot across the collection.  Only occupied slots (tracked in
+  // cache_used_) are visited, so the pass is proportional to occupancy, not
+  // table size — reorder_sift collects per level move and relies on this.
+  auto dead = [&](NodeId n) { return stamps_[n] != epoch; };
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < cache_used_count_; ++i) {
+    const std::uint32_t slot = cache_used_[i];
+    CacheEntry& e = cache_[slot];
+    if (e.result == kNilNode) continue;  // defensive: slot already empty
+    bool drop = dead(e.a) || dead(e.result);
+    if (!drop && op_b_is_node(e.op)) drop = dead(e.b);
+    if (!drop && op_c_is_node(e.op)) drop = dead(e.c);
+    if (drop) {
+      e = CacheEntry{};
+      ++stats_.cache_scrubbed;
+    } else {
+      cache_used_[kept++] = slot;
+      ++stats_.cache_survived;
+    }
+  }
+  cache_used_count_ = kept;
 }
 
 std::size_t Manager::collect_garbage() {
   // Mark phase: externally referenced nodes and all terminals are roots.
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (nodes_[i].ref > 0 && nodes_[i].var != kTermVar)
-      mark_rec(static_cast<NodeId>(i));
-  for (const auto& [v, n] : terminals_) nodes_[n].mark = true;
+  const std::uint32_t epoch = begin_visit();
+  for (std::size_t i = 0; i < arena_used_; ++i)
+    if (refs_[i] > 0 && vars_[i] != kTermVar && stamps_[i] != epoch)
+      mark_rec(static_cast<NodeId>(i), epoch);
+  for (NodeId n : terminal_map_.vals)
+    if (n != kNilNode) stamps_[n] = epoch;
 
-  // Sweep phase: rebuild the subtables from survivors, push the rest on the
-  // free list.  The computed table may reference dead nodes, so it is
-  // cleared wholesale.
-  std::size_t freed = 0;
+  // Scrub the computed table of entries touching doomed nodes; survivors
+  // keep their slots (and their hits) across the sweep.
+  scrub_cache(epoch);
+
+  // Sweep phase: rebuild the subtables from survivors, thread the rest onto
+  // the free list (through los_).
   for (auto& t : unique_) {
-    std::fill(t.buckets.begin(), t.buckets.end(), kNilNode);
+    std::fill(t.slots.begin(), t.slots.end(), kNilNode);
     t.count = 0;
   }
-  std::vector<bool> was_free(nodes_.size(), false);
-  for (NodeId n = free_list_; n != kNilNode; n = nodes_[n].next)
-    was_free[n] = true;
   free_list_ = kNilNode;
   free_count_ = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    Node& node = nodes_[i];
-    if (node.mark) {
-      node.mark = false;
-      if (node.var != kTermVar)
-        subtable_insert(node.var, static_cast<NodeId>(i));
+  std::size_t marked = 0;
+  for (std::size_t i = 0; i < arena_used_; ++i) {
+    if (stamps_[i] == epoch) {
+      ++marked;
+      if (vars_[i] != kTermVar) subtable_insert(vars_[i], static_cast<NodeId>(i));
       continue;
     }
-    if (!was_free[i]) ++freed;
-    node.var = 0;
-    node.lo = node.hi = kNilNode;
-    node.ref = 0;
-    node.next = free_list_;
+    vars_[i] = 0;
+    his_[i] = kNilNode;
+    refs_[i] = 0;
+    los_[i] = free_list_;
     free_list_ = static_cast<NodeId>(i);
     ++free_count_;
   }
-  clear_cache();
+  const std::size_t freed = live_count_ - marked;
+  live_count_ = marked;
   ++stats_.gc_runs;
   stats_.nodes_freed += freed;
-  stats_.live_nodes = nodes_.size() - free_count_;
+  stats_.live_nodes = live_count_;
   return freed;
 }
 
 void Manager::maybe_gc() {
-  std::size_t live = nodes_.size() - free_count_;
-  if (live < gc_threshold_) return;
+  if (live_count_ < gc_threshold_) return;
   collect_garbage();
-  live = nodes_.size() - free_count_;
   // Keep collections amortized: if most nodes survived, raise the bar.
-  if (live > gc_threshold_ / 2) gc_threshold_ *= 2;
+  if (live_count_ > gc_threshold_ / 2) gc_threshold_ *= 2;
+}
+
+std::size_t Manager::arena_bytes() const {
+  std::size_t bytes = vars_.capacity() * sizeof(std::int32_t) +
+                      los_.capacity() * sizeof(NodeId) +
+                      his_.capacity() * sizeof(NodeId) +
+                      refs_.capacity() * sizeof(std::uint32_t) +
+                      stamps_.capacity() * sizeof(std::uint32_t);
+  for (const auto& t : unique_) bytes += t.slots.capacity() * sizeof(NodeId);
+  bytes += terminal_map_.keys.capacity() * sizeof(std::int64_t) +
+           terminal_map_.vals.capacity() * sizeof(NodeId);
+  return bytes;
+}
+
+std::size_t Manager::cache_bytes() const {
+  return cache_.capacity() * sizeof(CacheEntry) +
+         cache_.size() * sizeof(std::uint32_t);  // + the cache_used_ buffer
 }
 
 // --------------------------------------------------------------------------
-// Computed table
-// --------------------------------------------------------------------------
-
-std::size_t Manager::cache_slot(Op op, NodeId a, NodeId b, NodeId c) const {
-  std::uint64_t h = static_cast<std::uint64_t>(op) * 0x9E3779B97F4A7C15ull;
-  h ^= a + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
-  h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
-  h ^= c + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
-  h *= 0xFF51AFD7ED558CCDull;
-  h ^= h >> 32;
-  return static_cast<std::size_t>(h) & cache_mask_;
-}
-
-bool Manager::cache_lookup(Op op, NodeId a, NodeId b, NodeId c, NodeId* out) {
-  const CacheEntry& e = cache_[cache_slot(op, a, b, c)];
-  if (e.result != kNilNode && e.op == op && e.a == a && e.b == b && e.c == c) {
-    *out = e.result;
-    ++stats_.cache_hits;
-    return true;
-  }
-  ++stats_.cache_misses;
-  return false;
-}
-
-void Manager::cache_insert(Op op, NodeId a, NodeId b, NodeId c,
-                           NodeId result) {
-  CacheEntry& e = cache_[cache_slot(op, a, b, c)];
-  e.op = op;
-  e.a = a;
-  e.b = b;
-  e.c = c;
-  e.result = result;
-}
-
-// --------------------------------------------------------------------------
-// Apply and friends
+// Apply and friends  (the computed-table fast path is inline in manager.h)
 // --------------------------------------------------------------------------
 
 std::int64_t Manager::eval_terminal_op(Op op, std::int64_t a, std::int64_t b) {
@@ -377,10 +470,10 @@ NodeId Manager::apply_rec(Op op, NodeId f, NodeId g) {
   const int glevel = node_level(g);
   const int level = flevel < glevel ? flevel : glevel;
   const int var = level_to_var_[level];
-  NodeId f0 = flevel == level ? nodes_[f].lo : f;
-  NodeId f1 = flevel == level ? nodes_[f].hi : f;
-  NodeId g0 = glevel == level ? nodes_[g].lo : g;
-  NodeId g1 = glevel == level ? nodes_[g].hi : g;
+  NodeId f0 = flevel == level ? los_[f] : f;
+  NodeId f1 = flevel == level ? his_[f] : f;
+  NodeId g0 = glevel == level ? los_[g] : g;
+  NodeId g1 = glevel == level ? his_[g] : g;
 
   NodeId r0 = apply_rec(op, f0, g0);
   NodeId r1 = apply_rec(op, f1, g1);
@@ -412,12 +505,12 @@ NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
       if (gl < level) level = gl;
       if (hl < level) level = hl;
       const int var = m.level_to_var_[level];
-      NodeId f0 = fl == level ? m.nodes_[f].lo : f;
-      NodeId f1 = fl == level ? m.nodes_[f].hi : f;
-      NodeId g0 = gl == level ? m.nodes_[g].lo : g;
-      NodeId g1 = gl == level ? m.nodes_[g].hi : g;
-      NodeId h0 = hl == level ? m.nodes_[h].lo : h;
-      NodeId h1 = hl == level ? m.nodes_[h].hi : h;
+      NodeId f0 = fl == level ? m.los_[f] : f;
+      NodeId f1 = fl == level ? m.his_[f] : f;
+      NodeId g0 = gl == level ? m.los_[g] : g;
+      NodeId g1 = gl == level ? m.his_[g] : g;
+      NodeId h0 = hl == level ? m.los_[h] : h;
+      NodeId h1 = hl == level ? m.his_[h] : h;
       NodeId r = m.make(var, run(f0, g0, h0), run(f1, g1, h1));
       m.cache_insert(Op::kIte, f, g, h, r);
       return r;
@@ -451,18 +544,17 @@ NodeId Manager::exists(NodeId f, const Mask& vars) {
       // Skip quantified variables above f's top variable: quantifying a
       // variable f does not depend on leaves f unchanged (for 0/1 f).
       while (!m.is_terminal(c) && m.node_level(c) < m.node_level(f))
-        c = m.nodes_[c].hi;
+        c = m.his_[c];
       if (m.is_terminal(c)) return f;
       NodeId cached;
       if (m.cache_lookup(op, f, c, kNilNode, &cached)) return cached;
       NodeId r;
-      if (m.nodes_[f].var == m.nodes_[c].var) {
-        NodeId lo = run(m.nodes_[f].lo, m.nodes_[c].hi);
-        NodeId hi = run(m.nodes_[f].hi, m.nodes_[c].hi);
+      if (m.vars_[f] == m.vars_[c]) {
+        NodeId lo = run(m.los_[f], m.his_[c]);
+        NodeId hi = run(m.his_[f], m.his_[c]);
         r = m.apply_rec(combine, lo, hi);
       } else {
-        r = m.make(m.nodes_[f].var, run(m.nodes_[f].lo, c),
-                   run(m.nodes_[f].hi, c));
+        r = m.make(m.vars_[f], run(m.los_[f], c), run(m.his_[f], c));
       }
       m.cache_insert(op, f, c, kNilNode, r);
       return r;
@@ -479,18 +571,17 @@ NodeId Manager::forall(NodeId f, const Mask& vars) {
     NodeId run(NodeId f, NodeId c) {
       if (m.is_terminal(f)) return f;
       while (!m.is_terminal(c) && m.node_level(c) < m.node_level(f))
-        c = m.nodes_[c].hi;
+        c = m.his_[c];
       if (m.is_terminal(c)) return f;
       NodeId cached;
       if (m.cache_lookup(Op::kForall, f, c, kNilNode, &cached)) return cached;
       NodeId r;
-      if (m.nodes_[f].var == m.nodes_[c].var) {
-        NodeId lo = run(m.nodes_[f].lo, m.nodes_[c].hi);
-        NodeId hi = run(m.nodes_[f].hi, m.nodes_[c].hi);
+      if (m.vars_[f] == m.vars_[c]) {
+        NodeId lo = run(m.los_[f], m.his_[c]);
+        NodeId hi = run(m.his_[f], m.his_[c]);
         r = m.apply_rec(Op::kAnd, lo, hi);
       } else {
-        r = m.make(m.nodes_[f].var, run(m.nodes_[f].lo, c),
-                   run(m.nodes_[f].hi, c));
+        r = m.make(m.vars_[f], run(m.los_[f], c), run(m.his_[f], c));
       }
       m.cache_insert(Op::kForall, f, c, kNilNode, r);
       return r;
@@ -511,13 +602,11 @@ NodeId Manager::cofactor(NodeId f, int var, bool value) {
     bool value;
     NodeId run(NodeId f) {
       if (m.is_terminal(f) || m.node_level(f) > var_level) return f;
-      if (m.nodes_[f].var == var)
-        return value ? m.nodes_[f].hi : m.nodes_[f].lo;
+      if (m.vars_[f] == var) return value ? m.his_[f] : m.los_[f];
       NodeId cached;
       if (m.cache_lookup(op, f, static_cast<NodeId>(var), kNilNode, &cached))
         return cached;
-      NodeId r =
-          m.make(m.nodes_[f].var, run(m.nodes_[f].lo), run(m.nodes_[f].hi));
+      NodeId r = m.make(m.vars_[f], run(m.los_[f]), run(m.his_[f]));
       m.cache_insert(op, f, static_cast<NodeId>(var), kNilNode, r);
       return r;
     }
@@ -567,14 +656,14 @@ NodeId Manager::abs(NodeId f) {
 Mask Manager::support(NodeId f) {
   Mask result;
   visit_postorder({f}, [&](NodeId n) {
-    if (!is_terminal(n)) result.set(nodes_[n].var);
+    if (!is_terminal(n)) result.set(vars_[n]);
   });
   return result;
 }
 
 std::int64_t Manager::eval(NodeId f, const Mask& assignment) const {
   while (!is_terminal(f))
-    f = assignment.test(nodes_[f].var) ? nodes_[f].hi : nodes_[f].lo;
+    f = assignment.test(vars_[f]) ? his_[f] : los_[f];
   return terminal_value(f);
 }
 
@@ -585,10 +674,10 @@ double Manager::sat_count(NodeId f) {
     auto it = memo.find(n);
     if (it != memo.end()) return it->second;
     const int level = node_level(n);
-    double lo = self(self, nodes_[n].lo) *
-                std::pow(2.0, node_level(nodes_[n].lo) - level - 1);
-    double hi = self(self, nodes_[n].hi) *
-                std::pow(2.0, node_level(nodes_[n].hi) - level - 1);
+    double lo = self(self, los_[n]) *
+                std::pow(2.0, node_level(los_[n]) - level - 1);
+    double hi = self(self, his_[n]) *
+                std::pow(2.0, node_level(his_[n]) - level - 1);
     double r = lo + hi;
     memo.emplace(n, r);
     return r;
@@ -614,32 +703,32 @@ bool Manager::any_sat(NodeId f, Mask* assignment) const {
   // toward "not the zero terminal" suffices because the zero terminal is
   // unique and reduction removed redundant tests.
   while (!is_terminal(f)) {
-    NodeId lo = nodes_[f].lo;
+    NodeId lo = los_[f];
     // Prefer the 0-branch if it can reach a nonzero terminal.
     if (reaches_nonzero(lo)) {
       f = lo;
     } else {
-      assignment->set(nodes_[f].var);
-      f = nodes_[f].hi;
+      assignment->set(vars_[f]);
+      f = his_[f];
     }
   }
   return terminal_value(f) != 0;
 }
 
 bool Manager::reaches_nonzero(NodeId f) const {
+  const std::uint32_t epoch = begin_visit();
   std::vector<NodeId> stack{f};
-  std::vector<bool> seen(nodes_.size(), false);
   while (!stack.empty()) {
     NodeId n = stack.back();
     stack.pop_back();
-    if (seen[n]) continue;
-    seen[n] = true;
+    if (stamps_[n] == epoch) continue;
+    stamps_[n] = epoch;
     if (is_terminal(n)) {
       if (terminal_value(n) != 0) return true;
       continue;
     }
-    stack.push_back(nodes_[n].lo);
-    stack.push_back(nodes_[n].hi);
+    stack.push_back(los_[n]);
+    stack.push_back(his_[n]);
   }
   return false;
 }
@@ -664,9 +753,8 @@ void Manager::swap_adjacent_levels(int level) {
   // no processing.
   std::vector<NodeId> u_nodes;
   u_nodes.reserve(unique_[u].count);
-  for (NodeId head : unique_[u].buckets)
-    for (NodeId n = head; n != kNilNode; n = nodes_[n].next)
-      u_nodes.push_back(n);
+  for (NodeId n : unique_[u].slots)
+    if (n != kNilNode) u_nodes.push_back(n);
 
   // Commit the order change first so make(u, ...) sees the new levels.
   std::swap(level_to_var_[level], level_to_var_[level + 1]);
@@ -674,16 +762,16 @@ void Manager::swap_adjacent_levels(int level) {
   var_to_level_[v] = level;
 
   for (NodeId n : u_nodes) {
-    const NodeId lo = nodes_[n].lo;
-    const NodeId hi = nodes_[n].hi;
-    const bool lo_v = !is_terminal(lo) && nodes_[lo].var == v;
-    const bool hi_v = !is_terminal(hi) && nodes_[hi].var == v;
+    const NodeId lo = los_[n];
+    const NodeId hi = his_[n];
+    const bool lo_v = !is_terminal(lo) && vars_[lo] == v;
+    const bool hi_v = !is_terminal(hi) && vars_[hi] == v;
     if (!lo_v && !hi_v) continue;  // node sinks below v untouched
 
-    const NodeId f00 = lo_v ? nodes_[lo].lo : lo;
-    const NodeId f01 = lo_v ? nodes_[lo].hi : lo;
-    const NodeId f10 = hi_v ? nodes_[hi].lo : hi;
-    const NodeId f11 = hi_v ? nodes_[hi].hi : hi;
+    const NodeId f00 = lo_v ? los_[lo] : lo;
+    const NodeId f01 = lo_v ? his_[lo] : lo;
+    const NodeId f10 = hi_v ? los_[hi] : hi;
+    const NodeId f11 = hi_v ? his_[hi] : hi;
 
     // Rewrite in place: the NodeId keeps denoting the same function, now
     // rooted at var v.  (A canonical collision is impossible: an existing
@@ -692,13 +780,31 @@ void Manager::swap_adjacent_levels(int level) {
     const NodeId new_lo = make(u, f00, f10);
     const NodeId new_hi = make(u, f01, f11);
     assert(new_lo != new_hi);
-    nodes_[n].var = v;
-    nodes_[n].lo = new_lo;
-    nodes_[n].hi = new_hi;
+    vars_[n] = v;
+    los_[n] = new_lo;
+    his_[n] = new_hi;
     subtable_insert(v, n);
-    subtable_maybe_resize(v);
   }
   ++stats_.reorder_swaps;
+  // Node identities still denote the same functions, so ordinary computed-
+  // table entries stay valid.  Level-keyed entries (Walsh/ANF butterflies)
+  // do not; bumping the epoch turns them into misses without a table sweep.
+  if (++order_epoch_ == 0) {
+    // 16-bit epoch wrapped (65536 swaps): purge every level-keyed entry so
+    // none of them can alias the restarted counter.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < cache_used_count_; ++i) {
+      const std::uint32_t slot = cache_used_[i];
+      CacheEntry& e = cache_[slot];
+      if (e.result == kNilNode) continue;
+      if (op_order_sensitive(e.op)) {
+        e = CacheEntry{};
+        continue;
+      }
+      cache_used_[kept++] = slot;
+    }
+    cache_used_count_ = kept;
+  }
 }
 
 void Manager::move_level(int from, int to) {
@@ -762,7 +868,6 @@ std::size_t Manager::reorder_sift() {
     }
     move_level(var_to_level_[var], best_level);
   }
-  clear_cache();
   collect_garbage();
   return live_node_count();
 }
@@ -778,7 +883,6 @@ void Manager::set_variable_order(const std::vector<int>& order) {
   }
   for (int target = 0; target < num_vars_; ++target)
     move_level(var_to_level_[order[target]], target);
-  clear_cache();
 }
 
 }  // namespace sani::dd

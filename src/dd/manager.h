@@ -10,23 +10,40 @@
 //    project uses CUDD in spirit: Walsh coefficients are integers in
 //    [-2^n, 2^n], so integer terminals make every spectral computation exact
 //    (no floating-point terminals needed).
-//  * Nodes are identified by 32-bit indices into an arena; handles
-//    (dd::Bdd, dd::Add) reference-count their root.  Canonicity invariant:
-//    no node with lo == hi, no two distinct nodes with equal (var, lo, hi),
-//    terminals unique per value.  Equality of functions is pointer equality.
-//  * Per-variable unique subtables (hash-consing) and a lossy direct-mapped
-//    computed table give the textbook O(|f||g|) apply bound.  Subtables per
-//    variable are what make dynamic reordering affordable.
+//  * Nodes are identified by 32-bit indices into a structure-of-arrays
+//    arena: the hot traversal triple (var, lo, hi) lives in three packed
+//    arrays that apply/Walsh recursions touch exclusively, while the cold
+//    GC state (reference counts, visit stamps) sits in separate arrays that
+//    only ref/deref and collection read.  Handles (dd::Bdd, dd::Add)
+//    reference-count their root.  Canonicity invariant: no node with
+//    lo == hi, no two distinct nodes with equal (var, lo, hi), terminals
+//    unique per value.  Equality of functions is pointer equality.
+//  * Per-variable unique subtables (hash-consing) are open-addressed
+//    robin-hood tables of NodeIds — no per-node chain pointer, and probe
+//    sequences stay short and cache-local.  Subtables per variable are what
+//    make dynamic reordering affordable.
+//  * The lossy direct-mapped computed table gives the textbook O(|f||g|)
+//    apply bound and SURVIVES garbage collection and reordering: mark/sweep
+//    scrubs only the entries that reference dead nodes (a freed NodeId may
+//    be recycled, so those are a correctness hazard, not just garbage), and
+//    entries of level-keyed ops (Walsh/ANF butterflies) carry an order
+//    epoch that any adjacent-level swap bumps.  Everything else stays
+//    valid across safe points because reordering rewrites nodes in place:
+//    a NodeId keeps denoting the same function, so op keys and results do
+//    too.
 //  * Mark-and-sweep garbage collection runs only at top-level operation
 //    entry (a safe point: no recursion in flight), triggered by node-count
-//    growth; the computed table is invalidated on collection.
+//    growth.  Marking shares one epoch-stamped visited array with
+//    visit_postorder, so neither allocates per call.
 //  * The variable ORDER is dynamic: variable identities are stable ints
 //    0..num_vars-1, but their levels can be permuted.  Adjacent-level swap
 //    rewrites nodes *in place* (NodeIds keep denoting the same function),
 //    and reorder_sift() runs Rudell's sifting on top of it.  Reordering is
 //    only legal at safe points (no operation in flight).
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,7 +57,7 @@ struct FrozenForest;  // freeze.h
 /// Index of a node in the manager's arena.
 using NodeId = std::uint32_t;
 
-/// Sentinel for "no node" (unique-table chain terminator, free-list end).
+/// Sentinel for "no node" (empty subtable slot, free-list end).
 inline constexpr NodeId kNilNode = 0xFFFFFFFFu;
 
 /// Binary / special operation codes for the computed table.
@@ -63,18 +80,31 @@ enum class Op : std::uint8_t {
   kDivPow2,     // unary keyed with shift: v -> v / 2^k (exact)
   kCofactor0,   // unary keyed with var
   kCofactor1,
-  kCompose,     // keyed externally
+  kCompose,     // keyed externally (ANF butterfly; level-keyed)
 };
 
-/// Manager statistics, exposed for the bench_dd ablation and for tests.
+/// Number of distinct Op codes (sizes the per-op counter arrays).
+inline constexpr std::size_t kNumOps =
+    static_cast<std::size_t>(Op::kCompose) + 1;
+
+/// Manager statistics, exposed for the bench_dd ablation, the verify
+/// reports, and tests.  Cache counters are tracked per Op (op_hits /
+/// op_misses) with cache_hits / cache_misses as running totals.
 struct ManagerStats {
   std::size_t live_nodes = 0;
-  std::size_t peak_nodes = 0;
+  std::size_t peak_nodes = 0;  // tracked at node allocation, so parallel
+                               // workers report true peaks, not safe-point
+                               // snapshots
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t gc_runs = 0;
   std::uint64_t nodes_freed = 0;
   std::uint64_t reorder_swaps = 0;
+  std::uint64_t cache_scrubbed = 0;  // computed-table entries dropped by GC
+                                     // because they referenced dead nodes
+  std::uint64_t cache_survived = 0;  // entries that outlived a GC sweep
+  std::array<std::uint64_t, kNumOps> op_hits{};
+  std::array<std::uint64_t, kNumOps> op_misses{};
 };
 
 /// The node store.  All diagram handles in this project point into exactly
@@ -90,6 +120,7 @@ class Manager {
   Manager& operator=(const Manager&) = delete;
 
   int num_vars() const { return num_vars_; }
+  int cache_bits() const { return cache_bits_; }
 
   // --- Variable order ------------------------------------------------------
 
@@ -121,15 +152,15 @@ class Manager {
 
   // --- Node inspection ---------------------------------------------------
 
-  bool is_terminal(NodeId n) const { return nodes_[n].var == kTermVar; }
+  bool is_terminal(NodeId n) const { return vars_[n] == kTermVar; }
   std::int64_t terminal_value(NodeId n) const;
-  int node_var(NodeId n) const { return nodes_[n].var; }
-  NodeId node_lo(NodeId n) const { return nodes_[n].lo; }
-  NodeId node_hi(NodeId n) const { return nodes_[n].hi; }
+  int node_var(NodeId n) const { return vars_[n]; }
+  NodeId node_lo(NodeId n) const { return los_[n]; }
+  NodeId node_hi(NodeId n) const { return his_[n]; }
 
   /// Level of a node's variable; terminals sit below every level.
   int node_level(NodeId n) const {
-    return is_terminal(n) ? num_vars_ : var_to_level_[nodes_[n].var];
+    return is_terminal(n) ? num_vars_ : var_to_level_[vars_[n]];
   }
 
   /// Number of distinct nodes (incl. terminals) reachable from `n`.
@@ -137,12 +168,15 @@ class Manager {
 
   /// Visits every node reachable from `roots` exactly once, children before
   /// parents (post-order over the shared DAG).  The one reusable DAG walk
-  /// behind dag_size/support/max_abs_terminal and export_forest.
+  /// behind dag_size/support/max_abs_terminal and export_forest.  Uses the
+  /// manager's epoch-stamped visited array (no per-call allocation);
+  /// consequently walks must not nest — `visit` must not start another
+  /// visit_postorder/any_sat on the same manager.
   template <typename Fn>
   void visit_postorder(const std::vector<NodeId>& roots, Fn&& visit) const {
+    const std::uint32_t epoch = begin_visit();
     std::vector<std::pair<NodeId, bool>> stack;
     stack.reserve(roots.size() + 64);
-    std::vector<bool> seen(nodes_.size(), false);
     for (NodeId r : roots) stack.emplace_back(r, false);
     while (!stack.empty()) {
       const auto [n, expanded] = stack.back();
@@ -151,12 +185,12 @@ class Manager {
         visit(n);
         continue;
       }
-      if (seen[n]) continue;
-      seen[n] = true;
+      if (stamps_[n] == epoch) continue;
+      stamps_[n] = epoch;
       stack.emplace_back(n, true);
-      if (!is_terminal(n)) {
-        stack.emplace_back(nodes_[n].lo, false);
-        stack.emplace_back(nodes_[n].hi, false);
+      if (vars_[n] != kTermVar) {
+        stack.emplace_back(los_[n], false);
+        stack.emplace_back(his_[n], false);
       }
     }
   }
@@ -179,8 +213,12 @@ class Manager {
 
   // --- Reference counting (used by the Bdd/Add handles) ------------------
 
-  void ref(NodeId n);
-  void deref(NodeId n);
+  void ref(NodeId n) {
+    if (refs_[n] != UINT32_MAX) ++refs_[n];
+  }
+  void deref(NodeId n) {
+    if (refs_[n] != UINT32_MAX && refs_[n] > 0) --refs_[n];
+  }
 
   // --- Top-level operations (safe points; may trigger GC) ----------------
 
@@ -234,12 +272,45 @@ class Manager {
   // further algorithms (walsh.cpp) can participate in the same cache.  These
   // must only be called below a top-level safe point.
   NodeId apply_rec(Op op, NodeId f, NodeId g);
-  bool cache_lookup(Op op, NodeId a, NodeId b, NodeId c, NodeId* out);
-  void cache_insert(Op op, NodeId a, NodeId b, NodeId c, NodeId result);
+
+  // The computed-table fast path lives in the header: lookup/insert sit on
+  // every recursion step of every engine, so they must inline into the
+  // callers (including walsh.cpp/anf.cpp across TU boundaries).
+  bool cache_lookup(Op op, NodeId a, NodeId b, NodeId c, NodeId* out) {
+    const CacheEntry& e = cache_[cache_slot(op, a, b, c)];
+    const auto idx = static_cast<std::size_t>(op);
+    if (e.result != kNilNode && e.op == op && e.a == a && e.b == b &&
+        e.c == c && (!op_order_sensitive(op) || e.order_epoch == order_epoch_)) {
+      *out = e.result;
+      ++stats_.cache_hits;
+      ++stats_.op_hits[idx];
+      return true;
+    }
+    ++stats_.cache_misses;
+    ++stats_.op_misses[idx];
+    return false;
+  }
+
+  void cache_insert(Op op, NodeId a, NodeId b, NodeId c, NodeId result) {
+    const std::size_t slot = cache_slot(op, a, b, c);
+    CacheEntry& e = cache_[slot];
+    // cache_used_ is pre-sized to the table, so recording a newly occupied
+    // slot is one store — no growth checks on the insert fast path.
+    if (e.result == kNilNode)
+      cache_used_[cache_used_count_++] = static_cast<std::uint32_t>(slot);
+    e.op = op;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.result = result;
+    e.order_epoch = order_epoch_;
+  }
 
   // --- Maintenance --------------------------------------------------------
 
-  /// Runs a mark/sweep collection immediately. Returns nodes freed.
+  /// Runs a mark/sweep collection immediately. Returns nodes freed.  The
+  /// computed table survives: only entries referencing dead nodes are
+  /// scrubbed (see cache_scrubbed / cache_survived in the stats).
   std::size_t collect_garbage();
 
   /// Called at top-level entry points; collects when the arena grew past the
@@ -247,42 +318,113 @@ class Manager {
   void maybe_gc();
 
   const ManagerStats& stats() const { return stats_; }
-  std::size_t node_capacity() const { return nodes_.size(); }
-  std::size_t live_node_count() const { return nodes_.size() - free_count_; }
+  std::size_t node_capacity() const { return arena_used_; }
+  std::size_t live_node_count() const { return live_count_; }
+
+  /// Allocated footprint of the node store: SoA arrays, visit stamps, and
+  /// unique-subtable slots (the computed table is sized by cache_bits and
+  /// reported separately).  Divide by live_node_count() for the
+  /// bytes-per-live-node figure bench_dd tracks.
+  std::size_t arena_bytes() const;
+  /// Computed-table footprint (2^cache_bits fixed-size entries).
+  std::size_t cache_bytes() const;
+  /// Bytes of the arrays a traversal actually touches per node: the packed
+  /// (var, lo, hi) triple.  The AoS layout this replaced dragged 24 bytes
+  /// (chain pointer, refcount, mark) through the same cache lines.
+  static constexpr std::size_t kHotBytesPerNode =
+      sizeof(std::int32_t) + 2 * sizeof(NodeId);
 
  private:
   static constexpr std::int32_t kTermVar = INT32_MAX;
 
-  struct Node {
-    std::int32_t var;   // kTermVar for terminals
-    NodeId lo;          // 0-child; for terminals: low 32 bits of the value
-    NodeId hi;          // 1-child; for terminals: high 32 bits of the value
-    NodeId next;        // unique-subtable chain
-    std::uint32_t ref;  // external reference count (saturating)
-    bool mark;          // GC mark bit
-  };
-
   struct CacheEntry {
     NodeId a = kNilNode, b = kNilNode, c = kNilNode;
     NodeId result = kNilNode;
+    std::uint16_t order_epoch = 0;  // checked for level-keyed ops only
     Op op{};
-  };
+  };  // 20 bytes — entry size directly scales manager construction (the
+      // table is zeroed up front) and lookup cache density
 
-  /// Per-variable hash-consing table (open chaining via Node::next).
+  /// Per-variable hash-consing table: open-addressed robin-hood array of
+  /// NodeIds (kNilNode = empty slot).  The key of an occupant is its
+  /// (lo, hi) pair — var is fixed per table.
   struct SubTable {
-    std::vector<NodeId> buckets;
+    std::vector<NodeId> slots;
     std::size_t count = 0;
   };
 
+  /// value -> terminal NodeId as a flat open-addressed table (kNilNode =
+  /// empty).  Terminals are immortal, so there are no deletions; linear
+  /// probing with a multiplicative hash beats std::unordered_map's
+  /// division hashing on the Walsh transform's coefficient-heavy leaves.
+  struct TerminalMap {
+    std::vector<std::int64_t> keys;
+    std::vector<NodeId> vals;
+    std::size_t count = 0;
+  };
+
+  /// True when the op's `b` operand is a NodeId (vs. a level/shift/var
+  /// payload or kNilNode) — decides whether GC scrubbing must check it.
+  static bool op_b_is_node(Op op) {
+    switch (op) {
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kPlus:
+      case Op::kMinus:
+      case Op::kTimes:
+      case Op::kMin:
+      case Op::kMax:
+      case Op::kIte:
+      case Op::kExists:
+      case Op::kForall:
+        return true;
+      default:
+        return false;
+    }
+  }
+  /// Only ITE carries a third node operand.
+  static bool op_c_is_node(Op op) { return op == Op::kIte; }
+  /// Ops whose cache key mentions a LEVEL (not a variable identity): their
+  /// entries go stale when the order changes and are gated on order_epoch_.
+  static bool op_order_sensitive(Op op) {
+    return op == Op::kWalsh || op == Op::kCompose;
+  }
+
   NodeId alloc_node();
   bool reaches_nonzero(NodeId f) const;
-  std::size_t bucket_of(const SubTable& t, NodeId lo, NodeId hi) const;
+
+  std::size_t subtable_home(const SubTable& t, NodeId lo, NodeId hi) const;
+  NodeId subtable_find(const SubTable& t, NodeId lo, NodeId hi) const;
+  /// Robin-hood displacement loop: places `cur` starting at `slot` with
+  /// probe distance `dist` (the common tail of insert and fused make()).
+  void subtable_place(SubTable& t, NodeId cur, std::size_t slot,
+                      std::size_t dist);
   void subtable_insert(int var, NodeId n);
   void subtable_remove(int var, NodeId n);
-  void subtable_maybe_resize(int var);
-  std::size_t cache_slot(Op op, NodeId a, NodeId b, NodeId c) const;
-  void clear_cache();
-  void mark_rec(NodeId n);
+  void subtable_grow(int var);
+
+  std::size_t terminal_home(std::int64_t value) const;
+  void terminal_map_grow();
+
+  std::size_t cache_slot(Op op, NodeId a, NodeId b, NodeId c) const {
+    std::uint64_t h = static_cast<std::uint64_t>(op) * 0x9E3779B97F4A7C15ull;
+    h ^= a + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= c + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h) & cache_mask_;
+  }
+  /// Drops computed-table entries referencing non-marked nodes (runs
+  /// between the mark and sweep phases; `epoch` is the mark stamp).
+  void scrub_cache(std::uint32_t epoch);
+
+  /// Bumps the shared visit epoch and sizes the stamp array to the arena.
+  /// Every stamped walk (visit_postorder, reaches_nonzero, GC mark) starts
+  /// here; walks must not nest.
+  std::uint32_t begin_visit() const;
+  void mark_rec(NodeId root, std::uint32_t epoch);
 
   /// Swaps the variables at `level` and `level + 1`, rewriting the affected
   /// nodes in place (every NodeId keeps denoting the same function).
@@ -300,9 +442,26 @@ class Manager {
   static std::int64_t eval_terminal_op(Op op, std::int64_t a, std::int64_t b);
 
   int num_vars_;
-  std::vector<Node> nodes_;
+  int cache_bits_;
+
+  // Structure-of-arrays node arena.  Hot: vars_/los_/his_ (traversal).
+  // Cold: refs_ (handles, GC roots) and stamps_ (visited epochs).  Free
+  // nodes thread their list through los_.
+  std::vector<std::int32_t> vars_;  // kTermVar for terminals
+  std::vector<NodeId> los_;  // 0-child; terminals: low 32 bits of the value
+  std::vector<NodeId> his_;  // 1-child; terminals: high 32 bits of the value
+  std::vector<std::uint32_t> refs_;  // external reference counts (saturating)
+  mutable std::vector<std::uint32_t> stamps_;  // shared visited/mark array
+  mutable std::uint32_t stamp_epoch_ = 0;
+
   NodeId free_list_ = kNilNode;
   std::size_t free_count_ = 0;
+  std::size_t live_count_ = 0;
+  /// Slots ever handed out: [0, arena_used_) are allocated-or-freed, the
+  /// tail [arena_used_, vars_.size()) is untouched growth headroom (the SoA
+  /// arrays grow by doubling resize, so one branch per alloc instead of
+  /// four push_backs).
+  std::size_t arena_used_ = 0;
 
   std::vector<SubTable> unique_;  // one subtable per variable
 
@@ -311,10 +470,22 @@ class Manager {
 
   std::vector<CacheEntry> cache_;
   std::size_t cache_mask_;
+  /// Slots currently holding an entry (each occupied slot listed exactly
+  /// once) — lets GC scrubbing scan live entries instead of the whole table.
+  /// A raw table-sized buffer with a bump index: entries are written before
+  /// they are read, so it is deliberately left uninitialized (zeroing it
+  /// would add a table-sized memset to every Manager construction).
+  std::unique_ptr<std::uint32_t[]> cache_used_;
+  std::size_t cache_used_count_ = 0;
+  /// Bumped by every adjacent-level swap; level-keyed entries from older
+  /// epochs read as misses.  16 bits to keep CacheEntry at 20 bytes; the
+  /// (rare) wrap purges all level-keyed entries so no stale one can alias.
+  std::uint16_t order_epoch_ = 0;
 
-  // value -> terminal node (the number of distinct terminal values stays
-  // tiny next to node counts, so a flat vector scan is fine).
-  std::vector<std::pair<std::int64_t, NodeId>> terminals_;
+  /// value -> terminal node.  Walsh spectra materialize hundreds of
+  /// distinct integer coefficients, so this is a real hash map (the seed's
+  /// linear scan made terminal() O(distinct values) inside the transform).
+  TerminalMap terminal_map_;
 
   NodeId zero_ = kNilNode;
   NodeId one_ = kNilNode;

@@ -102,6 +102,10 @@ VerifyResult Driver::run() {
   stats_.dd_cache_hits = dd.cache_hits;
   stats_.dd_cache_misses = dd.cache_misses;
   stats_.dd_peak_nodes = dd.peak_nodes;
+  stats_.dd_cache_bits = manager_ ? manager_->cache_bits() : 0;
+  stats_.dd_gc_runs = dd.gc_runs;
+  stats_.dd_cache_survived = dd.cache_survived;
+  stats_.dd_arena_bytes = manager_ ? manager_->arena_bytes() : 0;
   result.stats = stats_;
   return result;
 }
@@ -290,6 +294,14 @@ std::size_t Driver::peak_nodes() const {
 
 dd::ManagerStats Driver::manager_stats() const {
   return manager_ ? manager_->stats() : dd::ManagerStats{};
+}
+
+int Driver::manager_cache_bits() const {
+  return manager_ ? manager_->cache_bits() : 0;
+}
+
+std::size_t Driver::manager_arena_bytes() const {
+  return manager_ ? manager_->arena_bytes() : 0;
 }
 
 }  // namespace sani::verify

@@ -112,6 +112,13 @@ class Driver {
   /// Private-manager counters (all zero for the scan engines).
   dd::ManagerStats manager_stats() const;
 
+  /// Resolved computed-table size of the private manager (0 when there is
+  /// no manager, i.e. for the scan engines).
+  int manager_cache_bits() const;
+
+  /// Node-store footprint of the private manager in bytes (0 without one).
+  std::size_t manager_arena_bytes() const;
+
  private:
   struct CheckFailure {
     Mask alpha;

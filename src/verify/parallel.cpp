@@ -142,6 +142,12 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
     result.stats.dd_cache_misses += dd.cache_misses;
     if (out.peak_nodes > result.stats.dd_peak_nodes)
       result.stats.dd_peak_nodes = out.peak_nodes;
+    result.stats.dd_gc_runs += dd.gc_runs;
+    result.stats.dd_cache_survived += dd.cache_survived;
+    if (slot.driver->manager_cache_bits() > result.stats.dd_cache_bits)
+      result.stats.dd_cache_bits = slot.driver->manager_cache_bits();
+    if (slot.driver->manager_arena_bytes() > result.stats.dd_arena_bytes)
+      result.stats.dd_arena_bytes = slot.driver->manager_arena_bytes();
     result.stats.combinations += ws.combinations;
     result.stats.coefficients += ws.coefficients;
     result.stats.prefix_memo.hits += ws.prefix_memo.hits;

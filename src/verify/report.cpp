@@ -94,6 +94,10 @@ std::string json_report(const std::string& gadget_name,
                          static_cast<double>(lookups)
                    : 0.0)
        << ",\"peak_nodes\":" << result.stats.dd_peak_nodes
+       << ",\"cache_bits\":" << result.stats.dd_cache_bits
+       << ",\"gc_runs\":" << result.stats.dd_gc_runs
+       << ",\"cache_survived\":" << result.stats.dd_cache_survived
+       << ",\"arena_bytes\":" << result.stats.dd_arena_bytes
        << ",\"thaw_seconds\":" << result.stats.thaw_seconds << "},";
   }
   os << "\"seconds\":" << seconds << ",";
@@ -174,11 +178,18 @@ std::string detailed_report(const circuit::Gadget& gadget,
   if (result.stats.frozen_nodes > 0)
     os << "frozen forest: " << result.stats.frozen_nodes << " nodes, "
        << result.stats.frozen_bytes << " bytes\n";
-  if (result.stats.dd_cache_hits + result.stats.dd_cache_misses > 0)
+  if (result.stats.dd_cache_hits + result.stats.dd_cache_misses > 0) {
     os << "dd manager: " << result.stats.dd_cache_hits << " cache hits / "
-       << result.stats.dd_cache_misses << " misses, peak "
-       << result.stats.dd_peak_nodes << " nodes, thaw "
+       << result.stats.dd_cache_misses << " misses (2^"
+       << result.stats.dd_cache_bits << " entries), peak "
+       << result.stats.dd_peak_nodes << " nodes, arena "
+       << result.stats.dd_arena_bytes << " bytes, thaw "
        << result.stats.thaw_seconds << " s\n";
+    if (result.stats.dd_gc_runs > 0)
+      os << "  gc: " << result.stats.dd_gc_runs << " collections, "
+         << result.stats.dd_cache_survived
+         << " computed-table entries survived them\n";
+  }
   for (const auto& name : result.stats.timers.names())
     os << "  phase " << name << ": " << result.stats.timers.get(name) << " s\n";
   if (result.stats.parallel.jobs > 0) {

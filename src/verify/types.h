@@ -184,6 +184,15 @@ struct VerifyStats {
   std::uint64_t dd_cache_misses = 0;  // (summed across workers; 0 for the
                                       // scan engines)
   std::size_t dd_peak_nodes = 0;    // max private-manager peak node count
+  int dd_cache_bits = 0;            // resolved computed-table size
+                                    // (VerifyOptions::cache_bits; 0 for the
+                                    // scan engines, which own no manager)
+  std::uint64_t dd_gc_runs = 0;     // garbage collections (summed across
+                                    // workers); the computed table survives
+                                    // each one (only dead entries scrubbed)
+  std::uint64_t dd_cache_survived = 0;  // entries kept across those GCs
+  std::size_t dd_arena_bytes = 0;   // max node-store footprint (SoA arrays,
+                                    // stamps, unique subtables) per worker
   PhaseTimers timers;               // thaw / base / convolution /
                                     // verification / union (summed across
                                     // workers when parallel)

@@ -154,6 +154,57 @@ TEST(Reorder, GcAfterReorderKeepsFunctions) {
     ASSERT_EQ(f.eval(Mask{x, 0}), t[x]);
 }
 
+TEST(Reorder, WalshInterleavedWithSiftingStaysExact) {
+  // Walsh results are cached keyed by an order epoch; sifting bumps the
+  // epoch so stale entries (computed under the old level map) can never be
+  // served.  The computed table itself is NOT cleared — order-insensitive
+  // entries survive the reorder.
+  Rng rng(36);
+  const int n = 8;
+  Manager m(n, 12);
+  auto t = random_truth_table(rng, n);
+  Bdd f = bdd_from_truth_table(m, t, n);
+
+  std::vector<std::int64_t> snapshot;
+  {
+    Add s = walsh_transform(f);
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+      snapshot.push_back(s.eval(Mask{a, 0}));
+  }
+  for (int round = 0; round < 4; ++round) {
+    m.reorder_sift();
+    Add s = walsh_transform(f);
+    for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+      ASSERT_EQ(s.eval(Mask{a, 0}), snapshot[a])
+          << "round " << round << " alpha " << a;
+    // Fresh function between rounds so sifting has something to chew on.
+    Bdd g = f ^ bdd_from_truth_table(m, random_truth_table(rng, n), n);
+    (void)g;
+  }
+  EXPECT_GT(m.stats().reorder_swaps, 0u);
+}
+
+TEST(Reorder, GcBetweenSiftAndWalshKeepsSpectrum) {
+  Rng rng(37);
+  const int n = 7;
+  Manager m(n, 10);  // small table: forces evictions too
+  auto t = random_truth_table(rng, n);
+  Bdd f = bdd_from_truth_table(m, t, n);
+  Add before = walsh_transform(f);
+  std::vector<std::int64_t> snapshot;
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+    snapshot.push_back(before.eval(Mask{a, 0}));
+
+  m.reorder_sift();
+  for (int i = 0; i < 8; ++i)
+    (void)bdd_from_truth_table(m, random_truth_table(rng, n), n);
+  m.collect_garbage();
+
+  Add after = walsh_transform(f);
+  for (std::uint64_t a = 0; a < (std::uint64_t{1} << n); ++a)
+    ASSERT_EQ(after.eval(Mask{a, 0}), snapshot[a]) << a;
+}
+
 class ReorderStress : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ReorderStress, RandomSwapsAgainstShadow) {

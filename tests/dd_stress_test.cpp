@@ -141,6 +141,79 @@ TEST(DdStress, WalshSurvivesGc) {
   EXPECT_EQ(before, after);  // canonical node survived (it was referenced)
 }
 
+// The computed table is no longer cleared at GC: entries whose operands and
+// result survive the collection are kept (dead ones are scrubbed, since
+// their NodeIds can be recycled).  Verify both halves — correctness under
+// interleaved GC at several table sizes, and that surviving entries
+// actually produce hits afterwards.
+class CacheSurvival : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheSurvival, EntriesSurviveGcAndStillHit) {
+  const int cache_bits = GetParam();
+  Rng rng(8);
+  Manager m(8, cache_bits);
+  auto t = test::random_truth_table(rng, 8);
+  Bdd f = test::bdd_from_truth_table(m, t, 8);
+  Add spectrum = walsh_transform(f);
+
+  // Garbage + collection; f and its spectrum stay referenced.
+  for (int i = 0; i < 20; ++i)
+    (void)test::bdd_from_truth_table(m, test::random_truth_table(rng, 8), 8);
+  const std::size_t freed = m.collect_garbage();
+  EXPECT_GT(freed, 0u);
+  EXPECT_GT(m.stats().gc_runs, 0u);
+  EXPECT_GT(m.stats().cache_survived, 0u)
+      << "GC dropped every computed-table entry (cache_bits=" << cache_bits
+      << ")";
+
+  // Re-running the transform must be answered (at least partly) from the
+  // surviving entries: post-GC hit-rate strictly positive.
+  const std::uint64_t hits_before = m.stats().cache_hits;
+  Add again = walsh_transform(f);
+  EXPECT_EQ(again, spectrum);
+  EXPECT_GT(m.stats().cache_hits, hits_before)
+      << "no computed-table hit after GC (cache_bits=" << cache_bits << ")";
+}
+
+TEST_P(CacheSurvival, InterleavedGcKeepsApplyAndWalshExact) {
+  const int cache_bits = GetParam();
+  Rng rng(static_cast<std::uint64_t>(cache_bits) * 101);
+  Manager m(8, cache_bits);
+
+  std::vector<Bdd> fns;
+  std::vector<std::vector<bool>> tables;
+  for (int i = 0; i < 4; ++i) {
+    tables.push_back(test::random_truth_table(rng, 8));
+    fns.push_back(test::bdd_from_truth_table(m, tables.back(), 8));
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    // Fresh applies over the pool (fills the table) ...
+    const std::size_t a = rng.below(4), b = rng.below(4);
+    Bdd combo = fns[a] ^ fns[b];
+    Add spec = walsh_transform(combo);
+    // ... then a collection mid-stream ...
+    for (int i = 0; i < 5; ++i)
+      (void)test::bdd_from_truth_table(m, test::random_truth_table(rng, 8),
+                                       8);
+    m.collect_garbage();
+    // ... and every result must still be exact.
+    for (std::uint64_t x = 0; x < 256; x += 3) {
+      const Mask mask{x, 0};
+      ASSERT_EQ(combo.eval(mask), tables[a][x] != tables[b][x])
+          << "round " << round << " x " << x;
+    }
+    std::int64_t sum = 0;
+    for (std::uint64_t alpha = 0; alpha < 256; ++alpha)
+      sum += spec.eval(Mask{alpha, 0}) * spec.eval(Mask{alpha, 0});
+    // Parseval: sum of squared Walsh coefficients is 2^(2n) = 65536.
+    ASSERT_EQ(sum, 65536) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheBits, CacheSurvival,
+                         ::testing::Values(10, 14, 18));
+
 TEST(DdStress, ManagerScalesToManyNodes) {
   // Force multiple automatic collections via maybe_gc and verify a final
   // large structured function is intact.

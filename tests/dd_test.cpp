@@ -231,5 +231,66 @@ TEST(Manager, RejectsTooManyVars) {
   EXPECT_THROW(Manager(129), std::invalid_argument);
 }
 
+TEST(Manager, RejectsBadCacheBits) {
+  EXPECT_THROW(Manager(4, 0), std::invalid_argument);
+  EXPECT_THROW(Manager(4, 31), std::invalid_argument);
+  EXPECT_EQ(Manager(4, 1).cache_bits(), 1);
+  EXPECT_EQ(Manager(4, 20).cache_bits(), 20);
+}
+
+TEST(Manager, TerminalMapScalesAndStaysCanonical) {
+  // The flat terminal map must dedupe across growth and survive GC
+  // (terminals are immortal).
+  Manager m(4);
+  std::vector<NodeId> ids;
+  for (std::int64_t v = -500; v <= 500; ++v)
+    ids.push_back(m.terminal(v * 7919));
+  for (std::int64_t v = -500; v <= 500; ++v) {
+    const NodeId again = m.terminal(v * 7919);
+    EXPECT_EQ(again, ids[static_cast<std::size_t>(v + 500)]);
+    EXPECT_EQ(m.terminal_value(again), v * 7919);
+  }
+  m.collect_garbage();
+  for (std::int64_t v = -500; v <= 500; ++v)
+    EXPECT_EQ(m.terminal(v * 7919), ids[static_cast<std::size_t>(v + 500)]);
+}
+
+TEST(Manager, PerOpCountersPartitionCacheTotals) {
+  Manager m(8, 12);
+  Rng rng(6);
+  Bdd f = bdd_from_truth_table(m, random_truth_table(rng, 8), 8);
+  Bdd g = bdd_from_truth_table(m, random_truth_table(rng, 8), 8);
+  (void)(f & g);
+  (void)(f ^ g);
+  (void)(f | g);
+  const ManagerStats s = m.stats();
+  std::uint64_t hits = 0, misses = 0;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    hits += s.op_hits[i];
+    misses += s.op_misses[i];
+  }
+  EXPECT_EQ(hits, s.cache_hits);
+  EXPECT_EQ(misses, s.cache_misses);
+  EXPECT_GT(s.op_misses[static_cast<std::size_t>(Op::kAnd)], 0u);
+  EXPECT_GT(s.op_misses[static_cast<std::size_t>(Op::kXor)], 0u);
+}
+
+TEST(Manager, ArenaAccountingTracksGrowth) {
+  Manager m(10, 12);
+  const std::size_t empty_bytes = m.arena_bytes();
+  EXPECT_GT(empty_bytes, 0u);
+  // 2^12 entries of at least 16 B (four NodeIds) plus the occupancy list.
+  EXPECT_GE(m.cache_bytes(), (std::size_t{1} << 12) * 16);
+  Rng rng(7);
+  Bdd f = bdd_from_truth_table(m, random_truth_table(rng, 10), 10);
+  (void)f;
+  EXPECT_GT(m.arena_bytes(), empty_bytes);
+  EXPECT_GT(m.live_node_count(), 0u);
+  // Peak is maintained at allocation, not just at GC safe points.
+  EXPECT_GE(m.stats().peak_nodes, m.live_node_count());
+  const std::size_t per_node = m.arena_bytes() / m.live_node_count();
+  EXPECT_GE(per_node, Manager::kHotBytesPerNode);
+}
+
 }  // namespace
 }  // namespace sani::dd

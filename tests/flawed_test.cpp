@@ -71,6 +71,43 @@ TEST(Flawed, IswParenthesisationFlawIsCaught) {
   EXPECT_TRUE(verify(gadgets::isw_mult(1), opt).secure);
 }
 
+// The computed-table size is a pure performance knob: a tiny table forces
+// evictions and (post-GC) scrubbing, but the verdict AND the reported
+// witness must be bit-identical at every size, on flawed and secure
+// gadgets alike.
+TEST(Flawed, CacheBitsDoNotAffectVerdictOrWitness) {
+  Gadget flawed = isw_flawed();
+  for (EngineKind e : {EngineKind::kMAPI, EngineKind::kFUJITA}) {
+    VerifyOptions opt;
+    opt.notion = Notion::kProbing;
+    opt.order = 1;
+    opt.engine = e;
+    std::optional<CounterExample> reference;
+    for (int bits : {6, 12, 18}) {
+      opt.cache_bits = bits;
+      VerifyResult r = verify(flawed, opt);
+      EXPECT_FALSE(r.secure) << engine_name(e) << " bits=" << bits;
+      ASSERT_TRUE(r.counterexample.has_value());
+      EXPECT_EQ(r.stats.dd_cache_bits, bits);
+      if (!reference) {
+        reference = r.counterexample;
+        continue;
+      }
+      EXPECT_EQ(r.counterexample->observables, reference->observables)
+          << engine_name(e) << " bits=" << bits;
+      EXPECT_EQ(r.counterexample->alpha.to_string(),
+                reference->alpha.to_string());
+      EXPECT_EQ(r.counterexample->reason, reference->reason);
+    }
+    // The secure sibling stays secure at every size.
+    for (int bits : {6, 12, 18}) {
+      opt.cache_bits = bits;
+      VerifyResult r = verify(gadgets::isw_mult(1), opt);
+      EXPECT_TRUE(r.secure) << engine_name(e) << " bits=" << bits;
+    }
+  }
+}
+
 // Randomness reuse across gadget instances: two DOM multipliers sharing one
 // fresh bit.  Each instance alone is fine; the pair of resharing wires
 // cancels the random.

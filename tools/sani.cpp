@@ -54,6 +54,8 @@ int usage(const std::string& msg = "") {
       "  --memo N                       convolution-prefix memo capacity\n"
       "                                 (default 64; 0 = off, -1 = "
       "unbounded)\n"
+      "  --cache-bits N                 manager computed-table size, 2^N\n"
+      "                                 entries (default 18; 1..30)\n"
       "  --var-order declared|randoms-first|randoms-last|interleaved\n"
       "  --sift                         dynamic reordering after unfolding\n"
       "  --largest-first                max-size combinations first "
@@ -111,6 +113,9 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   opt.jobs = args.value_int("jobs", 1);
   if (opt.jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
   opt.memo_capacity = args.value_int("memo", 64);
+  opt.cache_bits = args.value_int("cache-bits", opt.cache_bits);
+  if (opt.cache_bits < 1 || opt.cache_bits > 30)
+    throw std::invalid_argument("--cache-bits must be in [1, 30]");
 
   const std::string vo = args.value_or("var-order", "declared");
   if (vo == "declared") opt.var_order = circuit::VarOrder::kDeclared;
@@ -155,7 +160,10 @@ int main(int argc, char** argv) {
                 << s.num_registers << " registers), depth " << s.depth
                 << ", " << g.spec.num_output_shares() << " output shares\n";
       // Diagram-side stats: unfold once and report what the manager saw.
-      circuit::Unfolded u = circuit::unfold(g);
+      const int cache_bits = args.value_int("cache-bits", 18);
+      if (cache_bits < 1 || cache_bits > 30)
+        throw std::invalid_argument("--cache-bits must be in [1, 30]");
+      circuit::Unfolded u = circuit::unfold(g, cache_bits);
       const dd::ManagerStats m = u.manager->stats();
       const std::uint64_t lookups = m.cache_hits + m.cache_misses;
       const double hit_rate =
@@ -168,6 +176,28 @@ int main(int argc, char** argv) {
                 << " nodes, op-cache hit rate " << hit_rate << " ("
                 << m.cache_hits << " hits / " << m.cache_misses
                 << " misses), " << m.gc_runs << " gc runs\n";
+      const std::size_t live = u.manager->live_node_count();
+      std::cout << "  memory: computed table 2^" << u.manager->cache_bits()
+                << " entries (" << u.manager->cache_bytes()
+                << " bytes), node arena " << u.manager->arena_bytes()
+                << " bytes";
+      if (live > 0)
+        std::cout << " (" << u.manager->arena_bytes() / live
+                  << " B/live node, " << dd::Manager::kHotBytesPerNode
+                  << " hot)";
+      std::cout << "; " << m.cache_scrubbed << " cache entries scrubbed / "
+                << m.cache_survived << " survived across gc\n";
+      std::cout << "  op cache:";
+      bool any_op = false;
+      for (std::size_t i = 0; i < dd::kNumOps; ++i) {
+        const std::uint64_t total = m.op_hits[i] + m.op_misses[i];
+        if (total == 0) continue;
+        any_op = true;
+        std::cout << (any_op ? " " : "") << dd::op_name(static_cast<dd::Op>(i))
+                  << "=" << m.op_hits[i] << "/" << total;
+      }
+      if (!any_op) std::cout << " (no lookups)";
+      std::cout << "\n";
       return 0;
     }
     if (cmd == "uniform") {
