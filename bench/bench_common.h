@@ -24,7 +24,7 @@
 
 #include "gadgets/registry.h"
 #include "util/cli.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/engine.h"
 
 namespace sani::bench {

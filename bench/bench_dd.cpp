@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dd/walsh.h"
+#include "obs/trace.h"
 #include "spectral/spectrum.h"
 
 namespace {
@@ -204,17 +205,45 @@ int run_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hand-parse --json / --trace, passing everything else through to the
+  // google-benchmark harness.
+  std::string trace_path;
+  std::string json_path;
+  bool json_mode = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      const std::string path =
-          (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1]
-                                                  : "BENCH_dd.json";
-      return run_json(path);
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc && argv[i + 1][0] != '-') {
+      trace_path = argv[++i];
+    } else if (a == "--json") {
+      json_mode = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+      else json_path = "BENCH_dd.json";
+    } else {
+      rest.push_back(argv[i]);
     }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+
+  if (!trace_path.empty()) obs::Tracer::instance().start();
+  int rc = 0;
+  if (json_mode) {
+    rc = run_json(json_path);
+  } else {
+    int rest_argc = static_cast<int>(rest.size());
+    benchmark::Initialize(&rest_argc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data()))
+      return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.stop();
+    if (tracer.write_json(trace_path))
+      std::cout << "trace written to " << trace_path << "\n";
+    else
+      std::cerr << "warning: cannot write trace to " << trace_path << "\n";
+  }
+  return rc;
 }

@@ -14,6 +14,8 @@
 #include <fstream>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
 using namespace sani;
@@ -35,12 +37,14 @@ void write_json(const std::string& path, const std::vector<JsonRow>& rows,
   os << "{\n  \"table\": \"I\",\n  \"notion\": \"sni\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& r = rows[i];
-    os << "    {\"gadget\": \"" << r.gadget << "\", \"level\": " << r.level
+    os << "    {\"gadget\": \"" << obs::json_escape(r.gadget)
+       << "\", \"level\": " << r.level
        << ", \"lil_seconds\": " << r.lil.seconds
        << ", \"lil_timed_out\": " << (r.lil.timed_out ? "true" : "false")
        << ", \"mapi_seconds\": " << r.mapi.seconds
        << ", \"mapi_timed_out\": " << (r.mapi.timed_out ? "true" : "false")
-       << ", \"speedup\": \"" << r.speedup << "\", \"secure\": "
+       << ", \"speedup\": \"" << obs::json_escape(r.speedup)
+       << "\", \"secure\": "
        << (r.mapi.result.secure ? "true" : "false") << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -53,6 +57,8 @@ void write_json(const std::string& path, const std::vector<JsonRow>& rows,
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const double timeout = default_timeout(args);
+  const std::string trace_path = args.value_or("trace", "");
+  if (!trace_path.empty()) obs::Tracer::instance().start();
 
   std::cout << "== Table I: exact verification time, LIL vs MAPI (d-SNI) ==\n";
   TextTable table({"sec. lev.", "gadget", "LIL (s)", "MAPI (s)", "speed-up",
@@ -93,6 +99,14 @@ int main(int argc, char** argv) {
     const std::string path = args.value_or("json", "BENCH_table1.json");
     write_json(path, json_rows, median(speedups));
     std::cout << "json rows written to " << path << "\n";
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.stop();
+    if (tracer.write_json(trace_path))
+      std::cout << "trace written to " << trace_path << "\n";
+    else
+      std::cerr << "warning: cannot write trace to " << trace_path << "\n";
   }
   return 0;
 }

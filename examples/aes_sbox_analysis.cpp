@@ -27,7 +27,7 @@
 #include "gadgets/gf_model.h"
 #include "util/cli.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/engine.h"
 #include "verify/report.h"
 #include "verify/uniformity.h"

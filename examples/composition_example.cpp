@@ -20,7 +20,7 @@
 #include "circuit/unfold.h"
 #include "gadgets/composition.h"
 #include "spectral/spectrum.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/engine.h"
 #include "verify/report.h"
 

@@ -15,7 +15,7 @@
 #include "gadgets/compose.h"
 #include "util/cli.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/engine.h"
 #include "verify/report.h"
 

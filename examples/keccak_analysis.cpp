@@ -13,7 +13,7 @@
 #include "gadgets/keccak.h"
 #include "util/cli.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/engine.h"
 #include "verify/heuristic.h"
 #include "verify/report.h"

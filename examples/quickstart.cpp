@@ -15,7 +15,7 @@
 #include "circuit/unfold.h"
 #include "gadgets/registry.h"
 #include "util/cli.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/engine.h"
 #include "verify/report.h"
 

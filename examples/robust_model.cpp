@@ -18,7 +18,7 @@
 #include "gadgets/dom.h"
 #include "gadgets/ti.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/engine.h"
 #include "verify/report.h"
 

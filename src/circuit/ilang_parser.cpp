@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "circuit/ilang.h"
+#include "obs/trace.h"
 
 namespace sani::circuit {
 
@@ -273,6 +274,7 @@ GateKind cell_kind(const std::string& type, int line) {
 }  // namespace
 
 Gadget parse_ilang(std::istream& is) {
+  obs::Span span("parse");
   Parser p;
   p.parse(is);
 

@@ -1,5 +1,7 @@
 #include "circuit/unfold.h"
 
+#include "obs/trace.h"
+
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -93,6 +95,7 @@ std::size_t unfolding_size(const Unfolded& unfolded) {
 }
 
 Unfolded unfold(const Gadget& gadget, int cache_bits, VarOrder order) {
+  obs::Span span("unfold");
   Unfolded u;
   u.vars = make_var_map(gadget, order);
   u.manager = std::make_unique<dd::Manager>(u.vars.num_vars, cache_bits);
@@ -160,6 +163,7 @@ Unfolded unfold(const Gadget& gadget, int cache_bits, VarOrder order) {
     }
     u.wire_fn.push_back(std::move(f));
   }
+  m.sample_counters();
   return u;
 }
 

@@ -1,5 +1,7 @@
 #include "dd/manager.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -319,6 +321,7 @@ void Manager::scrub_cache(std::uint32_t epoch) {
 }
 
 std::size_t Manager::collect_garbage() {
+  obs::Span span("gc");
   // Mark phase: externally referenced nodes and all terminals are roots.
   const std::uint32_t epoch = begin_visit();
   for (std::size_t i = 0; i < arena_used_; ++i)
@@ -358,7 +361,23 @@ std::size_t Manager::collect_garbage() {
   ++stats_.gc_runs;
   stats_.nodes_freed += freed;
   stats_.live_nodes = live_count_;
+  sample_counters();
   return freed;
+}
+
+/// Emits manager health as trace counter tracks.  GC boundaries are the
+/// natural sampling points: cheap (one enabled() check when tracing is off)
+/// and frequent enough to show the node population over a run.
+void Manager::sample_counters() const {
+  auto& tracer = obs::Tracer::instance();
+  if (!tracer.enabled()) return;
+  tracer.counter("dd.live_nodes", static_cast<double>(live_count_));
+  tracer.counter("dd.arena_bytes", static_cast<double>(arena_bytes()));
+  const std::uint64_t hits = stats_.cache_hits;
+  const std::uint64_t lookups = hits + stats_.cache_misses;
+  if (lookups > 0)
+    tracer.counter("dd.cache_hit_rate",
+                   static_cast<double>(hits) / static_cast<double>(lookups));
 }
 
 void Manager::maybe_gc() {
@@ -819,6 +838,7 @@ void Manager::move_level(int from, int to) {
 }
 
 std::size_t Manager::reorder_sift() {
+  obs::Span span("sift");
   // Sift variables in decreasing subtable-size order.  Collect first so the
   // size metric starts from live nodes only; swaps may strand a few orphans,
   // so the metric is a (slight) over-approximation during a pass.

@@ -317,6 +317,10 @@ class Manager {
   /// adaptive threshold.
   void maybe_gc();
 
+  /// Emits live_nodes / arena_bytes / cache_hit_rate as trace counter tracks
+  /// (no-op when tracing is off).  Runs automatically after every GC.
+  void sample_counters() const;
+
   const ManagerStats& stats() const { return stats_; }
   std::size_t node_capacity() const { return arena_used_; }
   std::size_t live_node_count() const { return live_count_; }

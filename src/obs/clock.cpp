@@ -1,8 +1,8 @@
-#include "util/timer.h"
+#include "obs/clock.h"
 
 #include <algorithm>
 
-namespace sani {
+namespace sani::obs {
 
 void PhaseTimers::add(const std::string& name, double seconds) {
   auto it = std::find(names_.begin(), names_.end(), name);
@@ -31,4 +31,4 @@ void PhaseTimers::clear() {
   seconds_.clear();
 }
 
-}  // namespace sani
+}  // namespace sani::obs

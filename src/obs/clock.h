@@ -1,0 +1,98 @@
+#pragma once
+// The one monotonic time source of the project.
+//
+// Every timing mechanism — the verification phase timers, the cancellation
+// deadline, the tracer's span timestamps, the bench harness stopwatches —
+// reads obs::Clock, so all reported durations are mutually comparable and
+// none of them can drift against each other (previously util/timer, the
+// scheduler and the benches each called std::chrono on their own).
+//
+// The paper's Fig. 6 breaks verification time into "convolution" and
+// "verification" phases; PhaseTimers accumulates named phase durations so
+// the engines can report the same breakout.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sani::obs {
+
+/// Monotonic wall-clock access.  Nanoseconds since an arbitrary (but fixed
+/// per process) epoch; differences are meaningful, absolute values are not.
+struct Clock {
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  static double to_seconds(std::int64_t ns) {
+    return static_cast<double>(ns) * 1e-9;
+  }
+};
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(Clock::now_ns()) {}
+
+  void reset() { start_ns_ = Clock::now_ns(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return Clock::to_seconds(Clock::now_ns() - start_ns_);
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+/// Accumulates elapsed seconds under string labels ("convolution",
+/// "verification", ...).  Not thread-safe; one instance per engine run.
+class PhaseTimers {
+ public:
+  /// Adds `seconds` to phase `name`, creating it on first use.
+  void add(const std::string& name, double seconds);
+
+  /// Accumulated seconds for `name` (0.0 if the phase never ran).
+  double get(const std::string& name) const;
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// Phase names in first-use order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  void clear();
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> seconds_;
+};
+
+/// RAII phase scope: adds the elapsed time to `timers[name]` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, std::string name)
+      : timers_(timers), name_(std::move(name)) {}
+  ~ScopedPhase() { timers_.add(name_, watch_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace sani::obs
+
+namespace sani {
+// The stopwatch and phase timers predate src/obs and are used throughout
+// the engines, benches and examples under their unqualified names.
+using obs::PhaseTimers;
+using obs::ScopedPhase;
+using obs::Stopwatch;
+}  // namespace sani

@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace sani::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+struct Metrics::Impl {
+  mutable std::mutex mu;
+  // std::map keeps the dump sorted by construction — the "stable order"
+  // the stats tests assert on.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Metrics& Metrics::instance() {
+  static Metrics metrics;
+  return metrics;
+}
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Metrics::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Metrics::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  for (auto& [name, c] : im.counters) c->set(0);
+  for (auto& [name, g] : im.gauges) g->set(0.0);
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+namespace {
+
+/// Renders every instrument as (name, json value) pairs, globally sorted by
+/// name across the three kinds — the one ordering both dumps share.
+std::map<std::string, std::string> render_sorted(const Metrics::Impl& im) {
+  std::map<std::string, std::string> out;
+  for (const auto& [name, c] : im.counters)
+    out[name] = std::to_string(c->value());
+  for (const auto& [name, g] : im.gauges) {
+    std::ostringstream os;
+    os << g->value();
+    out[name] = os.str();
+  }
+  for (const auto& [name, h] : im.histograms) {
+    std::ostringstream os;
+    os << "{\"count\":" << h->count() << ",\"sum\":" << h->sum()
+       << ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n == 0) continue;
+      if (!bfirst) os << ",";
+      bfirst = false;
+      os << "[" << i << "," << n << "]";
+    }
+    os << "]}";
+    out[name] = os.str();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Metrics::to_json() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : render_sorted(im)) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string Metrics::to_text(const std::string& indent) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  std::ostringstream os;
+  for (const auto& [name, value] : render_sorted(im))
+    os << indent << name << " " << value << "\n";
+  return os.str();
+}
+
+}  // namespace sani::obs

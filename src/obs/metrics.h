@@ -1,0 +1,140 @@
+#pragma once
+// Central metrics registry: named counters, gauges and log2-bucket
+// histograms with a deterministic (sorted) dump.
+//
+// The registry unifies the counters that used to live scattered across
+// dd::ManagerStats, verify::VerifyStats and the parallel merge: one naming
+// scheme ("verify.combinations", "dd.cache_hits", ...), one export path.
+// Consumers:
+//
+//   * verify::json_report embeds the registry as the report's "metrics"
+//     object;
+//   * `sani --metrics-out FILE` writes the same object standalone;
+//   * `sani stats` prints the text dump (sorted, stable order — tests
+//     assert on it).
+//
+// Cost model: counters and gauges are relaxed atomics — always writable,
+// negligible on any path this project has.  Histogram *timing* call sites
+// are the exception (they need a clock read per sample), so they gate on
+// Metrics::enabled(); the flag is raised by the CLI when an export was
+// requested.  Instrument handles returned by counter()/gauge()/histogram()
+// are stable for the process lifetime: resolve once, then record lock-free.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sani::obs {
+
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes and all control characters (RFC 8259).  The one escaping
+/// routine shared by the metrics dump, verify::json_report and the bench
+/// harness JSON writers.
+std::string json_escape(const std::string& s);
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins floating-point value (rates, byte totals, seconds).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over fixed log2 buckets: bucket i counts samples v with
+/// 2^i <= v < 2^(i+1) (v == 0 lands in bucket 0).  Suited to latencies in
+/// nanoseconds: 64 buckets cover the full uint64 range with no config.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// The process-global registry.  Instrument lookup takes a mutex (resolve
+/// handles once, outside hot loops); recording through a handle is
+/// lock-free.
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  /// Gates the *timed* collection sites (histogram samples need a clock
+  /// read per event).  Counters and gauges ignore this flag.
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every registered instrument (instruments stay registered and
+  /// handles stay valid) — call between runs for a per-run export.
+  void reset();
+
+  /// JSON object keyed by metric name, sorted: counters as integers,
+  /// gauges as doubles, histograms as {count, sum, buckets:[[log2,n],..]}.
+  std::string to_json() const;
+
+  /// "name value" per line, sorted by name — the `sani stats` dump.
+  /// Histograms print their count and sum.
+  std::string to_text(const std::string& indent = "") const;
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  struct Impl;  // public so the dump helpers in metrics.cpp can name it
+
+ private:
+  Metrics() = default;
+  Impl& impl() const;
+
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace sani::obs

@@ -1,14 +1,11 @@
 #include "sched/cancel.h"
 
-#include <chrono>
+#include "obs/clock.h"
+#include "obs/trace.h"
 
 namespace sani::sched {
 
-std::int64_t CancelToken::now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+std::int64_t CancelToken::now_ns() { return obs::Clock::now_ns(); }
 
 void CancelToken::set_deadline_after(double seconds) {
   if (seconds <= 0) {
@@ -24,6 +21,7 @@ void CancelToken::cancel() {
   cancel_ns_.compare_exchange_strong(expected, now_ns(),
                                      std::memory_order_acq_rel);
   cancelled_.store(true, std::memory_order_release);
+  obs::Tracer::instance().instant("cancel");
 }
 
 bool CancelToken::expired() const {

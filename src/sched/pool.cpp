@@ -1,5 +1,7 @@
 #include "sched/pool.h"
 
+#include "obs/trace.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -76,11 +78,15 @@ struct Pool::Impl {
         seen_generation = generation;
         fn = task_fn;
       }
+      // The trace tid of this OS thread maps to "worker <id>": the tracer
+      // assigns tids per thread, the label ties them to pool worker ids.
+      obs::Tracer::instance().label_thread("worker", id);
       std::size_t task = 0;
       bool stolen = false;
       while (try_pop(id, &task, &stolen)) {
         if (stolen) stolen_count.fetch_add(1, std::memory_order_relaxed);
         try {
+          obs::Span span("task");
           (*fn)(id, task);
         } catch (...) {
           std::lock_guard<std::mutex> lk(job_mu);

@@ -17,7 +17,7 @@
 
 #include "dd/bdd.h"
 #include "util/mask.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/basis.h"
 #include "verify/checker.h"
 #include "verify/observables.h"

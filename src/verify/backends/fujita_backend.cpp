@@ -1,5 +1,7 @@
 #include "verify/backends/fujita_backend.h"
 
+#include "obs/trace.h"
+
 #include <stdexcept>
 
 #include "dd/walsh.h"
@@ -38,6 +40,7 @@ void FujitaBackend::prepare() {
 
 void FujitaBackend::push(const std::vector<int>& path) {
   ScopedPhase phase(timers_, "convolution");
+  obs::Span span("convolution");
   const bool memoize = static_cast<int>(path.size()) < order_;
   if (memoize) {
     if (const auto* hit = memo_.find(path)) {
@@ -69,6 +72,7 @@ void FujitaBackend::pop() { rows_.pop_back(); }
 
 std::optional<Mask> FujitaBackend::check_rows(const RowCheckQuery& q) {
   ScopedPhase phase(timers_, "verification");
+  obs::Span span("add_check");
   for (const Row& r : *rows_.back()) {
     dd::Bdd hit = r.spectrum.nonzero() & q.violation_region;
     Mask alpha;

@@ -1,5 +1,7 @@
 #include "verify/backends/lil_backend.h"
 
+#include "obs/trace.h"
+
 namespace sani::verify {
 
 using spectral::LilSpectrum;
@@ -19,6 +21,7 @@ void LilBackend::prepare() {
 
 void LilBackend::push(const std::vector<int>& path) {
   ScopedPhase phase(timers_, "convolution");
+  obs::Span span("convolution");
   const bool memoize = static_cast<int>(path.size()) < order_;
   if (memoize) {
     if (const auto* hit = memo_.find(path)) {
@@ -46,6 +49,7 @@ void LilBackend::pop() { rows_.pop_back(); }
 
 std::optional<Mask> LilBackend::check_rows(const RowCheckQuery& q) {
   ScopedPhase phase(timers_, "verification");
+  obs::Span span("add_check");
   // LIL verification = product with the materialized relation vector,
   // each forbidden coordinate resolved by binary search in the sorted
   // list (the TCHES'20 baseline's cost model).

@@ -1,5 +1,7 @@
 #include "verify/backends/map_backend.h"
 
+#include "obs/trace.h"
+
 #include "dd/add.h"
 
 namespace sani::verify {
@@ -22,6 +24,7 @@ void MapBackend::prepare() {
 
 void MapBackend::push(const std::vector<int>& path) {
   ScopedPhase phase(timers_, "convolution");
+  obs::Span span("convolution");
   // Full-depth rows can never be reused as prefixes; keep them out of the
   // memo so its slots hold prefixes only.
   const bool memoize = static_cast<int>(path.size()) < order_;
@@ -51,6 +54,7 @@ void MapBackend::pop() { rows_.pop_back(); }
 
 std::optional<Mask> MapBackend::check_rows(const RowCheckQuery& q) {
   ScopedPhase phase(timers_, "verification");
+  obs::Span span("add_check");
   for (const Spectrum& r : *rows_.back()) {
     if (use_add_) {
       // The paper's MAPI step: W as an ADD, multiplied against the

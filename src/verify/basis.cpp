@@ -1,7 +1,8 @@
 #include "verify/basis.h"
 
 #include "dd/add.h"
-#include "util/timer.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
 #include "verify/backends/registry.h"
 
 namespace sani::verify {
@@ -9,6 +10,7 @@ namespace sani::verify {
 std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
                                          const ObservableSet& observables,
                                          const BasisNeeds& needs) {
+  obs::Span span("basis_build");
   Stopwatch watch;
   auto basis = std::make_shared<Basis>();
   basis->vars = unfolded.vars;
@@ -73,7 +75,10 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
     if (needs.frozen_spectra)
       basis->frozen_spectrum_roots.push_back(std::move(spectrum_roots));
   }
-  if (!roots.empty()) basis->frozen = unfolded.manager->export_forest(roots);
+  if (!roots.empty()) {
+    obs::Span freeze_span("freeze");
+    basis->frozen = unfolded.manager->export_forest(roots);
+  }
   // Public coordinates can only appear in spectra if some observable's
   // function touches them; the scan engines' relation vector is restricted
   // to that slice.

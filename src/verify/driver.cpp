@@ -3,7 +3,10 @@
 #include <stdexcept>
 
 #include "util/combinations.h"
-#include "util/timer.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "verify/backends/backend.h"
 #include "verify/backends/registry.h"
 
@@ -42,6 +45,7 @@ std::vector<dd::Add> Driver::thaw_roots() {
   // Thawing must precede every other node construction so the manager
   // adopts the forest's variable order while still empty (import_forest
   // would otherwise rewrite existing diagrams in place).
+  obs::Span span("thaw");
   Stopwatch watch;
   const std::vector<dd::NodeId> roots =
       manager_->import_forest(basis_->frozen);
@@ -50,6 +54,7 @@ std::vector<dd::Add> Driver::thaw_roots() {
   thawed.reserve(roots.size());
   for (dd::NodeId r : roots) thawed.emplace_back(manager_.get(), r);
   thaw_seconds_ = watch.seconds();
+  manager_->sample_counters();
   return thawed;
 }
 
@@ -81,14 +86,19 @@ VerifyResult Driver::run() {
   VerifyResult result;
   prepare();
 
-  if (options_.search_order == SearchOrder::kLargestFirst)
-    largest_first(result);
-  else
-    dfs(0, result);
+  {
+    obs::Span span("scan");
+    if (options_.search_order == SearchOrder::kLargestFirst)
+      largest_first(result);
+    else
+      dfs(0, result);
+  }
+  if (manager_) manager_->sample_counters();
 
   if (result.secure && !result.timed_out && options_.union_check &&
       options_.notion != Notion::kProbing) {
     ScopedPhase phase(stats_.timers, "union");
+    obs::Span span("union");
     union_pass_over(qinfo_, result);
   }
 
@@ -127,6 +137,25 @@ RowContext Driver::context_for_path() const {
 
 std::optional<Driver::CheckFailure> Driver::check_current() {
   ++stats_.combinations;
+  if (options_.progress) options_.progress->tick();
+  // Per-rank check latency: only sampled when a metrics export was
+  // requested (two clock reads per combination otherwise dominate the
+  // cheap low-rank checks).
+  auto& metrics = obs::Metrics::instance();
+  if (!metrics.enabled()) return check_current_impl();
+  const std::int64_t t0 = obs::Clock::now_ns();
+  auto failure = check_current_impl();
+  const std::size_t k = path_.size();
+  if (rank_hist_.size() <= k) rank_hist_.resize(k + 1, nullptr);
+  if (rank_hist_[k] == nullptr)
+    rank_hist_[k] =
+        &metrics.histogram("verify.check_ns.k" + std::to_string(k));
+  rank_hist_[k]->record(
+      static_cast<std::uint64_t>(obs::Clock::now_ns() - t0));
+  return failure;
+}
+
+std::optional<Driver::CheckFailure> Driver::check_current_impl() {
   const RowContext row = context_for_path();
   RowCheckQuery q = rowcheck_.query(row, &stats_.coefficients);
 
@@ -229,6 +258,7 @@ void Driver::run_shard(
   const int N = static_cast<int>(basis_->size());
   if (shard.k < 1 || shard.k > N || shard.begin >= shard.end) return;
 
+  obs::Span span("scan");
   std::vector<int> combo = unrank_combination(N, shard.k, shard.begin);
   for (std::uint64_t r = shard.begin; r < shard.end; ++r) {
     if (cancel_->expired()) {

@@ -27,6 +27,7 @@
 
 #include "circuit/unfold.h"
 #include "dd/add.h"
+#include "obs/metrics.h"
 #include "sched/cancel.h"
 #include "sched/shard.h"
 #include "util/mask.h"
@@ -128,7 +129,10 @@ class Driver {
   RowContext context_for_path() const;
 
   /// Checks the current path_ as one combination; failure data on failure.
+  /// Ticks the progress meter and (when a metrics export was requested)
+  /// samples the check latency into the per-rank histogram.
   std::optional<CheckFailure> check_current();
+  std::optional<CheckFailure> check_current_impl();
 
   /// Rebuilds the backend stack so that path_ == combo, popping/pushing
   /// only the differing suffix (prefix sharing).
@@ -155,6 +159,10 @@ class Driver {
   std::unique_ptr<Backend> backend_;
   bool prepared_ = false;
   std::vector<int> path_;
+  // Resolved per-rank latency histogram handles ("verify.check_ns.k<k>"),
+  // indexed by combination size; filled lazily so the registry mutex stays
+  // out of the enumeration loop.
+  std::vector<obs::Histogram*> rank_hist_;
   QInfoStore qinfo_;
   VerifyStats stats_;
   sched::CancelToken own_cancel_;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/progress.h"
+#include "util/combinations.h"
 #include "verify/driver.h"
 #include "verify/parallel.h"
 
@@ -24,7 +26,12 @@ VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
   }
   Driver driver(basis, options);
   driver.count_basis_build();
-  return driver.run();
+  if (options.progress)
+    options.progress->start(count_combinations_up_to(
+        static_cast<int>(basis->size()), options.order));
+  VerifyResult result = driver.run();
+  if (options.progress) options.progress->stop();
+  return result;
 }
 
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,

@@ -6,7 +6,7 @@
 #include "dd/anf.h"
 #include "sched/cancel.h"
 #include "util/combinations.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 #include "verify/checker.h"
 
 namespace sani::verify {

@@ -11,7 +11,9 @@
 #include "sched/pool.h"
 #include "sched/shard.h"
 #include "util/combinations.h"
-#include "util/timer.h"
+#include "obs/clock.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "verify/driver.h"
 
 namespace sani::verify {
@@ -74,6 +76,9 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
     return !best || combo_before(combo, best->combo, largest);
   };
 
+  if (options.progress)
+    options.progress->start(count_combinations_up_to(N, options.order));
+
   sched::Pool pool(jobs);
   const sched::PoolStats pool_stats = pool.run(
       shards.size(), [&](int worker, std::size_t task) {
@@ -103,6 +108,8 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
           cancel.cancel();
         }
       });
+
+  if (options.progress) options.progress->stop();
 
   // Merge: counters, per-worker stats, union-check data.  The one-time
   // basis build is credited here, once — not per worker.
@@ -172,6 +179,7 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
     // once, on the merged dependency data (identical to the serial pass —
     // the per-worker stores partition the combination space).
     ScopedPhase phase(result.stats.timers, "union");
+    obs::Span span("union");
     ctx[0].driver->union_pass_over(merged_qinfo, result);
   }
   result.stats.parallel.cancel_latency = cancel.max_ack_latency();

@@ -2,9 +2,12 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "verify/checker.h"
 
 namespace sani::verify {
+
+using obs::json_escape;
 
 std::string decode_alpha(const circuit::Gadget& gadget,
                          const circuit::VarMap& vars, const Mask& alpha) {
@@ -42,22 +45,50 @@ std::string summarize(const std::string& gadget_name,
   return os.str();
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
+void export_metrics(const VerifyOptions& options, const VerifyResult& result,
+                    double seconds) {
+  auto& m = obs::Metrics::instance();
+  const VerifyStats& s = result.stats;
+  m.counter("verify.combinations").set(s.combinations);
+  m.counter("verify.coefficients").set(s.coefficients);
+  m.counter("verify.observables").set(s.num_observables);
+  m.counter("verify.order").set(static_cast<std::uint64_t>(options.order));
+  m.gauge("verify.seconds").set(seconds);
+  m.gauge("verify.combinations_per_sec")
+      .set(seconds > 0 ? static_cast<double>(s.combinations) / seconds : 0.0);
+  m.counter("verify.secure").set(result.secure ? 1 : 0);
+  m.counter("verify.timed_out").set(result.timed_out ? 1 : 0);
+  m.counter("memo.prefix.hits").set(s.prefix_memo.hits);
+  m.counter("memo.prefix.misses").set(s.prefix_memo.misses);
+  m.counter("memo.region.hits").set(s.region_cache.hits);
+  m.counter("memo.region.misses").set(s.region_cache.misses);
+  m.counter("qinfo.entries").set(s.qinfo_entries);
+  m.counter("qinfo.peak_bytes").set(s.qinfo_peak_bytes);
+  m.counter("frozen.nodes").set(s.frozen_nodes);
+  m.counter("frozen.bytes").set(s.frozen_bytes);
+  m.counter("dd.cache_hits").set(s.dd_cache_hits);
+  m.counter("dd.cache_misses").set(s.dd_cache_misses);
+  const std::uint64_t lookups = s.dd_cache_hits + s.dd_cache_misses;
+  m.gauge("dd.cache_hit_rate")
+      .set(lookups ? static_cast<double>(s.dd_cache_hits) /
+                         static_cast<double>(lookups)
+                   : 0.0);
+  m.counter("dd.peak_nodes").set(s.dd_peak_nodes);
+  m.counter("dd.gc_runs").set(s.dd_gc_runs);
+  m.counter("dd.cache_survived").set(s.dd_cache_survived);
+  m.counter("dd.arena_bytes").set(s.dd_arena_bytes);
+  m.gauge("dd.thaw_seconds").set(s.thaw_seconds);
+  m.counter("parallel.jobs")
+      .set(static_cast<std::uint64_t>(s.parallel.jobs > 0 ? s.parallel.jobs
+                                                          : 1));
+  m.counter("parallel.shards").set(s.parallel.shards_total);
+  m.counter("parallel.shards_stolen").set(s.parallel.shards_stolen);
+  m.counter("parallel.shards_skipped").set(s.parallel.shards_skipped);
+  m.counter("parallel.shards_abandoned").set(s.parallel.shards_abandoned);
+  m.gauge("parallel.cancel_latency").set(s.parallel.cancel_latency);
+  for (const auto& name : s.timers.names())
+    m.gauge("phase." + name + ".seconds").set(s.timers.get(name));
 }
-
-}  // namespace
 
 std::string json_report(const std::string& gadget_name,
                         const VerifyOptions& options,
@@ -140,6 +171,8 @@ std::string json_report(const std::string& gadget_name,
        << "\":" << result.stats.timers.get(names[i]);
   }
   os << "},";
+  export_metrics(options, result, seconds);
+  os << "\"metrics\":" << obs::Metrics::instance().to_json() << ",";
   os << "\"counterexample\":";
   if (result.counterexample) {
     const CounterExample& ce = *result.counterexample;

@@ -28,9 +28,19 @@ std::string decode_alpha(const circuit::Gadget& gadget,
                          const circuit::VarMap& vars, const Mask& alpha);
 
 /// Machine-readable (JSON) rendering of a verification result, for CI
-/// pipelines consuming the sani CLI.
+/// pipelines consuming the sani CLI.  Calls export_metrics and embeds the
+/// registry dump as the report's "metrics" object.
 std::string json_report(const std::string& gadget_name,
                         const VerifyOptions& options,
                         const VerifyResult& result, double seconds);
+
+/// Publishes the run's counters into the obs::Metrics registry under the
+/// unified naming scheme (verify.*, dd.*, parallel.*, phase.*): the one
+/// place the scattered VerifyStats / ManagerStats / parallel-merge numbers
+/// become exportable.  Also computes the verify.combinations_per_sec rate
+/// from `seconds`.  Overwrites previous values, so the registry reflects
+/// the latest run.
+void export_metrics(const VerifyOptions& options, const VerifyResult& result,
+                    double seconds);
 
 }  // namespace sani::verify

@@ -23,7 +23,11 @@
 
 #include "circuit/unfold.h"
 #include "util/mask.h"
-#include "util/timer.h"
+#include "obs/clock.h"
+
+namespace sani::obs {
+class Progress;
+}
 
 namespace sani::verify {
 
@@ -117,6 +121,11 @@ struct VerifyOptions {
   /// Combination enumeration order (verdict-neutral; affects how fast a
   /// failing witness is reached).
   SearchOrder search_order = SearchOrder::kDepthFirst;
+
+  /// Optional live progress meter (not owned).  The engines call
+  /// start(total)/stop() around the enumeration and tick() per combination
+  /// from every worker; null (default) skips all of it.
+  obs::Progress* progress = nullptr;
 
   /// Capacity (entries) of the per-worker convolution-prefix memo: row sets
   /// of recently built combination prefixes are kept so prefix reuse

@@ -4,7 +4,7 @@
 #include "util/combinations.h"
 #include "util/mask.h"
 #include "util/table.h"
-#include "util/timer.h"
+#include "obs/clock.h"
 
 namespace sani {
 namespace {

@@ -17,13 +17,17 @@
 // Exit code: 0 = secure/uniform, 1 = insecure/non-uniform, 2 = timeout,
 // 64 = usage error.
 
+#include <fstream>
 #include <iostream>
 
 #include "circuit/ilang.h"
 #include "circuit/unfold.h"
 #include "gadgets/registry.h"
 #include "util/cli.h"
-#include "util/timer.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "verify/backends/registry.h"
 #include "verify/engine.h"
 #include "verify/report.h"
@@ -60,7 +64,12 @@ int usage(const std::string& msg = "") {
       "  --sift                         dynamic reordering after unfolding\n"
       "  --largest-first                max-size combinations first "
       "(Sec. III-C)\n"
-      "  --format text|json             output format for verify\n";
+      "  --format text|json             output format for verify\n"
+      "  --trace FILE                   write a Chrome trace-event JSON of\n"
+      "                                 the run (load in ui.perfetto.dev)\n"
+      "  --progress                     live progress meter on stderr\n"
+      "                                 (auto-silenced when not a TTY)\n"
+      "  --metrics-out FILE             write the metrics registry as JSON\n";
   return 64;
 }
 
@@ -198,6 +207,29 @@ int main(int argc, char** argv) {
       }
       if (!any_op) std::cout << " (no lookups)";
       std::cout << "\n";
+      // The same numbers through the metrics registry: one name per line,
+      // sorted — the stable, machine-greppable order tests assert on.
+      auto& metrics = obs::Metrics::instance();
+      metrics.counter("circuit.gates")
+          .set(static_cast<std::uint64_t>(s.num_gates));
+      metrics.counter("circuit.inputs")
+          .set(static_cast<std::uint64_t>(s.num_inputs));
+      metrics.counter("circuit.depth")
+          .set(static_cast<std::uint64_t>(s.depth));
+      metrics.counter("circuit.output_shares")
+          .set(static_cast<std::uint64_t>(g.spec.num_output_shares()));
+      metrics.counter("dd.nodes").set(circuit::unfolding_size(u));
+      metrics.counter("dd.vars")
+          .set(static_cast<std::uint64_t>(u.vars.num_vars));
+      metrics.counter("dd.live_nodes").set(live);
+      metrics.counter("dd.peak_nodes").set(m.peak_nodes);
+      metrics.counter("dd.cache_hits").set(m.cache_hits);
+      metrics.counter("dd.cache_misses").set(m.cache_misses);
+      metrics.gauge("dd.cache_hit_rate").set(hit_rate);
+      metrics.counter("dd.gc_runs").set(m.gc_runs);
+      metrics.counter("dd.arena_bytes").set(u.manager->arena_bytes());
+      metrics.counter("dd.cache_bytes").set(u.manager->cache_bytes());
+      std::cout << "  metrics:\n" << metrics.to_text("    ");
       return 0;
     }
     if (cmd == "uniform") {
@@ -214,13 +246,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (cmd == "verify") {
+      const std::string trace_path = args.value_or("trace", "");
+      const std::string metrics_path = args.value_or("metrics-out", "");
+      const bool json_format = args.value_or("format", "text") == "json";
+      // Histogram sampling needs clock reads per combination, so it only
+      // runs when an export will surface the data.
+      if (!metrics_path.empty() || json_format)
+        obs::Metrics::instance().enable();
+      if (!trace_path.empty()) obs::Tracer::instance().start();
+
       circuit::Gadget g = load(args, &label);
       verify::VerifyOptions opt = options_from(args);
+
+      obs::Progress::Options prog_options;
+      prog_options.use_stderr = obs::Progress::stderr_is_tty();
+      obs::Progress progress(prog_options);
+      if (args.has("progress")) opt.progress = &progress;
+
       Stopwatch watch;
       verify::VerifyResult r = verify::verify(g, opt);
       const double seconds = watch.seconds();
       for (const auto& w : r.warnings) std::cerr << "warning: " << w << "\n";
-      if (args.value_or("format", "text") == "json") {
+      if (json_format) {
         std::cout << verify::json_report(label, opt, r, seconds) << "\n";
       } else {
         std::cout << verify::summarize(label, opt, r, seconds) << "\n";
@@ -229,6 +276,23 @@ int main(int argc, char** argv) {
               circuit::unfold(g, opt.cache_bits, opt.var_order);
           std::cout << verify::detailed_report(g, u.vars, opt, r);
         }
+      }
+      if (!trace_path.empty()) {
+        obs::Tracer& tracer = obs::Tracer::instance();
+        tracer.stop();
+        if (!tracer.write_json(trace_path))
+          std::cerr << "warning: cannot write trace to " << trace_path << "\n";
+        else if (tracer.dropped() > 0)
+          std::cerr << "warning: trace ring wrapped, " << tracer.dropped()
+                    << " events dropped\n";
+      }
+      if (!metrics_path.empty()) {
+        verify::export_metrics(opt, r, seconds);
+        std::ofstream out(metrics_path);
+        out << obs::Metrics::instance().to_json() << "\n";
+        if (!out)
+          std::cerr << "warning: cannot write metrics to " << metrics_path
+                    << "\n";
       }
       return r.timed_out ? 2 : (r.secure ? 0 : 1);
     }
