@@ -1,0 +1,60 @@
+#include "obs/process.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace sani::obs {
+
+namespace {
+
+// The uptime epoch is the first touch of this translation unit's clock,
+// captured eagerly so process_uptime_seconds() measures from early in the
+// process life rather than from the first STATS request.
+const std::int64_t kStartNs = Clock::now_ns();
+
+std::uint64_t rss_from_proc() {
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long long size = 0, resident = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return resident * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+std::uint64_t rss_from_rusage() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is the *peak* RSS in kilobytes on Linux (bytes on macOS, but
+  // this project targets Linux CI); a peak is still a useful upper bound
+  // when /proc is unavailable.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+}  // namespace
+
+std::uint64_t process_rss_bytes() {
+  const std::uint64_t rss = rss_from_proc();
+  return rss ? rss : rss_from_rusage();
+}
+
+double process_uptime_seconds() {
+  return Clock::to_seconds(Clock::now_ns() - kStartNs);
+}
+
+std::uint64_t sample_process_gauges() {
+  const std::uint64_t rss = process_rss_bytes();
+  auto& m = Metrics::instance();
+  m.gauge("process.rss_bytes").set(static_cast<double>(rss));
+  m.gauge("process.uptime_seconds").set(process_uptime_seconds());
+  return rss;
+}
+
+}  // namespace sani::obs

@@ -1,0 +1,32 @@
+#pragma once
+// Process-level health gauges for long-lived hosts (the sanid daemon, CI
+// harnesses).
+//
+// sample_process_gauges() refreshes two gauges in the Metrics registry:
+//
+//   * process.rss_bytes       — resident set size, read from
+//                               /proc/self/statm (Linux); getrusage
+//                               ru_maxrss (peak, not current) is the
+//                               fallback where /proc is absent;
+//   * process.uptime_seconds  — seconds since the first call in this
+//                               process (monotonic clock, so NTP steps
+//                               can't make a daemon's uptime jump).
+//
+// Sampling is pull-based: one-shot tools sample once before exporting, the
+// daemon samples on every STATS request — nothing ticks in the background.
+
+#include <cstdint>
+
+namespace sani::obs {
+
+/// Current resident set size in bytes; 0 when no source is available.
+std::uint64_t process_rss_bytes();
+
+/// Seconds since the first call to any function in this header.
+double process_uptime_seconds();
+
+/// Writes both values into Metrics ("process.rss_bytes",
+/// "process.uptime_seconds") and returns the RSS sampled.
+std::uint64_t sample_process_gauges();
+
+}  // namespace sani::obs

@@ -1,0 +1,84 @@
+#include "store/cached_verify.h"
+
+#include <sstream>
+#include <utility>
+
+#include "circuit/ilang.h"
+#include "circuit/unfold.h"
+#include "store/sha256.h"
+#include "store/serial.h"
+#include "verify/backends/registry.h"
+#include "verify/basis.h"
+#include "verify/engine.h"
+#include "verify/observables.h"
+
+namespace sani::store {
+
+namespace {
+
+verify::BasisNeeds needs_for(verify::EngineKind engine) {
+  const verify::BackendInfo& info = verify::backend_info(engine);
+  verify::BasisNeeds needs;
+  needs.spectra = info.needs_spectra;
+  needs.lil = info.needs_lil;
+  needs.frozen_fns = info.frozen_fns;
+  needs.frozen_spectra = info.frozen_spectra;
+  return needs;
+}
+
+}  // namespace
+
+std::string artifact_key(const std::string& canonical_ilang,
+                         const verify::VerifyOptions& options) {
+  const verify::BasisNeeds needs = needs_for(options.engine);
+  std::ostringstream material;
+  // A versioned, field-tagged preimage: any change to what a Basis contains
+  // bumps kFormatVersion, which re-keys every artifact — old objects simply
+  // stop being referenced (and age out of the LRU) instead of being
+  // misread.
+  material << "sani-artifact-key-v" << kFormatVersion << '\n'
+           << "netlist-sha256:" << sha256_hex(canonical_ilang) << '\n'
+           << "probes:include_inputs=" << options.probes.include_inputs
+           << ",dedupe=" << options.probes.dedupe
+           << ",glitch_robust=" << options.probes.glitch_robust << '\n'
+           << "notion:" << verify::notion_name(options.notion) << '\n'
+           << "var_order:" << static_cast<int>(options.var_order) << '\n'
+           << "sift:" << options.sift_after_unfold << '\n'
+           << "needs:spectra=" << needs.spectra << ",lil=" << needs.lil
+           << ",frozen_fns=" << needs.frozen_fns
+           << ",frozen_spectra=" << needs.frozen_spectra << '\n';
+  return sha256_hex(material.str());
+}
+
+std::string artifact_key(const circuit::Gadget& gadget,
+                         const verify::VerifyOptions& options) {
+  return artifact_key(circuit::write_ilang_string(gadget), options);
+}
+
+verify::VerifyResult verify_with_store(const circuit::Gadget& gadget,
+                                       const verify::VerifyOptions& options,
+                                       ArtifactStore& store,
+                                       StoreOutcome* outcome,
+                                       sched::CancelToken* cancel) {
+  const std::string key = artifact_key(gadget, options);
+  if (outcome) outcome->key = key;
+
+  if (std::shared_ptr<const verify::Basis> basis = store.load_basis(key)) {
+    if (outcome) outcome->hit = true;
+    return verify::verify_basis(std::move(basis), options, cancel);
+  }
+
+  // Cold path: exactly verify::verify's pipeline, plus a best-effort save.
+  circuit::Unfolded unfolded =
+      circuit::unfold(gadget, options.cache_bits, options.var_order);
+  if (options.sift_after_unfold) unfolded.manager->reorder_sift();
+  verify::ObservableSet observables =
+      verify::build_observables(gadget, unfolded, options.probes);
+  std::shared_ptr<const verify::Basis> basis =
+      verify::build_basis(unfolded, observables, options.engine);
+  const bool saved = store.save_basis(key, *basis, needs_for(options.engine));
+  if (outcome) outcome->saved = saved;
+  return verify::verify_basis(std::move(basis), options, cancel);
+}
+
+}  // namespace sani::store

@@ -1,0 +1,71 @@
+#pragma once
+// Store-backed warm-start verification.
+//
+// artifact_key() canonicalizes a job's Basis-determining inputs into a
+// SHA-256 content hash:
+//
+//   * the netlist, routed through the canonical ILANG writer
+//     (circuit::write_ilang_string) — so two textually different inputs
+//     that parse to the same gadget share one artifact, and the hash is a
+//     tested property of the writer's fixed point, not of incidental
+//     whitespace;
+//   * the probe model (include_inputs / dedupe / glitch_robust) — it
+//     decides the observable universe;
+//   * the security notion (per the service contract: one artifact per
+//     (netlist, probe model, notion) job class);
+//   * the variable order and sifting flag — they shape the frozen forest;
+//   * the engine's BasisNeeds flags — they decide which representations
+//     the artifact carries.
+//
+// The combination order `d`, job count, memo capacity, time limit and
+// cache_bits are deliberately NOT keyed: the Basis is invariant under all
+// of them, so one artifact serves every such run.
+//
+// verify_with_store() is the one code path behind both `sani --store DIR`
+// and the sanid daemon: hit -> deserialize + verify_basis (no parse /
+// unfold / basis_build / freeze at all); miss -> the ordinary cold
+// pipeline, plus a best-effort save so the next identical job hits.
+
+#include <memory>
+#include <string>
+
+#include "circuit/spec.h"
+#include "store/store.h"
+#include "verify/types.h"
+
+namespace sani::sched {
+class CancelToken;
+}
+
+namespace sani::store {
+
+/// Content hash (64-hex SHA-256) of the Basis-determining inputs, from the
+/// canonical ILANG text.  Stable across processes, platforms and label
+/// spellings.
+std::string artifact_key(const std::string& canonical_ilang,
+                         const verify::VerifyOptions& options);
+
+/// Same, canonicalizing `gadget` through the ILANG writer first.
+std::string artifact_key(const circuit::Gadget& gadget,
+                         const verify::VerifyOptions& options);
+
+/// What the store contributed to one verification (for reports, the daemon
+/// protocol and the CI warm-start assertions).
+struct StoreOutcome {
+  std::string key;
+  bool hit = false;    // Basis deserialized from the store
+  bool saved = false;  // cold run persisted its freshly built Basis
+};
+
+/// Warm-start verification: load the Basis for the job's content key, or
+/// build and persist it, then run the engine over it.  Verdict and witness
+/// are identical either way (the Basis is the complete verification input).
+/// `cancel` optionally supplies a per-request cancellation token (see
+/// verify::verify_basis); the basis build itself is not interruptible.
+verify::VerifyResult verify_with_store(const circuit::Gadget& gadget,
+                                       const verify::VerifyOptions& options,
+                                       ArtifactStore& store,
+                                       StoreOutcome* outcome = nullptr,
+                                       sched::CancelToken* cancel = nullptr);
+
+}  // namespace sani::store

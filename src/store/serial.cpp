@@ -1,0 +1,424 @@
+#include "store/serial.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "spectral/lil_spectrum.h"
+#include "store/sha256.h"
+#include "util/mask.h"
+
+namespace sani::store {
+
+namespace {
+
+// Payload section encoders ---------------------------------------------------
+
+void write_mask(ByteWriter& w, const Mask& m) {
+  w.u64(m.lo);
+  w.u64(m.hi);
+}
+
+Mask read_mask(ByteReader& r) {
+  Mask m;
+  m.lo = r.u64();
+  m.hi = r.u64();
+  return m;
+}
+
+// A hostile or truncated length prefix must not drive a multi-gigabyte
+// reserve before the bounds check catches it: every element of the claimed
+// count occupies at least `min_bytes` in the stream, so a count exceeding
+// what the stream can still hold is malformed by construction.
+std::uint64_t read_count(ByteReader& r, std::size_t min_bytes) {
+  const std::uint64_t n = r.u64();
+  if (min_bytes > 0 && n > r.remaining() / min_bytes)
+    throw SerializationError("artifact: element count exceeds stream size");
+  return n;
+}
+
+void write_var_map(ByteWriter& w, const circuit::VarMap& vars) {
+  w.u64(vars.wire_to_var.size());
+  for (int v : vars.wire_to_var) w.i32(v);
+  w.u64(vars.var_to_wire.size());
+  for (circuit::WireId id : vars.var_to_wire) w.u32(id);
+  write_mask(w, vars.random_vars);
+  write_mask(w, vars.public_vars);
+  write_mask(w, vars.share_vars);
+  w.u64(vars.secret_vars.size());
+  for (const Mask& m : vars.secret_vars) write_mask(w, m);
+  w.u64(vars.secret_share_var.size());
+  for (const auto& group : vars.secret_share_var) {
+    w.u64(group.size());
+    for (int v : group) w.i32(v);
+  }
+  w.i32(vars.num_vars);
+}
+
+circuit::VarMap read_var_map(ByteReader& r) {
+  circuit::VarMap vars;
+  vars.wire_to_var.resize(read_count(r, 4));
+  for (int& v : vars.wire_to_var) v = r.i32();
+  vars.var_to_wire.resize(read_count(r, 4));
+  for (circuit::WireId& id : vars.var_to_wire) id = r.u32();
+  vars.random_vars = read_mask(r);
+  vars.public_vars = read_mask(r);
+  vars.share_vars = read_mask(r);
+  vars.secret_vars.resize(read_count(r, 16));
+  for (Mask& m : vars.secret_vars) m = read_mask(r);
+  vars.secret_share_var.resize(read_count(r, 8));
+  for (auto& group : vars.secret_share_var) {
+    group.resize(read_count(r, 4));
+    for (int& v : group) v = r.i32();
+  }
+  vars.num_vars = r.i32();
+  return vars;
+}
+
+void write_spectrum(ByteWriter& w, const spectral::Spectrum& s) {
+  w.i32(s.num_vars());
+  // Hash-map iteration order is not deterministic; sorting by spectral
+  // coordinate makes equal spectra serialize to equal bytes (the canonical
+  // encoding the hash-stability tests rely on).
+  std::vector<std::pair<Mask, std::int64_t>> entries(s.coefficients().begin(),
+                                                     s.coefficients().end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(entries.size());
+  for (const auto& [alpha, value] : entries) {
+    write_mask(w, alpha);
+    w.i64(value);
+  }
+}
+
+spectral::Spectrum read_spectrum(ByteReader& r) {
+  const int num_vars = r.i32();
+  if (num_vars < 0 || num_vars > Mask::kMaxBits)
+    throw SerializationError("artifact: spectrum variable count out of range");
+  spectral::Spectrum s(num_vars);
+  const std::uint64_t count = read_count(r, 24);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Mask alpha = read_mask(r);
+    s.set(alpha, r.i64());
+  }
+  return s;
+}
+
+void write_observable_info(ByteWriter& w, const verify::ObservableInfo& o) {
+  w.u8(static_cast<std::uint8_t>(o.kind));
+  w.str(o.name);
+  w.i32(o.output_group);
+  w.i32(o.output_share_index);
+  w.u64(o.num_subsets);
+}
+
+verify::ObservableInfo read_observable_info(ByteReader& r) {
+  verify::ObservableInfo o;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(verify::Observable::Kind::kProbe))
+    throw SerializationError("artifact: bad observable kind");
+  o.kind = static_cast<verify::Observable::Kind>(kind);
+  o.name = r.str();
+  o.output_group = r.i32();
+  o.output_share_index = r.i32();
+  o.num_subsets = r.u64();
+  return o;
+}
+
+void write_root_table(ByteWriter& w,
+                      const std::vector<std::vector<std::size_t>>& table) {
+  w.u64(table.size());
+  for (const auto& row : table) {
+    w.u64(row.size());
+    for (std::size_t root : row) w.u64(root);
+  }
+}
+
+std::vector<std::vector<std::size_t>> read_root_table(ByteReader& r) {
+  std::vector<std::vector<std::size_t>> table(read_count(r, 8));
+  for (auto& row : table) {
+    row.resize(read_count(r, 8));
+    for (std::size_t& root : row) root = r.u64();
+  }
+  return table;
+}
+
+std::uint8_t pack_needs(const verify::BasisNeeds& needs) {
+  return static_cast<std::uint8_t>((needs.spectra ? 1 : 0) |
+                                   (needs.lil ? 2 : 0) |
+                                   (needs.frozen_fns ? 4 : 0) |
+                                   (needs.frozen_spectra ? 8 : 0));
+}
+
+verify::BasisNeeds unpack_needs(std::uint8_t bits) {
+  if (bits > 15) throw SerializationError("artifact: bad needs flags");
+  verify::BasisNeeds needs;
+  needs.spectra = bits & 1;
+  needs.lil = bits & 2;
+  needs.frozen_fns = bits & 4;
+  needs.frozen_spectra = bits & 8;
+  return needs;
+}
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 32 + 8;
+
+}  // namespace
+
+// ByteWriter / ByteReader ----------------------------------------------------
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (n > s_.size() - pos_)
+    throw SerializationError("artifact: truncated stream");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(s_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t{static_cast<std::uint8_t>(s_[pos_ + i])} << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t{static_cast<std::uint8_t>(s_[pos_ + i])} << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string out = s_.substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
+// FrozenForest ---------------------------------------------------------------
+
+void write_forest(ByteWriter& w, const dd::FrozenForest& forest) {
+  w.u64(forest.var_order.size());
+  for (int v : forest.var_order) w.i32(v);
+  w.u64(forest.nodes.size());
+  for (const dd::FrozenForest::Node& n : forest.nodes) {
+    w.i32(n.level);
+    w.u32(n.lo);
+    w.u32(n.hi);
+  }
+  w.u64(forest.leaves.size());
+  for (std::int64_t leaf : forest.leaves) w.i64(leaf);
+  w.u64(forest.roots.size());
+  for (dd::FrozenForest::Ref root : forest.roots) w.u32(root);
+  w.u64(forest.root_names.size());
+  for (const std::string& name : forest.root_names) w.str(name);
+}
+
+dd::FrozenForest read_forest(ByteReader& r) {
+  dd::FrozenForest forest;
+  forest.var_order.resize(read_count(r, 4));
+  for (int& v : forest.var_order) v = r.i32();
+  forest.nodes.resize(read_count(r, 12));
+  const auto num_nodes = static_cast<std::uint32_t>(forest.nodes.size());
+  const auto num_levels = static_cast<std::int32_t>(forest.var_order.size());
+  std::uint32_t node_index = 0;
+  for (dd::FrozenForest::Node& n : forest.nodes) {
+    n.level = r.i32();
+    n.lo = r.u32();
+    n.hi = r.u32();
+    // Enforce the forest invariants here, so a file that decodes cleanly is
+    // structurally safe to import (children strictly earlier, levels valid).
+    if (n.level < 0 || n.level >= num_levels)
+      throw SerializationError("artifact: frozen node level out of range");
+    for (dd::FrozenForest::Ref child : {n.lo, n.hi}) {
+      if (!dd::FrozenForest::is_leaf(child) &&
+          dd::FrozenForest::index_of(child) >= node_index)
+        throw SerializationError("artifact: frozen node order violation");
+    }
+    ++node_index;
+  }
+  forest.leaves.resize(read_count(r, 8));
+  for (std::int64_t& leaf : forest.leaves) leaf = r.i64();
+  forest.roots.resize(read_count(r, 4));
+  for (dd::FrozenForest::Ref& root : forest.roots) {
+    root = r.u32();
+    const std::uint32_t index = dd::FrozenForest::index_of(root);
+    if (dd::FrozenForest::is_leaf(root) ? index >= forest.leaves.size()
+                                        : index >= num_nodes)
+      throw SerializationError("artifact: frozen root out of range");
+  }
+  for (const dd::FrozenForest::Node& n : forest.nodes)
+    for (dd::FrozenForest::Ref child : {n.lo, n.hi})
+      if (dd::FrozenForest::is_leaf(child) &&
+          dd::FrozenForest::index_of(child) >= forest.leaves.size())
+        throw SerializationError("artifact: frozen leaf out of range");
+  forest.root_names.resize(read_count(r, 4));
+  for (std::string& name : forest.root_names) name = r.str();
+  if (!forest.root_names.empty() &&
+      forest.root_names.size() != forest.roots.size())
+    throw SerializationError("artifact: root-name count mismatch");
+  return forest;
+}
+
+// Basis ----------------------------------------------------------------------
+
+std::string serialize_basis(const verify::Basis& basis,
+                            const verify::BasisNeeds& needs) {
+  ByteWriter payload;
+  payload.u8(pack_needs(needs));
+  write_var_map(payload, basis.vars);
+  write_mask(payload, basis.relevant_publics);
+  payload.u64(basis.obs.size());
+  for (const verify::ObservableInfo& o : basis.obs)
+    write_observable_info(payload, o);
+  payload.u64(basis.num_outputs);
+  if (needs.spectra) {
+    payload.u64(basis.spectra.size());
+    for (const auto& subsets : basis.spectra) {
+      payload.u64(subsets.size());
+      for (const spectral::Spectrum& s : subsets) write_spectrum(payload, s);
+    }
+  }
+  write_forest(payload, basis.frozen);
+  if (needs.frozen_fns) write_root_table(payload, basis.frozen_fn_roots);
+  if (needs.frozen_spectra)
+    write_root_table(payload, basis.frozen_spectrum_roots);
+  payload.u64(basis.base_coefficients);
+  payload.f64(basis.build_seconds);
+
+  const std::string& body = payload.bytes();
+  Sha256 hash;
+  hash.update(body);
+  std::uint8_t digest[32];
+  hash.digest(digest);
+
+  ByteWriter file;
+  for (char c : kMagic) file.u8(static_cast<std::uint8_t>(c));
+  file.u32(kFormatVersion);
+  for (std::uint8_t b : digest) file.u8(b);
+  file.u64(body.size());
+  std::string out = file.take();
+  out += body;
+  return out;
+}
+
+namespace {
+
+// Validates the header and returns the payload slice.
+std::string checked_payload(const std::string& file_image) {
+  if (file_image.size() < kHeaderBytes)
+    throw SerializationError("artifact: file shorter than header");
+  if (std::memcmp(file_image.data(), kMagic, sizeof(kMagic)) != 0)
+    throw SerializationError("artifact: bad magic");
+  ByteReader header(file_image);
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) header.u8();
+  const std::uint32_t version = header.u32();
+  if (version != kFormatVersion)
+    throw SerializationError("artifact: format version " +
+                             std::to_string(version) + " != " +
+                             std::to_string(kFormatVersion));
+  std::uint8_t want_digest[32];
+  for (std::uint8_t& b : want_digest) b = header.u8();
+  const std::uint64_t payload_len = header.u64();
+  if (payload_len != file_image.size() - kHeaderBytes)
+    throw SerializationError("artifact: payload length mismatch");
+  std::string payload = file_image.substr(kHeaderBytes);
+  Sha256 hash;
+  hash.update(payload);
+  std::uint8_t got_digest[32];
+  hash.digest(got_digest);
+  if (std::memcmp(want_digest, got_digest, 32) != 0)
+    throw SerializationError("artifact: payload hash mismatch");
+  return payload;
+}
+
+}  // namespace
+
+verify::BasisNeeds peek_needs(const std::string& file_image) {
+  const std::string payload = checked_payload(file_image);
+  ByteReader r(payload);
+  return unpack_needs(r.u8());
+}
+
+std::shared_ptr<const verify::Basis> deserialize_basis(
+    const std::string& file_image) {
+  const std::string payload = checked_payload(file_image);
+  ByteReader r(payload);
+
+  const verify::BasisNeeds needs = unpack_needs(r.u8());
+  auto basis = std::make_shared<verify::Basis>();
+  basis->vars = read_var_map(r);
+  basis->relevant_publics = read_mask(r);
+  basis->obs.resize(read_count(r, 17));
+  for (verify::ObservableInfo& o : basis->obs) o = read_observable_info(r);
+  basis->num_outputs = r.u64();
+  if (needs.spectra) {
+    basis->spectra.resize(read_count(r, 8));
+    for (auto& subsets : basis->spectra) {
+      const std::size_t count = read_count(r, 12);
+      subsets.reserve(count);
+      for (std::size_t i = 0; i < count; ++i)
+        subsets.push_back(read_spectrum(r));
+    }
+  }
+  basis->frozen = read_forest(r);
+  if (needs.frozen_fns) {
+    basis->frozen_fn_roots = read_root_table(r);
+    for (const auto& row : basis->frozen_fn_roots)
+      for (std::size_t root : row)
+        if (root >= basis->frozen.roots.size())
+          throw SerializationError("artifact: fn root index out of range");
+  }
+  if (needs.frozen_spectra) {
+    basis->frozen_spectrum_roots = read_root_table(r);
+    for (const auto& row : basis->frozen_spectrum_roots)
+      for (std::size_t root : row)
+        if (root >= basis->frozen.roots.size())
+          throw SerializationError("artifact: spectrum root out of range");
+  }
+  basis->base_coefficients = r.u64();
+  basis->build_seconds = r.f64();
+  if (!r.at_end())
+    throw SerializationError("artifact: trailing bytes after payload");
+
+  // The LIL mirror is derived data — rebuild instead of shipping it.
+  if (needs.lil) {
+    basis->lil.reserve(basis->spectra.size());
+    for (const auto& subsets : basis->spectra) {
+      std::vector<spectral::LilSpectrum> row;
+      row.reserve(subsets.size());
+      for (const spectral::Spectrum& s : subsets)
+        row.push_back(spectral::LilSpectrum::from_spectrum(s));
+      basis->lil.push_back(std::move(row));
+    }
+  }
+  return basis;
+}
+
+}  // namespace sani::store

@@ -1,0 +1,110 @@
+#pragma once
+// Versioned, endianness-explicit binary serialization of prepared
+// verification artifacts (dd::FrozenForest + verify::Basis).
+//
+// Layout (all multi-byte integers little-endian, written byte-by-byte so
+// the format is identical on any host):
+//
+//   [0..7]   magic "SANIBAS\x01"
+//   [8..11]  u32 format version (kFormatVersion)
+//   [12..43] SHA-256 of the payload (load-side integrity check: truncated
+//            or bit-flipped files fail here and are quarantined, never
+//            parsed into a wrong Basis)
+//   [44..51] u64 payload length
+//   [52..]   payload
+//
+// Payload sections, in order: needs flags, VarMap, observable metadata,
+// base spectra (sorted by spectral coordinate, so identical Basis content
+// serializes to identical bytes), frozen forest (var order, topo (level,
+// lo, hi) node triples, leaf pool, named roots), per-observable frozen
+// fn/spectrum root tables, base-coefficient count, original build cost.
+//
+// The sorted-list (LIL) mirror is NOT serialized: it is a deterministic
+// function of the spectra and is rebuilt on load when the needs flags say
+// the engine wants it — smaller artifacts, one canonical encoding.
+//
+// Every decoding error throws SerializationError; the store catches it and
+// treats the artifact as a clean miss (see store/store.h).
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dd/freeze.h"
+#include "verify/basis.h"
+
+namespace sani::store {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr char kMagic[8] = {'S', 'A', 'N', 'I', 'B', 'A', 'S', '\x01'};
+
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Little-endian byte sink with explicit per-type encoders.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(const std::string& s);
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader; throws SerializationError on any
+/// overrun or malformed field.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& bytes) : s_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  bool at_end() const { return pos_ == s_.size(); }
+  std::size_t remaining() const { return s_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// FrozenForest <-> bytes (section encoders shared by the Basis format and
+/// the round-trip tests).
+void write_forest(ByteWriter& w, const dd::FrozenForest& forest);
+dd::FrozenForest read_forest(ByteReader& r);
+
+/// Full artifact file image (header + integrity hash + payload).
+std::string serialize_basis(const verify::Basis& basis,
+                            const verify::BasisNeeds& needs);
+
+/// Parses an artifact file image.  Checks magic, version and payload hash;
+/// throws SerializationError on any mismatch (the store quarantines).  The
+/// returned Basis has its LIL mirror rebuilt when the stored needs flags
+/// include it.
+std::shared_ptr<const verify::Basis> deserialize_basis(
+    const std::string& file_image);
+
+/// The needs flags stored in `file_image` (for cache-compatibility checks)
+/// without decoding the whole payload.
+verify::BasisNeeds peek_needs(const std::string& file_image);
+
+}  // namespace sani::store

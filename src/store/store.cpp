@@ -1,0 +1,251 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/metrics.h"
+#include "store/serial.h"
+
+namespace sani::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool valid_key(const std::string& key) {
+  if (key.size() != 64) return false;
+  for (char c : key)
+    if (!std::isxdigit(static_cast<unsigned char>(c)) ||
+        (std::isalpha(static_cast<unsigned char>(c)) &&
+         !std::islower(static_cast<unsigned char>(c))))
+      return false;
+  return true;
+}
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return static_cast<bool>(in);
+}
+
+// Atomic publication: write a dot-tmp sibling, then rename into place.  The
+// tmp file lives in the destination directory so the rename never crosses a
+// filesystem boundary.
+bool write_file_atomic(const fs::path& path, const std::string& bytes) {
+  const fs::path tmp = path.parent_path() / ("." + path.filename().string() +
+                                             ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(Options options)
+    : dir_(std::move(options.dir)), max_bytes_(options.max_bytes) {
+  if (dir_.empty())
+    throw std::invalid_argument("ArtifactStore: empty store directory");
+  fs::create_directories(fs::path(dir_) / "objects");
+  fs::create_directories(fs::path(dir_) / "quarantine");
+  load_index();
+  publish_gauges();
+}
+
+std::string ArtifactStore::object_path(const std::string& key) const {
+  return (fs::path(dir_) / "objects" / key.substr(0, 2) / key.substr(2))
+      .string();
+}
+
+void ArtifactStore::load_index() {
+  std::vector<std::pair<std::string, Entry>> indexed;
+  std::string text;
+  if (read_file(fs::path(dir_) / "index", &text)) {
+    std::istringstream lines(text);
+    std::string key;
+    Entry e;
+    while (lines >> key >> e.size >> e.last_used) {
+      if (!valid_key(key)) continue;
+      indexed.emplace_back(key, e);
+      clock_ = std::max(clock_, e.last_used);
+    }
+  }
+  // Reconcile with the filesystem: drop index entries whose object vanished,
+  // adopt objects the index never heard of (e.g. after an index loss).
+  for (const auto& [key, entry] : indexed) {
+    std::error_code ec;
+    const auto size = fs::file_size(object_path(key), ec);
+    if (ec) continue;
+    Entry e = entry;
+    e.size = size;
+    entries_.emplace_back(key, e);
+  }
+  std::error_code ec;
+  for (const auto& shard :
+       fs::directory_iterator(fs::path(dir_) / "objects", ec)) {
+    if (!shard.is_directory()) continue;
+    std::error_code iter_ec;
+    for (const auto& file : fs::directory_iterator(shard.path(), iter_ec)) {
+      const std::string name = file.path().filename().string();
+      if (!name.empty() && name.front() == '.') continue;  // stale tmp
+      const std::string key = shard.path().filename().string() + name;
+      if (!valid_key(key)) continue;
+      bool known = false;
+      for (const auto& [k, e] : entries_) known = known || k == key;
+      if (known) continue;
+      std::error_code size_ec;
+      const auto size = fs::file_size(file.path(), size_ec);
+      if (size_ec) continue;
+      entries_.emplace_back(key, Entry{size, 0});
+    }
+  }
+}
+
+void ArtifactStore::persist_index() const {
+  std::ostringstream out;
+  for (const auto& [key, e] : entries_)
+    out << key << ' ' << e.size << ' ' << e.last_used << '\n';
+  write_file_atomic(fs::path(dir_) / "index", out.str());
+}
+
+std::uint64_t ArtifactStore::total_bytes_locked() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, e] : entries_) total += e.size;
+  return total;
+}
+
+void ArtifactStore::publish_gauges() const {
+  auto& m = obs::Metrics::instance();
+  m.gauge("store.bytes").set(static_cast<double>(total_bytes_locked()));
+  m.gauge("store.objects").set(static_cast<double>(entries_.size()));
+}
+
+std::optional<std::string> ArtifactStore::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const auto& kv) { return kv.first == key; });
+  std::string bytes;
+  if (it == entries_.end() || !read_file(object_path(key), &bytes))
+    return std::nullopt;
+  it->second.last_used = ++clock_;
+  it->second.size = bytes.size();
+  persist_index();
+  return bytes;
+}
+
+bool ArtifactStore::put(const std::string& key, const std::string& bytes) {
+  if (!valid_key(key))
+    throw std::invalid_argument("ArtifactStore: malformed key '" + key + "'");
+  std::lock_guard<std::mutex> lock(mu_);
+  const fs::path path = object_path(key);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (!write_file_atomic(path, bytes)) return false;
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const auto& kv) { return kv.first == key; });
+  if (it == entries_.end())
+    it = entries_.emplace(entries_.end(), key, Entry{});
+  it->second.size = bytes.size();
+  it->second.last_used = ++clock_;
+  evict_to_cap();
+  persist_index();
+  publish_gauges();
+  return true;
+}
+
+void ArtifactStore::evict_to_cap() {
+  if (max_bytes_ == 0) return;
+  while (entries_.size() > 1 && total_bytes_locked() > max_bytes_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
+          return a.second.last_used < b.second.last_used;
+        });
+    std::error_code ec;
+    fs::remove(object_path(victim->first), ec);
+    entries_.erase(victim);
+    ++stats_.evictions;
+    obs::Metrics::instance().counter("store.evictions").add();
+  }
+}
+
+void ArtifactStore::quarantine(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  fs::rename(object_path(key), fs::path(dir_) / "quarantine" / key, ec);
+  if (ec) fs::remove(object_path(key), ec);  // cross-device fallback
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const auto& kv) { return kv.first == key; }),
+                 entries_.end());
+  persist_index();
+  publish_gauges();
+  ++stats_.quarantined;
+  obs::Metrics::instance().counter("store.quarantined").add();
+}
+
+std::shared_ptr<const verify::Basis> ArtifactStore::load_basis(
+    const std::string& key) {
+  // Hit/miss is decided after validation: an object that fails to decode is
+  // a miss with evidence (quarantined), never a hit — so warm-start
+  // accounting and the daemon's stats stay truthful.
+  auto miss = [&]() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    obs::Metrics::instance().counter("store.misses").add();
+    return nullptr;
+  };
+  std::optional<std::string> bytes = get(key);
+  if (!bytes) return miss();
+  try {
+    std::shared_ptr<const verify::Basis> basis = deserialize_basis(*bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    obs::Metrics::instance().counter("store.hits").add();
+    return basis;
+  } catch (const SerializationError&) {
+    quarantine(key);
+    return miss();
+  }
+}
+
+bool ArtifactStore::save_basis(const std::string& key,
+                               const verify::Basis& basis,
+                               const verify::BasisNeeds& needs) {
+  return put(key, serialize_basis(basis, needs));
+}
+
+bool ArtifactStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& kv) { return kv.first == key; });
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.total_bytes = total_bytes_locked();
+  s.objects = entries_.size();
+  return s;
+}
+
+}  // namespace sani::store

@@ -1,0 +1,123 @@
+#pragma once
+// Content-addressed artifact store for prepared verification artifacts.
+//
+// A verification job's expensive prefix — parse -> unfold -> basis_build ->
+// freeze — is a pure function of (netlist, probe model, notion): the Basis
+// it produces is immutable and manager-free (verify/basis.h).  The store
+// persists that Basis on disk keyed by a SHA-256 content hash of the
+// canonicalized inputs (store/cached_verify.h derives the key), so repeat
+// traffic — the same gadget resubmitted by any client, any process, any
+// day — warm-starts from a deserialized artifact instead of recomputing it.
+//
+// Layout under the store directory:
+//
+//   objects/ab/cdef...        one file per artifact, sharded by the first
+//                             two hex digits of its key (64-hex SHA-256)
+//   index                     text index: "key size last_used" per line,
+//                             rewritten atomically on every mutation
+//   quarantine/<key>          artifacts that failed load-side validation
+//                             (bad magic/version/hash): moved aside for
+//                             post-mortem, never deleted, never re-served
+//
+// Writes are atomic (write to a dot-tmp sibling, fsync-free rename into
+// place), so a crashed writer can never leave a half-written object where
+// a reader would find it.  Load-side validation (serial.h: magic, format
+// version, payload SHA-256) turns truncation, corruption and version skew
+// into clean misses — the caller rebuilds and overwrites; a corrupt entry
+// is never fatal and can never produce a wrong Basis.
+//
+// Size is capped by LRU eviction: when the object bytes exceed `max_bytes`
+// after an insert, least-recently-used artifacts are dropped (the newest
+// entry is always kept, even if it alone exceeds the cap — evicting what
+// was just built would make the store useless for oversized artifacts).
+//
+// All operations take an internal mutex: one store instance is shared by
+// every daemon executor thread.  Counters (store.hits / store.misses /
+// store.evictions / store.quarantined, gauges store.bytes / store.objects)
+// are published through obs::Metrics, which the daemon serves as its STATS
+// endpoint.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/basis.h"
+
+namespace sani::store {
+
+class ArtifactStore {
+ public:
+  struct Options {
+    std::string dir;
+    /// LRU size cap over the object bytes; 0 = unbounded.
+    std::uint64_t max_bytes = 0;
+  };
+
+  /// Opens (creating directories as needed) and loads the index.  Index
+  /// entries whose object file disappeared are dropped; object files not in
+  /// the index are adopted (size from disk), so a lost index degrades to a
+  /// cold recency order, never to data loss.
+  explicit ArtifactStore(Options options);
+
+  /// Raw object fetch.  Returns the file image and refreshes the key's
+  /// recency; nullopt (a miss) when absent.  No content validation here —
+  /// load_basis() is the validating entry point.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Atomic write-rename insert (overwrites an existing object), then
+  /// LRU-evicts down to the size cap.  False if the object directory is not
+  /// writable — callers treat the store as best-effort and continue.
+  bool put(const std::string& key, const std::string& bytes);
+
+  /// get() + deserialize.  A missing object, or one failing validation
+  /// (truncated, corrupted, wrong magic/version, hash mismatch), returns
+  /// null; validation failures additionally move the file to quarantine/.
+  std::shared_ptr<const verify::Basis> load_basis(const std::string& key);
+
+  /// serialize + put().
+  bool save_basis(const std::string& key, const verify::Basis& basis,
+                  const verify::BasisNeeds& needs);
+
+  bool contains(const std::string& key) const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t total_bytes = 0;
+    std::size_t objects = 0;
+  };
+  Stats stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::uint64_t last_used = 0;  // logical clock, persisted in the index
+  };
+
+  std::string object_path(const std::string& key) const;
+  void load_index();
+  void persist_index() const;
+  void evict_to_cap();
+  void quarantine(const std::string& key);
+  void publish_gauges() const;
+  std::uint64_t total_bytes_locked() const;
+
+  std::string dir_;
+  std::uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // key -> entry
+  std::uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sani::store

@@ -1,0 +1,231 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace sani::json {
+
+const Value& Value::at(const std::string& key) const {
+  auto it = obj.find(key);
+  if (it == obj.end())
+    throw std::runtime_error("json: missing key '" + key + "'");
+  return *it->second;
+}
+
+std::string Value::get_string(const std::string& key,
+                              const std::string& def) const {
+  auto it = obj.find(key);
+  return it != obj.end() && it->second->is_string() ? it->second->str : def;
+}
+
+double Value::get_number(const std::string& key, double def) const {
+  auto it = obj.find(key);
+  return it != obj.end() && it->second->is_number() ? it->second->num : def;
+}
+
+bool Value::get_bool(const std::string& key, bool def) const {
+  auto it = obj.find(key);
+  return it != obj.end() && it->second->is_bool() ? it->second->b : def;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != s_.size())
+      throw std::runtime_error("json: trailing garbage at " +
+                               std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("json: unexpected end");
+    return s_[pos_];
+  }
+
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c)
+      throw std::runtime_error(std::string("json: expected '") + c + "' at " +
+                               std::to_string(pos_ - 1));
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return keyword("true", [](Value& v) {
+        v.kind = Value::Kind::kBool;
+        v.b = true;
+      });
+      case 'f': return keyword("false", [](Value& v) {
+        v.kind = Value::Kind::kBool;
+        v.b = false;
+      });
+      case 'n': return keyword("null", [](Value& v) {
+        v.kind = Value::Kind::kNull;
+      });
+      default: return number();
+    }
+  }
+
+  template <typename Fn>
+  ValuePtr keyword(const std::string& word, Fn fill) {
+    if (s_.compare(pos_, word.size(), word) != 0)
+      throw std::runtime_error("json: bad keyword at " + std::to_string(pos_));
+    pos_ += word.size();
+    auto v = std::make_shared<Value>();
+    fill(*v);
+    return v;
+  }
+
+  ValuePtr object() {
+    expect('{');
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v->obj[key] = value();
+      skip_ws();
+      char c = next();
+      if (c == '}') return v;
+      if (c != ',')
+        throw std::runtime_error("json: expected ',' or '}' at " +
+                                 std::to_string(pos_ - 1));
+    }
+  }
+
+  ValuePtr array() {
+    expect('[');
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v->arr.push_back(value());
+      skip_ws();
+      char c = next();
+      if (c == ']') return v;
+      if (c != ',')
+        throw std::runtime_error("json: expected ',' or ']' at " +
+                                 std::to_string(pos_ - 1));
+    }
+  }
+
+  ValuePtr string_value() {
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kString;
+    v->str = parse_string();
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        throw std::runtime_error("json: raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              throw std::runtime_error("json: bad \\u escape");
+          }
+          // The project only emits \u00XX (control characters); decode
+          // those as single bytes, anything else as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          throw std::runtime_error("json: bad escape character");
+      }
+    }
+  }
+
+  ValuePtr number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start)
+      throw std::runtime_error("json: bad value at " + std::to_string(start));
+    auto v = std::make_shared<Value>();
+    v->kind = Value::Kind::kNumber;
+    v->num = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace sani::json

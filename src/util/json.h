@@ -1,0 +1,58 @@
+#pragma once
+// Minimal recursive-descent JSON parser (RFC 8259 value grammar).
+//
+// Grown out of the test-only parser (tests/json_util.h, now an alias of
+// this header): the sanid daemon and the sanic client parse newline-
+// delimited JSON request/response frames, so the parser moved into the
+// library proper.  It supports the full value grammar this project emits
+// and accepts: objects, arrays, strings with \uXXXX and short escapes,
+// numbers, booleans, null.  Throws std::runtime_error on malformed input —
+// a daemon connection handler turns that into an error frame instead of
+// crashing on hostile bytes.
+//
+// The writer side stays where it always was: report/metrics/trace emitters
+// build JSON by hand through obs::json_escape.  This file only reads.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sani::json {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Member access; throws on missing keys (parse errors are exceptions
+  /// throughout, so callers handle one failure mode).
+  const Value& at(const std::string& key) const;
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+
+  /// Typed lookups with defaults, for optional protocol fields.
+  std::string get_string(const std::string& key,
+                         const std::string& def = "") const;
+  double get_number(const std::string& key, double def = 0.0) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+};
+
+/// Parses exactly one JSON value covering the whole input (trailing
+/// whitespace allowed, trailing garbage is an error).
+ValuePtr parse(const std::string& text);
+
+}  // namespace sani::json

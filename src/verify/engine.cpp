@@ -4,27 +4,30 @@
 #include <utility>
 
 #include "obs/progress.h"
+#include "sched/cancel.h"
 #include "util/combinations.h"
 #include "verify/driver.h"
 #include "verify/parallel.h"
 
 namespace sani::verify {
 
-VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
-                             const ObservableSet& observables,
-                             const VerifyOptions& options) {
+VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
+                          const VerifyOptions& options,
+                          sched::CancelToken* cancel) {
   if (options.order < 1)
     throw std::invalid_argument("verify: order must be >= 1");
-
-  std::shared_ptr<const Basis> basis =
-      build_basis(unfolded, observables, options.engine);
   if (options.jobs != 1) {
     // The Basis is manager-independent for every engine (the ADD engines'
-    // diagram material is frozen inside it), so a pre-built unfolding is no
-    // obstacle to parallel execution.
-    return verify_parallel_basis(std::move(basis), options);
+    // diagram material is frozen inside it), so a pre-built — or
+    // deserialized — Basis is no obstacle to parallel execution.
+    return verify_parallel_basis(std::move(basis), options, cancel);
   }
-  Driver driver(basis, options);
+  // The Driver arms the time-limit deadline only on its *internal* token;
+  // an external token carries the caller's cancel signal and needs the
+  // deadline armed here.
+  if (cancel && options.time_limit > 0)
+    cancel->set_deadline_after(options.time_limit);
+  Driver driver(basis, options, cancel);
   driver.count_basis_build();
   if (options.progress)
     options.progress->start(count_combinations_up_to(
@@ -32,6 +35,15 @@ VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
   VerifyResult result = driver.run();
   if (options.progress) options.progress->stop();
   return result;
+}
+
+VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
+                             const ObservableSet& observables,
+                             const VerifyOptions& options) {
+  if (options.order < 1)
+    throw std::invalid_argument("verify: order must be >= 1");
+  return verify_basis(build_basis(unfolded, observables, options.engine),
+                      options);
 }
 
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,

@@ -22,6 +22,10 @@
 #include "verify/parallel.h"
 #include "verify/types.h"
 
+namespace sani::sched {
+class CancelToken;
+}
+
 namespace sani::verify {
 
 /// Unfolds `gadget`, builds the observable universe and decides the notion.
@@ -46,5 +50,21 @@ VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
                              const ObservableSet& observables,
                              const VerifyOptions& options,
                              const PrepareFn& replay);
+
+/// Runs verification directly over a prepared shared Basis — the bottom
+/// half of the pipeline, and the warm-start entry point of the artifact
+/// store (src/store): a Basis deserialized from disk goes straight to the
+/// Driver (serial) or the sharded parallel runtime.  No parse, unfold,
+/// basis_build or freeze happens here; verdict, witness and stats are
+/// identical to a cold run over the same Basis content.
+///
+/// `cancel` optionally supplies an external cancellation token (the sanid
+/// daemon cancels abandoned requests through it); when given, the
+/// options.time_limit deadline is armed on it, and cancel()ing it stops the
+/// run cooperatively at the next combination boundary.  nullptr keeps the
+/// engine's internal token (plain CLI behavior).
+VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
+                          const VerifyOptions& options,
+                          sched::CancelToken* cancel = nullptr);
 
 }  // namespace sani::verify

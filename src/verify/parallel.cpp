@@ -42,10 +42,12 @@ struct WorkerCtx {
 /// (the ADD engines thaw the basis' frozen forest into a private manager in
 /// the Driver constructor — the only per-worker setup left).
 VerifyResult run_pool(std::shared_ptr<const Basis> basis,
-                      const VerifyOptions& options) {
+                      const VerifyOptions& options,
+                      sched::CancelToken* external_cancel = nullptr) {
   const int jobs = sched::default_jobs(options.jobs);
 
-  sched::CancelToken cancel;
+  sched::CancelToken own_cancel;
+  sched::CancelToken& cancel = external_cancel ? *external_cancel : own_cancel;
   if (options.time_limit > 0) cancel.set_deadline_after(options.time_limit);
 
   const int N = static_cast<int>(basis->size());
@@ -200,8 +202,9 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
 }
 
 VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
-                                   const VerifyOptions& options) {
-  return run_pool(std::move(basis), options);
+                                   const VerifyOptions& options,
+                                   sched::CancelToken* cancel) {
+  return run_pool(std::move(basis), options, cancel);
 }
 
 }  // namespace sani::verify

@@ -28,6 +28,10 @@
 #include "verify/observables.h"
 #include "verify/types.h"
 
+namespace sani::sched {
+class CancelToken;
+}
+
 namespace sani::verify {
 
 /// The manager-bound front half of the pipeline: an unfolding plus the
@@ -53,8 +57,12 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
 
 /// Runs the sharded parallel verification directly over a prepared shared
 /// Basis — valid for every engine: the Basis carries the frozen forest the
-/// ADD-engine workers thaw, so no unfolding happens here at all.
+/// ADD-engine workers thaw, so no unfolding happens here at all.  `cancel`
+/// optionally substitutes an external token for the run's shared one (the
+/// daemon's per-request cancellation); the time-limit deadline is armed on
+/// whichever token the run uses.
 VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
-                                   const VerifyOptions& options);
+                                   const VerifyOptions& options,
+                                   sched::CancelToken* cancel = nullptr);
 
 }  // namespace sani::verify

@@ -9,6 +9,27 @@ namespace sani::verify {
 
 using obs::json_escape;
 
+namespace {
+
+// Deterministic-report support: a copy of `result` with every wall-clock
+// field zeroed, so two runs that verified the same input identically render
+// byte-identical reports regardless of machine speed or cache temperature.
+// Phase names are preserved (at 0.0) so the report's *shape* still matches
+// the cold run — only the measured durations go.
+VerifyResult strip_timing(const VerifyResult& result) {
+  VerifyResult out = result;
+  out.stats.thaw_seconds = 0.0;
+  out.stats.parallel.cancel_latency = 0.0;
+  for (WorkerStats& w : out.stats.parallel.workers) w.thaw_seconds = 0.0;
+  PhaseTimers zeroed;
+  for (const std::string& name : result.stats.timers.names())
+    zeroed.add(name, 0.0);
+  out.stats.timers = zeroed;
+  return out;
+}
+
+}  // namespace
+
 std::string decode_alpha(const circuit::Gadget& gadget,
                          const circuit::VarMap& vars, const Mask& alpha) {
   std::ostringstream os;
@@ -26,6 +47,7 @@ std::string decode_alpha(const circuit::Gadget& gadget,
 std::string summarize(const std::string& gadget_name,
                       const VerifyOptions& options, const VerifyResult& result,
                       double seconds) {
+  if (options.deterministic_report) seconds = 0.0;
   std::ostringstream os;
   os << gadget_name;
   if (result.timed_out)
@@ -92,7 +114,10 @@ void export_metrics(const VerifyOptions& options, const VerifyResult& result,
 
 std::string json_report(const std::string& gadget_name,
                         const VerifyOptions& options,
-                        const VerifyResult& result, double seconds) {
+                        const VerifyResult& result_in, double seconds) {
+  const VerifyResult result =
+      options.deterministic_report ? strip_timing(result_in) : result_in;
+  if (options.deterministic_report) seconds = 0.0;
   std::ostringstream os;
   os << "{";
   os << "\"gadget\":\"" << json_escape(gadget_name) << "\",";
@@ -171,8 +196,16 @@ std::string json_report(const std::string& gadget_name,
        << "\":" << result.stats.timers.get(names[i]);
   }
   os << "},";
-  export_metrics(options, result, seconds);
-  os << "\"metrics\":" << obs::Metrics::instance().to_json() << ",";
+  if (options.deterministic_report) {
+    // The registry is process-global and volatile (store counters, timed
+    // histograms, gauges from earlier runs in the same process): embedding
+    // it would break warm-vs-cold byte diffs, and a daemon's registry never
+    // matches a one-shot CLI's.  Emit an explicit null instead.
+    os << "\"metrics\":null,";
+  } else {
+    export_metrics(options, result, seconds);
+    os << "\"metrics\":" << obs::Metrics::instance().to_json() << ",";
+  }
   os << "\"counterexample\":";
   if (result.counterexample) {
     const CounterExample& ce = *result.counterexample;
@@ -193,7 +226,9 @@ std::string json_report(const std::string& gadget_name,
 std::string detailed_report(const circuit::Gadget& gadget,
                             const circuit::VarMap& vars,
                             const VerifyOptions& options,
-                            const VerifyResult& result) {
+                            const VerifyResult& result_in) {
+  const VerifyResult result =
+      options.deterministic_report ? strip_timing(result_in) : result_in;
   std::ostringstream os;
   os << "gadget: " << gadget.netlist.name() << "\n";
   os << "notion: " << options.order << "-" << notion_name(options.notion)

@@ -29,7 +29,9 @@ std::string decode_alpha(const circuit::Gadget& gadget,
 
 /// Machine-readable (JSON) rendering of a verification result, for CI
 /// pipelines consuming the sani CLI.  Calls export_metrics and embeds the
-/// registry dump as the report's "metrics" object.
+/// registry dump as the report's "metrics" object — unless
+/// options.deterministic_report is set, in which case all timing fields are
+/// zeroed and "metrics" is null (see VerifyOptions::deterministic_report).
 std::string json_report(const std::string& gadget_name,
                         const VerifyOptions& options,
                         const VerifyResult& result, double seconds);

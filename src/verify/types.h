@@ -133,6 +133,16 @@ struct VerifyOptions {
   /// memo, negative values make it unbounded.  Verdicts, witnesses and
   /// coefficient counts are memo-invariant (tested).
   std::int64_t memo_capacity = 64;
+
+  /// Render reports deterministically: every wall-clock/timing field
+  /// (seconds, phase breakdowns, thaw and cancel latencies) is zeroed and
+  /// the JSON report's embedded metrics object — which carries volatile,
+  /// process-lifetime counters — is omitted.  Two runs that verify the same
+  /// input identically then produce byte-identical reports, which is what
+  /// lets CI diff a store warm-start against a cold run (`sani
+  /// --deterministic-report`; the sanid daemon protocol sets this per
+  /// request).
+  bool deterministic_report = false;
 };
 
 /// A witness of a failed check.

@@ -1,241 +1,17 @@
 #pragma once
-// Minimal recursive-descent JSON parser for test assertions (round-trip
-// checks on the sani --json report, the metrics export and the trace
-// files).  Supports the full value grammar the project emits: objects,
-// arrays, strings with \uXXXX and short escapes, numbers, booleans, null.
-// Throws std::runtime_error on malformed input — tests assert no-throw to
-// prove well-formedness.
+// Test-side alias of the library JSON parser (util/json.h).
+//
+// The parser started life here as a test-only helper for round-trip checks
+// on the sani --json report, the metrics export and the trace files; when
+// the sanid daemon grew a JSON wire protocol it moved into src/util/json.
+// Tests keep their historical sani::testjson spelling through this alias.
 
-#include <cctype>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <vector>
+#include "util/json.h"
 
 namespace sani::testjson {
 
-struct Value;
-using ValuePtr = std::shared_ptr<Value>;
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<ValuePtr> arr;
-  std::map<std::string, ValuePtr> obj;
-
-  bool is_object() const { return kind == Kind::kObject; }
-  bool is_array() const { return kind == Kind::kArray; }
-  bool is_string() const { return kind == Kind::kString; }
-  bool is_number() const { return kind == Kind::kNumber; }
-
-  const Value& at(const std::string& key) const {
-    auto it = obj.find(key);
-    if (it == obj.end())
-      throw std::runtime_error("json: missing key '" + key + "'");
-    return *it->second;
-  }
-  bool has(const std::string& key) const { return obj.count(key) > 0; }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  ValuePtr parse() {
-    ValuePtr v = value();
-    skip_ws();
-    if (pos_ != s_.size())
-      throw std::runtime_error("json: trailing garbage at " +
-                               std::to_string(pos_));
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    if (pos_ >= s_.size()) throw std::runtime_error("json: unexpected end");
-    return s_[pos_];
-  }
-
-  char next() {
-    char c = peek();
-    ++pos_;
-    return c;
-  }
-
-  void expect(char c) {
-    if (next() != c)
-      throw std::runtime_error(std::string("json: expected '") + c +
-                               "' at " + std::to_string(pos_ - 1));
-  }
-
-  ValuePtr value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': return keyword("true", [](Value& v) {
-        v.kind = Value::Kind::kBool;
-        v.b = true;
-      });
-      case 'f': return keyword("false", [](Value& v) {
-        v.kind = Value::Kind::kBool;
-        v.b = false;
-      });
-      case 'n': return keyword("null", [](Value& v) {
-        v.kind = Value::Kind::kNull;
-      });
-      default: return number();
-    }
-  }
-
-  template <typename Fn>
-  ValuePtr keyword(const std::string& word, Fn fill) {
-    if (s_.compare(pos_, word.size(), word) != 0)
-      throw std::runtime_error("json: bad keyword at " + std::to_string(pos_));
-    pos_ += word.size();
-    auto v = std::make_shared<Value>();
-    fill(*v);
-    return v;
-  }
-
-  ValuePtr object() {
-    expect('{');
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      v->obj[key] = value();
-      skip_ws();
-      char c = next();
-      if (c == '}') return v;
-      if (c != ',')
-        throw std::runtime_error("json: expected ',' or '}' at " +
-                                 std::to_string(pos_ - 1));
-    }
-  }
-
-  ValuePtr array() {
-    expect('[');
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v->arr.push_back(value());
-      skip_ws();
-      char c = next();
-      if (c == ']') return v;
-      if (c != ',')
-        throw std::runtime_error("json: expected ',' or ']' at " +
-                                 std::to_string(pos_ - 1));
-    }
-  }
-
-  ValuePtr string_value() {
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kString;
-    v->str = parse_string();
-    return v;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      char c = next();
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20)
-        throw std::runtime_error("json: raw control character in string");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      char e = next();
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = next();
-            code <<= 4;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              code += static_cast<unsigned>(h - 'A' + 10);
-            else
-              throw std::runtime_error("json: bad \\u escape");
-          }
-          // The project only emits \u00XX (control characters); decode
-          // those as single bytes, anything else as UTF-8.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          throw std::runtime_error("json: bad escape character");
-      }
-    }
-  }
-
-  ValuePtr number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == start)
-      throw std::runtime_error("json: bad value at " + std::to_string(start));
-    auto v = std::make_shared<Value>();
-    v->kind = Value::Kind::kNumber;
-    v->num = std::stod(s_.substr(start, pos_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+using Value = sani::json::Value;
+using ValuePtr = sani::json::ValuePtr;
+using sani::json::parse;
 
 }  // namespace sani::testjson

@@ -17,6 +17,7 @@
 #include "json_util.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/process.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "verify/engine.h"
@@ -389,6 +390,38 @@ TEST(Progress, ParallelTicksSumAcrossWorkers) {
   opt.progress = &p;
   verify::VerifyResult r = verify::verify(gadgets::by_name("dom-2"), opt);
   EXPECT_EQ(p.checked(), r.stats.combinations);
+}
+
+// ---------------------------------------------------------------------------
+// Process gauges (src/obs/process)
+
+TEST(Process, RssIsPositiveAndGrowsWithAllocation) {
+  const std::uint64_t before = process_rss_bytes();
+  EXPECT_GT(before, 0u);
+  // Touch a fresh 32 MiB block so it is actually resident, not just mapped.
+  std::vector<char> block(32u << 20);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = 1;
+  EXPECT_GT(process_rss_bytes(), before);
+}
+
+TEST(Process, UptimeIsMonotonic) {
+  const double first = process_uptime_seconds();
+  EXPECT_GE(first, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double second = process_uptime_seconds();
+  EXPECT_GT(second, first);
+  EXPECT_GE(process_uptime_seconds(), second);
+}
+
+TEST(Process, SampleWritesBothGaugesIntoTheRegistry) {
+  auto& m = Metrics::instance();
+  m.gauge("process.rss_bytes").set(0.0);
+  m.gauge("process.uptime_seconds").set(-1.0);
+  const std::uint64_t rss = sample_process_gauges();
+  EXPECT_GT(rss, 0u);
+  EXPECT_EQ(m.gauge("process.rss_bytes").value(),
+            static_cast<double>(rss));
+  EXPECT_GE(m.gauge("process.uptime_seconds").value(), 0.0);
 }
 
 }  // namespace

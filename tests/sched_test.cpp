@@ -10,6 +10,7 @@
 
 #include "sched/cancel.h"
 #include "sched/pool.h"
+#include "sched/queue.h"
 #include "sched/shard.h"
 #include "util/combinations.h"
 
@@ -254,6 +255,83 @@ TEST(Ranking, IterResumesMidStream) {
     ++rank;
   } while (it.next());
   EXPECT_EQ(rank, binomial(n, k));
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue (the daemon's bounded priority queue)
+
+TEST(AdmissionQueue, PopsByPriorityThenFifoWithinPriority) {
+  AdmissionQueue<int> q(0);
+  EXPECT_TRUE(q.try_push(1, /*priority=*/0));
+  EXPECT_TRUE(q.try_push(2, /*priority=*/5));
+  EXPECT_TRUE(q.try_push(3, /*priority=*/0));
+  EXPECT_TRUE(q.try_push(4, /*priority=*/5));
+  EXPECT_TRUE(q.try_push(5, /*priority=*/-1));
+  EXPECT_EQ(q.size(), 5u);
+
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) order.push_back(*q.pop());
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 1, 3, 5}));
+}
+
+TEST(AdmissionQueue, CapacityBoundsAdmittedNotPoppedJobs) {
+  AdmissionQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1, 0));
+  EXPECT_TRUE(q.try_push(2, 0));
+  EXPECT_FALSE(q.try_push(3, 100));  // full rejects even high priority
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3, 0));  // popping frees the slot
+}
+
+TEST(AdmissionQueue, CloseWakesBlockedPopAndRejectsFurtherPushes) {
+  AdmissionQueue<int> q(0);
+  std::thread popper([&q] { EXPECT_EQ(q.pop(), std::nullopt); });
+  // Give the popper a moment to block before closing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  popper.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push(1, 0));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(AdmissionQueue, DrainReturnsQueuedJobsInPriorityOrder) {
+  AdmissionQueue<int> q(0);
+  q.try_push(1, 0);
+  q.try_push(2, 9);
+  q.try_push(3, 0);
+  q.close();
+  EXPECT_EQ(q.drain(), (std::vector<int>{2, 1, 3}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(AdmissionQueue, ConcurrentProducersAndConsumersLoseNothing) {
+  AdmissionQueue<int> q(0);
+  constexpr int kProducers = 4, kPerProducer = 500;
+  std::mutex mu;
+  std::vector<int> popped;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 3; ++c)
+    threads.emplace_back([&] {
+      while (auto job = q.pop()) {
+        std::lock_guard<std::mutex> lock(mu);
+        popped.push_back(*job);
+      }
+    });
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_TRUE(q.try_push(p * kPerProducer + i, i % 3));
+    });
+  for (int p = 0; p < kProducers; ++p) threads[3 + p].join();
+  while (q.size() > 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  q.close();
+  for (int c = 0; c < 3; ++c) threads[c].join();
+
+  std::set<int> seen(popped.begin(), popped.end());
+  EXPECT_EQ(popped.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(seen.size(), popped.size());  // no duplicates, nothing lost
 }
 
 }  // namespace

@@ -28,6 +28,8 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "store/cached_verify.h"
+#include "store/store.h"
 #include "verify/backends/registry.h"
 #include "verify/engine.h"
 #include "verify/report.h"
@@ -69,7 +71,14 @@ int usage(const std::string& msg = "") {
       "                                 the run (load in ui.perfetto.dev)\n"
       "  --progress                     live progress meter on stderr\n"
       "                                 (auto-silenced when not a TTY)\n"
-      "  --metrics-out FILE             write the metrics registry as JSON\n";
+      "  --metrics-out FILE             write the metrics registry as JSON\n"
+      "  --store DIR                    content-addressed artifact store:\n"
+      "                                 warm-start the prepared basis from\n"
+      "                                 DIR, or build and persist it\n"
+      "  --store-max-bytes N            LRU-evict the store down to N bytes\n"
+      "                                 after each save (0 = unbounded)\n"
+      "  --deterministic-report         zero all timing fields in reports\n"
+      "                                 (byte-diffable warm vs cold runs)\n";
   return 64;
 }
 
@@ -135,6 +144,8 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   else if (vo == "interleaved")
     opt.var_order = circuit::VarOrder::kInterleaved;
   else throw std::invalid_argument("unknown var-order '" + vo + "'");
+
+  opt.deterministic_report = args.has("deterministic-report");
   return opt;
 }
 
@@ -249,14 +260,17 @@ int main(int argc, char** argv) {
       const std::string trace_path = args.value_or("trace", "");
       const std::string metrics_path = args.value_or("metrics-out", "");
       const bool json_format = args.value_or("format", "text") == "json";
-      // Histogram sampling needs clock reads per combination, so it only
-      // runs when an export will surface the data.
-      if (!metrics_path.empty() || json_format)
-        obs::Metrics::instance().enable();
-      if (!trace_path.empty()) obs::Tracer::instance().start();
 
       circuit::Gadget g = load(args, &label);
       verify::VerifyOptions opt = options_from(args);
+
+      // Histogram sampling needs clock reads per combination, so it only
+      // runs when an export will surface the data.  A deterministic JSON
+      // report carries no metrics object, so it doesn't count as an export
+      // by itself.
+      if (!metrics_path.empty() || (json_format && !opt.deterministic_report))
+        obs::Metrics::instance().enable();
+      if (!trace_path.empty()) obs::Tracer::instance().start();
 
       obs::Progress::Options prog_options;
       prog_options.use_stderr = obs::Progress::stderr_is_tty();
@@ -264,7 +278,21 @@ int main(int argc, char** argv) {
       if (args.has("progress")) opt.progress = &progress;
 
       Stopwatch watch;
-      verify::VerifyResult r = verify::verify(g, opt);
+      verify::VerifyResult r;
+      if (auto store_dir = args.value("store")) {
+        store::ArtifactStore::Options store_opt;
+        store_opt.dir = *store_dir;
+        if (auto cap = args.value("store-max-bytes"))
+          store_opt.max_bytes = std::stoull(*cap);
+        store::ArtifactStore artifacts(store_opt);
+        store::StoreOutcome outcome;
+        r = store::verify_with_store(g, opt, artifacts, &outcome);
+        std::cerr << "store: " << (outcome.hit ? "hit" : "miss")
+                  << (outcome.saved ? " (saved)" : "") << " key "
+                  << outcome.key << "\n";
+      } else {
+        r = verify::verify(g, opt);
+      }
       const double seconds = watch.seconds();
       for (const auto& w : r.warnings) std::cerr << "warning: " << w << "\n";
       if (json_format) {
