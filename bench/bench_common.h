@@ -11,7 +11,9 @@
 // Common flags:
 //   --full          include keccak-3 and dom-4 (long: minutes, and LIL on
 //                   keccak-3 is intractable — it times out by design)
-//   --quick         only the level-1 gadgets (fast CI runs)
+//   --quick         the CI set: level-1 gadgets plus the level-2 rows
+//                   (dom-2, keccak-2) so both sides of the portfolio's
+//                   decision boundary stay covered
 //   --timeout S     per-(gadget, engine) wall-clock budget, default 120 s
 //   --gadget NAME   run a single benchmark gadget
 
@@ -25,6 +27,7 @@
 #include "gadgets/registry.h"
 #include "util/cli.h"
 #include "obs/clock.h"
+#include "verify/checker.h"
 #include "verify/engine.h"
 
 namespace sani::bench {
@@ -36,6 +39,7 @@ struct RunResult {
   double convolution = 0.0;   // phase breakout (Fig. 6)
   double verification = 0.0;
   double base = 0.0;
+  std::string engine_chosen;  // resolved engine ("MAPI", ...; portfolio-aware)
   verify::VerifyResult result;
 };
 
@@ -63,6 +67,9 @@ inline RunResult run_gadget(const std::string& name,
     out.base = out.result.stats.timers.get("base");
     out.convolution = out.result.stats.timers.get("convolution");
     out.verification = out.result.stats.timers.get("verification");
+    out.engine_chosen = verify::engine_name(
+        out.result.stats.portfolio.active ? out.result.stats.portfolio.chosen
+                                          : engine);
     out.ran = true;
     runs.push_back(std::move(out));
     if (runs.back().timed_out || runs.back().seconds > 0.2) break;
@@ -74,16 +81,14 @@ inline RunResult run_gadget(const std::string& name,
   return runs[runs.size() / 2];
 }
 
-/// The gadget list of Table I, filtered by the --quick/--full flags.
+/// The gadget list of Table I, filtered by the --quick/--full flags.  The
+/// quick set deliberately spans the portfolio's decision boundary: scan-
+/// friendly small gadgets AND the ADD-friendly keccak rows.
 inline std::vector<std::string> select_gadgets(const CliArgs& args) {
   if (auto g = args.value("gadget")) return {*g};
-  std::vector<std::string> names{"ti-1",  "trichina-1", "isw-1", "dom-1",
-                                 "keccak-1"};
-  if (!args.has("quick")) {
-    names.push_back("dom-2");
-    names.push_back("keccak-2");
-    names.push_back("dom-3");
-  }
+  std::vector<std::string> names{"ti-1",   "trichina-1", "isw-1", "dom-1",
+                                 "keccak-1", "dom-2",    "keccak-2"};
+  if (!args.has("quick")) names.push_back("dom-3");
   if (args.has("full")) {
     names.push_back("keccak-3");
     names.push_back("dom-4");

@@ -72,6 +72,44 @@ Add walsh_transform(const Bdd& f) {
   return Add(&m, butterfly(m, h, 0));
 }
 
+void enumerate_spectrum(const Add& spectrum, int num_vars,
+                        std::vector<Mask>* masks,
+                        std::vector<std::int64_t>* coeffs) {
+  Manager& m = *spectrum.manager();
+  const NodeId zero = m.zero();
+  // Level-order walk (robust under reordered managers); a variable skipped
+  // by the diagram contributes both settings of its spectral bit with the
+  // same coefficient, so the walk fans out exactly once per nonzero entry.
+  struct Walker {
+    Manager& m;
+    NodeId zero;
+    int num_vars;
+    std::vector<Mask>& masks;
+    std::vector<std::int64_t>& coeffs;
+    void rec(NodeId n, int level, Mask alpha) {
+      if (n == zero) return;
+      if (level == num_vars) {
+        masks.push_back(alpha);
+        coeffs.push_back(m.terminal_value(n));
+        return;
+      }
+      const int var = m.var_at_level(level);
+      if (!m.is_terminal(n) && m.node_var(n) == var) {
+        rec(m.node_lo(n), level + 1, alpha);
+        Mask hi = alpha;
+        hi.set(var);
+        rec(m.node_hi(n), level + 1, hi);
+      } else {
+        rec(n, level + 1, alpha);
+        Mask hi = alpha;
+        hi.set(var);
+        rec(n, level + 1, hi);
+      }
+    }
+  };
+  Walker{m, zero, num_vars, *masks, *coeffs}.rec(spectrum.node(), 0, Mask{});
+}
+
 Add inverse_walsh_transform(const Add& spectrum) {
   Manager& m = *spectrum.manager();
   check_width(m);

@@ -16,8 +16,12 @@
 // (and the intermediate butterfly sums) inside int64.  The transforms used
 // by this project stay far below that bound.
 
+#include <cstdint>
+#include <vector>
+
 #include "dd/add.h"
 #include "dd/bdd.h"
+#include "util/mask.h"
 
 namespace sani::dd {
 
@@ -30,5 +34,15 @@ Add walsh_transform(const Bdd& f);
 /// a spectrum, i.e. applies the same butterfly and divides by 2^n.  Used by
 /// tests to round-trip the transform.
 Add inverse_walsh_transform(const Add& spectrum);
+
+/// Appends every nonzero coefficient of a spectrum ADD to masks/coeffs, one
+/// entry per spectral coordinate (a variable skipped by the diagram fans out
+/// both settings of its bit).  The walk is in level order, so the emission
+/// order depends on the manager's variable order — callers wanting the
+/// coordinate-sorted flat representation sort afterwards
+/// (spectral::FlatSpectrum::from_add does).
+void enumerate_spectrum(const Add& spectrum, int num_vars,
+                        std::vector<Mask>* masks,
+                        std::vector<std::int64_t>* coeffs);
 
 }  // namespace sani::dd

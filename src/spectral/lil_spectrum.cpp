@@ -26,6 +26,14 @@ LilSpectrum LilSpectrum::from_spectrum(const Spectrum& s) {
   return l;
 }
 
+LilSpectrum LilSpectrum::from_flat(const FlatSpectrum& s) {
+  LilSpectrum l(s.num_vars());
+  l.entries_.reserve(s.nonzero_count());
+  for (std::size_t i = 0; i < s.nonzero_count(); ++i)
+    l.entries_.emplace_back(s.masks()[i], s.coeffs()[i]);
+  return l;
+}
+
 std::int64_t LilSpectrum::at(const Mask& alpha) const {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), alpha,

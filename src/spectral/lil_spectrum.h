@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "spectral/flat_spectrum.h"
 #include "spectral/spectrum.h"
 #include "util/mask.h"
 
@@ -25,6 +26,9 @@ class LilSpectrum {
 
   /// Sorted import from a hash-map spectrum.
   static LilSpectrum from_spectrum(const Spectrum& s);
+
+  /// Import from a flat spectrum (already sorted; straight copy).
+  static LilSpectrum from_flat(const FlatSpectrum& s);
 
   int num_vars() const { return num_vars_; }
   std::size_t nonzero_count() const { return entries_.size(); }

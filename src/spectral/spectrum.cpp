@@ -36,39 +36,12 @@ Spectrum Spectrum::from_bdd(const dd::Bdd& f) {
 
 Spectrum Spectrum::from_add(const dd::Add& spectrum, int num_vars) {
   Spectrum s(num_vars);
-  dd::Manager& m = *spectrum.manager();
-  const dd::NodeId zero = m.zero();
-
-  // Enumerate nonzero paths in level order (robust under reordered
-  // managers); a variable skipped by the diagram contributes both settings
-  // of its spectral bit (same coefficient), so the walk fans out exactly
-  // once per nonzero coefficient.
-  struct Walker {
-    dd::Manager& m;
-    dd::NodeId zero;
-    int num_vars;
-    Map& out;
-    void rec(dd::NodeId n, int level, Mask alpha) {
-      if (n == zero) return;
-      if (level == num_vars) {
-        out.emplace(alpha, m.terminal_value(n));
-        return;
-      }
-      const int var = m.var_at_level(level);
-      if (!m.is_terminal(n) && m.node_var(n) == var) {
-        rec(m.node_lo(n), level + 1, alpha);
-        Mask hi = alpha;
-        hi.set(var);
-        rec(m.node_hi(n), level + 1, hi);
-      } else {
-        rec(n, level + 1, alpha);
-        Mask hi = alpha;
-        hi.set(var);
-        rec(n, level + 1, hi);
-      }
-    }
-  };
-  Walker{m, zero, num_vars, s.map_}.rec(spectrum.node(), 0, Mask{});
+  std::vector<Mask> masks;
+  std::vector<std::int64_t> coeffs;
+  dd::enumerate_spectrum(spectrum, num_vars, &masks, &coeffs);
+  s.map_.reserve(masks.size());
+  for (std::size_t i = 0; i < masks.size(); ++i)
+    s.map_.emplace(masks[i], coeffs[i]);
   return s;
 }
 

@@ -75,33 +75,38 @@ circuit::VarMap read_var_map(ByteReader& r) {
   return vars;
 }
 
-void write_spectrum(ByteWriter& w, const spectral::Spectrum& s) {
+void write_spectrum(ByteWriter& w, const spectral::FlatSpectrum& s) {
+  // The flat container is already sorted by spectral coordinate, which is
+  // exactly the canonical v1 encoding — v2 keeps the section byte-identical.
   w.i32(s.num_vars());
-  // Hash-map iteration order is not deterministic; sorting by spectral
-  // coordinate makes equal spectra serialize to equal bytes (the canonical
-  // encoding the hash-stability tests rely on).
-  std::vector<std::pair<Mask, std::int64_t>> entries(s.coefficients().begin(),
-                                                     s.coefficients().end());
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  w.u64(entries.size());
-  for (const auto& [alpha, value] : entries) {
-    write_mask(w, alpha);
-    w.i64(value);
+  w.u64(s.nonzero_count());
+  for (std::size_t i = 0; i < s.nonzero_count(); ++i) {
+    write_mask(w, s.masks()[i]);
+    w.i64(s.coeffs()[i]);
   }
 }
 
-spectral::Spectrum read_spectrum(ByteReader& r) {
+spectral::FlatSpectrum read_spectrum(ByteReader& r) {
   const int num_vars = r.i32();
   if (num_vars < 0 || num_vars > Mask::kMaxBits)
     throw SerializationError("artifact: spectrum variable count out of range");
-  spectral::Spectrum s(num_vars);
   const std::uint64_t count = read_count(r, 24);
+  std::vector<Mask> masks;
+  std::vector<std::int64_t> coeffs;
+  masks.reserve(count);
+  coeffs.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    const Mask alpha = read_mask(r);
-    s.set(alpha, r.i64());
+    masks.push_back(read_mask(r));
+    coeffs.push_back(r.i64());
   }
-  return s;
+  try {
+    // Canonical-form validation (sorted, unique, nonzero) happens in the
+    // container itself, so a decoded artifact is safe for the merge kernels.
+    return spectral::FlatSpectrum::from_sorted(num_vars, std::move(masks),
+                                               std::move(coeffs));
+  } catch (const std::invalid_argument& e) {
+    throw SerializationError(std::string("artifact: ") + e.what());
+  }
 }
 
 void write_observable_info(ByteWriter& w, const verify::ObservableInfo& o) {
@@ -110,9 +115,11 @@ void write_observable_info(ByteWriter& w, const verify::ObservableInfo& o) {
   w.i32(o.output_group);
   w.i32(o.output_share_index);
   w.u64(o.num_subsets);
+  write_mask(w, o.support);  // v2 addition
 }
 
-verify::ObservableInfo read_observable_info(ByteReader& r) {
+verify::ObservableInfo read_observable_info(ByteReader& r,
+                                            std::uint32_t version) {
   verify::ObservableInfo o;
   const std::uint8_t kind = r.u8();
   if (kind > static_cast<std::uint8_t>(verify::Observable::Kind::kProbe))
@@ -122,6 +129,7 @@ verify::ObservableInfo read_observable_info(ByteReader& r) {
   o.output_group = r.i32();
   o.output_share_index = r.i32();
   o.num_subsets = r.u64();
+  if (version >= 2) o.support = read_mask(r);
   return o;
 }
 
@@ -299,10 +307,11 @@ std::string serialize_basis(const verify::Basis& basis,
     write_observable_info(payload, o);
   payload.u64(basis.num_outputs);
   if (needs.spectra) {
-    payload.u64(basis.spectra.size());
-    for (const auto& subsets : basis.spectra) {
+    payload.u64(basis.flat.size());
+    for (const auto& subsets : basis.flat) {
       payload.u64(subsets.size());
-      for (const spectral::Spectrum& s : subsets) write_spectrum(payload, s);
+      for (const spectral::FlatSpectrum& s : subsets)
+        write_spectrum(payload, s);
     }
   }
   write_forest(payload, basis.frozen);
@@ -330,8 +339,10 @@ std::string serialize_basis(const verify::Basis& basis,
 
 namespace {
 
-// Validates the header and returns the payload slice.
-std::string checked_payload(const std::string& file_image) {
+// Validates the header; returns the payload slice and (via out-param) the
+// accepted format version.
+std::string checked_payload(const std::string& file_image,
+                            std::uint32_t* version_out) {
   if (file_image.size() < kHeaderBytes)
     throw SerializationError("artifact: file shorter than header");
   if (std::memcmp(file_image.data(), kMagic, sizeof(kMagic)) != 0)
@@ -339,10 +350,12 @@ std::string checked_payload(const std::string& file_image) {
   ByteReader header(file_image);
   for (std::size_t i = 0; i < sizeof(kMagic); ++i) header.u8();
   const std::uint32_t version = header.u32();
-  if (version != kFormatVersion)
+  if (version < kMinReadVersion || version > kFormatVersion)
     throw SerializationError("artifact: format version " +
-                             std::to_string(version) + " != " +
-                             std::to_string(kFormatVersion));
+                             std::to_string(version) + " outside [" +
+                             std::to_string(kMinReadVersion) + ", " +
+                             std::to_string(kFormatVersion) + "]");
+  if (version_out) *version_out = version;
   std::uint8_t want_digest[32];
   for (std::uint8_t& b : want_digest) b = header.u8();
   const std::uint64_t payload_len = header.u64();
@@ -361,14 +374,15 @@ std::string checked_payload(const std::string& file_image) {
 }  // namespace
 
 verify::BasisNeeds peek_needs(const std::string& file_image) {
-  const std::string payload = checked_payload(file_image);
+  const std::string payload = checked_payload(file_image, nullptr);
   ByteReader r(payload);
   return unpack_needs(r.u8());
 }
 
 std::shared_ptr<const verify::Basis> deserialize_basis(
     const std::string& file_image) {
-  const std::string payload = checked_payload(file_image);
+  std::uint32_t version = 0;
+  const std::string payload = checked_payload(file_image, &version);
   ByteReader r(payload);
 
   const verify::BasisNeeds needs = unpack_needs(r.u8());
@@ -376,11 +390,12 @@ std::shared_ptr<const verify::Basis> deserialize_basis(
   basis->vars = read_var_map(r);
   basis->relevant_publics = read_mask(r);
   basis->obs.resize(read_count(r, 17));
-  for (verify::ObservableInfo& o : basis->obs) o = read_observable_info(r);
+  for (verify::ObservableInfo& o : basis->obs)
+    o = read_observable_info(r, version);
   basis->num_outputs = r.u64();
   if (needs.spectra) {
-    basis->spectra.resize(read_count(r, 8));
-    for (auto& subsets : basis->spectra) {
+    basis->flat.resize(read_count(r, 8));
+    for (auto& subsets : basis->flat) {
       const std::size_t count = read_count(r, 12);
       subsets.reserve(count);
       for (std::size_t i = 0; i < count; ++i)
@@ -407,14 +422,25 @@ std::shared_ptr<const verify::Basis> deserialize_basis(
   if (!r.at_end())
     throw SerializationError("artifact: trailing bytes after payload");
 
+  // v1 artifacts carry no support masks; the union of a spectrum's nonzero
+  // coordinates is the member functions' variable support, so they are
+  // recoverable whenever the spectra are present (the spectra-free FUJITA
+  // artifacts leave them empty — nothing reads them there).
+  if (version < 2 && needs.spectra &&
+      basis->flat.size() == basis->obs.size()) {
+    for (std::size_t i = 0; i < basis->obs.size(); ++i)
+      for (const spectral::FlatSpectrum& s : basis->flat[i])
+        for (const Mask& alpha : s.masks()) basis->obs[i].support |= alpha;
+  }
+
   // The LIL mirror is derived data — rebuild instead of shipping it.
   if (needs.lil) {
-    basis->lil.reserve(basis->spectra.size());
-    for (const auto& subsets : basis->spectra) {
+    basis->lil.reserve(basis->flat.size());
+    for (const auto& subsets : basis->flat) {
       std::vector<spectral::LilSpectrum> row;
       row.reserve(subsets.size());
-      for (const spectral::Spectrum& s : subsets)
-        row.push_back(spectral::LilSpectrum::from_spectrum(s));
+      for (const spectral::FlatSpectrum& s : subsets)
+        row.push_back(spectral::LilSpectrum::from_flat(s));
       basis->lil.push_back(std::move(row));
     }
   }

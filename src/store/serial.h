@@ -19,6 +19,13 @@
 // lo, hi) node triples, leaf pool, named roots), per-observable frozen
 // fn/spectrum root tables, base-coefficient count, original build cost.
 //
+// Version history.  v2 (current) serializes the spectra straight from the
+// flat container (same byte layout v1 used — sorted (mask, coeff) pairs)
+// and adds the per-observable support mask to the observable metadata.
+// v1 artifacts still load: the spectra are validated into flat form and the
+// support masks are recomputed from them (left empty for spectra-free
+// FUJITA artifacts, where nothing reads them).  Writing always emits v2.
+//
 // The sorted-list (LIL) mirror is NOT serialized: it is a deterministic
 // function of the spectra and is rebuilt on load when the needs flags say
 // the engine wants it — smaller artifacts, one canonical encoding.
@@ -37,7 +44,9 @@
 
 namespace sani::store {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
+/// Oldest format version deserialize_basis still accepts.
+inline constexpr std::uint32_t kMinReadVersion = 1;
 inline constexpr char kMagic[8] = {'S', 'A', 'N', 'I', 'B', 'A', 'S', '\x01'};
 
 class SerializationError : public std::runtime_error {

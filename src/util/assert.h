@@ -1,0 +1,31 @@
+#pragma once
+// Debug-build invariant checks.
+//
+// SANI_ASSERT guards representation invariants that are too expensive for
+// release hot loops (e.g. FlatSpectrum canonical form on every construction)
+// but cheap insurance in debug and sanitizer builds.  Unlike <cassert> it
+// throws, so googletest reports the violated condition instead of aborting
+// the whole suite, and EXPECT_THROW-style tests can exercise the guards.
+//
+// Enabled when NDEBUG is off (Debug builds) or when SANI_DEBUG_ASSERTS is
+// defined explicitly (lets a RelWithDebInfo test build opt back in).
+
+#include <stdexcept>
+#include <string>
+
+namespace sani::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw std::logic_error(std::string("SANI_ASSERT failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace sani::util
+
+#if !defined(NDEBUG) || defined(SANI_DEBUG_ASSERTS)
+#define SANI_ASSERT(expr) \
+  ((expr) ? void(0) : ::sani::util::assert_fail(#expr, __FILE__, __LINE__))
+#else
+#define SANI_ASSERT(expr) void(0)
+#endif

@@ -39,6 +39,10 @@ struct BackendContext {
   PhaseTimers* timers = nullptr;
   std::uint64_t* coefficients = nullptr;
   CacheStats* memo_stats = nullptr;
+  /// Allocation counters of the flat convolution path (owned by the
+  /// Driver); backends credit every scratch/row buffer growth here so the
+  /// zero-per-combination-allocation property stays observable.
+  spectral::ArenaStats* arena_stats = nullptr;
   std::int64_t memo_capacity = 0;
   int order = 1;  // full-depth rows are never reused; the memo skips them
 };

@@ -6,7 +6,8 @@
 
 namespace sani::verify {
 
-using spectral::Spectrum;
+using spectral::FlatRowSet;
+using spectral::FlatSpectrum;
 
 MapBackend::MapBackend(const BackendContext& ctx, bool use_add)
     : basis_(ctx.basis),
@@ -15,11 +16,34 @@ MapBackend::MapBackend(const BackendContext& ctx, bool use_add)
       timers_(*ctx.timers),
       coefficients_(*ctx.coefficients),
       order_(ctx.order),
-      memo_(ctx.memo_capacity, ctx.memo_stats) {}
+      memo_(ctx.memo_capacity, ctx.memo_stats),
+      memo_enabled_(ctx.memo_capacity != 0),
+      arena_(ctx.arena_stats),
+      root_(basis_->vars.num_vars) {}
 
 void MapBackend::prepare() {
-  rows_.push_back(std::make_shared<RowSet>(
-      RowSet{Spectrum::constant_zero(basis_->vars.num_vars)}));
+  root_.append_row(FlatSpectrum::constant_zero(basis_->vars.num_vars));
+  // One reusable slot per stack depth: a push at depth d only ever runs
+  // after the previous depth-d level popped, so slot d can be overwritten
+  // in place — its capacity survives, which is what makes the steady-state
+  // scan allocation-free.
+  slots_.reserve(static_cast<std::size_t>(order_) + 1);
+  for (int d = 0; d <= order_; ++d) slots_.emplace_back(basis_->vars.num_vars);
+  stack_.reserve(static_cast<std::size_t>(order_) + 1);
+  stack_.push_back(Level{&root_, nullptr});
+}
+
+std::uint64_t MapBackend::build_level(const RowSet& cur,
+                                      const std::vector<FlatSpectrum>& base,
+                                      RowSet& out) {
+  const int num_vars = basis_->vars.num_vars;
+  out.reset(num_vars, arena_.stats_ptr());
+  for (std::size_t r = 0; r < cur.row_count(); ++r)
+    for (const FlatSpectrum& s : base)
+      arena_.convolve_row(num_vars, cur.row_masks(r), cur.row_coeffs(r),
+                          cur.row_size(r), s.masks().data(), s.coeffs().data(),
+                          s.nonzero_count(), out);
+  return out.coefficients();
 }
 
 void MapBackend::push(const std::vector<int>& path) {
@@ -27,50 +51,65 @@ void MapBackend::push(const std::vector<int>& path) {
   obs::Span span("convolution");
   // Full-depth rows can never be reused as prefixes; keep them out of the
   // memo so its slots hold prefixes only.
-  const bool memoize = static_cast<int>(path.size()) < order_;
+  const bool memoize =
+      memo_enabled_ && static_cast<int>(path.size()) < order_;
   if (memoize) {
     if (const auto* hit = memo_.find(path)) {
-      rows_.push_back(hit->rows);
+      stack_.push_back(Level{hit->rows.get(), hit->rows});
       coefficients_ += hit->coefficients;
       return;
     }
   }
-  const RowSet& cur = *rows_.back();
-  const std::vector<Spectrum>& base = basis_->spectra[path.back()];
-  auto next = std::make_shared<RowSet>();
-  next->reserve(cur.size() * base.size());
-  std::uint64_t coeffs = 0;
-  for (const Spectrum& r : cur)
-    for (const Spectrum& s : base) {
-      next->push_back(r.convolve(s));
-      coeffs += next->back().nonzero_count();
-    }
-  coefficients_ += coeffs;
-  if (memoize) memo_.insert(path, {next, coeffs});
-  rows_.push_back(std::move(next));
+  const RowSet& cur = *stack_.back().rows;
+  const std::vector<FlatSpectrum>& base = basis_->flat[path.back()];
+  if (memoize) {
+    // Memo entries must outlive the stack (and this backend's slots), so a
+    // memoized prefix gets its own allocation.  Prefix pushes are a
+    // vanishing fraction of the scan — the C(n, d) full-depth pushes all go
+    // through the reusable slot below.
+    auto fresh = std::make_shared<RowSet>(basis_->vars.num_vars);
+    const std::uint64_t coeffs = build_level(cur, base, *fresh);
+    coefficients_ += coeffs;
+    memo_.insert(path, {fresh, coeffs});
+    stack_.push_back(Level{fresh.get(), std::move(fresh)});
+    return;
+  }
+  RowSet& slot = slots_[path.size()];
+  coefficients_ += build_level(cur, base, slot);
+  stack_.push_back(Level{&slot, nullptr});
 }
 
-void MapBackend::pop() { rows_.pop_back(); }
+void MapBackend::pop() { stack_.pop_back(); }
 
 std::optional<Mask> MapBackend::check_rows(const RowCheckQuery& q) {
   ScopedPhase phase(timers_, "verification");
   obs::Span span("add_check");
-  for (const Spectrum& r : *rows_.back()) {
+  const RowSet& top = *stack_.back().rows;
+  for (std::size_t r = 0; r < top.row_count(); ++r) {
     if (use_add_) {
       // The paper's MAPI step: W as an ADD, multiplied against the
       // violation region T; a nonzero product is a witness.
-      dd::Add w = r.to_add(*manager_);
+      dd::Add w = spectral::flat_to_add(
+          *manager_, basis_->vars.num_vars, top.row_masks(r),
+          top.row_coeffs(r), top.row_size(r), &add_scratch_,
+          arena_.stats_ptr());
       dd::Bdd hit = w.nonzero() & q.violation_region;
       Mask alpha;
       if (hit.any_sat(&alpha)) return alpha;
     } else {
       // MAP verification = product of W with the materialized relation
-      // vector T: every forbidden coordinate is looked up in the hash map.
+      // vector T: every forbidden coordinate is a binary search in the
+      // sorted row.
       if (q.region->empty()) continue;
+      const Mask* masks = top.row_masks(r);
+      const std::int64_t* coeffs = top.row_coeffs(r);
+      const std::size_t n = top.row_size(r);
       Mask witness;
       if (q.region->find_violation(
-              [&](const Mask& a) { return r.at(a) != 0; }, &witness,
-              q.coefficients))
+              [&](const Mask& a) {
+                return spectral::flat_at(masks, coeffs, n, a) != 0;
+              },
+              &witness, q.coefficients))
         return witness;
     }
   }
@@ -78,12 +117,17 @@ std::optional<Mask> MapBackend::check_rows(const RowCheckQuery& q) {
 }
 
 void MapBackend::accumulate_deps(std::vector<Mask>& V) {
-  for (const Spectrum& r : *rows_.back())
-    for (const auto& [alpha, v] : r.coefficients()) {
+  const RowSet& top = *stack_.back().rows;
+  for (std::size_t r = 0; r < top.row_count(); ++r) {
+    const Mask* masks = top.row_masks(r);
+    const std::size_t n = top.row_size(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Mask& alpha = masks[i];
       if (alpha.intersects(basis_->vars.random_vars)) continue;
-      for (std::size_t i = 0; i < V.size(); ++i)
-        V[i] |= alpha & basis_->vars.secret_vars[i];
+      for (std::size_t s = 0; s < V.size(); ++s)
+        V[s] |= alpha & basis_->vars.secret_vars[s];
     }
+  }
 }
 
 }  // namespace sani::verify

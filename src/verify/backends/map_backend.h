@@ -1,13 +1,18 @@
 #pragma once
-// Hash-map backend (MAP and MAPI engines).
+// Flat-spectrum backend (MAP and MAPI engines).
 //
-// Convolution runs on the shared Basis' hash-map spectra.  Verification is
-// either the scan product with the materialized ForbiddenRegion (MAP) or
-// the paper's symbolic ADD product (MAPI; needs the manager).  For MAPI the
-// Driver has already thawed the Basis' frozen base-spectrum ADDs into the
-// manager, so the per-row Spectrum::to_add rebuilds hit a warm unique
-// table; the backend itself only needs the manager pointer.
+// Convolution runs on the shared Basis' flat sorted spectra through a
+// ConvolutionArena: cross products are emitted into reusable scratch,
+// sorted, and collapsed into per-depth row-set slots, so the steady-state
+// combination scan performs zero heap allocations (ArenaStats makes the
+// claim testable).  Verification is either the scan product with the
+// materialized ForbiddenRegion, each coordinate resolved by binary search
+// over the sorted row (MAP), or the paper's symbolic ADD product (MAPI;
+// needs the manager).  For MAPI the Driver has already thawed the Basis'
+// frozen base-spectrum ADDs into the manager, so the per-row ADD rebuilds
+// hit a warm unique table.
 
+#include "spectral/flat_spectrum.h"
 #include "verify/backends/backend.h"
 #include "verify/prefix_memo.h"
 
@@ -24,7 +29,20 @@ class MapBackend : public Backend {
   void accumulate_deps(std::vector<Mask>& V) override;
 
  private:
-  using RowSet = std::vector<spectral::Spectrum>;
+  using RowSet = spectral::FlatRowSet;
+
+  /// One level of the combination stack.  `rows` always points at the live
+  /// row set; `owned` keeps memo-shared sets alive (null for the per-depth
+  /// reusable slots, whose storage the backend owns).
+  struct Level {
+    const RowSet* rows = nullptr;
+    std::shared_ptr<const RowSet> owned;
+  };
+
+  /// Convolves every (current row x base subset) pair into `out`.
+  std::uint64_t build_level(const RowSet& cur,
+                            const std::vector<spectral::FlatSpectrum>& base,
+                            RowSet& out);
 
   std::shared_ptr<const Basis> basis_;
   dd::Manager* manager_;  // MAPI verification only
@@ -33,7 +51,14 @@ class MapBackend : public Backend {
   std::uint64_t& coefficients_;
   int order_;
   PrefixMemo<RowSet> memo_;
-  std::vector<std::shared_ptr<const RowSet>> rows_;
+  bool memo_enabled_;
+  spectral::ConvolutionArena arena_;
+  RowSet root_;                     // depth 0: the constant-zero spectrum
+  std::vector<RowSet> slots_;       // per-depth reusable row sets
+  std::vector<Level> stack_;
+  // MAPI per-row ADD rebuild scratch, reused across all rows and
+  // combinations (growth credited to the arena stats).
+  std::vector<std::pair<Mask, std::int64_t>> add_scratch_;
 };
 
 }  // namespace sani::verify

@@ -1,6 +1,7 @@
 #include "verify/basis.h"
 
 #include "dd/add.h"
+#include "dd/walsh.h"
 #include "obs/clock.h"
 #include "obs/trace.h"
 #include "verify/backends/registry.h"
@@ -34,13 +35,13 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
     info.output_group = o.output_group;
     info.output_share_index = o.output_share_index;
     info.num_subsets = (std::size_t{1} << o.fns.size()) - 1;
+    for (const auto& f : o.fns) info.support |= f.support();
+    used |= info.support;
     basis->obs.push_back(std::move(info));
-
-    for (const auto& f : o.fns) used |= f.support();
 
     if (!subset_walk) continue;
     const std::size_t num_subsets = (std::size_t{1} << o.fns.size()) - 1;
-    std::vector<spectral::Spectrum> subsets;
+    std::vector<spectral::FlatSpectrum> subsets;
     std::vector<std::size_t> fn_roots;
     std::vector<std::size_t> spectrum_roots;
     if (needs.spectra) subsets.reserve(num_subsets);
@@ -52,11 +53,18 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
         roots.push_back(x.node());
         fn_handles.push_back(x);
       }
-      if (needs.spectra) {
-        subsets.push_back(spectral::Spectrum::from_bdd(x));
-        basis->base_coefficients += subsets.back().nonzero_count();
+      if (needs.spectra || needs.frozen_spectra) {
+        // One Walsh transform serves both representations: the flat entries
+        // are enumerated from the spectrum ADD, and the same (already
+        // reduced) diagram is frozen for the MAPI verification step — no
+        // map -> ADD rebuild.
+        dd::Add w = dd::walsh_transform(x);
+        if (needs.spectra) {
+          subsets.push_back(spectral::FlatSpectrum::from_add(
+              w, unfolded.vars.num_vars));
+          basis->base_coefficients += subsets.back().nonzero_count();
+        }
         if (needs.frozen_spectra) {
-          dd::Add w = subsets.back().to_add(*unfolded.manager);
           spectrum_roots.push_back(roots.size());
           roots.push_back(w.node());
           spectrum_handles.push_back(std::move(w));
@@ -67,10 +75,10 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
       std::vector<spectral::LilSpectrum> lil;
       lil.reserve(subsets.size());
       for (const auto& s : subsets)
-        lil.push_back(spectral::LilSpectrum::from_spectrum(s));
+        lil.push_back(spectral::LilSpectrum::from_flat(s));
       basis->lil.push_back(std::move(lil));
     }
-    if (needs.spectra) basis->spectra.push_back(std::move(subsets));
+    if (needs.spectra) basis->flat.push_back(std::move(subsets));
     if (needs.frozen_fns) basis->frozen_fn_roots.push_back(std::move(fn_roots));
     if (needs.frozen_spectra)
       basis->frozen_spectrum_roots.push_back(std::move(spectrum_roots));
@@ -87,9 +95,26 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
   return basis;
 }
 
+BasisNeeds all_engine_needs() {
+  BasisNeeds needs;
+  needs.spectra = false;
+  for (const BackendInfo& info : backend_registry()) {
+    needs.spectra = needs.spectra || info.needs_spectra;
+    needs.lil = needs.lil || info.needs_lil;
+    needs.frozen_fns = needs.frozen_fns || info.frozen_fns;
+    needs.frozen_spectra = needs.frozen_spectra || info.frozen_spectra;
+  }
+  return needs;
+}
+
 std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
                                          const ObservableSet& observables,
                                          EngineKind engine) {
+  // The portfolio resolves its engine from predictors computed over the
+  // built Basis, so a kAuto build must serve whichever engine wins: carry
+  // the union of every backend's needs.
+  if (engine == EngineKind::kAuto)
+    return build_basis(unfolded, observables, all_engine_needs());
   const BackendInfo& info = backend_info(engine);
   BasisNeeds needs;
   needs.spectra = info.needs_spectra;

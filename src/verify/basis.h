@@ -12,7 +12,7 @@
 //      violation predicates.
 //
 // The Basis is deliberately manager-independent for EVERY engine: spectra
-// are plain Mask -> int64 containers, the VarMap is a value copy, and the
+// are flat sorted (mask, coeff) arrays, the VarMap is a value copy, and the
 // decision-diagram material the ADD engines verify against is carried as a
 // dd::FrozenForest — a flat, manager-free node array (see dd/freeze.h).
 // One Basis is therefore shared read-only across all parallel workers;
@@ -28,6 +28,7 @@
 #include "circuit/unfold.h"
 #include "dd/bdd.h"
 #include "dd/freeze.h"
+#include "spectral/flat_spectrum.h"
 #include "spectral/lil_spectrum.h"
 #include "spectral/spectrum.h"
 #include "util/mask.h"
@@ -44,15 +45,24 @@ struct ObservableInfo {
   int output_group = -1;
   int output_share_index = -1;
   std::size_t num_subsets = 0;  // 2^m - 1 nonempty XOR-subsets
+  /// Union of the member functions' variable supports — a cheap structural
+  /// predictor for the portfolio front-end (serialized since SANIBAS v2; on
+  /// a v1 load it is recomputed from the spectra when they are present).
+  Mask support;
 };
 
 /// Which representations the Basis must carry (from the backend registry).
 struct BasisNeeds {
-  bool spectra = true;          // hash-map base spectra (LIL/MAP/MAPI)
+  bool spectra = true;          // flat base spectra (LIL/MAP/MAPI)
   bool lil = false;             // sorted-list copies (LIL only)
   bool frozen_fns = false;      // freeze the XOR-subset BDDs (FUJITA)
   bool frozen_spectra = false;  // freeze the base-spectrum ADDs (MAPI)
 };
+
+/// The union of every engine's needs — what a Basis built for the kAuto
+/// portfolio carries, so whichever engine the cost model picks (now or on a
+/// later warm start from the artifact store) runs from the same artifact.
+BasisNeeds all_engine_needs();
 
 /// The per-(gadget, probe model) prepared artifact: for every observable,
 /// the Walsh spectra of all nonempty XOR-subsets of its member functions
@@ -64,9 +74,11 @@ struct Basis {
   std::vector<ObservableInfo> obs;
   std::size_t num_outputs = 0;
 
-  /// spectra[i][s] = Walsh spectrum of XOR-subset s of observable i.
-  std::vector<std::vector<spectral::Spectrum>> spectra;
-  /// Sorted-list mirror of `spectra` (built only when BasisNeeds::lil).
+  /// flat[i][s] = Walsh spectrum of XOR-subset s of observable i, in the
+  /// contiguous coordinate-sorted representation the scan engines convolve
+  /// against (spectral/flat_spectrum.h).
+  std::vector<std::vector<spectral::FlatSpectrum>> flat;
+  /// Sorted-list mirror of `flat` (built only when BasisNeeds::lil).
   std::vector<std::vector<spectral::LilSpectrum>> lil;
 
   /// Manager-free snapshot of the decision-diagram material the ADD engines

@@ -21,6 +21,7 @@ const char* engine_name(EngineKind e) {
     case EngineKind::kMAP: return "MAP";
     case EngineKind::kMAPI: return "MAPI";
     case EngineKind::kFUJITA: return "FUJITA";
+    case EngineKind::kAuto: return "auto";
   }
   return "?";
 }

@@ -71,6 +71,7 @@ void Driver::prepare() {
   ctx.timers = &stats_.timers;
   ctx.coefficients = &stats_.coefficients;
   ctx.memo_stats = &stats_.prefix_memo;
+  ctx.arena_stats = &arena_stats_;
   ctx.memo_capacity = options_.memo_capacity;
   ctx.order = options_.order;
   backend_ = info.make(ctx);
@@ -116,6 +117,9 @@ VerifyResult Driver::run() {
   stats_.dd_gc_runs = dd.gc_runs;
   stats_.dd_cache_survived = dd.cache_survived;
   stats_.dd_arena_bytes = manager_ ? manager_->arena_bytes() : 0;
+  stats_.arena_convolutions = arena_stats_.convolutions;
+  stats_.arena_grows = arena_stats_.grows;
+  stats_.arena_peak_bytes = arena_stats_.peak_bytes;
   result.stats = stats_;
   return result;
 }

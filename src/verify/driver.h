@@ -120,6 +120,10 @@ class Driver {
   /// Node-store footprint of the private manager in bytes (0 without one).
   std::size_t manager_arena_bytes() const;
 
+  /// Flat convolution-arena counters of this driver's backend (all zero for
+  /// backends that do not convolve through an arena, e.g. LIL/FUJITA).
+  const spectral::ArenaStats& arena_stats() const { return arena_stats_; }
+
  private:
   struct CheckFailure {
     Mask alpha;
@@ -164,6 +168,7 @@ class Driver {
   // out of the enumeration loop.
   std::vector<obs::Histogram*> rank_hist_;
   QInfoStore qinfo_;
+  spectral::ArenaStats arena_stats_;
   VerifyStats stats_;
   sched::CancelToken own_cancel_;
   sched::CancelToken* cancel_;

@@ -8,6 +8,7 @@
 #include "util/combinations.h"
 #include "verify/driver.h"
 #include "verify/parallel.h"
+#include "verify/portfolio.h"
 
 namespace sani::verify {
 
@@ -16,6 +17,16 @@ VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
                           sched::CancelToken* cancel) {
   if (options.order < 1)
     throw std::invalid_argument("verify: order must be >= 1");
+  if (options.engine == EngineKind::kAuto) {
+    // Resolve the portfolio choice before any engine-dependent construction:
+    // the Driver holds the options by reference and the backend registry has
+    // no kAuto entry, so an unresolved kAuto must never reach either.
+    PortfolioStats pstats;
+    const VerifyOptions resolved = resolve_portfolio(*basis, options, &pstats);
+    VerifyResult result = verify_basis(std::move(basis), resolved, cancel);
+    result.stats.portfolio = pstats;
+    return result;
+  }
   if (options.jobs != 1) {
     // The Basis is manager-independent for every engine (the ADD engines'
     // diagram material is frozen inside it), so a pre-built — or
@@ -55,8 +66,15 @@ VerifyResult verify_prepared(const circuit::Unfolded& unfolded,
 
 VerifyResult verify(const circuit::Gadget& gadget,
                     const VerifyOptions& options) {
+  // Under the portfolio the unfolding manager is right-sized too — before a
+  // Basis exists, from netlist structure alone.  Forced engines keep the
+  // configured size (the baseline columns stay comparable).
+  const int unfold_bits =
+      options.engine == EngineKind::kAuto
+          ? suggest_unfold_cache_bits(gadget, options.cache_bits)
+          : options.cache_bits;
   circuit::Unfolded unfolded =
-      circuit::unfold(gadget, options.cache_bits, options.var_order);
+      circuit::unfold(gadget, unfold_bits, options.var_order);
   if (options.sift_after_unfold) unfolded.manager->reorder_sift();
   ObservableSet obs = build_observables(gadget, unfolded, options.probes);
   return verify_prepared(unfolded, obs, options);

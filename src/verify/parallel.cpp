@@ -15,6 +15,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "verify/driver.h"
+#include "verify/portfolio.h"
 
 namespace sani::verify {
 
@@ -157,6 +158,11 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
       result.stats.dd_cache_bits = slot.driver->manager_cache_bits();
     if (slot.driver->manager_arena_bytes() > result.stats.dd_arena_bytes)
       result.stats.dd_arena_bytes = slot.driver->manager_arena_bytes();
+    const spectral::ArenaStats& arena = slot.driver->arena_stats();
+    result.stats.arena_convolutions += arena.convolutions;
+    result.stats.arena_grows += arena.grows;
+    if (arena.peak_bytes > result.stats.arena_peak_bytes)
+      result.stats.arena_peak_bytes = arena.peak_bytes;
     result.stats.combinations += ws.combinations;
     result.stats.coefficients += ws.coefficients;
     result.stats.prefix_memo.hits += ws.prefix_memo.hits;
@@ -196,9 +202,15 @@ VerifyResult verify_parallel(const PrepareFn& prepare,
   // shared Basis (frozen forest included) every worker reads.  The
   // unfolding and its manager are dropped before the pool starts.
   PreparedInput first = prepare();
-  return run_pool(build_basis(first.unfolded, first.observables,
-                              options.engine),
-                  options);
+  std::shared_ptr<const Basis> basis =
+      build_basis(first.unfolded, first.observables, options.engine);
+  // kAuto must resolve before any Driver exists: the registry carries no
+  // kAuto entry, and the workers copy their engine from the options.
+  PortfolioStats pstats;
+  const VerifyOptions resolved = resolve_portfolio(*basis, options, &pstats);
+  VerifyResult result = run_pool(std::move(basis), resolved);
+  if (pstats.active) result.stats.portfolio = pstats;
+  return result;
 }
 
 VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,

@@ -28,6 +28,15 @@ VerifyResult strip_timing(const VerifyResult& result) {
   return out;
 }
 
+/// "auto:MAPI"-style engine label: the resolved choice is what ran, but the
+/// report should still say the portfolio made the call.
+std::string engine_label(const VerifyOptions& options,
+                         const VerifyResult& result) {
+  if (result.stats.portfolio.active)
+    return std::string("auto:") + engine_name(result.stats.portfolio.chosen);
+  return engine_name(options.engine);
+}
+
 }  // namespace
 
 std::string decode_alpha(const circuit::Gadget& gadget,
@@ -56,7 +65,7 @@ std::string summarize(const std::string& gadget_name,
     os << " is " << options.order << "-" << notion_name(options.notion);
   else
     os << " is NOT " << options.order << "-" << notion_name(options.notion);
-  os << " (engine " << engine_name(options.engine) << ", "
+  os << " (engine " << engine_label(options, result) << ", "
      << result.stats.num_observables << " observables, "
      << result.stats.combinations << " combinations, ";
   // Resolved worker count (after --jobs 0 expands to the hardware
@@ -108,6 +117,24 @@ void export_metrics(const VerifyOptions& options, const VerifyResult& result,
   m.counter("parallel.shards_skipped").set(s.parallel.shards_skipped);
   m.counter("parallel.shards_abandoned").set(s.parallel.shards_abandoned);
   m.gauge("parallel.cancel_latency").set(s.parallel.cancel_latency);
+  m.counter("arena.convolutions").set(s.arena_convolutions);
+  m.counter("arena.grows").set(s.arena_grows);
+  m.counter("arena.peak_bytes").set(s.arena_peak_bytes);
+  if (s.portfolio.active) {
+    const PortfolioStats& p = s.portfolio;
+    m.counter(std::string("portfolio.chosen.") + engine_name(p.chosen)).set(1);
+    m.counter("portfolio.cache_bits")
+        .set(static_cast<std::uint64_t>(p.cache_bits));
+    m.counter("portfolio.predictors.observables").set(p.observables);
+    m.counter("portfolio.predictors.combinations").set(p.combinations);
+    m.counter("portfolio.predictors.base_coefficients")
+        .set(p.base_coefficients);
+    m.counter("portfolio.predictors.max_cone_width").set(p.max_cone_width);
+    m.counter("portfolio.predictors.share_positions").set(p.share_positions);
+    m.gauge("portfolio.predictors.mean_spectrum_size")
+        .set(p.mean_spectrum_size);
+    m.gauge("portfolio.predictors.density").set(p.density);
+  }
   for (const auto& name : s.timers.names())
     m.gauge("phase." + name + ".seconds").set(s.timers.get(name));
 }
@@ -140,6 +167,21 @@ std::string json_report(const std::string& gadget_name,
      << ",\"peak_bytes\":" << result.stats.qinfo_peak_bytes << "},";
   os << "\"frozen\":{\"nodes\":" << result.stats.frozen_nodes
      << ",\"bytes\":" << result.stats.frozen_bytes << "},";
+  os << "\"arena\":{\"convolutions\":" << result.stats.arena_convolutions
+     << ",\"grows\":" << result.stats.arena_grows
+     << ",\"peak_bytes\":" << result.stats.arena_peak_bytes << "},";
+  if (result.stats.portfolio.active) {
+    const PortfolioStats& p = result.stats.portfolio;
+    os << "\"portfolio\":{\"chosen\":\"" << engine_name(p.chosen)
+       << "\",\"cache_bits\":" << p.cache_bits
+       << ",\"predictors\":{\"observables\":" << p.observables
+       << ",\"combinations\":" << p.combinations
+       << ",\"base_coefficients\":" << p.base_coefficients
+       << ",\"max_cone_width\":" << p.max_cone_width
+       << ",\"share_positions\":" << p.share_positions
+       << ",\"mean_spectrum_size\":" << p.mean_spectrum_size
+       << ",\"density\":" << p.density << "}},";
+  }
   {
     const std::uint64_t lookups =
         result.stats.dd_cache_hits + result.stats.dd_cache_misses;
@@ -232,7 +274,7 @@ std::string detailed_report(const circuit::Gadget& gadget,
   std::ostringstream os;
   os << "gadget: " << gadget.netlist.name() << "\n";
   os << "notion: " << options.order << "-" << notion_name(options.notion)
-     << "  engine: " << engine_name(options.engine) << "\n";
+     << "  engine: " << engine_label(options, result) << "\n";
   os << "observables: " << result.stats.num_observables
      << "  combinations: " << result.stats.combinations
      << "  coefficients: " << result.stats.coefficients << "\n";
@@ -246,6 +288,18 @@ std::string detailed_report(const circuit::Gadget& gadget,
   if (result.stats.frozen_nodes > 0)
     os << "frozen forest: " << result.stats.frozen_nodes << " nodes, "
        << result.stats.frozen_bytes << " bytes\n";
+  if (result.stats.arena_convolutions > 0)
+    os << "flat arena: " << result.stats.arena_convolutions
+       << " convolutions, " << result.stats.arena_grows
+       << " buffer grows, peak " << result.stats.arena_peak_bytes
+       << " bytes\n";
+  if (result.stats.portfolio.active) {
+    const PortfolioStats& p = result.stats.portfolio;
+    os << "portfolio: chose " << engine_name(p.chosen) << " (cache 2^"
+       << p.cache_bits << "), mean spectrum " << p.mean_spectrum_size
+       << ", share positions " << p.share_positions << ", combinations "
+       << p.combinations << "\n";
+  }
   if (result.stats.dd_cache_hits + result.stats.dd_cache_misses > 0) {
     os << "dd manager: " << result.stats.dd_cache_hits << " cache hits / "
        << result.stats.dd_cache_misses << " misses (2^"

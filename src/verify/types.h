@@ -37,9 +37,13 @@ const char* notion_name(Notion n);
 
 enum class EngineKind : std::uint8_t {
   kLIL,     // list-of-lists convolution + list-scan verification [11]
-  kMAP,     // hash-map convolution + map-scan verification
-  kMAPI,    // hash-map convolution + ADD verification (the paper's method)
+  kMAP,     // flat convolution + map-scan verification
+  kMAPI,    // flat convolution + ADD verification (the paper's method)
   kFUJITA,  // per-combination Fujita transform + ADD verification
+  kAuto,    // portfolio front-end: a cost model over cheap structural
+            // predictors resolves one of the engines above per gadget
+            // (verify/portfolio.h) before the Driver is built; never
+            // reaches the backend registry unresolved
 };
 
 const char* engine_name(EngineKind e);
@@ -186,6 +190,24 @@ struct ParallelStats {
   std::vector<WorkerStats> workers;
 };
 
+/// Structural predictors the portfolio front-end feeds its cost model —
+/// every input is a pure function of the prepared Basis and the options
+/// (no wall clock, no randomness), so the choice is deterministic and
+/// byte-stable across runs.  Recorded in the report whether or not the
+/// portfolio was active, zero-initialized otherwise.
+struct PortfolioStats {
+  bool active = false;          // options.engine was kAuto
+  EngineKind chosen = EngineKind::kMAPI;  // resolved engine
+  int cache_bits = 0;           // adaptive computed-table sizing it picked
+  std::uint64_t observables = 0;
+  std::uint64_t combinations = 0;     // sum_{k<=order} C(observables, k)
+  std::uint64_t base_coefficients = 0;
+  std::uint64_t max_cone_width = 0;   // max XOR-subsets of one observable
+  std::uint64_t share_positions = 0;  // share coordinates of the gadget
+  double mean_spectrum_size = 0.0;    // coefficients per base subset
+  double density = 0.0;               // mean size / 2^num_vars (capped)
+};
+
 struct VerifyStats {
   std::uint64_t combinations = 0;   // XOR-combinations enumerated
   std::uint64_t coefficients = 0;   // spectrum entries scanned/produced
@@ -212,6 +234,15 @@ struct VerifyStats {
   std::uint64_t dd_cache_survived = 0;  // entries kept across those GCs
   std::size_t dd_arena_bytes = 0;   // max node-store footprint (SoA arrays,
                                     // stamps, unique subtables) per worker
+  std::uint64_t arena_convolutions = 0;  // flat merge-kernel invocations
+                                         // (summed across workers)
+  std::uint64_t arena_grows = 0;    // convolution-arena buffer growths; on a
+                                    // warmed-up scan this plateaus while
+                                    // convolutions keeps climbing — the
+                                    // zero-per-combination-allocation
+                                    // property the tests assert
+  std::uint64_t arena_peak_bytes = 0;  // max arena footprint per worker
+  PortfolioStats portfolio;         // engine-selection record (kAuto runs)
   PhaseTimers timers;               // thaw / base / convolution /
                                     // verification / union (summed across
                                     // workers when parallel)

@@ -55,9 +55,11 @@ void expect_basis_matches_direct(const char* name, bool robust) {
       direct_coeffs += direct.back().nonzero_count();
     });
     ASSERT_EQ(basis->obs[i].num_subsets, direct.size()) << name << " obs " << i;
-    ASSERT_EQ(basis->spectra[i].size(), direct.size()) << name << " obs " << i;
+    ASSERT_EQ(basis->flat[i].size(), direct.size()) << name << " obs " << i;
     for (std::size_t s = 0; s < direct.size(); ++s) {
-      EXPECT_TRUE(basis->spectra[i][s] == direct[s])
+      EXPECT_TRUE(basis->flat[i][s].is_canonical())
+          << name << " obs " << i << " subset " << s;
+      EXPECT_TRUE(basis->flat[i][s].to_spectrum() == direct[s])
           << name << " obs " << i << " subset " << s;
       // The sorted-list mirror holds the same coefficients.
       ASSERT_EQ(basis->lil[i][s].nonzero_count(), direct[s].nonzero_count());
@@ -86,7 +88,7 @@ TEST(Basis, FujitaBasisCarriesFrozenFunctionsOnly) {
   std::shared_ptr<const Basis> basis =
       build_basis(u, obs, EngineKind::kFUJITA);
   EXPECT_EQ(basis->size(), obs.size());
-  EXPECT_TRUE(basis->spectra.empty());
+  EXPECT_TRUE(basis->flat.empty());
   EXPECT_TRUE(basis->lil.empty());
   EXPECT_EQ(basis->base_coefficients, 0u);
   // Instead of spectra, the FUJITA basis freezes every XOR-subset BDD so
@@ -98,12 +100,12 @@ TEST(Basis, FujitaBasisCarriesFrozenFunctionsOnly) {
   EXPECT_TRUE(basis->frozen_spectrum_roots.empty());
   std::shared_ptr<const Basis> lil_basis =
       build_basis(u, obs, EngineKind::kLIL);
-  EXPECT_FALSE(lil_basis->spectra.empty());
+  EXPECT_FALSE(lil_basis->flat.empty());
   EXPECT_FALSE(lil_basis->lil.empty());
   EXPECT_TRUE(lil_basis->frozen.empty());
   std::shared_ptr<const Basis> map_basis =
       build_basis(u, obs, EngineKind::kMAP);
-  EXPECT_FALSE(map_basis->spectra.empty());
+  EXPECT_FALSE(map_basis->flat.empty());
   EXPECT_TRUE(map_basis->lil.empty());
   EXPECT_TRUE(map_basis->frozen.empty());
 }
@@ -116,7 +118,7 @@ TEST(Basis, MapiBasisCarriesFrozenSpectra) {
   // MAPI keeps the numeric spectra (the backend scans them) and additionally
   // freezes the base-spectrum ADDs so each worker can pre-warm its private
   // manager by thawing instead of replaying the unfolding.
-  EXPECT_FALSE(basis->spectra.empty());
+  EXPECT_FALSE(basis->flat.empty());
   EXPECT_FALSE(basis->frozen.empty());
   ASSERT_EQ(basis->frozen_spectrum_roots.size(), obs.size());
   for (std::size_t i = 0; i < obs.size(); ++i)

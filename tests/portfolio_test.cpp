@@ -1,0 +1,222 @@
+// Tests of the adaptive engine portfolio (src/verify/portfolio.*):
+// `--engine auto` must be observationally equivalent to every forced engine
+// (same verdict and witness) across the full gadget registry and across
+// worker counts, and the cost model must be a deterministic pure function
+// of the prepared Basis — no wall-clock or randomness inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/unfold.h"
+#include "gadgets/registry.h"
+#include "verify/backends/registry.h"
+#include "verify/basis.h"
+#include "verify/checker.h"
+#include "verify/engine.h"
+#include "verify/observables.h"
+#include "verify/portfolio.h"
+#include "verify/report.h"
+
+namespace sani::verify {
+namespace {
+
+constexpr EngineKind kForcedEngines[] = {EngineKind::kLIL, EngineKind::kMAP,
+                                         EngineKind::kMAPI,
+                                         EngineKind::kFUJITA};
+
+// Verdict + witness observable set.  The witness coordinate alpha is a
+// representation detail that may legitimately differ between engines (see
+// engine_test.cpp), so it is not part of the fingerprint.
+std::string fingerprint(const VerifyResult& r) {
+  std::string fp = r.timed_out ? "timeout" : (r.secure ? "secure" : "insecure");
+  if (r.counterexample) {
+    fp += " |";
+    for (const auto& o : r.counterexample->observables) fp += " " + o;
+  }
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: auto == every forced engine, full registry, jobs 1/2/4
+// (satellite 3).
+// ---------------------------------------------------------------------------
+
+void expect_auto_matches_forced(const std::string& name, int order,
+                                std::initializer_list<int> jobs_grid) {
+  circuit::Gadget g = gadgets::by_name(name);
+  VerifyOptions base;
+  base.notion = Notion::kSNI;
+  base.order = order;
+
+  for (int jobs : jobs_grid) {
+    VerifyOptions auto_opt = base;
+    auto_opt.engine = EngineKind::kAuto;
+    auto_opt.jobs = jobs;
+    const VerifyResult auto_result = verify(g, auto_opt);
+    // The portfolio record must always be attached and name a registered
+    // engine (never kAuto itself).
+    ASSERT_TRUE(auto_result.stats.portfolio.active) << name << " jobs " << jobs;
+    EXPECT_NE(auto_result.stats.portfolio.chosen, EngineKind::kAuto);
+    EXPECT_NO_THROW(backend_info(auto_result.stats.portfolio.chosen));
+    EXPECT_GE(auto_result.stats.portfolio.cache_bits, 1);
+
+    for (EngineKind engine : kForcedEngines) {
+      VerifyOptions forced = base;
+      forced.engine = engine;
+      forced.jobs = jobs;
+      const VerifyResult r = verify(g, forced);
+      EXPECT_FALSE(r.stats.portfolio.active);
+      EXPECT_EQ(fingerprint(auto_result), fingerprint(r))
+          << name << " jobs " << jobs << " vs " << engine_name(engine);
+    }
+  }
+}
+
+// Order 1 keeps even the keccak-3/dom-4 rows fast enough to sweep the whole
+// registry under every forced engine; the order-2 spot check below covers
+// the multi-probe scan path on gadgets where all four engines stay quick.
+TEST(Portfolio, AutoMatchesEveryForcedEngineAcrossRegistryAndJobs) {
+  for (const std::string& name : gadgets::all_names())
+    expect_auto_matches_forced(name, 1, {1, 2, 4});
+}
+
+TEST(Portfolio, AutoMatchesEveryForcedEngineAtHigherOrders) {
+  for (const char* name : {"isw-2", "dom-2", "isw-3"})
+    expect_auto_matches_forced(name, std::min(2, gadgets::security_level(name)),
+                               {1, 4});
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the choice is a pure function of the Basis (satellite 3).
+// ---------------------------------------------------------------------------
+
+TEST(Portfolio, CostModelIsDeterministic) {
+  for (const char* name : {"isw-1", "dom-2", "keccak-1"}) {
+    circuit::Gadget g = gadgets::by_name(name);
+    circuit::Unfolded u = circuit::unfold(g);
+    ObservableSet obs = build_observables(g, u, {});
+    std::shared_ptr<const Basis> basis =
+        build_basis(u, obs, EngineKind::kAuto);
+
+    VerifyOptions opt;
+    opt.engine = EngineKind::kAuto;
+    opt.order = gadgets::security_level(name);
+
+    const Predictors p1 = compute_predictors(*basis, opt);
+    const Predictors p2 = compute_predictors(*basis, opt);
+    EXPECT_EQ(p1.observables, p2.observables) << name;
+    EXPECT_EQ(p1.combinations, p2.combinations) << name;
+    EXPECT_EQ(p1.base_coefficients, p2.base_coefficients) << name;
+    EXPECT_EQ(p1.total_subsets, p2.total_subsets) << name;
+    EXPECT_EQ(p1.max_cone_width, p2.max_cone_width) << name;
+    EXPECT_EQ(p1.share_positions, p2.share_positions) << name;
+    EXPECT_EQ(p1.frozen_nodes, p2.frozen_nodes) << name;
+    EXPECT_EQ(p1.mean_spectrum_size, p2.mean_spectrum_size) << name;
+    EXPECT_EQ(p1.density, p2.density) << name;
+
+    EXPECT_EQ(choose_engine(p1), choose_engine(p2)) << name;
+    EXPECT_EQ(suggest_cache_bits(p1, 18), suggest_cache_bits(p2, 18)) << name;
+    EXPECT_EQ(suggest_unfold_cache_bits(g, 18),
+              suggest_unfold_cache_bits(g, 18))
+        << name;
+
+    PortfolioStats s1, s2;
+    const VerifyOptions r1 = resolve_portfolio(*basis, opt, &s1);
+    const VerifyOptions r2 = resolve_portfolio(*basis, opt, &s2);
+    EXPECT_EQ(r1.engine, r2.engine) << name;
+    EXPECT_EQ(r1.cache_bits, r2.cache_bits) << name;
+    EXPECT_TRUE(s1.active);
+    EXPECT_EQ(s1.chosen, s2.chosen) << name;
+    EXPECT_EQ(s1.cache_bits, s2.cache_bits) << name;
+  }
+}
+
+TEST(Portfolio, ResolveIsIdentityForForcedEngines) {
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  circuit::Unfolded u = circuit::unfold(g);
+  ObservableSet obs = build_observables(g, u, {});
+  std::shared_ptr<const Basis> basis = build_basis(u, obs, EngineKind::kMAPI);
+
+  VerifyOptions opt;
+  opt.engine = EngineKind::kMAPI;
+  opt.cache_bits = 18;
+  PortfolioStats stats;
+  const VerifyOptions resolved = resolve_portfolio(*basis, opt, &stats);
+  EXPECT_EQ(resolved.engine, EngineKind::kMAPI);
+  EXPECT_EQ(resolved.cache_bits, 18);
+  EXPECT_FALSE(stats.active);
+}
+
+TEST(Portfolio, SuggestedCacheBitsRespectTheConfiguredCeiling) {
+  for (const char* name : {"isw-1", "keccak-2"}) {
+    circuit::Gadget g = gadgets::by_name(name);
+    circuit::Unfolded u = circuit::unfold(g);
+    ObservableSet obs = build_observables(g, u, {});
+    std::shared_ptr<const Basis> basis =
+        build_basis(u, obs, EngineKind::kAuto);
+    VerifyOptions opt;
+    opt.engine = EngineKind::kAuto;
+    opt.order = gadgets::security_level(name);
+    const Predictors p = compute_predictors(*basis, opt);
+    for (int ceiling : {10, 14, 18, 24}) {
+      const int bits = suggest_cache_bits(p, ceiling);
+      EXPECT_GE(bits, 10) << name;
+      EXPECT_LE(bits, std::max(10, ceiling)) << name;
+      const int unfold_bits = suggest_unfold_cache_bits(g, ceiling);
+      EXPECT_GE(unfold_bits, 10) << name;
+      EXPECT_LE(unfold_bits, std::max(10, ceiling)) << name;
+    }
+  }
+}
+
+// The portfolio must size small gadgets well below the fixed default (the
+// whole point: a 2^18 computed table costs more to zero than the entire
+// verification of isw-1) while letting keccak-class gadgets keep big tables.
+TEST(Portfolio, AdaptiveCacheBitsSeparateSmallFromLargeGadgets) {
+  auto suggested = [](const char* name) {
+    circuit::Gadget g = gadgets::by_name(name);
+    circuit::Unfolded u = circuit::unfold(g);
+    ObservableSet obs = build_observables(g, u, {});
+    std::shared_ptr<const Basis> basis =
+        build_basis(u, obs, EngineKind::kAuto);
+    VerifyOptions opt;
+    opt.engine = EngineKind::kAuto;
+    opt.order = gadgets::security_level(name);
+    return suggest_cache_bits(compute_predictors(*basis, opt), 18);
+  };
+  EXPECT_LT(suggested("isw-1"), 14);
+  EXPECT_GE(suggested("keccak-2"), suggested("isw-1"));
+}
+
+// ---------------------------------------------------------------------------
+// Reporting: the resolved engine is visible and deterministic.
+// ---------------------------------------------------------------------------
+
+TEST(Portfolio, ReportsCarryTheResolvedEngineDeterministically) {
+  circuit::Gadget g = gadgets::by_name("dom-1");
+  VerifyOptions opt;
+  opt.engine = EngineKind::kAuto;
+  opt.order = 1;
+  opt.deterministic_report = true;
+  const VerifyResult a = verify(g, opt);
+  const VerifyResult b = verify(g, opt);
+  ASSERT_TRUE(a.stats.portfolio.active);
+  EXPECT_EQ(a.stats.portfolio.chosen, b.stats.portfolio.chosen);
+
+  const std::string sum = summarize("dom-1", opt, a, 1.0);
+  EXPECT_NE(sum.find("auto:"), std::string::npos) << sum;
+  EXPECT_NE(sum.find(engine_name(a.stats.portfolio.chosen)),
+            std::string::npos)
+      << sum;
+
+  const std::string json_a = json_report("dom-1", opt, a, 1.0);
+  const std::string json_b = json_report("dom-1", opt, b, 2.0);
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_NE(json_a.find("\"portfolio\":{\"chosen\":\""), std::string::npos);
+  EXPECT_NE(json_a.find("\"predictors\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sani::verify

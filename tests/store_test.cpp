@@ -137,14 +137,19 @@ void expect_serial_round_trip(const std::string& label,
     EXPECT_EQ(back->obs[i].output_share_index,
               basis.obs[i].output_share_index);
     EXPECT_EQ(back->obs[i].num_subsets, basis.obs[i].num_subsets);
+    EXPECT_TRUE(back->obs[i].support == basis.obs[i].support)
+        << label << " obs " << i;
   }
 
-  ASSERT_EQ(back->spectra.size(), basis.spectra.size()) << label;
-  for (std::size_t i = 0; i < basis.spectra.size(); ++i) {
-    ASSERT_EQ(back->spectra[i].size(), basis.spectra[i].size());
-    for (std::size_t s = 0; s < basis.spectra[i].size(); ++s)
-      EXPECT_TRUE(back->spectra[i][s] == basis.spectra[i][s])
+  ASSERT_EQ(back->flat.size(), basis.flat.size()) << label;
+  for (std::size_t i = 0; i < basis.flat.size(); ++i) {
+    ASSERT_EQ(back->flat[i].size(), basis.flat[i].size());
+    for (std::size_t s = 0; s < basis.flat[i].size(); ++s) {
+      EXPECT_TRUE(back->flat[i][s].is_canonical())
           << label << " obs " << i << " subset " << s;
+      EXPECT_TRUE(back->flat[i][s] == basis.flat[i][s])
+          << label << " obs " << i << " subset " << s;
+    }
   }
   // The LIL mirror is rebuilt, not stored; it must still match.
   ASSERT_EQ(back->lil.size(), basis.lil.size()) << label;
@@ -256,6 +261,120 @@ TEST(Serial, RejectsTamperedImages) {
   }
   // Trailing garbage is not tolerated either.
   EXPECT_THROW(deserialize_basis(image + "x"), SerializationError);
+}
+
+// Rewrites a v2 file image as the v1 format the previous release wrote:
+// version field 1 and observable metadata without the per-observable support
+// masks.  Every other payload byte is identical — v1 and v2 share the
+// spectra encoding — so this shim produces exactly what an old writer would.
+std::string downgrade_image_to_v1(const std::string& v2_image) {
+  const std::string payload = v2_image.substr(52);
+  ByteReader r(payload);
+  const auto pos = [&] { return payload.size() - r.remaining(); };
+
+  r.u8();  // needs flags
+  // Walk (and keep) the VarMap section, mirroring the reader's field order.
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) r.i32();  // wire_to_var
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) r.u32();  // var_to_wire
+  for (int m = 0; m < 3; ++m) {  // random/public/share masks
+    r.u64();
+    r.u64();
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i) {  // secret_vars
+    r.u64();
+    r.u64();
+  }
+  for (std::uint64_t i = 0, n = r.u64(); i < n; ++i)  // secret_share_var
+    for (std::uint64_t j = 0, m = r.u64(); j < m; ++j) r.i32();
+  r.i32();  // num_vars
+  r.u64();  // relevant_publics
+  r.u64();
+
+  std::string v1_payload = payload.substr(0, pos());
+
+  // Re-encode the observable section dropping the v2-only support masks.
+  ByteWriter obs;
+  const std::uint64_t count = r.u64();
+  obs.u64(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    obs.u8(r.u8());           // kind
+    obs.str(r.str());         // name
+    obs.i32(r.i32());         // output_group
+    obs.i32(r.i32());         // output_share_index
+    obs.u64(r.u64());         // num_subsets
+    r.u64();                  // support (dropped)
+    r.u64();
+  }
+  v1_payload += obs.bytes();
+  v1_payload += payload.substr(pos());
+
+  ByteWriter file;
+  for (char c : kMagic) file.u8(static_cast<std::uint8_t>(c));
+  file.u32(1);
+  Sha256 hash;
+  hash.update(v1_payload);
+  std::uint8_t digest[32];
+  hash.digest(digest);
+  for (std::uint8_t b : digest) file.u8(b);
+  file.u64(v1_payload.size());
+  return file.take() + v1_payload;
+}
+
+// Backward compatibility: a SANIBAS v1 artifact (previous release's writer)
+// must load quarantine-free, with the support masks recomputed from the
+// stored spectra.
+TEST(Serial, V1ArtifactsStillDeserialize) {
+  const circuit::Gadget g = gadgets::by_name("dom-2");
+  for (verify::EngineKind engine :
+       {verify::EngineKind::kMAPI, verify::EngineKind::kFUJITA}) {
+    verify::VerifyOptions opt;
+    opt.engine = engine;
+    std::shared_ptr<const verify::Basis> basis = build_basis_for(g, opt);
+    const std::string v2 = serialize_basis(*basis, needs_of(engine));
+    const std::string v1 = downgrade_image_to_v1(v2);
+    ASSERT_NE(v1, v2);
+    EXPECT_LT(v1.size(), v2.size());
+
+    std::shared_ptr<const verify::Basis> back = deserialize_basis(v1);
+    ASSERT_NE(back, nullptr) << verify::engine_name(engine);
+    ASSERT_EQ(back->obs.size(), basis->obs.size());
+    ASSERT_EQ(back->flat.size(), basis->flat.size());
+    for (std::size_t i = 0; i < basis->flat.size(); ++i) {
+      ASSERT_EQ(back->flat[i].size(), basis->flat[i].size());
+      for (std::size_t s = 0; s < basis->flat[i].size(); ++s)
+        EXPECT_TRUE(back->flat[i][s] == basis->flat[i][s]);
+    }
+    for (std::size_t i = 0; i < basis->obs.size(); ++i) {
+      if (needs_of(engine).spectra) {
+        // Recomputed from the spectra — must match what the build recorded.
+        EXPECT_TRUE(back->obs[i].support == basis->obs[i].support)
+            << verify::engine_name(engine) << " obs " << i;
+      } else {
+        // Spectra-free artifacts have nothing to recompute from; the empty
+        // mask is the documented degraded state (nothing reads it there).
+        EXPECT_TRUE(back->obs[i].support == Mask{});
+      }
+    }
+  }
+}
+
+TEST(Store, V1ArtifactsLoadQuarantineFree) {
+  const circuit::Gadget g = gadgets::by_name("dom-1");
+  verify::VerifyOptions opt;
+  std::shared_ptr<const verify::Basis> basis = build_basis_for(g, opt);
+  const std::string v1 =
+      downgrade_image_to_v1(serialize_basis(*basis, needs_of(opt.engine)));
+
+  TempDir dir("v1_compat");
+  ArtifactStore store({dir.str(), 0});
+  const std::string key(64, 'b');
+  ASSERT_TRUE(store.put(key, v1));
+  std::shared_ptr<const verify::Basis> back = store.load_basis(key);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().quarantined, 0u);
+  EXPECT_FALSE(fs::exists(fs::path(dir.str()) / "quarantine" / key));
+  ASSERT_EQ(back->flat.size(), basis->flat.size());
 }
 
 TEST(Serial, Sha256KnownAnswers) {

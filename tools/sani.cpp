@@ -49,7 +49,10 @@ int usage(const std::string& msg = "") {
       "                                 the gadget's design order, or 1)\n"
       "  --engine NAME                  implementation (default mapi); one\n"
       "                                 of: " +
-          verify::backend_name_list() + "\n"
+          verify::backend_name_list() +
+          ", or auto (portfolio picks\n"
+      "                                 the engine per gadget from cheap\n"
+      "                                 structural predictors)\n"
       "  --robust                       glitch-extended probes\n"
       "  --joint                        total share counting (paper Fig. 2)\n"
       "  --no-union                     per-row T-predicate check only\n"
@@ -113,12 +116,15 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   else throw std::invalid_argument("unknown notion '" + notion + "'");
 
   const std::string engine = args.value_or("engine", "mapi");
-  if (const verify::BackendInfo* info = verify::backend_by_name(engine))
+  if (engine == "auto")
+    opt.engine = verify::EngineKind::kAuto;
+  else if (const verify::BackendInfo* info = verify::backend_by_name(engine))
     opt.engine = info->kind;
   else
     throw std::invalid_argument("unknown engine '" + engine +
                                 "' (registered engines: " +
-                                verify::backend_name_list() + ")");
+                                verify::backend_name_list() +
+                                ", or 'auto' for the portfolio)");
 
   opt.order = args.value_int("order", default_order(args));
   opt.sift_after_unfold = args.has("sift");
