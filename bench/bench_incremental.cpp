@@ -1,0 +1,176 @@
+// Incremental re-verification: cold full scan vs resubmission after a
+// single-gate edit (the edit is function-preserving — circuit/edit.h — so
+// both scans provably produce the same verdict, and the saving is pure).
+//
+// For each benchmark gadget the harness runs the store-backed pipeline
+// three times: a cold scan of the edited gadget (fresh store), a seeded
+// resubmission (the original gadget's summary is in the store, the edit
+// dirties part of the cone universe) and an unchanged resubmission (every
+// combination replays).  The wall-clock columns are machine-specific; the
+// combination/cone counters are exact and machine-independent, which is
+// what CI diffs against the committed BENCH_incremental.json baseline.
+//
+// --json [PATH] writes the rows as machine-readable JSON (default PATH:
+// BENCH_incremental.json).  The committed baseline at the repo root was
+// generated with `bench_incremental --quick --json`.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.h"
+#include "circuit/edit.h"
+#include "obs/metrics.h"
+#include "store/cached_verify.h"
+#include "store/store.h"
+#include "util/table.h"
+
+using namespace sani;
+using namespace sani::bench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Row {
+  std::string gadget;
+  int level = 0;
+  bool secure = false;
+  // Exact counters (CI diffs these).
+  std::uint64_t combinations = 0;        // cold enumeration size
+  std::uint64_t cones_total = 0;
+  std::uint64_t cones_reused = 0;        // after the one-gate edit
+  std::uint64_t rechecked = 0;           // dirty combinations re-verified
+  std::uint64_t replayed = 0;            // clean combinations replayed
+  std::uint64_t resub_rechecked = 0;     // unchanged resubmission (expect 0)
+  // Machine-specific timings (informational).
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+};
+
+struct TempStore {
+  fs::path path;
+  explicit TempStore(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("sani_bench_incr_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempStore() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+Row run_row(const std::string& name, double timeout) {
+  Row row;
+  row.gadget = name;
+  row.level = gadgets::security_level(name);
+
+  const circuit::Gadget g = gadgets::by_name(name);
+  const circuit::WireId swap = circuit::first_swappable_gate(g);
+  const circuit::Gadget edited =
+      swap == circuit::kNoWire ? g : circuit::with_swapped_fanins(g, swap);
+
+  verify::VerifyOptions opt;
+  opt.order = row.level;
+  opt.time_limit = timeout;
+  opt.incremental = true;
+
+  // Cold: the edited gadget against an empty store.
+  {
+    TempStore dir("cold_" + name);
+    store::ArtifactStore cold_store({dir.path.string(), 0});
+    Stopwatch watch;
+    const verify::VerifyResult r =
+        store::verify_with_store(edited, opt, cold_store);
+    row.cold_seconds = watch.seconds();
+    row.secure = r.secure;
+    row.combinations = r.stats.combinations;
+    row.cones_total = r.stats.incremental.cones_total;
+  }
+
+  // Seed with the original, then resubmit the edit, then resubmit as-is.
+  TempStore dir("warm_" + name);
+  store::ArtifactStore store({dir.path.string(), 0});
+  store::verify_with_store(g, opt, store);
+  {
+    Stopwatch watch;
+    const verify::VerifyResult r =
+        store::verify_with_store(edited, opt, store);
+    row.warm_seconds = watch.seconds();
+    row.cones_reused = r.stats.incremental.cones_reused;
+    row.rechecked = r.stats.incremental.combinations_rechecked;
+    row.replayed = r.stats.incremental.combinations_skipped;
+  }
+  {
+    const verify::VerifyResult r =
+        store::verify_with_store(edited, opt, store);
+    row.resub_rechecked = r.stats.incremental.combinations_rechecked;
+  }
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"incremental\",\n  \"notion\": \"sni\",\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"gadget\": \"" << obs::json_escape(r.gadget)
+       << "\", \"level\": " << r.level
+       << ", \"secure\": " << (r.secure ? "true" : "false")
+       << ", \"combinations\": " << r.combinations
+       << ", \"cones_total\": " << r.cones_total
+       << ", \"cones_reused\": " << r.cones_reused
+       << ", \"rechecked\": " << r.rechecked
+       << ", \"replayed\": " << r.replayed
+       << ", \"resub_rechecked\": " << r.resub_rechecked
+       << ", \"cold_seconds\": " << r.cold_seconds
+       << ", \"warm_seconds\": " << r.warm_seconds << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const double timeout = default_timeout(args);
+
+  std::cout << "== Incremental: cold scan vs one-gate-edit resubmission "
+               "(d-SNI) ==\n";
+  TextTable table({"sec. lev.", "gadget", "combos", "cones reused",
+                   "re-checked", "replayed", "cold (s)", "warm (s)",
+                   "saved"});
+  std::vector<Row> rows;
+  for (const std::string& name : select_gadgets(args)) {
+    Row r = run_row(name, timeout);
+    std::ostringstream saved;
+    if (r.combinations > 0)
+      saved << std::fixed << std::setprecision(1)
+            << 100.0 * static_cast<double>(r.replayed) /
+                   static_cast<double>(r.combinations)
+            << "%";
+    else
+      saved << "-";
+    table.row()
+        .add(r.level)
+        .add(r.gadget)
+        .add(r.combinations)
+        .add(r.cones_reused)
+        .add(r.rechecked)
+        .add(r.replayed)
+        .add(r.cold_seconds)
+        .add(r.warm_seconds)
+        .add(saved.str());
+    rows.push_back(std::move(r));
+  }
+  std::cout << table.to_ascii();
+  if (args.has("json")) {
+    const std::string path = args.value_or("json", "BENCH_incremental.json");
+    write_json(path, rows);
+    std::cout << "json rows written to " << path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+#pragma once
+// Structural hashing of probe cones (content addressing below whole-gadget
+// granularity).
+//
+// Every wire gets a Merkle-style digest over its fan-in cone: the digest of
+// a gate hashes its kind tag and the digests of its fan-ins, and the digest
+// of a primary input hashes only its *security role* — (secret group, share
+// index) for shares, the annotation ordinal for randoms and publics — never
+// its net name.  Two wires with equal digests therefore have identical
+// unfolded expression trees over role-identified inputs, hence identical
+// Boolean functions; wire renaming and edits outside the cone cannot change
+// the digest, while any edit inside it does.  This is the key the store's
+// per-cone verdict summaries (store/serial.h) are built on: digest equality
+// is what licenses replaying a cached verdict, and inequality is always
+// safe — it merely forces a re-check.
+//
+// Digest equality is only meaningful between runs that bind roles to
+// decision-diagram variables the same way, so varmap_digest() fingerprints
+// the per-variable role sequence of a VarMap; summaries are invalidated
+// when it changes (different --var-order, changed input declaration order
+// under the declared strategy, changed share counts, ...).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/spec.h"
+#include "circuit/unfold.h"
+
+namespace sani::circuit {
+
+/// A 32-byte SHA-256 structural digest.
+struct ConeDigest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend bool operator==(const ConeDigest& a, const ConeDigest& b) {
+    return a.bytes == b.bytes;
+  }
+  friend bool operator!=(const ConeDigest& a, const ConeDigest& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ConeDigest& a, const ConeDigest& b) {
+    return a.bytes < b.bytes;
+  }
+
+  /// Lowercase hex spelling (for logs and tests).
+  std::string hex() const;
+};
+
+/// Hash functor for unordered containers keyed by digest.
+struct ConeDigestHash {
+  std::size_t operator()(const ConeDigest& d) const {
+    std::size_t h;
+    static_assert(sizeof h <= sizeof d.bytes);
+    __builtin_memcpy(&h, d.bytes.data(), sizeof h);
+    return h;
+  }
+};
+
+/// The Merkle digest of every wire's fan-in cone, in wire order (one O(W)
+/// pass over the topologically-ordered netlist).
+std::vector<ConeDigest> wire_structure_digests(const Gadget& gadget);
+
+/// Folds a set of member cone digests into one observable-level digest.
+/// `tag` distinguishes observable kinds, `group`/`share_index` pin an
+/// output share's position (pass -1 for probes).  Members are hashed in
+/// sorted order, matching the order-insensitive function-set identity the
+/// observable dedupe uses.
+ConeDigest combine_cone_digest(std::uint32_t tag, std::int32_t group,
+                               std::int32_t share_index,
+                               std::vector<ConeDigest> members);
+
+/// Fingerprint of the role sequence a VarMap binds to dd variables: for
+/// each variable in order, the role of its input wire.  Two runs with equal
+/// varmap digests map every (secret group, share) / random / public role to
+/// the same dd variable, so functions keyed by equal cone digests occupy
+/// identical coordinates in both runs.
+ConeDigest varmap_digest(const Gadget& gadget, const VarMap& vars);
+
+}  // namespace sani::circuit

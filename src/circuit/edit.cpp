@@ -1,0 +1,68 @@
+#include "circuit/edit.h"
+
+#include <stdexcept>
+
+namespace sani::circuit {
+
+namespace {
+
+bool is_commutative2(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+    case GateKind::kXnor:
+    case GateKind::kNand:
+    case GateKind::kNor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Replays `gadget`'s netlist node by node through `edit(w, node)`, which
+/// may alter the copy before it is appended.  WireIds are stable, so the
+/// spec and output list transfer unchanged.
+template <typename EditFn>
+Gadget rebuild(const Gadget& gadget, EditFn edit) {
+  const Netlist& nl = gadget.netlist;
+  Netlist out(nl.name());
+  for (WireId w = 0; w < nl.num_wires(); ++w) {
+    GateNode node = nl.node(w);
+    edit(w, node);
+    out.add(node.kind, std::move(node.name), node.fanin[0], node.fanin[1],
+            node.fanin[2]);
+  }
+  for (WireId w : nl.outputs()) out.add_output(w);
+  return Gadget{std::move(out), gadget.spec};
+}
+
+}  // namespace
+
+Gadget with_renamed_wires(const Gadget& gadget, const std::string& prefix) {
+  return rebuild(gadget, [&](WireId, GateNode& node) {
+    node.name = prefix + node.name;
+  });
+}
+
+Gadget with_swapped_fanins(const Gadget& gadget, WireId w) {
+  if (w >= gadget.netlist.num_wires())
+    throw std::invalid_argument("with_swapped_fanins: no such wire");
+  if (!is_commutative2(gadget.netlist.node(w).kind))
+    throw std::invalid_argument(
+        "with_swapped_fanins: gate is not commutative in its fan-ins");
+  return rebuild(gadget, [&](WireId i, GateNode& node) {
+    if (i == w) std::swap(node.fanin[0], node.fanin[1]);
+  });
+}
+
+WireId first_swappable_gate(const Gadget& gadget) {
+  const Netlist& nl = gadget.netlist;
+  for (WireId w = 0; w < nl.num_wires(); ++w) {
+    const GateNode& node = nl.node(w);
+    if (is_commutative2(node.kind) && node.fanin[0] != node.fanin[1]) return w;
+  }
+  return kNoWire;
+}
+
+}  // namespace sani::circuit

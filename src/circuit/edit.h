@@ -1,0 +1,33 @@
+#pragma once
+// Function-preserving structural edits.
+//
+// The incremental re-verification tests and bench_incremental need
+// "resubmission after a small edit" workloads whose *verdict* is provably
+// unchanged, so that a byte-identical report is the correct expectation.
+// These helpers produce such edits: renaming every net (changes the
+// canonical ILANG, hence the artifact key, but no cone digest) and swapping
+// the fan-ins of one commutative gate (changes exactly the digests of the
+// cones containing that gate, but not any wire's Boolean function).
+
+#include <string>
+
+#include "circuit/spec.h"
+
+namespace sani::circuit {
+
+/// Copy of `gadget` with every net name prefixed by `prefix`; gate
+/// structure, outputs and annotations are untouched (WireIds are preserved,
+/// so the spec carries over verbatim).
+Gadget with_renamed_wires(const Gadget& gadget, const std::string& prefix);
+
+/// Copy of `gadget` with the first two fan-ins of wire `w` swapped.  Throws
+/// std::invalid_argument unless the gate is commutative in those operands
+/// (AND/OR/XOR/XNOR/NAND/NOR), so the edit is guaranteed function-
+/// preserving while every cone containing `w` changes structurally.
+Gadget with_swapped_fanins(const Gadget& gadget, WireId w);
+
+/// First wire (topological order) whose gate with_swapped_fanins accepts
+/// and whose two fan-ins are distinct; kNoWire if the gadget has none.
+WireId first_swappable_gate(const Gadget& gadget);
+
+}  // namespace sani::circuit

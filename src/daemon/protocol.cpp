@@ -101,6 +101,10 @@ Request parse_request(const std::string& line) {
   if (root->get_bool("largest_first", false))
     o.search_order = verify::SearchOrder::kLargestFirst;
   o.deterministic_report = root->get_bool("deterministic", false);
+  if (root->has("incremental")) {
+    r.incremental_set = true;
+    o.incremental = root->get_bool("incremental", false);
+  }
 
   const std::string format = root->get_string("format", "text");
   if (format != "text" && format != "json")
@@ -131,6 +135,7 @@ std::string job_digest(const VerifyRequest& request,
            << "largest_first:"
            << (o.search_order == verify::SearchOrder::kLargestFirst) << '\n'
            << "deterministic:" << o.deterministic_report << '\n'
+           << "incremental:" << o.incremental << '\n'
            << "format:" << (request.json_format ? "json" : "text") << '\n'
            << "label:" << request.gadget_name << '\n';
   return store::sha256_hex(material.str());

@@ -13,9 +13,14 @@
 //       Options mirror the sani CLI flag for flag: notion, order, engine,
 //       robust, joint, union, time_limit, jobs, memo, cache_bits,
 //       var_order, sift, largest_first, format ("text"|"json"),
-//       deterministic (bool) and priority (int; higher runs first).
-//       Omitted fields take the sani defaults, so a bare
+//       deterministic (bool), incremental (bool) and priority (int; higher
+//       runs first).  Omitted fields take the sani defaults, so a bare
 //       {"op":"verify","gadget":"dom-1"} is a valid request.
+//       "incremental" is tri-state: absent means "server decides" — a
+//       store-backed daemon defaults it ON (repeat traffic is the daemon's
+//       reason to exist), a storeless one clamps it OFF.  An explicit value
+//       always wins (still clamped OFF without a store — there is nothing
+//       to seed from or save to).
 //   {"op":"stats"}     registry dump + daemon/queue/store counters
 //   {"op":"ping"}      liveness probe
 //   {"op":"shutdown"}  graceful daemon stop (connections drain, socket
@@ -57,7 +62,10 @@ struct VerifyRequest {
   std::string ilang_text;   // inline netlist; empty when gadget_name is set
   verify::VerifyOptions options;
   bool json_format = false;  // "format":"json"
-  int priority = 0;          // higher first in the admission queue
+  /// True when the request carried an explicit "incremental" value (held in
+  /// options.incremental); false leaves the policy to the server.
+  bool incremental_set = false;
+  int priority = 0;  // higher first in the admission queue
 };
 
 /// A decoded request frame.

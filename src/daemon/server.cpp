@@ -228,6 +228,15 @@ void Server::Impl::handle_verify(const ConnectionPtr& conn,
                                  ? circuit::parse_ilang_string(request.ilang_text)
                                  : gadgets::by_name(request.gadget_name);
     request.options.order = resolve_order(request);
+    // Incremental policy: a store-backed daemon turns it on unless the
+    // request says otherwise — repeat traffic over slowly-edited gadgets is
+    // the daemon's workload, and the prior-summary lookup is automatic
+    // (family head in the store).  Without a store it is clamped off; the
+    // resolved value enters the job digest, so requests differing on it
+    // never dedupe into one another.
+    if (!request.incremental_set)
+      request.options.incremental = store != nullptr;
+    if (!store) request.options.incremental = false;
     const std::string label = request.gadget_name.empty()
                                   ? gadget.netlist.name()
                                   : request.gadget_name;

@@ -1,5 +1,6 @@
 #include "store/cached_verify.h"
 
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -7,6 +8,8 @@
 #include "circuit/unfold.h"
 #include "store/sha256.h"
 #include "store/serial.h"
+#include "verify/incremental.h"
+#include "verify/qinfo.h"
 #include "verify/backends/registry.h"
 #include "verify/basis.h"
 #include "verify/engine.h"
@@ -60,6 +63,88 @@ std::string artifact_key(const circuit::Gadget& gadget,
   return artifact_key(circuit::write_ilang_string(gadget), options);
 }
 
+std::string summary_family_key(const circuit::Gadget& gadget,
+                               const verify::VerifyOptions& options) {
+  std::ostringstream material;
+  material << "sani-summary-family-v" << kSummaryFormatVersion << '\n'
+           << "module:" << gadget.netlist.name() << '\n'
+           << "notion:" << verify::notion_name(options.notion) << '\n'
+           << "probes:include_inputs=" << options.probes.include_inputs
+           << ",dedupe=" << options.probes.dedupe
+           << ",glitch_robust=" << options.probes.glitch_robust << '\n'
+           << "joint:" << options.joint_share_count << '\n'
+           << "union:" << options.union_check << '\n'
+           << "var_order:" << static_cast<int>(options.var_order) << '\n'
+           << "sift:" << options.sift_after_unfold << '\n';
+  return sha256_hex(material.str());
+}
+
+std::string summary_object_key(const std::string& family_key,
+                               const std::string& artifact_key) {
+  std::ostringstream material;
+  material << "sani-summary-key-v" << kSummaryFormatVersion << '\n'
+           << "family:" << family_key << '\n'
+           << "artifact:" << artifact_key << '\n';
+  return sha256_hex(material.str());
+}
+
+namespace {
+
+/// The incremental scan around verify_basis: seed a plan from the family
+/// head's summary (if any survives the semantic guards), collect a fresh
+/// summary, and repoint the head — every step best-effort.
+verify::VerifyResult run_incremental(const circuit::Gadget& gadget,
+                                     const verify::VerifyOptions& options,
+                                     ArtifactStore& store,
+                                     std::shared_ptr<const verify::Basis> basis,
+                                     const std::string& key,
+                                     StoreOutcome* outcome,
+                                     sched::CancelToken* cancel) {
+  const std::string family = summary_family_key(gadget, options);
+
+  std::shared_ptr<const verify::ConeSummary> prior;
+  if (std::optional<std::string> head = store.family_head(family))
+    prior = store.load_summary(*head);
+  std::optional<verify::IncrementalPlan> plan;
+  if (prior) plan = verify::IncrementalPlan::build(*basis, prior, options);
+
+  // A Basis without a cone index (deserialized from a pre-v3 artifact)
+  // can neither seed nor produce a summary — plain scan, zero stats.
+  const bool collect = basis->cones.available;
+  const int n = static_cast<int>(basis->size());
+  verify::SummaryCollector collector(n, options.order);
+  verify::QInfoStore deps(n);
+
+  verify::IncrementalContext ctx;
+  if (plan) ctx.plan = &*plan;
+  if (collect) {
+    ctx.collector = &collector;
+    ctx.deps_out = &deps;
+  }
+  if (outcome) outcome->summary_hit = plan.has_value();
+
+  // The basis must outlive the scan here (the plan and the summary both
+  // read it), so pass a copy of the handle, not the handle.
+  verify::VerifyResult result =
+      verify::verify_basis(basis, options, cancel, &ctx);
+
+  result.stats.incremental.active = true;
+  result.stats.incremental.cones_total = static_cast<std::uint64_t>(n);
+  if (plan) result.stats.incremental.cones_reused = plan->cones_reused();
+
+  if (collect && !result.timed_out) {
+    const verify::ConeSummary summary =
+        verify::make_summary(*basis, options, std::move(collector), deps);
+    const std::string skey = summary_object_key(family, key);
+    const bool saved =
+        store.save_summary(skey, summary) && store.set_family_head(family, skey);
+    if (outcome) outcome->summary_saved = saved;
+  }
+  return result;
+}
+
+}  // namespace
+
 verify::VerifyResult verify_with_store(const circuit::Gadget& gadget,
                                        const verify::VerifyOptions& options,
                                        ArtifactStore& store,
@@ -68,26 +153,30 @@ verify::VerifyResult verify_with_store(const circuit::Gadget& gadget,
   const std::string key = artifact_key(gadget, options);
   if (outcome) outcome->key = key;
 
-  if (std::shared_ptr<const verify::Basis> basis = store.load_basis(key)) {
+  std::shared_ptr<const verify::Basis> basis = store.load_basis(key);
+  if (basis) {
     if (outcome) outcome->hit = true;
-    return verify::verify_basis(std::move(basis), options, cancel);
+  } else {
+    // Cold path: exactly verify::verify's pipeline, plus a best-effort save
+    // (including the portfolio's adaptive unfolding-manager size).
+    const int unfold_bits =
+        options.engine == verify::EngineKind::kAuto
+            ? verify::suggest_unfold_cache_bits(gadget, options.cache_bits)
+            : options.cache_bits;
+    circuit::Unfolded unfolded =
+        circuit::unfold(gadget, unfold_bits, options.var_order);
+    if (options.sift_after_unfold) unfolded.manager->reorder_sift();
+    verify::ObservableSet observables =
+        verify::build_observables(gadget, unfolded, options.probes);
+    basis = verify::build_basis(unfolded, observables, options.engine);
+    const bool saved =
+        store.save_basis(key, *basis, needs_for(options.engine));
+    if (outcome) outcome->saved = saved;
   }
 
-  // Cold path: exactly verify::verify's pipeline, plus a best-effort save
-  // (including the portfolio's adaptive unfolding-manager size).
-  const int unfold_bits =
-      options.engine == verify::EngineKind::kAuto
-          ? verify::suggest_unfold_cache_bits(gadget, options.cache_bits)
-          : options.cache_bits;
-  circuit::Unfolded unfolded =
-      circuit::unfold(gadget, unfold_bits, options.var_order);
-  if (options.sift_after_unfold) unfolded.manager->reorder_sift();
-  verify::ObservableSet observables =
-      verify::build_observables(gadget, unfolded, options.probes);
-  std::shared_ptr<const verify::Basis> basis =
-      verify::build_basis(unfolded, observables, options.engine);
-  const bool saved = store.save_basis(key, *basis, needs_for(options.engine));
-  if (outcome) outcome->saved = saved;
+  if (options.incremental)
+    return run_incremental(gadget, options, store, std::move(basis), key,
+                           outcome, cancel);
   return verify::verify_basis(std::move(basis), options, cancel);
 }
 

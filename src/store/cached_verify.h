@@ -49,12 +49,32 @@ std::string artifact_key(const std::string& canonical_ilang,
 std::string artifact_key(const circuit::Gadget& gadget,
                          const verify::VerifyOptions& options);
 
+/// Family key (64-hex SHA-256) for the incremental head pointer: the
+/// (gadget family, probe model, notion) line a cone summary belongs to.
+/// Deliberately netlist-content-free — the module *name* stands in for the
+/// family, so an edited gadget resubmitted under the same name finds the
+/// previous revision's summary, which is the entire point.  Everything the
+/// summary's semantic guards check (notion, probe model, joint/union mode,
+/// variable order, sifting) is keyed, so a head never points at a summary
+/// the plan builder would have to reject for semantic reasons.
+std::string summary_family_key(const circuit::Gadget& gadget,
+                               const verify::VerifyOptions& options);
+
+/// Object key of the cone summary for one (family, Basis artifact) pair.
+/// Distinct from the artifact key (the two objects share the store's key
+/// space), and per-revision: each netlist content writes its own summary
+/// object and the family head repoints to the newest.
+std::string summary_object_key(const std::string& family_key,
+                               const std::string& artifact_key);
+
 /// What the store contributed to one verification (for reports, the daemon
 /// protocol and the CI warm-start assertions).
 struct StoreOutcome {
   std::string key;
   bool hit = false;    // Basis deserialized from the store
   bool saved = false;  // cold run persisted its freshly built Basis
+  bool summary_hit = false;    // a prior cone summary seeded the scan
+  bool summary_saved = false;  // this run wrote a fresh cone summary
 };
 
 /// Warm-start verification: load the Basis for the job's content key, or
@@ -62,6 +82,16 @@ struct StoreOutcome {
 /// are identical either way (the Basis is the complete verification input).
 /// `cancel` optionally supplies a per-request cancellation token (see
 /// verify::verify_basis); the basis build itself is not interruptible.
+///
+/// With options.incremental set, the scan additionally (a) looks up the
+/// family head, loads the prior summary and replays verdicts for clean
+/// combinations (verify/incremental.h) — verdict, witness and deterministic
+/// report stay byte-identical to a cold run — and (b) collects a fresh
+/// summary and repoints the family head at it, unless the run timed out
+/// (a truncated bitmap is safe — unchecked ranks classify dirty — but it
+/// must not displace a more complete head).  Both halves are best-effort:
+/// no prior summary, a
+/// quarantined one, or a plan rejection just mean a cold scan.
 verify::VerifyResult verify_with_store(const circuit::Gadget& gadget,
                                        const verify::VerifyOptions& options,
                                        ArtifactStore& store,

@@ -109,6 +109,16 @@ spectral::FlatSpectrum read_spectrum(ByteReader& r) {
   }
 }
 
+void write_digest(ByteWriter& w, const circuit::ConeDigest& d) {
+  for (std::uint8_t b : d.bytes) w.u8(b);
+}
+
+circuit::ConeDigest read_digest(ByteReader& r) {
+  circuit::ConeDigest d;
+  for (std::uint8_t& b : d.bytes) b = r.u8();
+  return d;
+}
+
 void write_observable_info(ByteWriter& w, const verify::ObservableInfo& o) {
   w.u8(static_cast<std::uint8_t>(o.kind));
   w.str(o.name);
@@ -169,6 +179,61 @@ verify::BasisNeeds unpack_needs(std::uint8_t bits) {
 }
 
 constexpr std::size_t kHeaderBytes = 8 + 4 + 32 + 8;
+
+// Wraps a payload in the common file framing: magic, format version,
+// payload SHA-256, payload length.  Shared by the Basis artifact and the
+// cone-summary object (different magics, independent version counters).
+std::string frame(const char (&magic)[8], std::uint32_t version,
+                  const std::string& body) {
+  Sha256 hash;
+  hash.update(body);
+  std::uint8_t digest[32];
+  hash.digest(digest);
+
+  ByteWriter file;
+  for (char c : magic) file.u8(static_cast<std::uint8_t>(c));
+  file.u32(version);
+  for (std::uint8_t b : digest) file.u8(b);
+  file.u64(body.size());
+  std::string out = file.take();
+  out += body;
+  return out;
+}
+
+// Validates the common framing; returns the payload slice and (via
+// out-param) the accepted format version.
+std::string checked_payload_for(const std::string& file_image,
+                                const char (&magic)[8],
+                                std::uint32_t min_version,
+                                std::uint32_t max_version,
+                                std::uint32_t* version_out) {
+  if (file_image.size() < kHeaderBytes)
+    throw SerializationError("artifact: file shorter than header");
+  if (std::memcmp(file_image.data(), magic, sizeof(kMagic)) != 0)
+    throw SerializationError("artifact: bad magic");
+  ByteReader header(file_image);
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) header.u8();
+  const std::uint32_t version = header.u32();
+  if (version < min_version || version > max_version)
+    throw SerializationError("artifact: format version " +
+                             std::to_string(version) + " outside [" +
+                             std::to_string(min_version) + ", " +
+                             std::to_string(max_version) + "]");
+  if (version_out) *version_out = version;
+  std::uint8_t want_digest[32];
+  for (std::uint8_t& b : want_digest) b = header.u8();
+  const std::uint64_t payload_len = header.u64();
+  if (payload_len != file_image.size() - kHeaderBytes)
+    throw SerializationError("artifact: payload length mismatch");
+  std::string payload = file_image.substr(kHeaderBytes);
+  Sha256 hash;
+  hash.update(payload);
+  std::uint8_t got_digest[32];
+  hash.digest(got_digest);
+  if (std::memcmp(want_digest, got_digest, 32) != 0)
+    throw SerializationError("artifact: payload hash mismatch");
+  return payload;
+}
 
 }  // namespace
 
@@ -321,54 +386,28 @@ std::string serialize_basis(const verify::Basis& basis,
   payload.u64(basis.base_coefficients);
   payload.f64(basis.build_seconds);
 
-  const std::string& body = payload.bytes();
-  Sha256 hash;
-  hash.update(body);
-  std::uint8_t digest[32];
-  hash.digest(digest);
+  // v3 cone section: the varmap fingerprint and one structural digest per
+  // observable.  A Basis without a cone index (deserialized from an older
+  // artifact and re-saved) stays without one.
+  const bool cones =
+      basis.cones.available && basis.cones.digests.size() == basis.obs.size();
+  payload.u8(cones ? 1 : 0);
+  if (cones) {
+    write_digest(payload, basis.cones.varmap);
+    payload.u64(basis.cones.digests.size());
+    for (const circuit::ConeDigest& d : basis.cones.digests)
+      write_digest(payload, d);
+  }
 
-  ByteWriter file;
-  for (char c : kMagic) file.u8(static_cast<std::uint8_t>(c));
-  file.u32(kFormatVersion);
-  for (std::uint8_t b : digest) file.u8(b);
-  file.u64(body.size());
-  std::string out = file.take();
-  out += body;
-  return out;
+  return frame(kMagic, kFormatVersion, payload.bytes());
 }
 
 namespace {
 
-// Validates the header; returns the payload slice and (via out-param) the
-// accepted format version.
 std::string checked_payload(const std::string& file_image,
                             std::uint32_t* version_out) {
-  if (file_image.size() < kHeaderBytes)
-    throw SerializationError("artifact: file shorter than header");
-  if (std::memcmp(file_image.data(), kMagic, sizeof(kMagic)) != 0)
-    throw SerializationError("artifact: bad magic");
-  ByteReader header(file_image);
-  for (std::size_t i = 0; i < sizeof(kMagic); ++i) header.u8();
-  const std::uint32_t version = header.u32();
-  if (version < kMinReadVersion || version > kFormatVersion)
-    throw SerializationError("artifact: format version " +
-                             std::to_string(version) + " outside [" +
-                             std::to_string(kMinReadVersion) + ", " +
-                             std::to_string(kFormatVersion) + "]");
-  if (version_out) *version_out = version;
-  std::uint8_t want_digest[32];
-  for (std::uint8_t& b : want_digest) b = header.u8();
-  const std::uint64_t payload_len = header.u64();
-  if (payload_len != file_image.size() - kHeaderBytes)
-    throw SerializationError("artifact: payload length mismatch");
-  std::string payload = file_image.substr(kHeaderBytes);
-  Sha256 hash;
-  hash.update(payload);
-  std::uint8_t got_digest[32];
-  hash.digest(got_digest);
-  if (std::memcmp(want_digest, got_digest, 32) != 0)
-    throw SerializationError("artifact: payload hash mismatch");
-  return payload;
+  return checked_payload_for(file_image, kMagic, kMinReadVersion,
+                             kFormatVersion, version_out);
 }
 
 }  // namespace
@@ -419,6 +458,14 @@ std::shared_ptr<const verify::Basis> deserialize_basis(
   }
   basis->base_coefficients = r.u64();
   basis->build_seconds = r.f64();
+  if (version >= 3 && r.u8() != 0) {
+    basis->cones.varmap = read_digest(r);
+    basis->cones.digests.resize(read_count(r, 32));
+    for (circuit::ConeDigest& d : basis->cones.digests) d = read_digest(r);
+    if (basis->cones.digests.size() != basis->obs.size())
+      throw SerializationError("artifact: cone digest count mismatch");
+    basis->cones.available = true;
+  }
   if (!r.at_end())
     throw SerializationError("artifact: trailing bytes after payload");
 
@@ -445,6 +492,100 @@ std::shared_ptr<const verify::Basis> deserialize_basis(
     }
   }
   return basis;
+}
+
+// ConeSummary ----------------------------------------------------------------
+
+std::string serialize_summary(const verify::ConeSummary& summary) {
+  ByteWriter payload;
+  payload.u8(static_cast<std::uint8_t>(summary.notion));
+  payload.u8(summary.glitch_robust ? 1 : 0);
+  payload.u8(summary.joint_share_count ? 1 : 0);
+  payload.u8(summary.union_check ? 1 : 0);
+  payload.i32(summary.order);
+  payload.u32(summary.num_secrets);
+  write_digest(payload, summary.varmap);
+  payload.u64(summary.digests.size());
+  for (const circuit::ConeDigest& d : summary.digests)
+    write_digest(payload, d);
+  payload.u64(summary.tables.size());
+  for (const verify::ConeSummary::Table& t : summary.tables) {
+    payload.u8(t.present ? 1 : 0);
+    if (!t.present) continue;
+    payload.u64(t.num_ranks);
+    for (std::uint64_t word : t.checked) payload.u64(word);
+    for (std::uint64_t word : t.passed) payload.u64(word);
+  }
+  payload.u64(summary.failures.size());
+  for (const verify::ConeSummary::Failure& f : summary.failures) {
+    payload.i32(f.k);
+    payload.u64(f.rank);
+    write_mask(payload, f.alpha);
+    payload.str(f.reason);
+  }
+  payload.u64(summary.deps.size());
+  for (const verify::ConeSummary::DepEntry& d : summary.deps) {
+    payload.i32(d.k);
+    payload.u64(d.rank);
+    payload.u64(d.V.size());
+    for (const Mask& m : d.V) write_mask(payload, m);
+  }
+  return frame(kSummaryMagic, kSummaryFormatVersion, payload.bytes());
+}
+
+std::shared_ptr<const verify::ConeSummary> deserialize_summary(
+    const std::string& file_image) {
+  const std::string payload = checked_payload_for(
+      file_image, kSummaryMagic, kSummaryFormatVersion, kSummaryFormatVersion,
+      nullptr);
+  ByteReader r(payload);
+  auto summary = std::make_shared<verify::ConeSummary>();
+  const std::uint8_t notion = r.u8();
+  if (notion > static_cast<std::uint8_t>(verify::Notion::kPINI))
+    throw SerializationError("summary: bad notion");
+  summary->notion = static_cast<verify::Notion>(notion);
+  summary->glitch_robust = r.u8() != 0;
+  summary->joint_share_count = r.u8() != 0;
+  summary->union_check = r.u8() != 0;
+  summary->order = r.i32();
+  if (summary->order < 1 || summary->order > 63)
+    throw SerializationError("summary: order out of range");
+  summary->num_secrets = r.u32();
+  summary->varmap = read_digest(r);
+  summary->digests.resize(read_count(r, 32));
+  for (circuit::ConeDigest& d : summary->digests) d = read_digest(r);
+  summary->tables.resize(read_count(r, 1));
+  if (summary->tables.size() > static_cast<std::size_t>(summary->order))
+    throw SerializationError("summary: table count exceeds order");
+  for (verify::ConeSummary::Table& t : summary->tables) {
+    t.present = r.u8() != 0;
+    if (!t.present) continue;
+    t.num_ranks = r.u64();
+    const std::uint64_t words = (t.num_ranks + 63) / 64;
+    if (words > r.remaining() / 16)
+      throw SerializationError("summary: bitmap exceeds stream size");
+    t.checked.resize(words);
+    for (std::uint64_t& word : t.checked) word = r.u64();
+    t.passed.resize(words);
+    for (std::uint64_t& word : t.passed) word = r.u64();
+  }
+  summary->failures.resize(read_count(r, 32));
+  for (verify::ConeSummary::Failure& f : summary->failures) {
+    f.k = r.i32();
+    f.rank = r.u64();
+    f.alpha = read_mask(r);
+    f.reason = r.str();
+  }
+  summary->deps.resize(read_count(r, 20));
+  for (verify::ConeSummary::DepEntry& d : summary->deps) {
+    d.k = r.i32();
+    d.rank = r.u64();
+    d.V.resize(read_count(r, 16));
+    for (Mask& m : d.V) m = read_mask(r);
+  }
+  if (!r.at_end())
+    throw SerializationError("summary: trailing bytes after payload");
+  return summary;
 }
 
 }  // namespace sani::store

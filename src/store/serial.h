@@ -19,12 +19,17 @@
 // lo, hi) node triples, leaf pool, named roots), per-observable frozen
 // fn/spectrum root tables, base-coefficient count, original build cost.
 //
-// Version history.  v2 (current) serializes the spectra straight from the
-// flat container (same byte layout v1 used — sorted (mask, coeff) pairs)
-// and adds the per-observable support mask to the observable metadata.
-// v1 artifacts still load: the spectra are validated into flat form and the
+// Version history.  v2 serializes the spectra straight from the flat
+// container (same byte layout v1 used — sorted (mask, coeff) pairs) and
+// adds the per-observable support mask to the observable metadata.
+// v3 (current) appends the cone index (verify::Basis::cones): the varmap
+// fingerprint plus one structural cone digest per observable, feeding the
+// incremental clean/dirty classifier (verify/incremental.h).  v1/v2
+// artifacts still load: the spectra are validated into flat form, missing
 // support masks are recomputed from them (left empty for spectra-free
-// FUJITA artifacts, where nothing reads them).  Writing always emits v2.
+// FUJITA artifacts, where nothing reads them) and the cone index stays
+// unavailable — such a Basis simply cannot seed or produce summaries.
+// Writing always emits v3.
 //
 // The sorted-list (LIL) mirror is NOT serialized: it is a deterministic
 // function of the spectra and is rebuilt on load when the needs flags say
@@ -41,13 +46,25 @@
 
 #include "dd/freeze.h"
 #include "verify/basis.h"
+#include "verify/incremental.h"
 
 namespace sani::store {
 
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;
 /// Oldest format version deserialize_basis still accepts.
 inline constexpr std::uint32_t kMinReadVersion = 1;
 inline constexpr char kMagic[8] = {'S', 'A', 'N', 'I', 'B', 'A', 'S', '\x01'};
+
+/// Cone-summary (verify::ConeSummary) format.  Same framing discipline as
+/// the Basis artifact — own magic, own version counter, payload SHA-256 —
+/// but an independent version line: summaries change shape when the verdict
+/// bitmaps or dependency tables do, not when the Basis does.  Bump this on
+/// any ConeSummary layout change; old-version summaries are rejected (a
+/// clean miss — the next run is cold and writes a fresh one), never
+/// migrated.
+inline constexpr std::uint32_t kSummaryFormatVersion = 1;
+inline constexpr char kSummaryMagic[8] = {'S', 'A', 'N', 'I',
+                                          'S', 'U', 'M', '\x01'};
 
 class SerializationError : public std::runtime_error {
  public:
@@ -115,5 +132,14 @@ std::shared_ptr<const verify::Basis> deserialize_basis(
 /// The needs flags stored in `file_image` (for cache-compatibility checks)
 /// without decoding the whole payload.
 verify::BasisNeeds peek_needs(const std::string& file_image);
+
+/// Full cone-summary file image (SANISUM header + integrity hash + payload).
+std::string serialize_summary(const verify::ConeSummary& summary);
+
+/// Parses a cone-summary file image.  Checks magic, version and payload
+/// hash; throws SerializationError on any mismatch (the store quarantines
+/// and reports a miss).
+std::shared_ptr<const verify::ConeSummary> deserialize_summary(
+    const std::string& file_image);
 
 }  // namespace sani::store

@@ -68,6 +68,7 @@ ArtifactStore::ArtifactStore(Options options)
   if (dir_.empty())
     throw std::invalid_argument("ArtifactStore: empty store directory");
   fs::create_directories(fs::path(dir_) / "objects");
+  fs::create_directories(fs::path(dir_) / "heads");
   fs::create_directories(fs::path(dir_) / "quarantine");
   load_index();
   publish_gauges();
@@ -168,6 +169,10 @@ bool ArtifactStore::put(const std::string& key, const std::string& bytes) {
     it = entries_.emplace(entries_.end(), key, Entry{});
   it->second.size = bytes.size();
   it->second.last_used = ++clock_;
+  // Pin for the process lifetime: this run's own artifacts must never fall
+  // to the LRU sweep (a Basis saved at request start has to survive until
+  // the matching summary lands, however much unrelated traffic intervenes).
+  pinned_.insert(key);
   evict_to_cap();
   persist_index();
   publish_gauges();
@@ -177,10 +182,17 @@ bool ArtifactStore::put(const std::string& key, const std::string& bytes) {
 void ArtifactStore::evict_to_cap() {
   if (max_bytes_ == 0) return;
   while (entries_.size() > 1 && total_bytes_locked() > max_bytes_) {
-    auto victim = std::min_element(
-        entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
-          return a.second.last_used < b.second.last_used;
-        });
+    // Least-recently-used among the evictable: pinned (same-run) keys are
+    // off the table entirely.  If everything left is pinned, the store runs
+    // over cap until the process exits — correctness over tidiness.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (pinned_.count(it->first)) continue;
+      if (victim == entries_.end() ||
+          it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;
     std::error_code ec;
     fs::remove(object_path(victim->first), ec);
     entries_.erase(victim);
@@ -232,6 +244,60 @@ bool ArtifactStore::save_basis(const std::string& key,
                                const verify::Basis& basis,
                                const verify::BasisNeeds& needs) {
   return put(key, serialize_basis(basis, needs));
+}
+
+std::shared_ptr<const verify::ConeSummary> ArtifactStore::load_summary(
+    const std::string& key) {
+  auto miss = [&]() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    obs::Metrics::instance().counter("store.misses").add();
+    return nullptr;
+  };
+  std::optional<std::string> bytes = get(key);
+  if (!bytes) return miss();
+  try {
+    std::shared_ptr<const verify::ConeSummary> summary =
+        deserialize_summary(*bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    obs::Metrics::instance().counter("store.hits").add();
+    return summary;
+  } catch (const SerializationError&) {
+    quarantine(key);
+    return miss();
+  }
+}
+
+bool ArtifactStore::save_summary(const std::string& key,
+                                 const verify::ConeSummary& summary) {
+  return put(key, serialize_summary(summary));
+}
+
+std::optional<std::string> ArtifactStore::family_head(
+    const std::string& family_key) const {
+  if (!valid_key(family_key)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string head;
+  if (!read_file(fs::path(dir_) / "heads" / family_key, &head))
+    return std::nullopt;
+  // Trim the trailing newline a hand-edited pointer might carry.
+  while (!head.empty() && (head.back() == '\n' || head.back() == '\r'))
+    head.pop_back();
+  if (!valid_key(head)) return std::nullopt;
+  return head;
+}
+
+bool ArtifactStore::set_family_head(const std::string& family_key,
+                                    const std::string& object_key) {
+  if (!valid_key(family_key))
+    throw std::invalid_argument("ArtifactStore: malformed family key '" +
+                                family_key + "'");
+  if (!valid_key(object_key))
+    throw std::invalid_argument("ArtifactStore: malformed head key '" +
+                                object_key + "'");
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_file_atomic(fs::path(dir_) / "heads" / family_key, object_key);
 }
 
 bool ArtifactStore::contains(const std::string& key) const {

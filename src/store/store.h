@@ -12,7 +12,15 @@
 // Layout under the store directory:
 //
 //   objects/ab/cdef...        one file per artifact, sharded by the first
-//                             two hex digits of its key (64-hex SHA-256)
+//                             two hex digits of its key (64-hex SHA-256).
+//                             Basis artifacts (SANIBAS) and cone summaries
+//                             (SANISUM) share the space — the key derivation
+//                             keeps them distinct, the framing keeps them
+//                             honest (loading one as the other quarantines)
+//   heads/<family_key>        pointer file naming the newest cone-summary
+//                             object for one (gadget family, probe model,
+//                             notion) line — the incremental scan's "nearest
+//                             prior run" lookup (store/cached_verify.h)
 //   index                     text index: "key size last_used" per line,
 //                             rewritten atomically on every mutation
 //   quarantine/<key>          artifacts that failed load-side validation
@@ -30,6 +38,12 @@
 // after an insert, least-recently-used artifacts are dropped (the newest
 // entry is always kept, even if it alone exceeds the cap — evicting what
 // was just built would make the store useless for oversized artifacts).
+// Keys written during this process' lifetime are *pinned*: eviction never
+// selects them, so a run can never evict its own artifacts (a Basis put at
+// request start must still be there when the matching summary lands, and a
+// summary must survive until its family head points at it).  Pins are
+// process-local and die with the process — a later daemon run sees them as
+// ordinary LRU entries.
 //
 // All operations take an internal mutex: one store instance is shared by
 // every daemon executor thread.  Counters (store.hits / store.misses /
@@ -42,9 +56,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "verify/basis.h"
+#include "verify/incremental.h"
 
 namespace sani::store {
 
@@ -81,6 +97,27 @@ class ArtifactStore {
   bool save_basis(const std::string& key, const verify::Basis& basis,
                   const verify::BasisNeeds& needs);
 
+  /// get() + deserialize for a cone-summary object (SANISUM framing).
+  /// Same contract as load_basis: missing is a miss, invalid is a
+  /// quarantined miss, never an exception.
+  std::shared_ptr<const verify::ConeSummary> load_summary(
+      const std::string& key);
+
+  /// serialize + put() for a cone summary.
+  bool save_summary(const std::string& key,
+                    const verify::ConeSummary& summary);
+
+  /// The summary object key the family pointer currently names, or nullopt
+  /// when the family has no prior summary (or the pointer is malformed).
+  std::optional<std::string> family_head(const std::string& family_key) const;
+
+  /// Atomically repoints heads/<family_key> at `object_key`.  Called only
+  /// after the summary object itself is durably in place, so a reader
+  /// following the head always finds the object (or a clean miss if it was
+  /// since evicted).
+  bool set_family_head(const std::string& family_key,
+                       const std::string& object_key);
+
   bool contains(const std::string& key) const;
 
   struct Stats {
@@ -116,6 +153,7 @@ class ArtifactStore {
   std::uint64_t max_bytes_;
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, Entry>> entries_;  // key -> entry
+  std::unordered_set<std::string> pinned_;  // same-run keys, never evicted
   std::uint64_t clock_ = 0;
   Stats stats_;
 };

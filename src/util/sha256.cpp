@@ -1,8 +1,8 @@
-#include "store/sha256.h"
+#include "util/sha256.h"
 
 #include <cstring>
 
-namespace sani::store {
+namespace sani::util {
 
 namespace {
 
@@ -142,4 +142,4 @@ std::string sha256_hex(const std::string& s) {
   return h.hex_digest();
 }
 
-}  // namespace sani::store
+}  // namespace sani::util

@@ -17,6 +17,11 @@ std::shared_ptr<const Basis> build_basis(const circuit::Unfolded& unfolded,
   basis->vars = unfolded.vars;
   basis->num_outputs = observables.num_outputs;
   basis->obs.reserve(observables.items.size());
+  if (observables.digests.size() == observables.items.size()) {
+    basis->cones.available = true;
+    basis->cones.digests = observables.digests;
+    basis->cones.varmap = observables.varmap;
+  }
 
   const bool subset_walk =
       needs.spectra || needs.frozen_fns || needs.frozen_spectra;

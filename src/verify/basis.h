@@ -64,6 +64,16 @@ struct BasisNeeds {
 /// later warm start from the artifact store) runs from the same artifact.
 BasisNeeds all_engine_needs();
 
+/// Per-observable structural cone digests (circuit/cone_hash.h) plus the
+/// varmap role fingerprint they are relative to.  `available` is false on a
+/// Basis deserialized from a pre-v3 SANIBAS artifact, in which case the
+/// incremental scan path falls back to a cold run.
+struct ConeIndex {
+  bool available = false;
+  std::vector<circuit::ConeDigest> digests;  // parallel to Basis::obs
+  circuit::ConeDigest varmap;
+};
+
 /// The per-(gadget, probe model) prepared artifact: for every observable,
 /// the Walsh spectra of all nonempty XOR-subsets of its member functions
 /// (a single function in the standard model; the glitch-cone tuple in the
@@ -73,6 +83,9 @@ struct Basis {
   Mask relevant_publics;   // public coordinates some observable touches
   std::vector<ObservableInfo> obs;
   std::size_t num_outputs = 0;
+
+  /// Cone digests for incremental re-verification (verify/incremental.h).
+  ConeIndex cones;
 
   /// flat[i][s] = Walsh spectrum of XOR-subset s of observable i, in the
   /// contiguous coordinate-sorted representation the scan engines convolve

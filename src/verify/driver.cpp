@@ -89,10 +89,15 @@ VerifyResult Driver::run() {
 
   {
     obs::Span span("scan");
-    if (options_.search_order == SearchOrder::kLargestFirst)
+    if (options_.search_order == SearchOrder::kLargestFirst) {
       largest_first(result);
-    else
+    } else if (plan_) {
+      std::vector<int> combo;
+      combo.reserve(static_cast<std::size_t>(options_.order));
+      dfs_incremental(0, combo, result);
+    } else {
       dfs(0, result);
+    }
   }
   if (manager_) manager_->sample_counters();
 
@@ -124,10 +129,10 @@ VerifyResult Driver::run() {
   return result;
 }
 
-RowContext Driver::context_for_path() const {
+RowContext Driver::context_for(const std::vector<int>& combo) const {
   RowContext row;
-  row.num_observables = static_cast<int>(path_.size());
-  for (int i : path_) {
+  row.num_observables = static_cast<int>(combo.size());
+  for (int i : combo) {
     const ObservableInfo& o = basis_->obs[static_cast<std::size_t>(i)];
     if (o.kind == Observable::Kind::kOutput) {
       ++row.num_outputs;
@@ -142,21 +147,68 @@ RowContext Driver::context_for_path() const {
 std::optional<Driver::CheckFailure> Driver::check_current() {
   ++stats_.combinations;
   if (options_.progress) options_.progress->tick();
+  std::optional<CheckFailure> failure;
   // Per-rank check latency: only sampled when a metrics export was
   // requested (two clock reads per combination otherwise dominate the
   // cheap low-rank checks).
   auto& metrics = obs::Metrics::instance();
-  if (!metrics.enabled()) return check_current_impl();
-  const std::int64_t t0 = obs::Clock::now_ns();
-  auto failure = check_current_impl();
-  const std::size_t k = path_.size();
-  if (rank_hist_.size() <= k) rank_hist_.resize(k + 1, nullptr);
-  if (rank_hist_[k] == nullptr)
-    rank_hist_[k] =
-        &metrics.histogram("verify.check_ns.k" + std::to_string(k));
-  rank_hist_[k]->record(
-      static_cast<std::uint64_t>(obs::Clock::now_ns() - t0));
+  if (!metrics.enabled()) {
+    failure = check_current_impl();
+  } else {
+    const std::int64_t t0 = obs::Clock::now_ns();
+    failure = check_current_impl();
+    const std::size_t k = path_.size();
+    if (rank_hist_.size() <= k) rank_hist_.resize(k + 1, nullptr);
+    if (rank_hist_[k] == nullptr)
+      rank_hist_[k] =
+          &metrics.histogram("verify.check_ns.k" + std::to_string(k));
+    rank_hist_[k]->record(
+        static_cast<std::uint64_t>(obs::Clock::now_ns() - t0));
+  }
+  if (collector_) {
+    if (failure)
+      collector_->note_fail(path_, failure->alpha, failure->reason);
+    else
+      collector_->note_pass(path_);
+  }
   return failure;
+}
+
+std::optional<Driver::CheckFailure> Driver::check_combo(
+    const std::vector<int>& combo) {
+  if (plan_) {
+    const IncrementalPlan::Classification c =
+        plan_->classify(combo, plan_scratch_);
+    if (c.kind != IncrementalPlan::Kind::kDirty) {
+      ++stats_.combinations;
+      ++stats_.incremental.combinations_skipped;
+      // Register the phase names a real check would have touched (at zero
+      // cost) so a fully-replayed run's report keeps the cold run's phase
+      // shape — deterministic reports diff byte-clean either way.
+      stats_.timers.add("convolution", 0.0);
+      stats_.timers.add("verification", 0.0);
+      if (options_.progress) options_.progress->tick();
+      if (c.kind == IncrementalPlan::Kind::kCleanPass) {
+        if (collector_) collector_->note_pass(combo);
+        if (c.V) {
+          // Splice the replayed dependency masks in, so the union pass
+          // consumes exactly the store a cold run would have built.
+          QInfo info;
+          info.row = context_for(combo);
+          info.V = *c.V;
+          qinfo_.insert(combo, std::move(info));
+        }
+        return std::nullopt;
+      }
+      CheckFailure failure{c.fail->alpha, c.fail->reason};
+      if (collector_)
+        collector_->note_fail(combo, failure.alpha, failure.reason);
+      return failure;
+    }
+    ++stats_.incremental.combinations_rechecked;
+  }
+  sync_path(combo);
+  return check_current();
 }
 
 std::optional<Driver::CheckFailure> Driver::check_current_impl() {
@@ -232,6 +284,25 @@ void Driver::dfs(int start, VerifyResult& result) {
   }
 }
 
+void Driver::dfs_incremental(int start, std::vector<int>& combo,
+                             VerifyResult& result) {
+  if (!result.secure || result.timed_out) return;
+  if (static_cast<int>(combo.size()) >= options_.order) return;
+  for (int i = start; i < static_cast<int>(basis_->size()); ++i) {
+    if (expired(result)) return;
+    combo.push_back(i);
+    const auto failure = check_combo(combo);
+    if (failure) {
+      result.secure = false;
+      result.counterexample = make_counterexample(combo, *failure);
+    } else {
+      dfs_incremental(i + 1, combo, result);
+    }
+    combo.pop_back();
+    if (!result.secure || result.timed_out) return;
+  }
+}
+
 /// Sec. III-C order: every combination of size d first, then d-1, ...
 /// Lexicographically adjacent combinations share convolution prefixes, so
 /// the backend stack is diffed rather than rebuilt.
@@ -243,10 +314,9 @@ void Driver::largest_first(VerifyResult& result) {
     if (!it.valid()) continue;
     do {
       if (expired(result)) break;
-      sync_path(it.indices());
-      if (auto failure = check_current()) {
+      if (auto failure = check_combo(it.indices())) {
         result.secure = false;
-        result.counterexample = make_counterexample(path_, *failure);
+        result.counterexample = make_counterexample(it.indices(), *failure);
         break;
       }
     } while (it.next());
@@ -279,8 +349,7 @@ void Driver::run_shard(
       cancel_->acknowledge();
       return;
     }
-    sync_path(combo);
-    if (auto failure = check_current()) {
+    if (auto failure = check_combo(combo)) {
       out.failure = ShardFailure{combo, make_counterexample(combo, *failure)};
       return;
     }

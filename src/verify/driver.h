@@ -32,6 +32,7 @@
 #include "sched/shard.h"
 #include "util/mask.h"
 #include "verify/basis.h"
+#include "verify/incremental.h"
 #include "verify/observables.h"
 #include "verify/predicate.h"
 #include "verify/qinfo.h"
@@ -56,6 +57,17 @@ class Driver {
 
   /// Full serial verification (enumeration + union pass).
   VerifyResult run();
+
+  /// Arms the diff-aware scan: combinations `plan` classifies as clean are
+  /// replayed instead of checked (null plan = cold scan), and every
+  /// per-combination outcome is recorded into `collector` (null = no
+  /// recording).  Either may be set independently; call before run() /
+  /// run_shard().
+  void set_incremental(const IncrementalPlan* plan,
+                       SummaryCollector* collector) {
+    plan_ = plan;
+    collector_ = collector;
+  }
 
   /// Credits the one-time basis build (base coefficients + "base" phase
   /// seconds) to this driver's stats.  The basis is built once and shared,
@@ -130,13 +142,21 @@ class Driver {
     std::string reason;
   };
 
-  RowContext context_for_path() const;
+  RowContext context_for(const std::vector<int>& combo) const;
+  RowContext context_for_path() const { return context_for(path_); }
 
   /// Checks the current path_ as one combination; failure data on failure.
-  /// Ticks the progress meter and (when a metrics export was requested)
-  /// samples the check latency into the per-rank histogram.
+  /// Ticks the progress meter, records the outcome into the collector and
+  /// (when a metrics export was requested) samples the check latency into
+  /// the per-rank histogram.
   std::optional<CheckFailure> check_current();
   std::optional<CheckFailure> check_current_impl();
+
+  /// check_current() for an explicit combination, with the diff-aware
+  /// classification in front: clean combinations replay their recorded
+  /// verdict without touching the backend; dirty ones sync the prefix
+  /// stack and check for real.
+  std::optional<CheckFailure> check_combo(const std::vector<int>& combo);
 
   /// Rebuilds the backend stack so that path_ == combo, popping/pushing
   /// only the differing suffix (prefix sharing).
@@ -147,6 +167,10 @@ class Driver {
 
   bool expired(VerifyResult& result);
   void dfs(int start, VerifyResult& result);
+  /// dfs() in the same visit order, but routed through check_combo() so
+  /// clean combinations skip the backend push entirely.
+  void dfs_incremental(int start, std::vector<int>& combo,
+                       VerifyResult& result);
   void largest_first(VerifyResult& result);
 
   /// Imports basis_->frozen into manager_ and wraps the roots in handles
@@ -168,6 +192,9 @@ class Driver {
   // out of the enumeration loop.
   std::vector<obs::Histogram*> rank_hist_;
   QInfoStore qinfo_;
+  const IncrementalPlan* plan_ = nullptr;
+  SummaryCollector* collector_ = nullptr;
+  std::vector<int> plan_scratch_;
   spectral::ArenaStats arena_stats_;
   VerifyStats stats_;
   sched::CancelToken own_cancel_;

@@ -7,6 +7,7 @@
 #include "sched/cancel.h"
 #include "util/combinations.h"
 #include "verify/driver.h"
+#include "verify/incremental.h"
 #include "verify/parallel.h"
 #include "verify/portfolio.h"
 
@@ -14,7 +15,8 @@ namespace sani::verify {
 
 VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
                           const VerifyOptions& options,
-                          sched::CancelToken* cancel) {
+                          sched::CancelToken* cancel,
+                          const IncrementalContext* ctx) {
   if (options.order < 1)
     throw std::invalid_argument("verify: order must be >= 1");
   if (options.engine == EngineKind::kAuto) {
@@ -23,7 +25,8 @@ VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
     // no kAuto entry, so an unresolved kAuto must never reach either.
     PortfolioStats pstats;
     const VerifyOptions resolved = resolve_portfolio(*basis, options, &pstats);
-    VerifyResult result = verify_basis(std::move(basis), resolved, cancel);
+    VerifyResult result =
+        verify_basis(std::move(basis), resolved, cancel, ctx);
     result.stats.portfolio = pstats;
     return result;
   }
@@ -31,7 +34,7 @@ VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
     // The Basis is manager-independent for every engine (the ADD engines'
     // diagram material is frozen inside it), so a pre-built — or
     // deserialized — Basis is no obstacle to parallel execution.
-    return verify_parallel_basis(std::move(basis), options, cancel);
+    return verify_parallel_basis(std::move(basis), options, cancel, ctx);
   }
   // The Driver arms the time-limit deadline only on its *internal* token;
   // an external token carries the caller's cancel signal and needs the
@@ -39,13 +42,22 @@ VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
   if (cancel && options.time_limit > 0)
     cancel->set_deadline_after(options.time_limit);
   Driver driver(basis, options, cancel);
+  if (ctx)
+    driver.set_incremental(ctx->plan, ctx->collector);
   driver.count_basis_build();
   if (options.progress)
     options.progress->start(count_combinations_up_to(
         static_cast<int>(basis->size()), options.order));
   VerifyResult result = driver.run();
   if (options.progress) options.progress->stop();
+  if (ctx && ctx->deps_out) ctx->deps_out->merge_from(driver.qinfo());
   return result;
+}
+
+VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
+                          const VerifyOptions& options,
+                          sched::CancelToken* cancel) {
+  return verify_basis(std::move(basis), options, cancel, nullptr);
 }
 
 VerifyResult verify_prepared(const circuit::Unfolded& unfolded,

@@ -67,4 +67,17 @@ VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
                           const VerifyOptions& options,
                           sched::CancelToken* cancel = nullptr);
 
+struct IncrementalContext;
+
+/// verify_basis with the diff-aware incremental hooks threaded through to
+/// the Driver(s): replay against ctx->plan, record outcomes into
+/// ctx->collector, and merge the union-check dependency store into
+/// ctx->deps_out (see verify/incremental.h).  ctx == nullptr (or an
+/// all-null ctx) is exactly verify_basis above.  The artifact store's
+/// verify_with_store is the production caller.
+VerifyResult verify_basis(std::shared_ptr<const Basis> basis,
+                          const VerifyOptions& options,
+                          sched::CancelToken* cancel,
+                          const IncrementalContext* ctx);
+
 }  // namespace sani::verify

@@ -1,0 +1,203 @@
+#include "verify/incremental.h"
+
+#include <algorithm>
+
+#include "util/combinations.h"
+
+namespace sani::verify {
+
+namespace {
+
+// Bitmap cap: sizes whose rank space exceeds this are not summarized
+// (2^27 ranks = 16 MiB per bitmap).  Any scan that actually enumerates
+// more combinations than this is far beyond interactive resubmission
+// latencies anyway, so the cap almost never binds.
+constexpr std::uint64_t kMaxSummaryRanks = std::uint64_t{1} << 27;
+
+constexpr std::uint64_t kSaturated = ~std::uint64_t{0};
+
+std::uint64_t key_of(int k, std::uint64_t rank) {
+  return (rank << 6) | static_cast<std::uint64_t>(k);
+}
+
+bool bit(const std::vector<std::uint64_t>& words, std::uint64_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+void set_bit(std::vector<std::uint64_t>& words, std::uint64_t i) {
+  words[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+}  // namespace
+
+SummaryCollector::SummaryCollector(int num_observables, int order)
+    : n_(num_observables), order_(order < 0 ? 0 : order) {
+  tables_.resize(static_cast<std::size_t>(order_));
+  for (int k = 1; k <= order_; ++k) {
+    ConeSummary::Table& t = tables_[static_cast<std::size_t>(k - 1)];
+    const std::uint64_t ranks = binomial(n_, k);
+    if (ranks == kSaturated || ranks > kMaxSummaryRanks) continue;
+    t.present = true;
+    t.num_ranks = ranks;
+    const std::size_t words = static_cast<std::size_t>((ranks + 63) / 64);
+    t.checked.assign(words, 0);
+    t.passed.assign(words, 0);
+  }
+}
+
+void SummaryCollector::note(const std::vector<int>& combo, bool passed) {
+  const int k = static_cast<int>(combo.size());
+  if (k < 1 || k > order_) return;
+  ConeSummary::Table& t = tables_[static_cast<std::size_t>(k - 1)];
+  if (!t.present) return;
+  const std::uint64_t rank = combination_rank(n_, combo);
+  set_bit(t.checked, rank);
+  if (passed) set_bit(t.passed, rank);
+}
+
+void SummaryCollector::note_fail(const std::vector<int>& combo,
+                                 const Mask& alpha,
+                                 const std::string& reason) {
+  note(combo, false);
+  const int k = static_cast<int>(combo.size());
+  if (k < 1 || k > order_ ||
+      !tables_[static_cast<std::size_t>(k - 1)].present)
+    return;
+  failures_.push_back(ConeSummary::Failure{
+      k, combination_rank(n_, combo), alpha, reason});
+}
+
+void SummaryCollector::merge_from(const SummaryCollector& other) {
+  for (std::size_t i = 0; i < tables_.size() && i < other.tables_.size();
+       ++i) {
+    ConeSummary::Table& t = tables_[i];
+    const ConeSummary::Table& o = other.tables_[i];
+    if (!t.present || !o.present) continue;
+    for (std::size_t w = 0; w < t.checked.size(); ++w) {
+      t.checked[w] |= o.checked[w];
+      t.passed[w] |= o.passed[w];
+    }
+  }
+  failures_.insert(failures_.end(), other.failures_.begin(),
+                   other.failures_.end());
+}
+
+ConeSummary make_summary(const Basis& basis, const VerifyOptions& options,
+                         SummaryCollector&& collector,
+                         const QInfoStore& deps) {
+  ConeSummary s;
+  s.notion = options.notion;
+  s.glitch_robust = options.probes.glitch_robust;
+  s.joint_share_count = options.joint_share_count;
+  s.union_check = options.union_check;
+  s.order = collector.order_;
+  s.num_secrets = static_cast<std::uint32_t>(basis.vars.secret_vars.size());
+  s.varmap = basis.cones.varmap;
+  s.digests = basis.cones.digests;
+  s.tables = std::move(collector.tables_);
+  s.failures = std::move(collector.failures_);
+  std::sort(s.failures.begin(), s.failures.end(),
+            [](const ConeSummary::Failure& a, const ConeSummary::Failure& b) {
+              return a.k != b.k ? a.k < b.k : a.rank < b.rank;
+            });
+  const int n = static_cast<int>(s.digests.size());
+  for (const std::vector<int>& combo : deps.sorted_combos()) {
+    const QInfo* info = deps.find(combo);
+    if (!info) continue;
+    s.deps.push_back(ConeSummary::DepEntry{
+        static_cast<std::int32_t>(combo.size()),
+        combination_rank(n, combo), info->V});
+  }
+  std::sort(s.deps.begin(), s.deps.end(),
+            [](const ConeSummary::DepEntry& a, const ConeSummary::DepEntry& b) {
+              return a.k != b.k ? a.k < b.k : a.rank < b.rank;
+            });
+  return s;
+}
+
+std::optional<IncrementalPlan> IncrementalPlan::build(
+    const Basis& basis, std::shared_ptr<const ConeSummary> summary,
+    const VerifyOptions& options) {
+  if (!summary || !basis.cones.available) return std::nullopt;
+  if (summary->varmap != basis.cones.varmap) return std::nullopt;
+  if (summary->notion != options.notion) return std::nullopt;
+  if (summary->glitch_robust != options.probes.glitch_robust)
+    return std::nullopt;
+  if (summary->joint_share_count != options.joint_share_count)
+    return std::nullopt;
+  if (summary->num_secrets != basis.vars.secret_vars.size())
+    return std::nullopt;
+
+  IncrementalPlan plan;
+  plan.summary_ = std::move(summary);
+  const ConeSummary& s = *plan.summary_;
+  plan.old_n_ = static_cast<int>(s.digests.size());
+  plan.need_deps_ =
+      options.union_check && options.notion != Notion::kProbing;
+  // A union-checking run can only replay passes whose dependency masks were
+  // recorded; a summary from a union-free run still replays failures and
+  // dirties the passes (handled per combination below).
+
+  std::unordered_map<circuit::ConeDigest, std::int32_t,
+                     circuit::ConeDigestHash>
+      by_digest;
+  by_digest.reserve(s.digests.size());
+  for (std::size_t i = 0; i < s.digests.size(); ++i)
+    by_digest.emplace(s.digests[i], static_cast<std::int32_t>(i));
+
+  plan.old_index_.reserve(basis.cones.digests.size());
+  for (const circuit::ConeDigest& d : basis.cones.digests) {
+    const auto it = by_digest.find(d);
+    if (it == by_digest.end()) {
+      plan.old_index_.push_back(-1);
+    } else {
+      plan.old_index_.push_back(it->second);
+      ++plan.cones_reused_;
+    }
+  }
+
+  for (const ConeSummary::Failure& f : s.failures)
+    plan.failures_.emplace(key_of(f.k, f.rank), &f);
+  for (const ConeSummary::DepEntry& d : s.deps)
+    plan.deps_.emplace(key_of(d.k, d.rank), &d);
+  return plan;
+}
+
+IncrementalPlan::Classification IncrementalPlan::classify(
+    const std::vector<int>& combo, std::vector<int>& scratch) const {
+  Classification c;
+  scratch.clear();
+  for (int i : combo) {
+    const std::int32_t old = old_index_[static_cast<std::size_t>(i)];
+    if (old < 0) return c;
+    scratch.push_back(old);
+  }
+  std::sort(scratch.begin(), scratch.end());
+  // Distinct new observables can share a digest when dedupe is off; such a
+  // combination has no old counterpart of the same size — re-check it.
+  if (std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end())
+    return c;
+  const int k = static_cast<int>(scratch.size());
+  if (k < 1 || k > summary_->order) return c;
+  const ConeSummary::Table& t =
+      summary_->tables[static_cast<std::size_t>(k - 1)];
+  if (!t.present) return c;
+  const std::uint64_t rank = combination_rank(old_n_, scratch);
+  if (rank >= t.num_ranks || !bit(t.checked, rank)) return c;
+  if (bit(t.passed, rank)) {
+    if (need_deps_) {
+      const auto it = deps_.find(key_of(k, rank));
+      if (it == deps_.end()) return c;  // no recorded masks — re-check
+      c.V = &it->second->V;
+    }
+    c.kind = Kind::kCleanPass;
+    return c;
+  }
+  const auto it = failures_.find(key_of(k, rank));
+  if (it == failures_.end()) return c;  // checked-and-failed but no witness
+  c.fail = it->second;
+  c.kind = Kind::kCleanFail;
+  return c;
+}
+
+}  // namespace sani::verify

@@ -1,0 +1,169 @@
+#pragma once
+// Diff-aware incremental re-verification (cone-keyed verdict caching).
+//
+// A ConeSummary is the distilled outcome of one finished scan: the cone
+// digest of every observable (circuit/cone_hash.h), per-size bitmaps of
+// which combination ranks were checked and which passed, the per-row
+// failures, and the per-combination dependency masks the set-level union
+// pass consumed.  On resubmission of an edited gadget, an IncrementalPlan
+// maps each new observable to its digest-equal predecessor and classifies
+// every combination the enumeration visits:
+//
+//   * clean-pass  — all members map, the old run checked the mapped rank
+//                   and it passed: replay the verdict (and splice the old
+//                   dependency masks into the union store);
+//   * clean-fail  — same, but it failed: replay the recorded witness;
+//   * dirty       — anything else: re-check for real.
+//
+// Digest equality implies function equality (Merkle hashing over role-
+// identified inputs), and a varmap fingerprint guards that both runs bind
+// roles to the same dd variables, so a replayed verdict is exactly what a
+// cold check would have computed: verdicts, witnesses and deterministic
+// reports are byte-identical to a cold run (the incremental correctness
+// gate in tests/incremental_test.cpp), only the work differs.  The
+// dependency masks are engine-invariant (every backend accumulates the
+// same semantic per-secret sets), so summaries transfer across engines.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/cone_hash.h"
+#include "util/mask.h"
+#include "verify/basis.h"
+#include "verify/qinfo.h"
+#include "verify/types.h"
+
+namespace sani::verify {
+
+/// Per-cone verdict summary of one finished (non-timed-out) scan.
+/// Serialized by store/serial.h (SANISUM framing); bump
+/// store::kSummaryFormatVersion on any layout change.
+struct ConeSummary {
+  // Semantic guards: a summary only seeds runs with identical notion
+  // semantics.  (The engine is deliberately absent — verdicts and
+  // dependency masks are engine-invariant.)
+  Notion notion = Notion::kSNI;
+  bool glitch_robust = false;
+  bool joint_share_count = false;
+  bool union_check = true;
+  int order = 0;                   // max combination size covered
+  std::uint32_t num_secrets = 0;   // width of the dependency-mask vectors
+  circuit::ConeDigest varmap;      // role→variable binding fingerprint
+  std::vector<circuit::ConeDigest> digests;  // per old observable
+
+  /// Verdict bitmaps for size-k combinations, index k-1.  `present` is
+  /// false when C(n, k) overflowed the bitmap cap — those sizes are always
+  /// re-checked.
+  struct Table {
+    bool present = false;
+    std::uint64_t num_ranks = 0;
+    std::vector<std::uint64_t> checked;  // bit r: rank r was enumerated
+    std::vector<std::uint64_t> passed;   // bit r: and its per-row check held
+  };
+  std::vector<Table> tables;
+
+  /// Recorded per-row scan failure (union-pass failures are not recorded:
+  /// the union pass re-runs from the replayed dependency masks).
+  struct Failure {
+    std::int32_t k = 0;
+    std::uint64_t rank = 0;
+    Mask alpha;
+    std::string reason;
+  };
+  std::vector<Failure> failures;  // sorted by (k, rank)
+
+  /// Per-secret dependency masks of one passing combination (QInfo::V).
+  struct DepEntry {
+    std::int32_t k = 0;
+    std::uint64_t rank = 0;
+    std::vector<Mask> V;
+  };
+  std::vector<DepEntry> deps;  // sorted by (k, rank)
+};
+
+/// Records per-combination outcomes during a scan (cold or incremental) so
+/// a fresh summary can be written afterwards.  Parallel workers each own
+/// one and the controller merges them — the bitmap unions are disjoint
+/// because every combination is checked exactly once across shards.
+class SummaryCollector {
+ public:
+  SummaryCollector(int num_observables, int order);
+
+  void note_pass(const std::vector<int>& combo) { note(combo, true); }
+  void note_fail(const std::vector<int>& combo, const Mask& alpha,
+                 const std::string& reason);
+  void merge_from(const SummaryCollector& other);
+
+ private:
+  friend ConeSummary make_summary(const Basis& basis,
+                                  const VerifyOptions& options,
+                                  SummaryCollector&& collector,
+                                  const QInfoStore& deps);
+
+  void note(const std::vector<int>& combo, bool passed);
+
+  int n_ = 0;
+  int order_ = 0;
+  std::vector<ConeSummary::Table> tables_;
+  std::vector<ConeSummary::Failure> failures_;
+};
+
+/// Assembles the summary of a finished scan from the basis' cone index,
+/// the collected verdict bitmaps and the (merged) union-check store.
+ConeSummary make_summary(const Basis& basis, const VerifyOptions& options,
+                         SummaryCollector&& collector, const QInfoStore& deps);
+
+/// The clean/dirty classifier one run scans against.  Immutable after
+/// build(); classify() takes a caller-owned scratch vector so parallel
+/// workers can share one plan without synchronization.
+class IncrementalPlan {
+ public:
+  /// Null when `summary` cannot seed this run: the basis carries no cone
+  /// index, the varmap fingerprints differ, or a semantic guard mismatches.
+  /// Inequality is always safe — it only costs a cold scan.
+  static std::optional<IncrementalPlan> build(
+      const Basis& basis, std::shared_ptr<const ConeSummary> summary,
+      const VerifyOptions& options);
+
+  enum class Kind : std::uint8_t { kDirty, kCleanPass, kCleanFail };
+
+  struct Classification {
+    Kind kind = Kind::kDirty;
+    /// Replayed dependency masks (clean-pass on union-checking runs only).
+    const std::vector<Mask>* V = nullptr;
+    /// Replayed witness (clean-fail).
+    const ConeSummary::Failure* fail = nullptr;
+  };
+
+  /// Classifies one combination of *new* observable indices.  Thread-safe.
+  Classification classify(const std::vector<int>& combo,
+                          std::vector<int>& scratch) const;
+
+  /// New observables whose digest matched an old one.
+  std::uint64_t cones_reused() const { return cones_reused_; }
+
+ private:
+  std::shared_ptr<const ConeSummary> summary_;
+  std::vector<std::int32_t> old_index_;  // per new observable; -1 unmatched
+  std::uint64_t cones_reused_ = 0;
+  int old_n_ = 0;
+  bool need_deps_ = false;
+  // (rank << 6 | k) lookups, the QInfoStore key convention.
+  std::unordered_map<std::uint64_t, const ConeSummary::Failure*> failures_;
+  std::unordered_map<std::uint64_t, const ConeSummary::DepEntry*> deps_;
+};
+
+/// What the engine layer threads through to the Driver(s): an optional
+/// plan to replay against, an optional collector for the fresh summary,
+/// and an optional sink for the merged union-check dependency store.
+struct IncrementalContext {
+  const IncrementalPlan* plan = nullptr;
+  SummaryCollector* collector = nullptr;
+  QInfoStore* deps_out = nullptr;
+};
+
+}  // namespace sani::verify

@@ -15,6 +15,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "verify/driver.h"
+#include "verify/incremental.h"
 #include "verify/portfolio.h"
 
 namespace sani::verify {
@@ -44,7 +45,8 @@ struct WorkerCtx {
 /// the Driver constructor — the only per-worker setup left).
 VerifyResult run_pool(std::shared_ptr<const Basis> basis,
                       const VerifyOptions& options,
-                      sched::CancelToken* external_cancel = nullptr) {
+                      sched::CancelToken* external_cancel = nullptr,
+                      const IncrementalContext* ictx = nullptr) {
   const int jobs = sched::default_jobs(options.jobs);
 
   sched::CancelToken own_cancel;
@@ -62,8 +64,25 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   const std::vector<sched::Shard> shards =
       sched::plan_shards(N, options.order, jobs, largest, plan_options);
 
+  // Per-worker outcome recorders for the fresh summary (merged below);
+  // every worker shares the one immutable plan without synchronization.
+  std::vector<std::unique_ptr<SummaryCollector>> collectors;
+  if (ictx && ictx->collector) {
+    collectors.resize(static_cast<std::size_t>(jobs));
+    for (auto& c : collectors)
+      c = std::make_unique<SummaryCollector>(N, options.order);
+  }
+  auto arm_incremental = [&](int worker, Driver& driver) {
+    if (!ictx) return;
+    driver.set_incremental(
+        ictx->plan, collectors.empty()
+                        ? nullptr
+                        : collectors[static_cast<std::size_t>(worker)].get());
+  };
+
   std::vector<WorkerCtx> ctx(static_cast<std::size_t>(jobs));
   ctx[0].driver = std::make_unique<Driver>(basis, options, &cancel);
+  arm_incremental(0, *ctx[0].driver);
 
   // The deterministic merge state: the best (order-minimal) failure so far.
   std::mutex best_mu;
@@ -86,8 +105,10 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   const sched::PoolStats pool_stats = pool.run(
       shards.size(), [&](int worker, std::size_t task) {
         WorkerCtx& slot = ctx[static_cast<std::size_t>(worker)];
-        if (!slot.driver)
+        if (!slot.driver) {
           slot.driver = std::make_unique<Driver>(basis, options, &cancel);
+          arm_incremental(worker, *slot.driver);
+        }
         const sched::Shard& shard = shards[task];
 
         // Claiming a whole shard is pointless once a failure ordered before
@@ -165,6 +186,10 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
       result.stats.arena_peak_bytes = arena.peak_bytes;
     result.stats.combinations += ws.combinations;
     result.stats.coefficients += ws.coefficients;
+    result.stats.incremental.combinations_skipped +=
+        ws.incremental.combinations_skipped;
+    result.stats.incremental.combinations_rechecked +=
+        ws.incremental.combinations_rechecked;
     result.stats.prefix_memo.hits += ws.prefix_memo.hits;
     result.stats.prefix_memo.misses += ws.prefix_memo.misses;
     result.stats.region_cache.hits += ws.region_cache.hits;
@@ -176,6 +201,9 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   }
   result.stats.qinfo_entries = merged_qinfo.size();
   result.stats.qinfo_peak_bytes = merged_qinfo.peak_bytes();
+  if (ictx && ictx->collector)
+    for (const auto& c : collectors) ictx->collector->merge_from(*c);
+  if (ictx && ictx->deps_out) ictx->deps_out->merge_from(merged_qinfo);
 
   if (best) {
     result.secure = false;
@@ -217,6 +245,13 @@ VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
                                    const VerifyOptions& options,
                                    sched::CancelToken* cancel) {
   return run_pool(std::move(basis), options, cancel);
+}
+
+VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
+                                   const VerifyOptions& options,
+                                   sched::CancelToken* cancel,
+                                   const IncrementalContext* ctx) {
+  return run_pool(std::move(basis), options, cancel, ctx);
 }
 
 }  // namespace sani::verify

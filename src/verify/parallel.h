@@ -65,4 +65,19 @@ VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
                                    const VerifyOptions& options,
                                    sched::CancelToken* cancel = nullptr);
 
+struct IncrementalContext;
+
+/// Same, with the diff-aware incremental hooks (verify/incremental.h)
+/// threaded through: every worker's Driver replays against ctx->plan (the
+/// plan is immutable and shared without locks) and records outcomes into a
+/// per-worker collector; the controller merges the collectors into
+/// ctx->collector and the union-check stores into ctx->deps_out.  The
+/// deterministic witness merge is untouched — clean combinations are
+/// skipped inside their shard, so the rank space and the merge order stay
+/// those of a cold run.
+VerifyResult verify_parallel_basis(std::shared_ptr<const Basis> basis,
+                                   const VerifyOptions& options,
+                                   sched::CancelToken* cancel,
+                                   const IncrementalContext* ctx);
+
 }  // namespace sani::verify

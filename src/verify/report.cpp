@@ -12,15 +12,46 @@ using obs::json_escape;
 namespace {
 
 // Deterministic-report support: a copy of `result` with every wall-clock
-// field zeroed, so two runs that verified the same input identically render
-// byte-identical reports regardless of machine speed or cache temperature.
-// Phase names are preserved (at 0.0) so the report's *shape* still matches
-// the cold run — only the measured durations go.
+// field zeroed and every strategy-variant counter reset, so two runs that
+// verified the same input identically render byte-identical reports
+// regardless of machine speed, cache temperature, scheduling, or whether an
+// incremental scan replayed part of the work.  What stays is precisely what
+// the verification *semantics* determine: verdict, witness, observable and
+// combination counts.  What goes is what the execution *strategy* shapes:
+// durations, cache/memo traffic, diagram and arena accounting, per-worker
+// load split, and the incremental replay stats (an incremental run's
+// deterministic report is byte-identical to a cold one by construction —
+// that is the correctness gate; the replay counters remain visible through
+// --metrics-out and the non-deterministic JSON report).  Phase names are
+// preserved (at 0.0) so the report's *shape* still matches the cold run.
 VerifyResult strip_timing(const VerifyResult& result) {
   VerifyResult out = result;
   out.stats.thaw_seconds = 0.0;
   out.stats.parallel.cancel_latency = 0.0;
-  for (WorkerStats& w : out.stats.parallel.workers) w.thaw_seconds = 0.0;
+  out.stats.parallel.shards_stolen = 0;
+  out.stats.parallel.shards_skipped = 0;
+  out.stats.parallel.shards_abandoned = 0;
+  for (WorkerStats& w : out.stats.parallel.workers) {
+    w.thaw_seconds = 0.0;
+    w.shards = 0;
+    w.combinations = 0;
+    w.coefficients = 0;
+    w.peak_nodes = 0;
+  }
+  out.stats.coefficients = 0;
+  out.stats.prefix_memo = {};
+  out.stats.region_cache = {};
+  out.stats.qinfo_peak_bytes = 0;
+  out.stats.dd_cache_hits = 0;
+  out.stats.dd_cache_misses = 0;
+  out.stats.dd_peak_nodes = 0;
+  out.stats.dd_gc_runs = 0;
+  out.stats.dd_cache_survived = 0;
+  out.stats.dd_arena_bytes = 0;
+  out.stats.arena_convolutions = 0;
+  out.stats.arena_grows = 0;
+  out.stats.arena_peak_bytes = 0;
+  out.stats.incremental = {};
   PhaseTimers zeroed;
   for (const std::string& name : result.stats.timers.names())
     zeroed.add(name, 0.0);
@@ -120,6 +151,14 @@ void export_metrics(const VerifyOptions& options, const VerifyResult& result,
   m.counter("arena.convolutions").set(s.arena_convolutions);
   m.counter("arena.grows").set(s.arena_grows);
   m.counter("arena.peak_bytes").set(s.arena_peak_bytes);
+  if (s.incremental.active) {
+    m.counter("incremental.cones_total").set(s.incremental.cones_total);
+    m.counter("incremental.cones_reused").set(s.incremental.cones_reused);
+    m.counter("incremental.combinations_skipped")
+        .set(s.incremental.combinations_skipped);
+    m.counter("incremental.combinations_rechecked")
+        .set(s.incremental.combinations_rechecked);
+  }
   if (s.portfolio.active) {
     const PortfolioStats& p = s.portfolio;
     m.counter(std::string("portfolio.chosen.") + engine_name(p.chosen)).set(1);
@@ -170,6 +209,16 @@ std::string json_report(const std::string& gadget_name,
   os << "\"arena\":{\"convolutions\":" << result.stats.arena_convolutions
      << ",\"grows\":" << result.stats.arena_grows
      << ",\"peak_bytes\":" << result.stats.arena_peak_bytes << "},";
+  if (result.stats.incremental.active) {
+    // Absent under --deterministic-report (strip_timing resets it): the
+    // replay split is a property of the run's history, not of the verdict.
+    const IncrementalStats& inc = result.stats.incremental;
+    os << "\"incremental\":{\"cones_total\":" << inc.cones_total
+       << ",\"cones_reused\":" << inc.cones_reused
+       << ",\"combinations_skipped\":" << inc.combinations_skipped
+       << ",\"combinations_rechecked\":" << inc.combinations_rechecked
+       << "},";
+  }
   if (result.stats.portfolio.active) {
     const PortfolioStats& p = result.stats.portfolio;
     os << "\"portfolio\":{\"chosen\":\"" << engine_name(p.chosen)
@@ -293,6 +342,13 @@ std::string detailed_report(const circuit::Gadget& gadget,
        << " convolutions, " << result.stats.arena_grows
        << " buffer grows, peak " << result.stats.arena_peak_bytes
        << " bytes\n";
+  if (result.stats.incremental.active)
+    os << "incremental: " << result.stats.incremental.cones_reused << "/"
+       << result.stats.incremental.cones_total << " cones reused, "
+       << result.stats.incremental.combinations_skipped
+       << " combinations replayed, "
+       << result.stats.incremental.combinations_rechecked
+       << " re-checked\n";
   if (result.stats.portfolio.active) {
     const PortfolioStats& p = result.stats.portfolio;
     os << "portfolio: chose " << engine_name(p.chosen) << " (cache 2^"

@@ -138,6 +138,14 @@ struct VerifyOptions {
   /// coefficient counts are memo-invariant (tested).
   std::int64_t memo_capacity = 64;
 
+  /// Diff-aware incremental scan (store/cached_verify.h): look up the
+  /// nearest prior ConeSummary for the gadget family, replay the verdicts
+  /// of combinations whose cone digests are unchanged, and re-check only
+  /// the dirty ones.  Verdicts, witnesses and deterministic reports are
+  /// byte-identical to a cold run (tested); only the work differs.  Ignored
+  /// when no artifact store is configured.
+  bool incremental = false;
+
   /// Render reports deterministically: every wall-clock/timing field
   /// (seconds, phase breakdowns, thaw and cancel latencies) is zeroed and
   /// the JSON report's embedded metrics object — which carries volatile,
@@ -208,6 +216,18 @@ struct PortfolioStats {
   double density = 0.0;               // mean size / 2^num_vars (capped)
 };
 
+/// Counters of the diff-aware incremental scan (active only when
+/// VerifyOptions::incremental ran against an artifact store).  The scan's
+/// verdict/witness/report bytes are incremental-invariant; these counters
+/// are how much work the prior summary saved.
+struct IncrementalStats {
+  bool active = false;            // an incremental run was requested
+  std::uint64_t cones_total = 0;  // observables in the new universe
+  std::uint64_t cones_reused = 0;  // whose digest matched the prior summary
+  std::uint64_t combinations_skipped = 0;    // verdicts replayed from it
+  std::uint64_t combinations_rechecked = 0;  // dirty, re-verified
+};
+
 struct VerifyStats {
   std::uint64_t combinations = 0;   // XOR-combinations enumerated
   std::uint64_t coefficients = 0;   // spectrum entries scanned/produced
@@ -242,6 +262,7 @@ struct VerifyStats {
                                     // zero-per-combination-allocation
                                     // property the tests assert
   std::uint64_t arena_peak_bytes = 0;  // max arena footprint per worker
+  IncrementalStats incremental;     // diff-aware scan record (--incremental)
   PortfolioStats portfolio;         // engine-selection record (kAuto runs)
   PhaseTimers timers;               // thaw / base / convolution /
                                     // verification / union (summed across

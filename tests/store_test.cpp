@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "circuit/edit.h"
 #include "circuit/ilang.h"
 #include "circuit/unfold.h"
+#include "gadgets/compose.h"
 #include "gadgets/registry.h"
 #include "spectral/spectrum.h"
 #include "store/cached_verify.h"
@@ -263,10 +265,11 @@ TEST(Serial, RejectsTamperedImages) {
   EXPECT_THROW(deserialize_basis(image + "x"), SerializationError);
 }
 
-// Rewrites a v2 file image as the v1 format the previous release wrote:
-// version field 1 and observable metadata without the per-observable support
-// masks.  Every other payload byte is identical — v1 and v2 share the
-// spectra encoding — so this shim produces exactly what an old writer would.
+// Rewrites a current file image as the v1 format the oldest release wrote:
+// version field 1, observable metadata without the per-observable support
+// masks (added in v2) and no trailing cone-index section (added in v3).
+// Every other payload byte is identical — all versions share the spectra
+// encoding — so this shim produces exactly what an old writer would.
 std::string downgrade_image_to_v1(const std::string& v2_image) {
   const std::string payload = v2_image.substr(52);
   ByteReader r(payload);
@@ -306,7 +309,17 @@ std::string downgrade_image_to_v1(const std::string& v2_image) {
     r.u64();
   }
   v1_payload += obs.bytes();
-  v1_payload += payload.substr(pos());
+  std::string rest = payload.substr(pos());
+  // Strip the v3 cone-index tail: a populated section is
+  // flag(1) + varmap(32) + count(8) + count digests of 32 bytes; an empty
+  // one is the single zero flag byte.
+  const std::size_t full_cones =
+      1 + 32 + 8 + 32 * static_cast<std::size_t>(count);
+  if (rest.size() >= full_cones && rest[rest.size() - full_cones] == 1)
+    rest.resize(rest.size() - full_cones);
+  else
+    rest.resize(rest.size() - 1);
+  v1_payload += rest;
 
   ByteWriter file;
   for (char c : kMagic) file.u8(static_cast<std::uint8_t>(c));
@@ -439,14 +452,19 @@ TEST(Store, CorruptTruncatedAndVersionBumpedObjectsAreCleanMisses) {
 TEST(Store, LruEvictionKeepsRecentlyUsed) {
   TempDir dir("lru");
   const std::string payload(1000, 'p');
-  ArtifactStore store({dir.str(), 2500});  // room for two objects
-
   const std::string k1(64, '1'), k2(64, '2'), k3(64, '3');
-  ASSERT_TRUE(store.put(k1, payload));
-  ASSERT_TRUE(store.put(k2, payload));
-  EXPECT_TRUE(store.contains(k1));
-  EXPECT_TRUE(store.contains(k2));
-
+  {
+    // Same-run keys are pinned (Store.PinnedKeysOutrankTheLru below), so
+    // populate with one instance and reopen: the reopened store sees the
+    // entries as ordinary LRU candidates.
+    ArtifactStore store({dir.str(), 2500});  // room for two objects
+    ASSERT_TRUE(store.put(k1, payload));
+    ASSERT_TRUE(store.put(k2, payload));
+    EXPECT_TRUE(store.contains(k1));
+    EXPECT_TRUE(store.contains(k2));
+    EXPECT_EQ(store.stats().evictions, 0u);
+  }
+  ArtifactStore store({dir.str(), 2500});
   // Touch k1 so k2 becomes the LRU victim.
   EXPECT_TRUE(store.get(k1).has_value());
   ASSERT_TRUE(store.put(k3, payload));
@@ -462,6 +480,41 @@ TEST(Store, LruEvictionKeepsRecentlyUsed) {
   ASSERT_TRUE(store.put(k4, big));
   EXPECT_TRUE(store.contains(k4));
   EXPECT_TRUE(store.get(k4).has_value());
+}
+
+TEST(Store, PinnedKeysOutrankTheLru) {
+  // Eviction must never select a key this process wrote: a Basis put at
+  // request start has to survive until the matching cone summary lands,
+  // however small the cap.  (The regression this guards: a tiny cap used
+  // to evict the Basis the moment the summary arrived.)
+  TempDir dir("pin");
+  const std::string payload(1000, 'p');
+  const std::string k1(64, '1'), k2(64, '2'), k3(64, '3'), k4(64, '4');
+  {
+    ArtifactStore store({dir.str(), 1});  // cap below a single object
+    ASSERT_TRUE(store.put(k1, payload));
+    ASSERT_TRUE(store.put(k2, payload));
+    ASSERT_TRUE(store.put(k3, payload));
+    // All three keys are same-run: none may be evicted despite the cap.
+    EXPECT_TRUE(store.contains(k1));
+    EXPECT_TRUE(store.contains(k2));
+    EXPECT_TRUE(store.contains(k3));
+    EXPECT_EQ(store.stats().evictions, 0u);
+    EXPECT_EQ(store.stats().objects, 3u);
+    // Overwriting a pinned key keeps it pinned.
+    ASSERT_TRUE(store.put(k1, payload + payload));
+    EXPECT_TRUE(store.contains(k1));
+    EXPECT_EQ(store.stats().evictions, 0u);
+  }
+  // Pins are process-local: a reopened store evicts the stale entries the
+  // moment its own traffic lands.
+  ArtifactStore store({dir.str(), 1});
+  ASSERT_TRUE(store.put(k4, payload));
+  EXPECT_TRUE(store.contains(k4));
+  EXPECT_FALSE(store.contains(k1));
+  EXPECT_FALSE(store.contains(k2));
+  EXPECT_FALSE(store.contains(k3));
+  EXPECT_EQ(store.stats().evictions, 3u);
 }
 
 TEST(Store, IndexSurvivesReopenAndAdoptsOrphans) {
@@ -499,6 +552,43 @@ TEST(Key, StableThroughCanonicalWriterRoundTrip) {
         circuit::parse_ilang_string(circuit::write_ilang_string(g));
     verify::VerifyOptions opt;
     EXPECT_EQ(artifact_key(g, opt), artifact_key(back, opt)) << name;
+  }
+}
+
+TEST(Key, CanonicalWriterIsAFixedPointOnComposedGadgets) {
+  // Instantiated compositions stress the writer with prefixed hierarchical
+  // names ("f.p00"), freshened randomness and spliced output groups — the
+  // exact inputs a build system resubmits.  write o parse o write must be
+  // the identity on the written form, and the artifact key must ride on it.
+  const struct {
+    const char* tag;
+    circuit::Gadget g;
+  } cases[] = {
+      {"chain-none", gadgets::mult_chain("dom-1", gadgets::RefreshPolicy::kNone)},
+      {"chain-sni", gadgets::mult_chain("dom-1", gadgets::RefreshPolicy::kSni)},
+      {"chain-simple",
+       gadgets::mult_chain("isw-2", gadgets::RefreshPolicy::kSimple)},
+      {"serial",
+       gadgets::compose_serial(gadgets::by_name("dom-2"),
+                               gadgets::by_name("dom-2"), 1,
+                               gadgets::RefreshPolicy::kSni)},
+  };
+  for (const auto& c : cases) {
+    const std::string s1 = circuit::write_ilang_string(c.g);
+    const circuit::Gadget back = circuit::parse_ilang_string(s1);
+    const std::string s2 = circuit::write_ilang_string(back);
+    EXPECT_EQ(s1, s2) << c.tag;
+    // A second round-trip is then automatically stable too.
+    EXPECT_EQ(s2, circuit::write_ilang_string(circuit::parse_ilang_string(s2)))
+        << c.tag;
+
+    verify::VerifyOptions opt;
+    EXPECT_EQ(artifact_key(c.g, opt), artifact_key(back, opt)) << c.tag;
+    // Renaming every net is invisible to the canonical form, hence to the
+    // key (label-independent content addressing).
+    EXPECT_EQ(artifact_key(circuit::with_renamed_wires(c.g, "inst_"), opt),
+              artifact_key(c.g, opt))
+        << c.tag;
   }
 }
 

@@ -10,7 +10,7 @@
 //                 [--no-union] [--time-limit S] [--var-order NAME]
 //                 [--jobs N]                    # 0 = all hardware threads
 //   sani uniform  (--file g.ilang | --gadget ti-1)
-//   sani stats    (--file g.ilang | --gadget keccak-2)
+//   sani stats    (--file g.ilang | --gadget keccak-2) [--store DIR]
 //   sani emit     --gadget isw-2                  # print annotated ILANG
 //   sani list                                     # built-in gadget names
 //
@@ -80,6 +80,14 @@ int usage(const std::string& msg = "") {
       "                                 DIR, or build and persist it\n"
       "  --store-max-bytes N            LRU-evict the store down to N bytes\n"
       "                                 after each save (0 = unbounded)\n"
+      "  --incremental                  diff-aware re-verification (needs\n"
+      "                                 --store): replay verdicts for\n"
+      "                                 combinations whose probe cones are\n"
+      "                                 unchanged since the last run of this\n"
+      "                                 gadget family; re-check only the\n"
+      "                                 dirty ones.  Verdict, witness and\n"
+      "                                 deterministic report are identical\n"
+      "                                 to a full scan\n"
       "  --deterministic-report         zero all timing fields in reports\n"
       "                                 (byte-diffable warm vs cold runs)\n";
   return 64;
@@ -152,6 +160,9 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   else throw std::invalid_argument("unknown var-order '" + vo + "'");
 
   opt.deterministic_report = args.has("deterministic-report");
+  opt.incremental = args.has("incremental");
+  if (opt.incremental && !args.value("store"))
+    throw std::invalid_argument("--incremental requires --store DIR");
   return opt;
 }
 
@@ -224,6 +235,19 @@ int main(int argc, char** argv) {
       }
       if (!any_op) std::cout << " (no lookups)";
       std::cout << "\n";
+      // Store-side stats: open the artifact store (read-only in effect) and
+      // report its occupancy; the gauges land in the metrics block below.
+      if (auto store_dir = args.value("store")) {
+        store::ArtifactStore::Options store_opt;
+        store_opt.dir = *store_dir;
+        store::ArtifactStore artifacts(store_opt);
+        const store::ArtifactStore::Stats st = artifacts.stats();
+        std::cout << "  store: " << st.objects << " objects, "
+                  << st.total_bytes << " bytes; this process: hits="
+                  << st.hits << " misses=" << st.misses
+                  << " evictions=" << st.evictions
+                  << " quarantined=" << st.quarantined << "\n";
+      }
       // The same numbers through the metrics registry: one name per line,
       // sorted — the stable, machine-greppable order tests assert on.
       auto& metrics = obs::Metrics::instance();
@@ -296,6 +320,19 @@ int main(int argc, char** argv) {
         std::cerr << "store: " << (outcome.hit ? "hit" : "miss")
                   << (outcome.saved ? " (saved)" : "") << " key "
                   << outcome.key << "\n";
+        if (opt.incremental)
+          std::cerr << "incremental: "
+                    << (outcome.summary_hit ? "seeded from prior summary"
+                                            : "no prior summary (cold scan)")
+                    << (outcome.summary_saved ? "; summary saved" : "")
+                    << "\n";
+        const store::ArtifactStore::Stats st = artifacts.stats();
+        std::cerr << "store stats: hits=" << st.hits
+                  << " misses=" << st.misses
+                  << " evictions=" << st.evictions
+                  << " quarantined=" << st.quarantined
+                  << " objects=" << st.objects
+                  << " bytes=" << st.total_bytes << "\n";
       } else {
         r = verify::verify(g, opt);
       }
