@@ -105,6 +105,7 @@ Request parse_request(const std::string& line) {
     r.incremental_set = true;
     o.incremental = root->get_bool("incremental", false);
   }
+  r.scan = root->get_bool("scan", false);
 
   const std::string format = root->get_string("format", "text");
   if (format != "text" && format != "json")
@@ -136,6 +137,7 @@ std::string job_digest(const VerifyRequest& request,
            << (o.search_order == verify::SearchOrder::kLargestFirst) << '\n'
            << "deterministic:" << o.deterministic_report << '\n'
            << "incremental:" << o.incremental << '\n'
+           << "scan:" << request.scan << '\n'
            << "format:" << (request.json_format ? "json" : "text") << '\n'
            << "label:" << request.gadget_name << '\n';
   return store::sha256_hex(material.str());

@@ -21,7 +21,13 @@
 //       reason to exist), a storeless one clamps it OFF.  An explicit value
 //       always wins (still clamped OFF without a store — there is nothing
 //       to seed from or save to).
-//   {"op":"stats"}     registry dump + daemon/queue/store counters
+//       "scan":true routes the job through the checkpointable manifest
+//       scan (store/scan.h): resumable across daemon restarts, same
+//       report bytes for secure gadgets under "deterministic":true.
+//   {"op":"stats"}     registry dump + daemon/queue/store counters; a
+//                      store-backed daemon appends a "scans" array with
+//                      each scan directory's manifest state (shards done /
+//                      total, in-flight claims, reclaims, checkpoint bytes)
 //   {"op":"ping"}      liveness probe
 //   {"op":"shutdown"}  graceful daemon stop (connections drain, socket
 //                      unlinked)
@@ -65,6 +71,12 @@ struct VerifyRequest {
   /// True when the request carried an explicit "incremental" value (held in
   /// options.incremental); false leaves the policy to the server.
   bool incremental_set = false;
+  /// "scan":true — run through the checkpointable manifest scan
+  /// (store/scan.h) instead of the one-shot engine: shards are claimed and
+  /// checkpointed under the daemon's store, so a job interrupted by a
+  /// daemon restart (or cancelled when its waiters hang up) resumes from
+  /// its checkpoints when resubmitted.  Requires a store-backed daemon.
+  bool scan = false;
   int priority = 0;  // higher first in the admission queue
 };
 

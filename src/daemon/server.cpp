@@ -27,9 +27,11 @@
 #include "sched/cancel.h"
 #include "sched/queue.h"
 #include "store/cached_verify.h"
+#include "store/scan.h"
 #include "store/store.h"
 #include "verify/basis.h"
 #include "verify/engine.h"
+#include "verify/partial.h"
 #include "verify/report.h"
 
 namespace sani::daemon {
@@ -237,6 +239,15 @@ void Server::Impl::handle_verify(const ConnectionPtr& conn,
     if (!request.incremental_set)
       request.options.incremental = store != nullptr;
     if (!store) request.options.incremental = false;
+    if (request.scan) {
+      if (!store)
+        throw std::invalid_argument(
+            "'scan' requires a store-backed daemon (checkpoints live under "
+            "the store)");
+      // The manifest scan has its own warm-start/merge path; the
+      // incremental summary machinery does not apply shard-wise.
+      request.options.incremental = false;
+    }
     const std::string label = request.gadget_name.empty()
                                   ? gadget.netlist.name()
                                   : request.gadget_name;
@@ -299,8 +310,34 @@ void Server::Impl::handle_stats(const ConnectionPtr& conn) {
   os << "{\"frame\":\"stats\",\"queue_depth\":" << queue.size()
      << ",\"queue_capacity\":" << queue.capacity()
      << ",\"inflight\":" << inflight_count
-     << ",\"store\":" << (store ? "true" : "false")
-     << ",\"metrics\":" << m.to_json() << "}";
+     << ",\"store\":" << (store ? "true" : "false");
+  if (store) {
+    // Manifest state of every scan directory under the store: the
+    // operator's view of long jobs in flight (and of resumable leftovers
+    // from a previous daemon life).
+    os << ",\"scans\":[";
+    bool first = true;
+    for (const std::string& dir : store::list_scan_dirs(store->dir())) {
+      try {
+        const store::ScanDir scan = store::ScanDir::open(dir);
+        const store::ScanDir::Status st = scan.status();
+        if (!first) os << ",";
+        first = false;
+        os << "{\"label\":\"" << obs::json_escape(scan.manifest().label)
+           << "\",\"shards_done\":" << st.done
+           << ",\"shards_total\":" << scan.shard_count()
+           << ",\"claimed\":" << st.claimed
+           << ",\"reclaims\":" << st.reclaims
+           << ",\"checkpoint_bytes\":" << st.checkpoint_bytes
+           << ",\"combinations_done\":" << st.combinations_done << "}";
+      } catch (const std::exception&) {
+        // An unreadable scan dir (mid-create, version skew) is skipped —
+        // stats must never fail over forensic data.
+      }
+    }
+    os << "]";
+  }
+  os << ",\"metrics\":" << m.to_json() << "}";
   conn->send_line(os.str());
 }
 
@@ -339,7 +376,39 @@ void Server::Impl::run_job(const JobPtr& job) {
     Stopwatch watch;
     verify::VerifyResult result;
     store::StoreOutcome outcome;
-    if (store) {
+    if (job->request.scan && store) {
+      // Resumable long-job mode: plan (idempotent — a restarted daemon
+      // reopens the same scan directory, prior checkpoints intact), drain,
+      // finalize.  A cancel mid-scan (waiters gone / daemon stopping)
+      // leaves every completed shard checkpointed; the same request later
+      // resumes from them instead of starting over.
+      const int scan_jobs =
+          job->request.options.jobs > 0
+              ? job->request.options.jobs
+              : static_cast<int>(std::thread::hardware_concurrency());
+      store::PlanOutcome plan;
+      store::ScanDir scan = store::plan_scan(
+          job->gadget, job->label, job->request.options, *store, scan_jobs,
+          &plan);
+      outcome.key = plan.key;
+      outcome.hit = plan.resumed;
+      store::WorkerOptions wopts;
+      wopts.jobs = scan_jobs;
+      wopts.cancel = &job->cancel;
+      wopts.basis = plan.basis;  // still in memory from planning
+      // In-process fold: when this drain writes every checkpoint (fresh
+      // scan, no concurrent worker), finalize skips the disk read-back.
+      verify::ReportAssembler assembler(plan.basis, scan.manifest().options);
+      wopts.assembler = &assembler;
+      const store::WorkerOutcome ran =
+          store::run_scan_worker(scan, store.get(), wopts);
+      if (!ran.drained)
+        throw std::runtime_error(
+            "scan interrupted after " + std::to_string(ran.shards_done) +
+            " shards; checkpoints kept — resubmit to resume");
+      outcome.saved = ran.shards_done > 0;
+      result = store::finalize_scan(scan, store.get(), plan.basis, &assembler);
+    } else if (store) {
       result = store::verify_with_store(job->gadget, job->request.options,
                                         *store, &outcome, &job->cancel);
     } else {

@@ -18,9 +18,7 @@
 
 namespace sani::store {
 
-namespace {
-
-verify::BasisNeeds needs_for(verify::EngineKind engine) {
+verify::BasisNeeds needs_for_engine(verify::EngineKind engine) {
   // A portfolio artifact carries every engine's material, so whichever
   // engine the cost model picks — now or on a later warm start — runs from
   // the same stored Basis.
@@ -34,11 +32,9 @@ verify::BasisNeeds needs_for(verify::EngineKind engine) {
   return needs;
 }
 
-}  // namespace
-
 std::string artifact_key(const std::string& canonical_ilang,
                          const verify::VerifyOptions& options) {
-  const verify::BasisNeeds needs = needs_for(options.engine);
+  const verify::BasisNeeds needs = needs_for_engine(options.engine);
   std::ostringstream material;
   // A versioned, field-tagged preimage: any change to what a Basis contains
   // bumps kFormatVersion, which re-keys every artifact — old objects simply
@@ -132,13 +128,27 @@ verify::VerifyResult run_incremental(const circuit::Gadget& gadget,
   result.stats.incremental.cones_total = static_cast<std::uint64_t>(n);
   if (plan) result.stats.incremental.cones_reused = plan->cones_reused();
 
-  if (collect && !result.timed_out) {
+  if (collect) {
     const verify::ConeSummary summary =
         verify::make_summary(*basis, options, std::move(collector), deps);
-    const std::string skey = summary_object_key(family, key);
-    const bool saved =
-        store.save_summary(skey, summary) && store.set_family_head(family, skey);
-    if (outcome) outcome->summary_saved = saved;
+    // A timed-out run publishes the summary of its completed prefix too —
+    // unchecked ranks stay 0 in the bitmaps and classify as dirty on
+    // replay, so the next attempt resumes past the verdicts this one paid
+    // for.  Guard: never repoint the family head at a summary with less
+    // coverage than the one already there (a short re-run after a long one
+    // must not shrink the cache).
+    bool publish = true;
+    if (result.timed_out) {
+      const std::uint64_t checked = verify::summary_checked_count(summary);
+      publish = checked > 0 &&
+                (!prior || verify::summary_checked_count(*prior) < checked);
+    }
+    if (publish) {
+      const std::string skey = summary_object_key(family, key);
+      const bool saved = store.save_summary(skey, summary) &&
+                         store.set_family_head(family, skey);
+      if (outcome) outcome->summary_saved = saved;
+    }
   }
   return result;
 }
@@ -170,7 +180,7 @@ verify::VerifyResult verify_with_store(const circuit::Gadget& gadget,
         verify::build_observables(gadget, unfolded, options.probes);
     basis = verify::build_basis(unfolded, observables, options.engine);
     const bool saved =
-        store.save_basis(key, *basis, needs_for(options.engine));
+        store.save_basis(key, *basis, needs_for_engine(options.engine));
     if (outcome) outcome->saved = saved;
   }
 

@@ -10,8 +10,6 @@
 
 namespace sani::store {
 
-namespace {
-
 // Payload section encoders ---------------------------------------------------
 
 void write_mask(ByteWriter& w, const Mask& m) {
@@ -25,6 +23,8 @@ Mask read_mask(ByteReader& r) {
   m.hi = r.u64();
   return m;
 }
+
+namespace {
 
 // A hostile or truncated length prefix must not drive a multi-gigabyte
 // reserve before the bounds check catches it: every element of the claimed
@@ -178,6 +178,8 @@ verify::BasisNeeds unpack_needs(std::uint8_t bits) {
   return needs;
 }
 
+}  // namespace
+
 constexpr std::size_t kHeaderBytes = 8 + 4 + 32 + 8;
 
 // Wraps a payload in the common file framing: magic, format version,
@@ -235,8 +237,6 @@ std::string checked_payload_for(const std::string& file_image,
   return payload;
 }
 
-}  // namespace
-
 // ByteWriter / ByteReader ----------------------------------------------------
 
 void ByteWriter::u32(std::uint32_t v) {
@@ -247,6 +247,14 @@ void ByteWriter::u32(std::uint32_t v) {
 void ByteWriter::u64(std::uint64_t v) {
   for (int i = 0; i < 8; ++i)
     out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::vu64(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out_.push_back(static_cast<char>(v));
 }
 
 void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
@@ -282,6 +290,22 @@ std::uint64_t ByteReader::u64() {
     v |= std::uint64_t{static_cast<std::uint8_t>(s_[pos_ + i])} << (8 * i);
   pos_ += 8;
   return v;
+}
+
+std::uint64_t ByteReader::vu64() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    v |= std::uint64_t{byte & 0x7Fu} << shift;
+    if ((byte & 0x80u) == 0) {
+      // The top group holds the final bit 63 only; anything wider
+      // overflows u64 and cannot have come from vu64-encoded output.
+      if (shift == 63 && (byte & 0x7Eu) != 0)
+        throw SerializationError("artifact: varint overflows 64 bits");
+      return v;
+    }
+  }
+  throw SerializationError("artifact: varint longer than 10 bytes");
 }
 
 double ByteReader::f64() { return std::bit_cast<double>(u64()); }

@@ -77,6 +77,11 @@ class ByteWriter {
   void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
+  /// LEB128 unsigned varint (1 byte per 7 bits, low group first).  Used
+  /// where the value distribution is overwhelmingly small — checkpoint
+  /// rank deltas and dictionary indices — so the fixed-width tax would
+  /// dominate the file.
+  void vu64(std::uint64_t v);
   void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
   void f64(double v);
@@ -98,6 +103,7 @@ class ByteReader {
   std::uint8_t u8();
   std::uint32_t u32();
   std::uint64_t u64();
+  std::uint64_t vu64();
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64();
@@ -117,6 +123,23 @@ class ByteReader {
 /// the round-trip tests).
 void write_forest(ByteWriter& w, const dd::FrozenForest& forest);
 dd::FrozenForest read_forest(ByteReader& r);
+
+/// Mask <-> bytes (shared with the scan-manifest/checkpoint formats in
+/// store/manifest.h).
+void write_mask(ByteWriter& w, const Mask& m);
+Mask read_mask(ByteReader& r);
+
+/// Common file framing (magic + u32 version + payload SHA-256 + u64 length
+/// + payload) shared by every store artifact format: SANIBAS, SANISUM and
+/// the scan manifest/checkpoint files.  checked_payload_for validates and
+/// returns the payload slice, throwing SerializationError on any mismatch.
+std::string frame(const char (&magic)[8], std::uint32_t version,
+                  const std::string& body);
+std::string checked_payload_for(const std::string& file_image,
+                                const char (&magic)[8],
+                                std::uint32_t min_version,
+                                std::uint32_t max_version,
+                                std::uint32_t* version_out);
 
 /// Full artifact file image (header + integrity hash + payload).
 std::string serialize_basis(const verify::Basis& basis,

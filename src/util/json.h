@@ -1,10 +1,9 @@
 #pragma once
 // Minimal recursive-descent JSON parser (RFC 8259 value grammar).
 //
-// Grown out of the test-only parser (tests/json_util.h, now an alias of
-// this header): the sanid daemon and the sanic client parse newline-
-// delimited JSON request/response frames, so the parser moved into the
-// library proper.  It supports the full value grammar this project emits
+// Grown out of a test-only parser: the sanid daemon and the sanic client
+// parse newline-delimited JSON request/response frames, so the parser moved
+// into the library proper and the tests now include it directly.  It supports the full value grammar this project emits
 // and accepts: objects, arrays, strings with \uXXXX and short escapes,
 // numbers, booleans, null.  Throws std::runtime_error on malformed input —
 // a daemon connection handler turns that into an error frame instead of

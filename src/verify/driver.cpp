@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "verify/backends/backend.h"
 #include "verify/backends/registry.h"
+#include "verify/partial.h"
 
 namespace sani::verify {
 
@@ -357,38 +358,54 @@ void Driver::run_shard(
   }
 }
 
-void Driver::union_pass_over(const QInfoStore& qinfo, VerifyResult& result) {
-  for (const std::vector<int>& q_path : qinfo.sorted_combos()) {
-    if (cancel_->expired()) {
-      result.timed_out = true;
-      cancel_->acknowledge();
-      return;
-    }
-    const QInfo& info = *qinfo.find(q_path);
-    // V(Q) = union of deps over all sub-combinations of Q.
-    std::vector<Mask> V(info.V.size());
-    const std::size_t k = q_path.size();
-    for (std::size_t sel = 1; sel < (std::size_t{1} << k); ++sel) {
-      std::vector<int> sub;
-      for (std::size_t j = 0; j < k; ++j)
-        if (sel & (std::size_t{1} << j)) sub.push_back(q_path[j]);
-      const QInfo* it = qinfo.find(sub);
-      if (!it) continue;
-      for (std::size_t s = 0; s < V.size(); ++s) V[s] |= it->V[s];
-    }
-    std::string reason;
-    if (rowcheck_.checker().union_violates(V, info.row, &reason)) {
-      result.secure = false;
-      CounterExample ce;
-      for (int i : q_path)
-        ce.observables.push_back(
-            basis_->obs[static_cast<std::size_t>(i)].name);
-      for (const Mask& v : V) ce.alpha |= v;
-      ce.reason = "set-level dependency check failed: " + reason;
-      result.counterexample = std::move(ce);
-      return;
-    }
+void Driver::run_shard_partial(
+    const sched::Shard& shard,
+    const std::function<bool(const std::vector<int>&)>& still_relevant,
+    ShardOutcome& out, PartialReport& part) {
+  const std::uint64_t combos0 = stats_.combinations;
+  const std::uint64_t coeffs0 = stats_.coefficients;
+  const CacheStats memo0 = stats_.prefix_memo;
+  const CacheStats region0 = stats_.region_cache;
+  const double conv0 = stats_.timers.get("convolution");
+  const double verif0 = stats_.timers.get("verification");
+  const std::size_t qinfo0 = qinfo_.size();
+
+  run_shard(shard, still_relevant, out);
+
+  part.k = shard.k;
+  part.begin = shard.begin;
+  part.end = shard.end;
+  part.combinations = stats_.combinations - combos0;
+  part.coefficients = stats_.coefficients - coeffs0;
+  part.prefix_memo.hits = stats_.prefix_memo.hits - memo0.hits;
+  part.prefix_memo.misses = stats_.prefix_memo.misses - memo0.misses;
+  part.region_cache.hits = stats_.region_cache.hits - region0.hits;
+  part.region_cache.misses = stats_.region_cache.misses - region0.misses;
+  part.convolution_seconds = stats_.timers.get("convolution") - conv0;
+  part.verification_seconds = stats_.timers.get("verification") - verif0;
+  // Every visited rank bumps `combinations` exactly once (checked or
+  // replayed), so the contiguous covered prefix falls out of the delta.
+  part.covered_end = shard.begin + part.combinations;
+  part.complete = !out.timed_out && !out.abandoned;
+  if (out.failure) {
+    const int N = static_cast<int>(basis_->size());
+    part.has_failure = true;
+    part.fail_rank = combination_rank(N, out.failure->combo);
+    part.fail_alpha = out.failure->ce.alpha;
+    part.fail_reason = out.failure->ce.reason;
   }
+  part.deps.reserve(part.deps.size() + (qinfo_.size() - qinfo0));
+  qinfo_.drain_tail(qinfo0, [&part](std::uint64_t key, QInfo&& info) {
+    PartialReport::Dep dep;
+    dep.rank = key >> 6;
+    dep.row = std::move(info.row);
+    dep.V = std::move(info.V);
+    part.deps.push_back(std::move(dep));
+  });
+}
+
+void Driver::union_pass_over(const QInfoStore& qinfo, VerifyResult& result) {
+  union_pass(*basis_, rowcheck_.checker(), qinfo, cancel_, result);
 }
 
 std::size_t Driver::peak_nodes() const {

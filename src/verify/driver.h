@@ -42,6 +42,7 @@
 namespace sani::verify {
 
 class Backend;
+struct PartialReport;
 
 class Driver {
  public:
@@ -104,6 +105,18 @@ class Driver {
                  const std::function<bool(const std::vector<int>&)>&
                      still_relevant,
                  ShardOutcome& out);
+
+  /// run_shard() plus per-shard delta capture: the counters, phase seconds
+  /// and union-check entries this shard contributed are snapshotted into
+  /// `part` (the entries are *drained* out of the driver's own store — in
+  /// shard-partial mode the PartialReport, not the driver, owns the
+  /// merge-bound state).  With a null `still_relevant` and an unexpired
+  /// token the resulting partial is complete: a pure function of (basis,
+  /// options, shard), whatever ran before it on this driver.
+  void run_shard_partial(const sched::Shard& shard,
+                         const std::function<bool(const std::vector<int>&)>&
+                             still_relevant,
+                         ShardOutcome& out, PartialReport& part);
 
   /// Set-level union pass over an arbitrary (possibly merged) store.
   void union_pass_over(const QInfoStore& qinfo, VerifyResult& result);

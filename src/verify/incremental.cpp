@@ -115,6 +115,16 @@ ConeSummary make_summary(const Basis& basis, const VerifyOptions& options,
   return s;
 }
 
+std::uint64_t summary_checked_count(const ConeSummary& summary) {
+  std::uint64_t total = 0;
+  for (const ConeSummary::Table& t : summary.tables) {
+    if (!t.present) continue;
+    for (const std::uint64_t word : t.checked)
+      total += static_cast<std::uint64_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
 std::optional<IncrementalPlan> IncrementalPlan::build(
     const Basis& basis, std::shared_ptr<const ConeSummary> summary,
     const VerifyOptions& options) {

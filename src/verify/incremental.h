@@ -39,9 +39,10 @@
 
 namespace sani::verify {
 
-/// Per-cone verdict summary of one finished (non-timed-out) scan.
-/// Serialized by store/serial.h (SANISUM framing); bump
-/// store::kSummaryFormatVersion on any layout change.
+/// Per-cone verdict summary of one scan — complete, or the checked prefix
+/// of a timed-out run (unchecked ranks stay 0 in the bitmaps and classify
+/// as dirty on replay).  Serialized by store/serial.h (SANISUM framing);
+/// bump store::kSummaryFormatVersion on any layout change.
 struct ConeSummary {
   // Semantic guards: a summary only seeds runs with identical notion
   // semantics.  (The engine is deliberately absent — verdicts and
@@ -116,6 +117,12 @@ class SummaryCollector {
 /// the collected verdict bitmaps and the (merged) union-check store.
 ConeSummary make_summary(const Basis& basis, const VerifyOptions& options,
                          SummaryCollector&& collector, const QInfoStore& deps);
+
+/// Total ranks marked checked across the summary's verdict tables — the
+/// coverage a seeded run can replay.  A timed-out run publishes the summary
+/// of its completed prefix, but only when this count beats the family
+/// head's, so republishing never shrinks coverage.
+std::uint64_t summary_checked_count(const ConeSummary& summary);
 
 /// The clean/dirty classifier one run scans against.  Immutable after
 /// build(); classify() takes a caller-owned scratch vector so parallel

@@ -16,23 +16,12 @@
 #include "obs/trace.h"
 #include "verify/driver.h"
 #include "verify/incremental.h"
+#include "verify/partial.h"
 #include "verify/portfolio.h"
 
 namespace sani::verify {
 
 namespace {
-
-/// The serial engine's total order on combinations.  Depth-first search
-/// visits prefixes before their extensions and smaller index sequences
-/// first — exactly std::vector's lexicographic operator<.  Largest-first
-/// visits sizes descending, ranks ascending within a size.  The parallel
-/// merge reports the minimum failing combination under this order, which is
-/// precisely the combination the serial walk would have failed on first.
-bool combo_before(const std::vector<int>& a, const std::vector<int>& b,
-                  bool largest_first) {
-  if (largest_first && a.size() != b.size()) return a.size() > b.size();
-  return a < b;
-}
 
 struct WorkerCtx {
   std::unique_ptr<Driver> driver;
@@ -84,9 +73,12 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   ctx[0].driver = std::make_unique<Driver>(basis, options, &cancel);
   arm_incremental(0, *ctx[0].driver);
 
-  // The deterministic merge state: the best (order-minimal) failure so far.
+  // The deterministic merge state: workers emit one PartialReport per
+  // shard and the assembler folds each in as it completes (order-minimal
+  // failure, merged union-check store) — the fold is associative, so the
+  // completion order the pool happens to produce cannot show in the result.
   std::mutex best_mu;
-  std::optional<Driver::ShardFailure> best;
+  ReportAssembler assembler(basis, options);
   std::atomic<std::uint64_t> skipped{0};
   std::atomic<std::uint64_t> abandoned{0};
   std::atomic<bool> timed_out{false};
@@ -95,7 +87,8 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   // i.e. checking it can still change the reported witness.
   auto still_relevant = [&](const std::vector<int>& combo) {
     std::lock_guard<std::mutex> lk(best_mu);
-    return !best || combo_before(combo, best->combo, largest);
+    return !assembler.has_failure() ||
+           combo_before(combo, assembler.failure_combo(), largest);
   };
 
   if (options.progress)
@@ -121,16 +114,17 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
         }
 
         Driver::ShardOutcome out;
-        slot.driver->run_shard(shard, still_relevant, out);
+        PartialReport part;
+        slot.driver->run_shard_partial(shard, still_relevant, out, part);
         ++slot.shards;
         if (out.timed_out) timed_out.store(true, std::memory_order_relaxed);
         if (out.abandoned) abandoned.fetch_add(1, std::memory_order_relaxed);
-        if (out.failure) {
+        const bool failed = out.failure.has_value();
+        {
           std::lock_guard<std::mutex> lk(best_mu);
-          if (!best || combo_before(out.failure->combo, best->combo, largest))
-            best = std::move(out.failure);
-          cancel.cancel();
+          assembler.add(std::move(part));
         }
+        if (failed) cancel.cancel();
       });
 
   if (options.progress) options.progress->stop();
@@ -142,7 +136,6 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
   result.stats.frozen_nodes = basis->frozen.node_count();
   result.stats.frozen_bytes = basis->frozen.empty() ? 0 : basis->frozen.bytes();
 
-  QInfoStore merged_qinfo(N);
   result.stats.parallel.jobs = jobs;
   // Every engine shares the one Basis now; the frozen forest replaced the
   // per-worker unfolding replays, so these are constants, kept as report
@@ -196,27 +189,25 @@ VerifyResult run_pool(std::shared_ptr<const Basis> basis,
     result.stats.region_cache.misses += ws.region_cache.misses;
     for (const auto& name : ws.timers.names())
       result.stats.timers.add(name, ws.timers.get(name));
-    if (options.union_check && options.notion != Notion::kProbing)
-      merged_qinfo.merge_from(slot.driver->qinfo());
   }
-  result.stats.qinfo_entries = merged_qinfo.size();
-  result.stats.qinfo_peak_bytes = merged_qinfo.peak_bytes();
+  result.stats.qinfo_entries = assembler.qinfo().size();
+  result.stats.qinfo_peak_bytes = assembler.qinfo().peak_bytes();
   if (ictx && ictx->collector)
     for (const auto& c : collectors) ictx->collector->merge_from(*c);
-  if (ictx && ictx->deps_out) ictx->deps_out->merge_from(merged_qinfo);
+  if (ictx && ictx->deps_out) ictx->deps_out->merge_from(assembler.qinfo());
 
-  if (best) {
+  if (assembler.has_failure()) {
     result.secure = false;
-    result.counterexample = std::move(best->ce);
+    result.counterexample = assembler.failure_counterexample();
   } else if (timed_out.load(std::memory_order_relaxed) || cancel.expired()) {
     result.timed_out = true;
   } else if (options.union_check && options.notion != Notion::kProbing) {
     // Every combination passed the per-row check; the set-level pass runs
-    // once, on the merged dependency data (identical to the serial pass —
-    // the per-worker stores partition the combination space).
+    // once, on the assembler's merged dependency data (identical to the
+    // serial pass — the shards partition the combination space).
     ScopedPhase phase(result.stats.timers, "union");
     obs::Span span("union");
-    ctx[0].driver->union_pass_over(merged_qinfo, result);
+    ctx[0].driver->union_pass_over(assembler.qinfo(), result);
   }
   result.stats.parallel.cancel_latency = cancel.max_ack_latency();
   return result;

@@ -17,6 +17,12 @@ void QInfoStore::account(const QInfo& info) {
   if (bytes_ > peak_bytes_) peak_bytes_ = bytes_;
 }
 
+void QInfoStore::unaccount(const QInfo& info) {
+  bytes_ -= sizeof(QInfo) + sizeof(std::uint64_t) +
+            info.V.capacity() * sizeof(Mask) +
+            sizeof(std::pair<std::uint64_t, std::uint32_t>) + sizeof(void*);
+}
+
 void QInfoStore::insert(const std::vector<int>& combo, QInfo info) {
   const std::uint64_t key = key_of(combo);
   account(info);

@@ -57,6 +57,22 @@ class QInfoStore {
   /// Folds `other`'s records in (disjoint key sets across shards).
   void merge_from(const QInfoStore& other);
 
+  /// Removes every record appended at arena position >= `from`, handing
+  /// each (key, record) pair to `fn` in insertion order (key = rank << 6 |
+  /// k, see key_of).  The arena is append-only, so the records of one
+  /// shard are exactly a tail slice; shard-mode drivers drain it into the
+  /// shard's PartialReport without copying (verify/partial.h).
+  template <typename Fn>
+  void drain_tail(std::size_t from, Fn&& fn) {
+    for (std::size_t i = from; i < arena_.size(); ++i) {
+      unaccount(arena_[i]);
+      index_.erase(keys_[i]);
+      fn(keys_[i], std::move(arena_[i]));
+    }
+    arena_.resize(from);
+    keys_.resize(from);
+  }
+
   /// Stored combinations decoded back to index vectors, in lexicographic
   /// vector order — the iteration order of the old per-path std::map, which
   /// the union pass's witness determinism depends on.
@@ -65,6 +81,7 @@ class QInfoStore {
  private:
   std::uint64_t key_of(const std::vector<int>& combo) const;
   void account(const QInfo& info);
+  void unaccount(const QInfo& info);
 
   int n_ = 0;
   std::vector<QInfo> arena_;

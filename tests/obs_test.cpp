@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "gadgets/registry.h"
-#include "json_util.h"
+#include "util/json.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/process.h"
@@ -88,7 +88,7 @@ TEST(JsonEscape, RoundTripsThroughTheParser) {
   for (int c = 0; c < 0x20; ++c) nasty += static_cast<char>(c);
   nasty += "\"\\plain";
   const std::string doc = "{\"s\":\"" + json_escape(nasty) + "\"}";
-  auto v = testjson::parse(doc);
+  auto v = json::parse(doc);
   EXPECT_EQ(v->at("s").str, nasty);
 }
 
@@ -148,11 +148,11 @@ TEST(Metrics, JsonDumpParsesAndSorts) {
   m.counter("b.count").add(7);
   m.gauge("a.gauge").set(0.5);
   m.histogram("c.hist").record(9);
-  auto v = testjson::parse(m.to_json());
+  auto v = json::parse(m.to_json());
   ASSERT_TRUE(v->is_object());
   EXPECT_DOUBLE_EQ(v->at("b.count").num, 7.0);
   EXPECT_DOUBLE_EQ(v->at("a.gauge").num, 0.5);
-  const testjson::Value& h = v->at("c.hist");
+  const json::Value& h = v->at("c.hist");
   EXPECT_DOUBLE_EQ(h.at("count").num, 1.0);
   EXPECT_DOUBLE_EQ(h.at("sum").num, 9.0);
   EXPECT_TRUE(h.at("buckets").is_array());
@@ -175,7 +175,7 @@ TEST(Metrics, VerifyExportMatchesGoldenSchema) {
   verify::VerifyResult r = verify::verify(gadgets::by_name("dom-2"), opt);
   verify::export_metrics(opt, r, 0.5);
   m.disable();
-  auto v = testjson::parse(m.to_json());
+  auto v = json::parse(m.to_json());
   const char* required[] = {
       "verify.combinations",   "verify.coefficients",
       "verify.observables",    "verify.order",
@@ -252,9 +252,9 @@ TEST(Tracer, EmitsWellFormedNestedJson) {
   tracer.instant("cancel");
   tracer.stop();
 
-  auto v = testjson::parse(tracer.to_json());
+  auto v = json::parse(tracer.to_json());
   EXPECT_EQ(v->at("displayTimeUnit").str, "ms");
-  const testjson::Value& evs = v->at("traceEvents");
+  const json::Value& evs = v->at("traceEvents");
   ASSERT_TRUE(evs.is_array());
   int complete = 0, counters = 0, instants = 0;
   std::vector<SpanRec> spans;
@@ -283,7 +283,7 @@ TEST(Tracer, DisabledSpansRecordNothing) {
   tracer.start();
   tracer.stop();
   { Span s("scan"); }
-  auto v = testjson::parse(tracer.to_json());
+  auto v = json::parse(tracer.to_json());
   EXPECT_TRUE(v->at("traceEvents").arr.empty());
 }
 
@@ -292,7 +292,7 @@ TEST(Tracer, VerifyRunUsesDocumentedPhaseNamesOnly) {
   tracer.start();
   run_verify("dom-2", 1);
   tracer.stop();
-  auto v = testjson::parse(tracer.to_json());
+  auto v = json::parse(tracer.to_json());
   std::set<std::string> seen;
   for (const auto& e : v->at("traceEvents").arr)
     if (e->at("ph").str == "X") seen.insert(e->at("name").str);
@@ -309,7 +309,7 @@ TEST(Tracer, ParallelRunYieldsPerWorkerThreads) {
   tracer.start();
   run_verify("dom-2", 4);
   tracer.stop();
-  auto v = testjson::parse(tracer.to_json());
+  auto v = json::parse(tracer.to_json());
   std::set<double> tids;
   std::set<std::string> worker_names;
   std::map<double, std::vector<SpanRec>> per_tid;
@@ -340,7 +340,7 @@ TEST(Tracer, ThreadedSpansLandOnDistinctTids) {
     });
   for (auto& t : threads) t.join();
   tracer.stop();
-  auto v = testjson::parse(tracer.to_json());
+  auto v = json::parse(tracer.to_json());
   std::set<double> tids;
   for (const auto& e : v->at("traceEvents").arr)
     if (e->at("ph").str == "X") tids.insert(e->at("tid").num);

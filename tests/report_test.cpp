@@ -8,7 +8,7 @@
 
 #include "circuit/builder.h"
 #include "gadgets/registry.h"
-#include "json_util.h"
+#include "util/json.h"
 #include "verify/engine.h"
 #include "verify/report.h"
 
@@ -29,7 +29,7 @@ TEST(JsonReport, RoundTripsThroughAParser) {
   opt.engine = EngineKind::kMAPI;
   VerifyResult r = run("dom-2");
   const std::string doc = json_report("dom-2", opt, r, 0.25);
-  auto v = testjson::parse(doc);
+  auto v = json::parse(doc);
   EXPECT_EQ(v->at("gadget").str, "dom-2");
   EXPECT_EQ(v->at("notion").str, "SNI");
   EXPECT_DOUBLE_EQ(v->at("order").num, 2.0);
@@ -39,7 +39,7 @@ TEST(JsonReport, RoundTripsThroughAParser) {
   EXPECT_GT(v->at("combinations").num, 0.0);
   EXPECT_DOUBLE_EQ(v->at("seconds").num, 0.25);
   EXPECT_TRUE(v->at("counterexample").kind ==
-              testjson::Value::Kind::kNull);
+              json::Value::Kind::kNull);
   EXPECT_TRUE(v->at("metrics").is_object());
   EXPECT_TRUE(v->at("metrics").has("verify.combinations"));
   EXPECT_TRUE(v->at("phases").is_object());
@@ -56,7 +56,7 @@ TEST(JsonReport, EscapesHostileStringsEverywhere) {
   VerifyResult r = run("dom-1");
   r.warnings.push_back("warning with \"quotes\" and \x02 control");
   const std::string doc = json_report(name, opt, r, 0.0);
-  auto v = testjson::parse(doc);  // throws on raw control characters
+  auto v = json::parse(doc);  // throws on raw control characters
   EXPECT_EQ(v->at("gadget").str, name);
   ASSERT_EQ(v->at("warnings").arr.size(), 1u);
   EXPECT_EQ(v->at("warnings").arr[0]->str,
@@ -89,8 +89,8 @@ TEST(JsonReport, CounterexampleSurvivesRoundTrip) {
   ASSERT_FALSE(r.secure);
   ASSERT_TRUE(r.counterexample.has_value());
   const std::string doc = json_report("leaky", opt, r, 0.0);
-  auto v = testjson::parse(doc);
-  const testjson::Value& ce = v->at("counterexample");
+  auto v = json::parse(doc);
+  const json::Value& ce = v->at("counterexample");
   ASSERT_TRUE(ce.is_object());
   EXPECT_FALSE(ce.at("observables").arr.empty());
   EXPECT_FALSE(ce.at("reason").str.empty());
@@ -103,9 +103,9 @@ TEST(JsonReport, ParallelRunEmitsWorkerArray) {
   opt.jobs = 2;
   VerifyResult r = run("dom-2", 2);
   const std::string doc = json_report("dom-2", opt, r, 0.1);
-  auto v = testjson::parse(doc);
+  auto v = json::parse(doc);
   EXPECT_DOUBLE_EQ(v->at("jobs").num, 2.0);
-  const testjson::Value& p = v->at("parallel");
+  const json::Value& p = v->at("parallel");
   EXPECT_TRUE(p.at("shared_basis").b);
   EXPECT_EQ(p.at("workers").arr.size(), 2u);
 }

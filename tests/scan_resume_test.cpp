@@ -1,0 +1,170 @@
+// Crash-injection test of the checkpointable scan (ISSUE acceptance
+// contract): a worker process is SIGKILLed mid-scan at a shard boundary of
+// the test's choosing, the scan is resumed with a different worker count
+// and a different engine, and the finalized report is byte-identical to an
+// uninterrupted cold run (`--deterministic-report` serial baseline).  Also
+// asserts the lease protocol: the killed worker's in-flight claim is
+// stolen (reclaimed) by the resuming worker.
+//
+// The worker child is the real `sani` binary (path injected as SANI_BIN by
+// CMake), so the kill lands on exactly the process/claim/checkpoint code
+// paths production crashes would hit.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gadgets/registry.h"
+#include "store/manifest.h"
+#include "store/scan.h"
+#include "store/store.h"
+#include "verify/engine.h"
+#include "verify/report.h"
+#include "verify/types.h"
+
+namespace sani::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("sani_scan_resume_" + tag + "_" + std::to_string(::getpid()) +
+             "_" + std::to_string(counter++));
+    fs::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// Spawns `SANI_BIN scan --resume <dir> --throttle <s>` with stdout/stderr
+/// discarded.  The throttle widens the claimed-but-not-checkpointed window
+/// so the SIGKILL reliably lands while a claim is in flight.
+pid_t spawn_worker(const std::string& scan_dir, const std::string& throttle) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  ::freopen("/dev/null", "w", stdout);
+  ::freopen("/dev/null", "w", stderr);
+  ::execl(SANI_BIN, SANI_BIN, "scan", "--resume", scan_dir.c_str(),
+          "--throttle", throttle.c_str(), static_cast<char*>(nullptr));
+  _exit(127);  // exec failed
+}
+
+std::size_t count_files(const std::string& dir) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+struct Case {
+  std::string gadget;
+  int order;
+  int resume_jobs;
+  verify::EngineKind resume_engine;
+};
+
+void run_case(const Case& c) {
+  SCOPED_TRACE(c.gadget);
+  const circuit::Gadget g = gadgets::by_name(c.gadget);
+  verify::VerifyOptions opt;
+  opt.order = c.order;
+  opt.deterministic_report = true;
+  // Force fine shards (the scan planner's amortization floor would give
+  // these small gadgets only a handful): a mid-scan kill needs work both
+  // behind and ahead of the crash point.
+  opt.shard_size = 16;
+
+  TempDir tmp("kill_" + c.gadget);
+  ArtifactStore::Options store_opt;
+  store_opt.dir = tmp.str();
+  ArtifactStore store(store_opt);
+  ScanDir scan = plan_scan(g, c.gadget, opt, store, 2);
+  ASSERT_GE(scan.shard_count(), 4u)
+      << "plan too coarse for a mid-scan kill to be meaningful";
+
+  // Run the real binary against the directory and SIGKILL it once at
+  // least one checkpoint has landed AND a next claim is in flight — a
+  // crash at a shard boundary with work both behind and ahead of it.
+  const pid_t pid = spawn_worker(scan.dir(), "0.30");
+  ASSERT_GT(pid, 0);
+  const std::string parts = scan.dir() + "/parts";
+  const std::string claims = scan.dir() + "/claims";
+  bool armed = false;
+  for (int i = 0; i < 600; ++i) {  // 30 s ceiling
+    if (count_files(parts) >= 1 && count_files(claims) >= 1) {
+      armed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(armed) << "worker never reached the kill window";
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // The kill left the scan with checkpoints, at least one orphaned claim,
+  // and undrained shards.
+  const ScanDir::Status after_kill = scan.status();
+  EXPECT_GE(after_kill.done, 1u);
+  EXPECT_GE(after_kill.claimed, 1u);
+  EXPECT_FALSE(scan.drained());
+
+  // Resume with a different worker count and engine.  Lease 0: the
+  // orphan's lease is treated as expired immediately (single-owner
+  // resume), so the steal is deterministic rather than a 300 s wait.
+  WorkerOptions w;
+  w.jobs = c.resume_jobs;
+  w.engine = c.resume_engine;
+  w.lease_seconds = 0.0;
+  const WorkerOutcome out = run_scan_worker(scan, &store, w);
+  EXPECT_TRUE(out.drained);
+  EXPECT_GE(out.shards_reclaimed, 1u) << "orphaned claim was not stolen";
+
+  // Byte-identity with the uninterrupted serial cold run.
+  const verify::VerifyResult merged = finalize_scan(scan, &store);
+  verify::VerifyOptions ropt = scan.manifest().options;
+  ropt.deterministic_report = true;
+  const std::string scan_doc =
+      verify::json_report(c.gadget, ropt, merged, 0.0);
+  const verify::VerifyResult serial = verify::verify(g, opt);
+  const std::string serial_doc = verify::json_report(c.gadget, opt, serial, 0.0);
+  EXPECT_EQ(scan_doc, serial_doc);
+}
+
+TEST(ScanResume, KillResumeSingleJob) {
+  run_case({"dom-2", 2, 1, verify::EngineKind::kAuto});
+}
+
+TEST(ScanResume, KillResumeTwoJobsCrossEngineLil) {
+  run_case({"dom-3", 2, 2, verify::EngineKind::kLIL});
+}
+
+TEST(ScanResume, KillResumeFourJobsCrossEngineMap) {
+  run_case({"keccak-2", 2, 4, verify::EngineKind::kMAP});
+}
+
+}  // namespace
+}  // namespace sani::store

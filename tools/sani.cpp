@@ -9,6 +9,14 @@
 //                 [--order D] [--engine mapi] [--robust] [--joint]
 //                 [--no-union] [--time-limit S] [--var-order NAME]
 //                 [--jobs N]                    # 0 = all hardware threads
+//   sani scan     (--file g.ilang | --gadget dom-2) --store DIR [...]
+//                 # checkpointable sharded scan: plan + drain + finalize
+//                 # in one shot; --plan-only stops after the manifest
+//   sani scan     --resume DIR [--jobs N] [--engine E] [--lease S]
+//                 # claim-and-run shards of an existing scan directory
+//                 # (N cooperating processes; crash-safe)
+//   sani scan     --finalize DIR   # merge checkpoints -> canonical report
+//   sani scan     --status DIR     # manifest state (done/claimed/reclaims)
 //   sani uniform  (--file g.ilang | --gadget ti-1)
 //   sani stats    (--file g.ilang | --gadget keccak-2) [--store DIR]
 //   sani emit     --gadget isw-2                  # print annotated ILANG
@@ -17,8 +25,12 @@
 // Exit code: 0 = secure/uniform, 1 = insecure/non-uniform, 2 = timeout,
 // 64 = usage error.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <thread>
 
 #include "circuit/ilang.h"
 #include "circuit/unfold.h"
@@ -29,9 +41,11 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "store/cached_verify.h"
+#include "store/scan.h"
 #include "store/store.h"
 #include "verify/backends/registry.h"
 #include "verify/engine.h"
+#include "verify/partial.h"
 #include "verify/report.h"
 #include "verify/uniformity.h"
 
@@ -42,7 +56,7 @@ namespace {
 int usage(const std::string& msg = "") {
   if (!msg.empty()) std::cerr << "error: " << msg << "\n";
   std::cerr <<
-      "usage: sani <verify|uniform|stats|emit|list> [options]\n"
+      "usage: sani <verify|scan|uniform|stats|emit|list> [options]\n"
       "  --file PATH | --gadget NAME    circuit to analyse\n"
       "  --notion probing|ni|sni|pini   security notion (default sni)\n"
       "  --order D                      number of observations (default:\n"
@@ -89,7 +103,24 @@ int usage(const std::string& msg = "") {
       "                                 deterministic report are identical\n"
       "                                 to a full scan\n"
       "  --deterministic-report         zero all timing fields in reports\n"
-      "                                 (byte-diffable warm vs cold runs)\n";
+      "                                 (byte-diffable warm vs cold runs)\n"
+      "scan-only options:\n"
+      "  --plan-only                    write the manifest and stop (print\n"
+      "                                 the scan directory on stdout)\n"
+      "  --resume DIR                   claim and run shards of scan DIR\n"
+      "                                 until it drains; safe to run many\n"
+      "                                 of these concurrently\n"
+      "  --finalize DIR                 merge DIR's checkpoints into the\n"
+      "                                 canonical report\n"
+      "  --status DIR                   print DIR's manifest state\n"
+      "  --lease S                      steal claims idle longer than S\n"
+      "                                 seconds (default 300; 0 = steal\n"
+      "                                 any leftover claim immediately)\n"
+      "  --throttle S                   sleep S seconds between claiming a\n"
+      "                                 shard and running it (crash tests)\n"
+      "  --max-shards N                 checkpoint at most N shards, then\n"
+      "                                 exit (0 = run until drained)\n"
+      "  --shard-size N                 fixed combinations per shard\n";
   return 64;
 }
 
@@ -145,6 +176,8 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   opt.jobs = args.value_int("jobs", 1);
   if (opt.jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
   opt.memo_capacity = args.value_int("memo", 64);
+  opt.shard_size =
+      static_cast<std::uint64_t>(args.value_int("shard-size", 0));
   opt.cache_bits = args.value_int("cache-bits", opt.cache_bits);
   if (opt.cache_bits < 1 || opt.cache_bits > 30)
     throw std::invalid_argument("--cache-bits must be in [1, 30]");
@@ -186,6 +219,33 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "stats") {
+      // `sani stats --scan DIR` reports a scan directory's manifest state
+      // instead of gadget/diagram stats: shard progress, in-flight claims,
+      // reclaims and checkpoint weight, mirrored into scan.* metrics.
+      if (auto scan_path = args.value("scan")) {
+        const store::ScanDir scan = store::ScanDir::open(*scan_path);
+        const store::ScanDir::Status st = scan.status();
+        const store::ScanManifest& man = scan.manifest();
+        std::cout << man.label << ": scan of " << man.num_observables
+                  << " observables at order " << man.options.order << ", "
+                  << man.total_combinations() << " combinations over "
+                  << scan.shard_count() << " shards\n";
+        std::cout << "  shards: " << st.done << " done, " << st.claimed
+                  << " claimed, " << st.planned << " unclaimed; "
+                  << st.reclaims << " reclaims\n";
+        std::cout << "  checkpoints: " << st.checkpoint_bytes << " bytes, "
+                  << st.combinations_done << " combinations covered\n";
+        auto& metrics = obs::Metrics::instance();
+        metrics.counter("scan.shards_planned")
+            .set(static_cast<std::uint64_t>(scan.shard_count()));
+        metrics.counter("scan.shards_done").set(st.done);
+        metrics.counter("scan.shards_claimed").set(st.claimed);
+        metrics.counter("scan.shards_reclaimed").set(st.reclaims);
+        metrics.counter("scan.checkpoint_bytes").set(st.checkpoint_bytes);
+        metrics.counter("scan.combinations_done").set(st.combinations_done);
+        std::cout << "  metrics:\n" << metrics.to_text("    ");
+        return 0;
+      }
       circuit::Gadget g = load(args, &label);
       circuit::NetlistStats s = g.netlist.stats();
       std::cout << label << ": " << s.num_inputs << " inputs ("
@@ -366,6 +426,162 @@ int main(int argc, char** argv) {
                     << "\n";
       }
       return r.timed_out ? 2 : (r.secure ? 0 : 1);
+    }
+    if (cmd == "scan") {
+      const bool json_format = args.value_or("format", "text") == "json";
+
+      // The artifact store a scan directory belongs to: an explicit --store
+      // wins; otherwise derive it from the canonical <store>/scans/<key>
+      // layout, so `sani scan --resume DIR` needs no extra flags.
+      const auto store_root_for =
+          [&args](const std::string& dir) -> std::optional<std::string> {
+        if (auto s = args.value("store")) return *s;
+        const std::filesystem::path parent =
+            std::filesystem::absolute(dir).parent_path();
+        if (parent.filename() == "scans")
+          return parent.parent_path().string();
+        return std::nullopt;
+      };
+      const auto open_store = [&args](const std::optional<std::string>& root)
+          -> std::unique_ptr<store::ArtifactStore> {
+        if (!root) return nullptr;
+        store::ArtifactStore::Options store_opt;
+        store_opt.dir = *root;
+        if (auto cap = args.value("store-max-bytes"))
+          store_opt.max_bytes = std::stoull(*cap);
+        return std::make_unique<store::ArtifactStore>(store_opt);
+      };
+      const auto worker_options_from = [&args]() {
+        store::WorkerOptions wo;
+        wo.jobs = args.value_int("jobs", 1);
+        if (wo.jobs < 0) throw std::invalid_argument("--jobs must be >= 0");
+        if (wo.jobs == 0)
+          wo.jobs = static_cast<int>(std::thread::hardware_concurrency());
+        wo.lease_seconds = args.value_double("lease", 300.0);
+        wo.throttle_seconds = args.value_double("throttle", 0.0);
+        wo.max_shards =
+            static_cast<std::uint64_t>(args.value_int("max-shards", 0));
+        if (auto e = args.value("engine")) {
+          if (*e == "auto")
+            wo.engine = verify::EngineKind::kAuto;  // = manifest's engine
+          else if (const verify::BackendInfo* info =
+                       verify::backend_by_name(*e))
+            wo.engine = info->kind;
+          else
+            throw std::invalid_argument("unknown engine '" + *e + "'");
+        }
+        return wo;
+      };
+      // The finalized report renders under the manifest's canonical options
+      // (resolved engine, notion, order): byte-identical to `sani verify
+      // --deterministic-report` of the same job for secure gadgets.
+      const auto render = [&](const store::ScanDir& scan,
+                              const verify::VerifyResult& r,
+                              double seconds) -> int {
+        verify::VerifyOptions opt = scan.manifest().options;
+        opt.deterministic_report = args.has("deterministic-report");
+        const std::string& name = scan.manifest().label;
+        for (const auto& w : r.warnings)
+          std::cerr << "warning: " << w << "\n";
+        if (json_format) {
+          std::cout << verify::json_report(name, opt, r, seconds) << "\n";
+        } else {
+          std::cout << verify::summarize(name, opt, r, seconds) << "\n";
+          if (!r.secure && r.counterexample) {
+            circuit::Gadget g =
+                circuit::parse_ilang_string(scan.manifest().canonical_ilang);
+            circuit::Unfolded u =
+                circuit::unfold(g, opt.cache_bits, opt.var_order);
+            std::cout << verify::detailed_report(g, u.vars, opt, r);
+          }
+        }
+        return r.timed_out ? 2 : (r.secure ? 0 : 1);
+      };
+
+      if (auto dir = args.value("status")) {
+        const store::ScanDir scan = store::ScanDir::open(*dir);
+        const store::ScanDir::Status st = scan.status();
+        const store::ScanManifest& man = scan.manifest();
+        std::cout << man.label << ": " << st.done << "/" << scan.shard_count()
+                  << " shards done, " << st.claimed << " claimed, "
+                  << st.planned << " unclaimed; " << st.reclaims
+                  << " reclaims; " << st.checkpoint_bytes
+                  << " checkpoint bytes; " << st.combinations_done << "/"
+                  << man.total_combinations() << " combinations\n";
+        return 0;
+      }
+      if (auto dir = args.value("resume")) {
+        store::ScanDir scan = store::ScanDir::open(*dir);
+        const auto artifacts = open_store(store_root_for(*dir));
+        store::WorkerOptions wo = worker_options_from();
+        obs::Progress::Options prog_options;
+        prog_options.use_stderr = obs::Progress::stderr_is_tty();
+        obs::Progress progress(prog_options);
+        if (args.has("progress")) wo.progress = &progress;
+        const store::WorkerOutcome out =
+            store::run_scan_worker(scan, artifacts.get(), wo);
+        std::cerr << "scan: " << out.shards_done << " shards checkpointed ("
+                  << out.shards_reclaimed << " reclaimed), "
+                  << out.combinations << " combinations; "
+                  << (out.drained ? "drained" : "not drained") << "\n";
+        return 0;
+      }
+      if (auto dir = args.value("finalize")) {
+        store::ScanDir scan = store::ScanDir::open(*dir);
+        const auto artifacts = open_store(store_root_for(*dir));
+        Stopwatch watch;
+        const verify::VerifyResult r =
+            store::finalize_scan(scan, artifacts.get());
+        return render(scan, r, watch.seconds());
+      }
+
+      // Plan — and, unless --plan-only, drain and finalize in one process.
+      circuit::Gadget g = load(args, &label);
+      const verify::VerifyOptions opt = options_from(args);
+      const auto store_dir = args.value("store");
+      if (!store_dir)
+        throw std::invalid_argument(
+            "scan needs --store DIR (or --resume/--finalize/--status)");
+      const auto artifacts = open_store(store_dir);
+      const int hint =
+          opt.jobs > 0 ? opt.jobs
+                       : static_cast<int>(std::thread::hardware_concurrency());
+      store::PlanOutcome plan;
+      store::ScanDir scan =
+          store::plan_scan(g, label, opt, *artifacts, hint, &plan);
+      std::cerr << "scan: " << (plan.resumed ? "reopened" : "planned") << " "
+                << scan.shard_count() << " shards in " << plan.dir
+                << (plan.basis_hit
+                        ? " (basis hit)"
+                        : plan.basis_saved ? " (basis saved)" : "")
+                << "\n";
+      if (args.has("plan-only")) {
+        std::cout << plan.dir << "\n";
+        return 0;
+      }
+      store::WorkerOptions wo = worker_options_from();
+      wo.basis = plan.basis;  // still in memory from planning
+      // Fold checkpoints in-process as they are written: when this worker
+      // drains the whole scan (the common one-shot case), finalize renders
+      // from memory instead of re-reading every SANIPAR file.
+      verify::ReportAssembler assembler(plan.basis, scan.manifest().options);
+      wo.assembler = &assembler;
+      obs::Progress::Options prog_options;
+      prog_options.use_stderr = obs::Progress::stderr_is_tty();
+      obs::Progress progress(prog_options);
+      if (args.has("progress")) wo.progress = &progress;
+      Stopwatch watch;
+      const store::WorkerOutcome out =
+          store::run_scan_worker(scan, artifacts.get(), wo);
+      if (!out.drained) {
+        std::cerr << "scan: stopped after " << out.shards_done
+                  << " shards; resume with: sani scan --resume " << plan.dir
+                  << "\n";
+        return 2;
+      }
+      const verify::VerifyResult r =
+          store::finalize_scan(scan, artifacts.get(), plan.basis, &assembler);
+      return render(scan, r, watch.seconds());
     }
     return usage("unknown command '" + cmd + "'");
   } catch (const std::exception& e) {
