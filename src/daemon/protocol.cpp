@@ -55,6 +55,10 @@ Request parse_request(const std::string& line) {
     req.op = Op::kPing;
     return req;
   }
+  if (op == "metrics") {
+    req.op = Op::kMetrics;
+    return req;
+  }
   if (op == "shutdown") {
     req.op = Op::kShutdown;
     return req;
@@ -144,10 +148,12 @@ std::string job_digest(const VerifyRequest& request,
 }
 
 std::string accepted_frame(std::uint64_t id, const std::string& key,
-                           bool deduped, std::size_t queue_depth) {
+                           const std::string& trace_id, bool deduped,
+                           std::size_t queue_depth) {
   std::ostringstream os;
   os << "{\"frame\":\"accepted\",\"id\":" << id << ",\"key\":\""
-     << json_escape(key) << "\",\"deduped\":" << (deduped ? "true" : "false")
+     << json_escape(key) << "\",\"trace_id\":\"" << json_escape(trace_id)
+     << "\",\"deduped\":" << (deduped ? "true" : "false")
      << ",\"queue_depth\":" << queue_depth << "}";
   return os.str();
 }
@@ -177,6 +183,14 @@ std::string error_frame(std::uint64_t id, const std::string& message) {
 }
 
 std::string pong_frame() { return "{\"frame\":\"pong\"}"; }
+
+std::string metrics_frame(const std::string& body) {
+  std::ostringstream os;
+  os << "{\"frame\":\"metrics\",\"content_type\":\"text/plain; "
+        "version=0.0.4\",\"body\":\""
+     << json_escape(body) << "\"}";
+  return os.str();
+}
 
 std::string shutdown_frame() { return "{\"frame\":\"shutdown\"}"; }
 

@@ -29,12 +29,17 @@
 //                      each scan directory's manifest state (shards done /
 //                      total, in-flight claims, reclaims, checkpoint bytes)
 //   {"op":"ping"}      liveness probe
+//   {"op":"metrics"}   Prometheus text exposition (format 0.0.4) of the
+//                      metrics registry, wrapped in a metrics frame — a
+//                      scrape bridge connects, sends this, and relays the
+//                      body verbatim
 //   {"op":"shutdown"}  graceful daemon stop (connections drain, socket
 //                      unlinked)
 //
 // Responses (server -> client), discriminated by "frame":
 //
-//   {"frame":"accepted","id":N,"key":"<64-hex>","deduped":B,"queue_depth":Q}
+//   {"frame":"accepted","id":N,"key":"<64-hex>","trace_id":"<16-hex>",
+//    "deduped":B,"queue_depth":Q}
 //   {"frame":"progress","id":N,"stage":"running"}
 //   {"frame":"result","id":N,"exit":0|1|2,"store_hit":B,"store_saved":B,
 //    "report":"<exact sani stdout for this request>"}
@@ -42,6 +47,8 @@
 //                                                    request, e.g. a parse
 //                                                    error)
 //   {"frame":"stats","queue_depth":Q,"inflight":I,...,"metrics":{...}}
+//   {"frame":"metrics","content_type":"text/plain; version=0.0.4",
+//    "body":"<Prometheus exposition text>"}
 //   {"frame":"pong"}  /  {"frame":"shutdown"}
 //
 // The "report" string is byte-identical to what `sani verify` would print
@@ -60,7 +67,7 @@
 
 namespace sani::daemon {
 
-enum class Op : std::uint8_t { kVerify, kStats, kPing, kShutdown };
+enum class Op : std::uint8_t { kVerify, kStats, kPing, kMetrics, kShutdown };
 
 /// A decoded verify request.
 struct VerifyRequest {
@@ -102,12 +109,15 @@ std::string job_digest(const VerifyRequest& request,
 // ---- response frame builders (server side) ----
 
 std::string accepted_frame(std::uint64_t id, const std::string& key,
-                           bool deduped, std::size_t queue_depth);
+                           const std::string& trace_id, bool deduped,
+                           std::size_t queue_depth);
 std::string progress_frame(std::uint64_t id, const std::string& stage);
 std::string result_frame(std::uint64_t id, int exit_code, bool store_hit,
                          bool store_saved, const std::string& report);
 std::string error_frame(std::uint64_t id, const std::string& message);
 std::string pong_frame();
+/// Wraps Metrics::dump_prometheus() output for the NDJSON transport.
+std::string metrics_frame(const std::string& body);
 std::string shutdown_frame();
 
 }  // namespace sani::daemon

@@ -22,13 +22,16 @@
 #include "daemon/protocol.h"
 #include "gadgets/registry.h"
 #include "obs/clock.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/process.h"
+#include "obs/trace.h"
 #include "sched/cancel.h"
 #include "sched/queue.h"
 #include "store/cached_verify.h"
 #include "store/scan.h"
 #include "store/store.h"
+#include "store/telemetry.h"
 #include "verify/basis.h"
 #include "verify/engine.h"
 #include "verify/partial.h"
@@ -77,8 +80,9 @@ struct Job {
   VerifyRequest request;
   circuit::Gadget gadget;
   std::string label;
-  std::string key;     // artifact key (store address)
-  std::string digest;  // full job identity (dedupe key)
+  std::string key;       // artifact key (store address)
+  std::string digest;    // full job identity (dedupe key)
+  std::string trace_id;  // fleet trace id (digest prefix), echoed to clients
 
   sched::CancelToken cancel;
   std::mutex mu;
@@ -205,6 +209,16 @@ void Server::Impl::handle_line(const ConnectionPtr& conn,
     case Op::kStats:
       handle_stats(conn);
       return;
+    case Op::kMetrics:
+      // Prometheus scrape: refresh the process gauges, then ship the whole
+      // registry in exposition format.  The bridge on the other end relays
+      // `body` verbatim with the given content type.
+      obs::sample_process_gauges();
+      obs::Metrics::instance().gauge("daemon.queue_depth")
+          .set(static_cast<double>(queue.size()));
+      conn->send_line(
+          metrics_frame(obs::Metrics::instance().dump_prometheus()));
+      return;
     case Op::kShutdown:
       conn->send_line(shutdown_frame());
       // The reader thread cannot join itself; the host main() blocked in
@@ -258,6 +272,7 @@ void Server::Impl::handle_verify(const ConnectionPtr& conn,
     job->label = label;
     job->key = key;
     job->digest = job_digest(job->request, key);
+    job->trace_id = job->digest.substr(0, 16);
   } catch (const std::exception& e) {
     daemon_counter("daemon.errors").add();
     conn->send_line(error_frame(id, e.what()));
@@ -292,8 +307,14 @@ void Server::Impl::handle_verify(const ConnectionPtr& conn,
     daemon_counter(deduped ? "daemon.deduped" : "daemon.accepted").add();
     obs::Metrics::instance().gauge("daemon.queue_depth")
         .set(static_cast<double>(queue.size()));
-    conn->send_line(accepted_frame(id, job->key, deduped, queue.size()));
+    conn->send_line(
+        accepted_frame(id, job->key, job->trace_id, deduped, queue.size()));
   }
+  obs::Journal::instance().info("daemon", deduped ? "deduped" : "accepted",
+                                {{"id", id},
+                                 {"label", job->label},
+                                 {"trace_id", job->trace_id},
+                                 {"scan", job->request.scan}});
 }
 
 void Server::Impl::handle_stats(const ConnectionPtr& conn) {
@@ -327,9 +348,15 @@ void Server::Impl::handle_stats(const ConnectionPtr& conn) {
            << "\",\"shards_done\":" << st.done
            << ",\"shards_total\":" << scan.shard_count()
            << ",\"claimed\":" << st.claimed
+           << ",\"oldest_claim_age\":" << st.oldest_claim_age
            << ",\"reclaims\":" << st.reclaims
            << ",\"checkpoint_bytes\":" << st.checkpoint_bytes
-           << ",\"combinations_done\":" << st.combinations_done << "}";
+           << ",\"combinations_done\":" << st.combinations_done
+           << ",\"workers\":"
+           << store::aggregate_fleet(store::read_worker_snapshots(dir),
+                                     0)
+                  .live_workers
+           << "}";
       } catch (const std::exception&) {
         // An unreadable scan dir (mid-create, version skew) is skipped —
         // stats must never fail over forensic data.
@@ -343,7 +370,13 @@ void Server::Impl::handle_stats(const ConnectionPtr& conn) {
 
 void Server::Impl::executor_loop() {
   while (true) {
-    std::optional<JobPtr> job = queue.pop();
+    std::optional<JobPtr> job;
+    {
+      // Executor idle time waiting on admission — visible in traces so
+      // queueing delay and compute are separable per job.
+      obs::Span wait("admission_wait");
+      job = queue.pop();
+    }
     if (!job) return;  // queue closed: shutdown
     run_job(*job);
   }
@@ -430,6 +463,12 @@ void Server::Impl::run_job(const JobPtr& job) {
     const double seconds = watch.seconds();
     const std::string report = render_report(job->request, job->gadget,
                                              job->label, result, seconds);
+    obs::Journal::instance().info("daemon", "completed",
+                                  {{"label", job->label},
+                                   {"trace_id", job->trace_id},
+                                   {"exit", exit_code_of(result)},
+                                   {"seconds", seconds},
+                                   {"store_hit", outcome.hit}});
     std::lock_guard<std::mutex> jobs_lock(jobs_mu);
     inflight.erase(job->digest);
     daemon_counter("daemon.completed").add();
@@ -438,6 +477,10 @@ void Server::Impl::run_job(const JobPtr& job) {
                                      outcome.hit, outcome.saved, report));
     return;
   } catch (const std::exception& e) {
+    obs::Journal::instance().error("daemon", "job_failed",
+                                   {{"label", job->label},
+                                    {"trace_id", job->trace_id},
+                                    {"message", e.what()}});
     std::lock_guard<std::mutex> jobs_lock(jobs_mu);
     inflight.erase(job->digest);
     daemon_counter("daemon.errors").add();

@@ -1,5 +1,6 @@
 #include "dd/manager.h"
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 #include <algorithm>
@@ -369,6 +370,12 @@ std::size_t Manager::collect_garbage() {
 /// natural sampling points: cheap (one enabled() check when tracing is off)
 /// and frequent enough to show the node population over a run.
 void Manager::sample_counters() const {
+  // The live-node gauge feeds the fleet telemetry snapshots (`sani top`
+  // reads it between GCs), so it is written even when tracing is off —
+  // one relaxed store at a GC boundary, which the overhead gate can't see.
+  static obs::Gauge& live_gauge =
+      obs::Metrics::instance().gauge("dd.live_nodes");
+  live_gauge.set(static_cast<double>(live_count_));
   auto& tracer = obs::Tracer::instance();
   if (!tracer.enabled()) return;
   tracer.counter("dd.live_nodes", static_cast<double>(live_count_));

@@ -1,0 +1,166 @@
+#include "obs/journal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace sani::obs {
+
+namespace {
+
+std::string render_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+const char* level_name(Journal::Level level) {
+  switch (level) {
+    case Journal::Level::kDebug: return "debug";
+    case Journal::Level::kInfo: return "info";
+    case Journal::Level::kWarn: return "warn";
+    case Journal::Level::kError: return "error";
+  }
+  return "info";
+}
+
+}  // namespace
+
+Journal::Field::Field(std::string k, const std::string& v)
+    : key(std::move(k)), json("\"" + json_escape(v) + "\""), raw(v) {}
+Journal::Field::Field(std::string k, const char* v)
+    : Field(std::move(k), std::string(v)) {}
+Journal::Field::Field(std::string k, std::uint64_t v)
+    : key(std::move(k)), json(std::to_string(v)), raw(json) {}
+Journal::Field::Field(std::string k, std::int64_t v)
+    : key(std::move(k)), json(std::to_string(v)), raw(json) {}
+Journal::Field::Field(std::string k, int v)
+    : key(std::move(k)), json(std::to_string(v)), raw(json) {}
+Journal::Field::Field(std::string k, double v)
+    : key(std::move(k)), json(render_double(v)), raw(json) {}
+Journal::Field::Field(std::string k, bool v)
+    : key(std::move(k)), json(v ? "true" : "false"), raw(json) {}
+
+struct Journal::Impl {
+  std::mutex mu;
+  Options options;
+  std::FILE* file = nullptr;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t rotations = 0;
+
+  void close_file() {
+    if (file) {
+      std::fclose(file);
+      file = nullptr;
+    }
+    file_bytes = 0;
+  }
+
+  bool open_file(bool truncate) {
+    close_file();
+    if (options.path.empty()) return false;
+    file = std::fopen(options.path.c_str(), truncate ? "w" : "a");
+    if (!file) return false;
+    std::fseek(file, 0, SEEK_END);
+    long at = std::ftell(file);
+    file_bytes = at > 0 ? static_cast<std::uint64_t>(at) : 0;
+    return true;
+  }
+
+  void rotate() {
+    close_file();
+    const std::string old = options.path + ".1";
+    std::remove(old.c_str());
+    std::rename(options.path.c_str(), old.c_str());
+    ++rotations;
+    open_file(/*truncate=*/true);
+  }
+};
+
+Journal& Journal::instance() {
+  static Journal journal;
+  return journal;
+}
+
+Journal::Impl& Journal::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void Journal::configure(const Options& options) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.close_file();
+  im.options = options;
+  bool file_ok = im.open_file(/*truncate=*/false);
+  enabled_.store(file_ok || options.echo_stderr, std::memory_order_relaxed);
+}
+
+void Journal::close() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.close_file();
+  im.options = Options{};
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Journal::emit(Level level, const char* component, const char* event,
+                   std::initializer_list<Field> fields) {
+  if (!enabled()) return;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  if (level < im.options.min_level) return;
+
+  std::ostringstream line;
+  line << "{\"ts_ns\":" << Clock::now_ns() << ",\"pid\":" << ::getpid()
+       << ",\"level\":\"" << level_name(level) << "\",\"component\":\""
+       << json_escape(component) << "\",\"event\":\"" << json_escape(event)
+       << "\"";
+  for (const Field& f : fields)
+    line << ",\"" << json_escape(f.key) << "\":" << f.json;
+  line << "}\n";
+  const std::string rendered = line.str();
+
+  if (im.file) {
+    // Rotate before the write that would cross the cap: the active file
+    // never exceeds max_bytes (single oversized records excepted) and is
+    // never left empty right after a rotation.
+    if (im.file_bytes > 0 &&
+        im.file_bytes + rendered.size() > im.options.max_bytes)
+      im.rotate();
+    if (im.file) {
+      std::fwrite(rendered.data(), 1, rendered.size(), im.file);
+      std::fflush(im.file);
+      im.file_bytes += rendered.size();
+    }
+  }
+  if (im.options.echo_stderr) {
+    std::ostringstream echo;
+    echo << component << ": " << event;
+    for (const Field& f : fields) echo << " " << f.key << "=" << f.raw;
+    echo << "\n";
+    const std::string text = echo.str();
+    std::fwrite(text.data(), 1, text.size(), stderr);
+  }
+  ++im.lines;
+}
+
+std::uint64_t Journal::lines_written() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  return im.lines;
+}
+
+std::uint64_t Journal::rotations() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  return im.rotations;
+}
+
+}  // namespace sani::obs

@@ -1,0 +1,112 @@
+#pragma once
+// Structured event journal: leveled NDJSON records for the fleet's
+// operational events (daemon lifecycle, scan planning/claims, store
+// quarantines) — the machine-readable replacement for the ad-hoc stderr
+// prints that used to live in sanid, `sani scan` and the store.
+//
+// Every record is one JSON object per line:
+//
+//   {"ts_ns":123,"pid":4242,"level":"info","component":"scan",
+//    "event":"planned","shards":24,"dir":"/store/scans/ab12..."}
+//
+// `ts_ns` is the monotonic obs::Clock timestamp (same clock as traces, so
+// journal lines can be correlated against trace spans), `pid` identifies
+// the emitting worker in a multi-process fleet, and the remaining keys are
+// caller-supplied fields.  Levels: debug < info < warn < error.
+//
+// Cost model mirrors the rest of src/obs: a disabled journal is one
+// relaxed atomic load per emit() call site; an enabled journal takes a
+// mutex and formats the line (journal call sites are cold control-plane
+// paths — plan, claim-steal, quarantine — never per-combination loops).
+//
+// Sinks: an optional NDJSON file with size-capped rotation (when a record
+// would push the file past max_bytes it is renamed to "<path>.1",
+// replacing any previous rotation, and a fresh file is opened), plus an
+// optional human-readable
+// stderr echo ("component: event k=v ...") so CLI users keep the
+// operator-visible one-liners they had before.
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace sani::obs {
+
+class Journal {
+ public:
+  enum class Level : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2,
+                                    kError = 3 };
+
+  /// One key/value field of a record.  The value is pre-rendered to JSON
+  /// at the call site (strings escaped, numbers formatted), which keeps
+  /// emit() a single pass over the list.
+  struct Field {
+    Field(std::string k, const std::string& v);
+    Field(std::string k, const char* v);
+    Field(std::string k, std::uint64_t v);
+    Field(std::string k, std::int64_t v);
+    Field(std::string k, int v);
+    Field(std::string k, double v);
+    Field(std::string k, bool v);
+
+    std::string key;
+    std::string json;  ///< rendered JSON value
+    std::string raw;   ///< unquoted value for the stderr echo
+  };
+
+  struct Options {
+    std::string path;                       ///< NDJSON sink; empty = none
+    std::uint64_t max_bytes = 8ull << 20;   ///< rotation threshold
+    bool echo_stderr = false;               ///< compact human echo
+    Level min_level = Level::kInfo;
+  };
+
+  static Journal& instance();
+
+  /// (Re)configures the sinks.  Enables the journal iff a file path or the
+  /// stderr echo is requested.  Safe to call repeatedly (tests do).
+  void configure(const Options& options);
+
+  /// Flushes and drops the sinks; the journal reverts to disabled.
+  void close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void emit(Level level, const char* component, const char* event,
+            std::initializer_list<Field> fields = {});
+
+  void debug(const char* component, const char* event,
+             std::initializer_list<Field> fields = {}) {
+    if (enabled()) emit(Level::kDebug, component, event, fields);
+  }
+  void info(const char* component, const char* event,
+            std::initializer_list<Field> fields = {}) {
+    if (enabled()) emit(Level::kInfo, component, event, fields);
+  }
+  void warn(const char* component, const char* event,
+            std::initializer_list<Field> fields = {}) {
+    if (enabled()) emit(Level::kWarn, component, event, fields);
+  }
+  void error(const char* component, const char* event,
+             std::initializer_list<Field> fields = {}) {
+    if (enabled()) emit(Level::kError, component, event, fields);
+  }
+
+  /// Test hooks.
+  std::uint64_t lines_written() const;
+  std::uint64_t rotations() const;
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+ private:
+  Journal() = default;
+
+  struct Impl;
+  Impl& impl() const;
+
+  std::atomic<bool> enabled_{false};
+};
+
+}  // namespace sani::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -31,6 +32,33 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based: ceil(q * total), clamped to >= 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = bucket(i);
+    if (n == 0) continue;
+    if (cum + n >= rank) {
+      // Bucket i spans [lo, hi): [0,2) for i == 0, [2^i, 2^(i+1)) above.
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+      const double within =
+          (static_cast<double>(rank - cum) - 0.5) / static_cast<double>(n);
+      return lo + within * (hi - lo);
+    }
+    cum += n;
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets));
 }
 
 struct Metrics::Impl {
@@ -100,7 +128,8 @@ std::map<std::string, std::string> render_sorted(const Metrics::Impl& im) {
   for (const auto& [name, h] : im.histograms) {
     std::ostringstream os;
     os << "{\"count\":" << h->count() << ",\"sum\":" << h->sum()
-       << ",\"buckets\":[";
+       << ",\"p50\":" << h->quantile(0.50) << ",\"p95\":" << h->quantile(0.95)
+       << ",\"p99\":" << h->quantile(0.99) << ",\"buckets\":[";
     bool bfirst = true;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucket(i);
@@ -138,6 +167,73 @@ std::string Metrics::to_text(const std::string& indent) const {
   std::ostringstream os;
   for (const auto& [name, value] : render_sorted(im))
     os << indent << name << " " << value << "\n";
+  return os.str();
+}
+
+namespace {
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+/// Formats a power-of-two bucket bound exactly (2^64 overflows uint64, so
+/// go through long double and print with no fraction).
+std::string pow2_label(int exp) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0Lf", std::pow(2.0L, exp));
+  return buf;
+}
+
+}  // namespace
+
+std::string Metrics::dump_prometheus() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  std::ostringstream os;
+  // One pass per kind, but emit in a single name-sorted stream so scrapes
+  // are stable (same contract as to_text).  Counters and gauges are
+  // scalars; histograms expand to the cumulative series.
+  struct Entry {
+    std::string type;
+    std::string body;
+  };
+  std::map<std::string, Entry> out;
+  for (const auto& [name, c] : im.counters) {
+    const std::string pn = prometheus_name(name);
+    out[pn] = {"counter", pn + " " + std::to_string(c->value()) + "\n"};
+  }
+  for (const auto& [name, g] : im.gauges) {
+    const std::string pn = prometheus_name(name);
+    std::ostringstream v;
+    v << pn << " " << g->value() << "\n";
+    out[pn] = {"gauge", v.str()};
+  }
+  for (const auto& [name, h] : im.histograms) {
+    const std::string pn = prometheus_name(name);
+    std::ostringstream v;
+    std::uint64_t cum = 0;
+    std::size_t highest = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      if (h->bucket(i) != 0) highest = i;
+    for (std::size_t i = 0; i <= highest; ++i) {
+      cum += h->bucket(i);
+      v << pn << "_bucket{le=\"" << pow2_label(static_cast<int>(i) + 1)
+        << "\"} " << cum << "\n";
+    }
+    v << pn << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+    v << pn << "_sum " << h->sum() << "\n";
+    v << pn << "_count " << h->count() << "\n";
+    out[pn] = {"histogram", v.str()};
+  }
+  for (const auto& [pn, entry] : out)
+    os << "# TYPE " << pn << " " << entry.type << "\n" << entry.body;
   return os.str();
 }
 

@@ -90,6 +90,12 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Quantile estimate (q in [0,1]) from the log2 buckets: finds the
+  /// bucket holding the q-th sample and interpolates linearly inside its
+  /// [2^i, 2^(i+1)) range.  Exact to within one bucket width — plenty for
+  /// p50/p95/p99 latency summaries.  Returns 0 for an empty histogram.
+  double quantile(double q) const;
+
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
@@ -124,6 +130,14 @@ class Metrics {
   /// "name value" per line, sorted by name — the `sani stats` dump.
   /// Histograms print their count and sum.
   std::string to_text(const std::string& indent = "") const;
+
+  /// Prometheus text exposition format 0.0.4, sorted by metric name.
+  /// Counters and gauges map directly; log2 histograms render as the
+  /// cumulative `_bucket{le="..."}` / `_sum` / `_count` series Prometheus
+  /// expects, with `le` at each power-of-two upper bound that has samples.
+  /// Metric names are sanitized to [a-zA-Z0-9_:] ("dd.live_nodes" →
+  /// "dd_live_nodes").
+  std::string dump_prometheus() const;
 
   Metrics(const Metrics&) = delete;
   Metrics& operator=(const Metrics&) = delete;

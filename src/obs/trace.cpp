@@ -1,11 +1,15 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace sani::obs {
 
@@ -44,6 +48,8 @@ struct ThreadBuf {
 struct Tracer::Impl {
   std::mutex mu;  // guards the registry vector (cold: thread birth, flush)
   std::vector<std::unique_ptr<ThreadBuf>> bufs;
+  std::string process_label;  // process_name metadata row, "" = none
+  std::string trace_id;       // fleet job id, "" = standalone run
 
   static Impl& get() {
     static Impl impl;
@@ -105,6 +111,24 @@ void Tracer::label_thread(const char* prefix, int index) {
   buf.label = std::string(prefix) + " " + std::to_string(index);
 }
 
+void Tracer::set_process_label(const std::string& label) {
+  Impl& impl = Impl::get();
+  std::lock_guard<std::mutex> lk(impl.mu);
+  impl.process_label = label;
+}
+
+void Tracer::set_trace_id(const std::string& id) {
+  Impl& impl = Impl::get();
+  std::lock_guard<std::mutex> lk(impl.mu);
+  impl.trace_id = id;
+}
+
+std::string Tracer::trace_id() const {
+  Impl& impl = Impl::get();
+  std::lock_guard<std::mutex> lk(impl.mu);
+  return impl.trace_id;
+}
+
 std::uint64_t Tracer::dropped() const {
   Impl& impl = Impl::get();
   std::lock_guard<std::mutex> lk(impl.mu);
@@ -123,6 +147,7 @@ std::string Tracer::to_json() {
   Impl& impl = Impl::get();
   std::lock_guard<std::mutex> lk(impl.mu);
   const std::int64_t t0 = t0_ns_.load(std::memory_order_relaxed);
+  const long pid = static_cast<long>(::getpid());
 
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -137,10 +162,16 @@ std::string Tracer::to_json() {
     std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
     return std::string(buf);
   };
+  if (!impl.process_label.empty()) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(impl.process_label) << "\"}}";
+  }
   for (const auto& b : impl.bufs) {
     if (!b->label.empty()) {
       sep();
-      os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << b->tid
+      os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << b->tid
          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << b->label
          << "\"}}";
     }
@@ -149,16 +180,20 @@ std::string Tracer::to_json() {
     for (std::uint64_t i = begin; i < n; ++i) {
       const Event& e = b->events[static_cast<std::size_t>(i % kRingCapacity)];
       sep();
-      os << "{\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << b->tid
-         << ",\"name\":\"" << e.name << "\",\"cat\":\"sani\",\"ts\":"
-         << us(e.ts_ns - t0);
+      os << "{\"ph\":\"" << e.ph << "\",\"pid\":" << pid
+         << ",\"tid\":" << b->tid << ",\"name\":\"" << e.name
+         << "\",\"cat\":\"sani\",\"ts\":" << us(e.ts_ns - t0);
       if (e.ph == 'X') os << ",\"dur\":" << us(e.dur_ns);
       if (e.ph == 'C') os << ",\"args\":{\"value\":" << e.value << "}";
       if (e.ph == 'i') os << ",\"s\":\"t\"";
       os << "}";
     }
   }
-  os << "\n]}";
+  os << "\n]";
+  if (!impl.trace_id.empty())
+    os << ",\"otherData\":{\"trace_id\":\"" << json_escape(impl.trace_id)
+       << "\"}";
+  os << "}";
   return os.str();
 }
 

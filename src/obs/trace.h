@@ -19,13 +19,20 @@
 //
 // Span names are static strings drawn from the documented phase taxonomy
 // (DESIGN.md Sec. 10): parse, unfold, basis_build, freeze, thaw, scan,
-// convolution, add_check, union, gc, sift, plus the scheduler's per-task
-// "task" spans.  Counter events (ph:"C") sample the DD ManagerStats (live
-// nodes, arena bytes, cache hit rate) and the enumeration progress.
+// convolution, add_check, union, gc, sift, the scheduler's per-task "task"
+// spans, and the fleet phases added with checkpointable scans and the
+// daemon: claim, checkpoint_write, checkpoint_load, finalize,
+// admission_wait.  Counter events (ph:"C") sample the DD ManagerStats
+// (live nodes, arena bytes, cache hit rate) and the enumeration progress.
 //
 // Thread ids in the emitted trace are small dense integers assigned on each
 // thread's first event; sched::Pool labels its workers "worker N" via
 // thread-name metadata so per-worker rows are recognizable in the viewer.
+//
+// Multi-process scans: every worker emits its real pid, an optional
+// process_name metadata row (set_process_label) and the scan's trace id in
+// the trace's otherData, so `sani trace-stitch` can merge per-worker files
+// into one Perfetto view with one process row per worker.
 
 #include <atomic>
 #include <cstdint>
@@ -62,6 +69,17 @@ class Tracer {
   /// Names the calling thread "<prefix> <index>" in the trace (metadata,
   /// emitted once per thread per capture).  No-op when disabled.
   void label_thread(const char* prefix, int index);
+
+  /// Names this process in the trace (process_name metadata row).  Unlike
+  /// label_thread this is not gated on enabled(): callers set it once at
+  /// startup, possibly before start().
+  void set_process_label(const std::string& label);
+
+  /// Attaches the fleet-wide trace/job id (minted at plan_scan or daemon
+  /// submit); emitted as otherData.trace_id so trace-stitch can check that
+  /// every per-worker file belongs to the same job.
+  void set_trace_id(const std::string& id);
+  std::string trace_id() const;
 
   /// Serializes everything captured since start() as Chrome trace JSON.
   /// Also callable after stop().  Returns the JSON object text.

@@ -13,6 +13,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/serial.h"
 #include "store/sha256.h"
 
@@ -54,12 +55,13 @@ bool atomic_write(const std::string& final_path, const std::string& bytes) {
   return true;
 }
 
-std::string claim_body(std::size_t index) {
+std::string claim_body(std::size_t index, const std::string& trace_id) {
   char host[256] = "?";
   ::gethostname(host, sizeof(host) - 1);
   std::ostringstream os;
   os << index << ' ' << ::getpid() << ' ' << host << ' '
-     << static_cast<long long>(::time(nullptr)) << '\n';
+     << static_cast<long long>(::time(nullptr)) << ' '
+     << (trace_id.empty() ? "-" : trace_id) << '\n';
   return os.str();
 }
 
@@ -97,6 +99,9 @@ std::uint64_t count_lines(const std::string& path) {
 }  // namespace
 
 std::string manifest_key(const ScanManifest& m) {
+  // NOTE: trace_id is intentionally absent — it is *derived from* this key
+  // at plan time, so including it would be circular and would break the
+  // idempotent re-plan (same job → same directory).
   const verify::VerifyOptions& o = m.options;
   std::ostringstream material;
   material << "sani-scan-manifest-v" << kManifestFormatVersion << '\n'
@@ -146,6 +151,7 @@ std::string serialize_manifest(const ScanManifest& m) {
   w.f64(m.build_seconds);
   w.u64(m.frozen_nodes);
   w.u64(m.frozen_bytes);
+  w.str(m.trace_id);
   w.u64(m.shards.size());
   for (const sched::Shard& s : m.shards) {
     w.i32(s.k);
@@ -189,6 +195,7 @@ ScanManifest deserialize_manifest(const std::string& file_image) {
   m.build_seconds = r.f64();
   m.frozen_nodes = r.u64();
   m.frozen_bytes = r.u64();
+  m.trace_id = r.str();
   const std::uint64_t num_shards = r.u64();
   if (num_shards > (std::uint64_t{1} << 32))
     throw SerializationError("manifest: implausible shard count");
@@ -206,11 +213,13 @@ ScanManifest deserialize_manifest(const std::string& file_image) {
 }
 
 std::string serialize_partial(const verify::PartialReport& part,
-                              std::uint32_t num_secrets) {
+                              std::uint32_t num_secrets,
+                              const std::string& trace_id) {
   if (!part.complete)
     throw SerializationError(
         "checkpoint: refusing to persist an incomplete partial");
   ByteWriter w;
+  w.str(trace_id);
   w.i32(part.k);
   w.u64(part.begin);
   w.u64(part.end);
@@ -278,11 +287,17 @@ std::string serialize_partial(const verify::PartialReport& part,
 }
 
 verify::PartialReport deserialize_partial(const std::string& file_image,
-                                          std::uint32_t num_secrets) {
+                                          std::uint32_t num_secrets,
+                                          const std::string& expected_trace_id) {
   const std::string payload = checked_payload_for(
       file_image, kPartialMagic, kPartialFormatVersion, kPartialFormatVersion,
       nullptr);
   ByteReader r(payload);
+  const std::string stored_trace_id = r.str();
+  if (!expected_trace_id.empty() && !stored_trace_id.empty() &&
+      stored_trace_id != expected_trace_id)
+    throw SerializationError("checkpoint: trace id mismatch (belongs to job " +
+                             stored_trace_id + ")");
   verify::PartialReport part;
   part.k = r.i32();
   part.begin = r.u64();
@@ -393,6 +408,7 @@ bool ScanDir::drained() const {
 }
 
 std::optional<ScanDir::Claim> ScanDir::claim_next(double lease_seconds) {
+  obs::Span span("claim");
   // Instrument handles resolved once (registry lookup takes a mutex; claims
   // are per-shard hot-path).
   static obs::Counter& claimed_counter =
@@ -411,7 +427,7 @@ std::optional<ScanDir::Claim> ScanDir::claim_next(double lease_seconds) {
     const int fd =
         ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
     if (fd < 0) continue;  // someone else holds (or held) it
-    const std::string body = claim_body(i);
+    const std::string body = claim_body(i, manifest_.trace_id);
     (void)!::write(fd, body.data(), body.size());
     ::close(fd);
     claim_cursor_->store((i + 1) % n, std::memory_order_relaxed);
@@ -431,7 +447,7 @@ std::optional<ScanDir::Claim> ScanDir::claim_next(double lease_seconds) {
                             "." + std::to_string(seq.fetch_add(1));
     {
       std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      out << claim_body(i);
+      out << claim_body(i, manifest_.trace_id);
       if (!out) continue;
     }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -439,7 +455,7 @@ std::optional<ScanDir::Claim> ScanDir::claim_next(double lease_seconds) {
       fs::remove(tmp, ec);
       continue;
     }
-    append_line(dir_ + "/reclaims.log", claim_body(i));
+    append_line(dir_ + "/reclaims.log", claim_body(i, manifest_.trace_id));
     claimed_counter.add(1);
     reclaimed_counter.add(1);
     return Claim{i, true};
@@ -458,7 +474,9 @@ bool ScanDir::write_checkpoint(std::size_t index,
       obs::Metrics::instance().counter("scan.shards_done");
   static obs::Counter& bytes_counter =
       obs::Metrics::instance().counter("scan.checkpoint_bytes");
-  const std::string image = serialize_partial(part, manifest_.num_secrets);
+  obs::Span span("checkpoint_write");
+  const std::string image =
+      serialize_partial(part, manifest_.num_secrets, manifest_.trace_id);
   if (!atomic_write(part_path(index), image)) return false;
   release_claim(index);
   done_counter.add(1);
@@ -470,7 +488,9 @@ std::optional<verify::PartialReport> ScanDir::read_checkpoint(
     std::size_t index) const {
   const std::string path = part_path(index);
   if (!fs::exists(path)) return std::nullopt;
-  return deserialize_partial(read_file(path), manifest_.num_secrets);
+  obs::Span span("checkpoint_load");
+  return deserialize_partial(read_file(path), manifest_.num_secrets,
+                             manifest_.trace_id);
 }
 
 ScanDir::Status ScanDir::status() const {
@@ -485,6 +505,10 @@ ScanDir::Status ScanDir::status() const {
         st.combinations_done += part->combinations;
     } else if (fs::exists(claim_path(i))) {
       ++st.claimed;
+      if (std::optional<double> age = file_age_seconds(claim_path(i))) {
+        st.claim_ages.push_back({i, *age});
+        if (*age > st.oldest_claim_age) st.oldest_claim_age = *age;
+      }
     } else {
       ++st.planned;
     }

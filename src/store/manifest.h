@@ -12,9 +12,11 @@
 // On-disk layout of one scan, under <store>/scans/<manifest_key>/:
 //
 //   manifest          SANIMAN image (immutable after creation)
-//   claims/NNNNNN.claim   one per in-flight shard: "pid host epoch\n"
+//   claims/NNNNNN.claim   one per in-flight shard:
+//                         "index pid host epoch trace_id\n"
 //   parts/NNNNNN.part     SANIPAR checkpoint (complete PartialReport)
 //   reclaims.log          one line per lease steal (operator forensics)
+//   telemetry/            per-worker snapshots + traces (store/telemetry.h)
 //
 // Claim protocol (lock-free; any number of processes on a shared dir):
 //
@@ -50,13 +52,17 @@ namespace sani::store {
 /// same framing discipline as SANIBAS/SANISUM (store/serial.h).  Bump on
 /// any layout change — old files are rejected, never migrated (a stale
 /// manifest simply plans a fresh scan under a new key).
-inline constexpr std::uint32_t kManifestFormatVersion = 1;
+/// v2 adds the fleet trace id (minted at plan time, excluded from the
+/// content key) so every worker process stitches into one trace.
+inline constexpr std::uint32_t kManifestFormatVersion = 2;
 inline constexpr char kManifestMagic[8] = {'S', 'A', 'N', 'I',
                                            'M', 'A', 'N', '\x01'};
 /// SANIPAR v2 compacts the dependency section: one dictionary of distinct
 /// V-mask vectors plus a varint (rank-delta, dictionary-index) pair per
-/// entry, instead of v1's fixed 8 + 16*num_secrets bytes each.
-inline constexpr std::uint32_t kPartialFormatVersion = 2;
+/// entry, instead of v1's fixed 8 + 16*num_secrets bytes each.  v3 prefixes
+/// the payload with the scan's trace id so a checkpoint can always be
+/// attributed to the job that produced it.
+inline constexpr std::uint32_t kPartialFormatVersion = 3;
 inline constexpr char kPartialMagic[8] = {'S', 'A', 'N', 'I',
                                           'P', 'A', 'R', '\x01'};
 
@@ -76,6 +82,12 @@ struct ScanManifest {
   double build_seconds = 0.0;
   std::uint64_t frozen_nodes = 0;
   std::uint64_t frozen_bytes = 0;
+  /// Fleet trace/job id: minted once at plan time (a prefix of the
+  /// manifest key), echoed in claim files, checkpoints, worker traces and
+  /// daemon frames so one job's telemetry stitches across processes.
+  /// Deliberately NOT part of the manifest_key preimage — it is derived
+  /// from the key, not a semantic input.
+  std::string trace_id;
   /// The shard plan, fixed at plan time: workers claim these by index.
   std::vector<sched::Shard> shards;
 
@@ -97,11 +109,15 @@ ScanManifest deserialize_manifest(const std::string& file_image);
 
 /// SANIPAR image of a complete per-shard checkpoint.  Dependency rows are
 /// not stored (RowContext is recomputed from the basis on merge); the
-/// V-mask width is the manifest's num_secrets.
+/// V-mask width is the manifest's num_secrets.  `trace_id` is the scan's
+/// fleet id; deserialize refuses a checkpoint whose stored id differs from
+/// a non-empty `expected_trace_id` (cross-job contamination of a scan dir).
 std::string serialize_partial(const verify::PartialReport& part,
-                              std::uint32_t num_secrets);
-verify::PartialReport deserialize_partial(const std::string& file_image,
-                                          std::uint32_t num_secrets);
+                              std::uint32_t num_secrets,
+                              const std::string& trace_id = "");
+verify::PartialReport deserialize_partial(
+    const std::string& file_image, std::uint32_t num_secrets,
+    const std::string& expected_trace_id = "");
 
 /// One scan directory: the manifest plus the live claim/checkpoint state.
 class ScanDir {
@@ -150,6 +166,13 @@ class ScanDir {
   std::optional<verify::PartialReport> read_checkpoint(
       std::size_t index) const;
 
+  /// One in-flight claim with its lease age — surfaced by `--status` so
+  /// stale or stolen-candidate leases are visible before the steal.
+  struct ClaimAge {
+    std::size_t index = 0;
+    double age_seconds = 0.0;
+  };
+
   struct Status {
     std::uint64_t planned = 0;  // shards with neither claim nor checkpoint
     std::uint64_t claimed = 0;  // in-flight (claim file, no checkpoint)
@@ -157,6 +180,8 @@ class ScanDir {
     std::uint64_t reclaims = 0;          // lease steals over the scan's life
     std::uint64_t checkpoint_bytes = 0;  // on-disk footprint of parts/
     std::uint64_t combinations_done = 0;  // sum over checkpoints
+    std::vector<ClaimAge> claim_ages;    // one per in-flight claim
+    double oldest_claim_age = 0.0;       // max over claim_ages (0 if none)
   };
 
   /// Scans the directory (reads every checkpoint header for the

@@ -12,12 +12,20 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "circuit/ilang.h"
 #include "circuit/unfold.h"
+#include "obs/clock.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/process.h"
 #include "obs/progress.h"
+#include "obs/trace.h"
 #include "sched/cancel.h"
 #include "sched/shard.h"
 #include "store/cached_verify.h"
+#include "store/telemetry.h"
 #include "verify/driver.h"
 #include "verify/engine.h"
 #include "verify/observables.h"
@@ -169,6 +177,11 @@ ScanDir plan_scan(const circuit::Gadget& gadget, const std::string& label,
                                 plan_opts);
 
   const std::string key = manifest_key(m);
+  // Mint the fleet trace id from the content key: re-planning (or a
+  // crash/resume) of the same job lands on the same id without any
+  // coordination, and the id never feeds back into the key (manifest_key
+  // ignores it).
+  m.trace_id = key.substr(0, 16);
   const std::string dir = scan_dir_for(store.dir(), key);
   if (outcome) {
     outcome->key = key;
@@ -199,6 +212,57 @@ WorkerOutcome run_scan_worker(ScanDir& scan, ArtifactStore* store,
   std::atomic<std::uint64_t> done{0};
   std::atomic<std::uint64_t> reclaimed{0};
   std::atomic<std::uint64_t> combinations{0};
+  std::atomic<std::uint64_t> claimed{0};
+
+  obs::Journal::instance().info(
+      "scan", "worker_start",
+      {{"dir", scan.dir()},
+       {"trace_id", m.trace_id},
+       {"engine", verify::engine_name(wopts.engine)},
+       {"jobs", options.jobs > 0 ? options.jobs : 1}});
+
+  // Telemetry sampler: periodically publish this worker's snapshot into
+  // <scan-dir>/telemetry/ so `sani top` / `--status` anywhere on the
+  // shared directory can see the live fleet.  Failures are swallowed —
+  // telemetry never takes down a scan.
+  Stopwatch telemetry_clock;
+  char hostbuf[256] = "?";
+  ::gethostname(hostbuf, sizeof(hostbuf) - 1);
+  auto make_snapshot = [&]() {
+    WorkerSnapshot snap;
+    snap.pid = static_cast<std::uint64_t>(::getpid());
+    snap.host = hostbuf;
+    snap.trace_id = m.trace_id;
+    snap.engine = verify::engine_name(wopts.engine);
+    snap.uptime_seconds = obs::process_uptime_seconds();
+    snap.shards_claimed = claimed.load(std::memory_order_relaxed);
+    snap.shards_done = done.load(std::memory_order_relaxed);
+    snap.combinations = combinations.load(std::memory_order_relaxed);
+    const double elapsed = telemetry_clock.seconds();
+    snap.rate = elapsed > 0.0
+                    ? static_cast<double>(snap.combinations) / elapsed
+                    : 0.0;
+    snap.rss_bytes = obs::process_rss_bytes();
+    snap.live_nodes = obs::Metrics::instance().gauge("dd.live_nodes").value();
+    return snap;
+  };
+  std::atomic<bool> sampling{false};
+  std::thread sampler;
+  if (options.telemetry_interval_seconds > 0.0) {
+    write_worker_snapshot(scan.dir(), make_snapshot());
+    sampling.store(true);
+    sampler = std::thread([&] {
+      const auto slice = std::chrono::milliseconds(50);
+      double waited = 0.0;
+      while (sampling.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(slice);
+        waited += 0.05;
+        if (waited < options.telemetry_interval_seconds) continue;
+        waited = 0.0;
+        write_worker_snapshot(scan.dir(), make_snapshot());
+      }
+    });
+  }
 
   // In-process fold state (options.assembler): each shard is folded at most
   // once, by whichever thread's checkpoint write landed first.  Duplicate
@@ -240,8 +304,13 @@ WorkerOutcome run_scan_worker(ScanDir& scan, ArtifactStore* store,
         std::this_thread::sleep_for(poll);
         continue;
       }
-      if (claim->reclaimed)
+      claimed.fetch_add(1, std::memory_order_relaxed);
+      if (claim->reclaimed) {
         reclaimed.fetch_add(1, std::memory_order_relaxed);
+        obs::Journal::instance().warn(
+            "scan", "lease_stolen",
+            {{"dir", scan.dir()}, {"shard", claim->index}});
+      }
       if (options.throttle_seconds > 0.0)
         std::this_thread::sleep_for(
             std::chrono::duration<double>(options.throttle_seconds));
@@ -290,17 +359,33 @@ WorkerOutcome run_scan_worker(ScanDir& scan, ArtifactStore* store,
 
   if (options.progress) options.progress->stop();
 
+  if (sampler.joinable()) {
+    sampling.store(false);
+    sampler.join();
+    // Final snapshot so the last shards this worker finished are visible
+    // immediately (the sampler may have just slept through them).
+    write_worker_snapshot(scan.dir(), make_snapshot());
+  }
+
   WorkerOutcome outcome;
   outcome.shards_done = done.load();
   outcome.shards_reclaimed = reclaimed.load();
   outcome.combinations = combinations.load();
   outcome.drained = scan.drained();
+  obs::Journal::instance().info("scan", "worker_done",
+                                {{"dir", scan.dir()},
+                                 {"trace_id", m.trace_id},
+                                 {"shards", outcome.shards_done},
+                                 {"reclaimed", outcome.shards_reclaimed},
+                                 {"combinations", outcome.combinations},
+                                 {"drained", outcome.drained}});
   return outcome;
 }
 
 verify::VerifyResult finalize_scan(ScanDir& scan, ArtifactStore* store,
                                    std::shared_ptr<const verify::Basis> basis,
                                    verify::ReportAssembler* assembled) {
+  obs::Span span("finalize");
   if (!scan.drained()) {
     const ScanDir::Status st = scan.status();
     throw std::runtime_error(

@@ -98,6 +98,11 @@ struct WorkerOptions {
   /// Optional live meter; previously-checkpointed combinations are credited
   /// up front, so a resumed scan's progress starts where the last run died.
   obs::Progress* progress = nullptr;
+  /// Seconds between per-worker telemetry snapshot writes into
+  /// <scan-dir>/telemetry/ (store/telemetry.h) — the data `sani top` and
+  /// `--status` aggregate.  0 disables the sampler thread.  Snapshots are
+  /// pure observability: they never influence a checkpoint or report.
+  double telemetry_interval_seconds = 2.0;
   /// Optional cooperative stop (the daemon's per-job token).  Checked
   /// between shards and polled inside them; a shard interrupted mid-run is
   /// NOT checkpointed (checkpoints hold only complete partials) — its claim

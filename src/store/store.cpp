@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "store/serial.h"
 
@@ -213,6 +214,8 @@ void ArtifactStore::quarantine(const std::string& key) {
   publish_gauges();
   ++stats_.quarantined;
   obs::Metrics::instance().counter("store.quarantined").add();
+  obs::Journal::instance().warn("store", "quarantined",
+                                {{"key", key}, {"dir", dir_}});
 }
 
 std::shared_ptr<const verify::Basis> ArtifactStore::load_basis(

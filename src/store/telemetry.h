@@ -1,0 +1,91 @@
+#pragma once
+// Fleet telemetry over a shared scan directory.
+//
+// Scan workers coordinate exclusively through <store>/scans/<key>/ (claims,
+// checkpoints — store/manifest.h); this header adds the observability side
+// of that contract under the same directory:
+//
+//   telemetry/<host>-<pid>.json        per-worker status snapshot (NDJSON-
+//                                      free single object, atomic rename;
+//                                      rewritten every few seconds)
+//   telemetry/trace-<host>-<pid>.json  per-worker Chrome trace, written at
+//                                      worker exit when tracing is on
+//
+// Snapshots are the data plane of `sani top`, `sani scan --status` and the
+// daemon's stats frame: any process that can see the directory can render
+// a live per-worker view (shards claimed/done, check rate, rss,
+// dd.live_nodes) without talking to the workers.  Staleness falls out of
+// file mtimes — a worker that dies simply stops refreshing its snapshot.
+//
+// Traces carry the manifest's trace id; stitch_traces() merges every
+// per-worker file into one Perfetto-loadable trace with one process row
+// per worker, refusing to mix files from different jobs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sani::store {
+
+/// One worker's self-reported status.  Counters are lifetime-of-worker;
+/// `age_seconds` is filled by the reader from the snapshot file's mtime.
+struct WorkerSnapshot {
+  std::uint64_t pid = 0;
+  std::string host;
+  std::string trace_id;          // manifest trace id; "" pre-v2 dirs
+  std::string engine;            // resolved engine label
+  double uptime_seconds = 0.0;
+  std::uint64_t shards_claimed = 0;
+  std::uint64_t shards_done = 0;
+  std::uint64_t combinations = 0;
+  double rate = 0.0;             // combinations/second, lifetime average
+  std::uint64_t rss_bytes = 0;
+  double live_nodes = 0.0;       // dd.live_nodes gauge at sample time
+  double age_seconds = 0.0;      // reader-side: snapshot staleness
+};
+
+/// `<scan_dir>/telemetry`.
+std::string telemetry_dir(const std::string& scan_dir);
+
+/// This process's snapshot/trace paths inside `scan_dir`.
+std::string worker_snapshot_path(const std::string& scan_dir);
+std::string worker_trace_path(const std::string& scan_dir);
+
+/// Atomically publishes `snap` (tmp + rename).  Never throws; returns
+/// false on I/O failure (telemetry must not take down a scan).
+bool write_worker_snapshot(const std::string& scan_dir,
+                           const WorkerSnapshot& snap);
+
+/// Reads every parseable snapshot under `scan_dir`, with age_seconds set
+/// from the file mtime.  Unreadable/corrupt files are skipped.
+std::vector<WorkerSnapshot> read_worker_snapshots(const std::string& scan_dir);
+
+/// Fleet roll-up of a snapshot set.  A snapshot older than
+/// `stale_after_seconds` is counted in `stale_workers` and excluded from
+/// the live sums (its worker is likely dead; its shards_done survive in
+/// the checkpoint files, not here).
+struct FleetStatus {
+  std::size_t live_workers = 0;
+  std::size_t stale_workers = 0;
+  std::uint64_t shards_claimed = 0;  // sum over live workers
+  std::uint64_t shards_done = 0;     // sum over live workers
+  double rate = 0.0;                 // combinations/second, live fleet
+  std::uint64_t rss_bytes = 0;       // sum over live workers
+  double live_nodes = 0.0;           // sum over live workers
+  double eta_seconds = -1.0;         // remaining/rate; -1 when unknown
+};
+
+FleetStatus aggregate_fleet(const std::vector<WorkerSnapshot>& snapshots,
+                            std::uint64_t combinations_remaining,
+                            double stale_after_seconds = 15.0);
+
+/// Merges every telemetry/trace-*.json under `scan_dir` into one Chrome
+/// trace: the union of all traceEvents (each worker already carries its
+/// real pid), a process_name metadata row per worker (synthesized when a
+/// file lacks one), and otherData.trace_id.  Throws std::runtime_error
+/// when there are no trace files or when two files carry different
+/// non-empty trace ids.  `trace_id_out` (optional) receives the shared id.
+std::string stitch_traces(const std::string& scan_dir,
+                          std::string* trace_id_out = nullptr);
+
+}  // namespace sani::store

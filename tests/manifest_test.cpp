@@ -20,6 +20,7 @@
 #include "store/scan.h"
 #include "store/serial.h"
 #include "store/store.h"
+#include "store/telemetry.h"
 #include "util/mask.h"
 #include "verify/engine.h"
 #include "verify/partial.h"
@@ -479,6 +480,107 @@ TEST(ScanE2E, ResumeAfterPartialRunIsSeamless) {
   const verify::VerifyResult r = finalize_scan(reopened, &store);
   EXPECT_EQ(verify::json_report("dom-2", ropt, r, 0.0),
             serial_report("dom-2", 2));
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids and fleet telemetry (SANIMAN v2 / SANIPAR v3 additions)
+// ---------------------------------------------------------------------------
+
+TEST(Manifest, TraceIdRoundTripsAndIsExcludedFromKey) {
+  ScanManifest m = tiny_manifest();
+  const std::string key = manifest_key(m);
+  m.trace_id = key.substr(0, 16);
+  // The id is derived FROM the key, so it cannot feed the key's preimage.
+  EXPECT_EQ(manifest_key(m), key);
+  const ScanManifest back = deserialize_manifest(serialize_manifest(m));
+  EXPECT_EQ(back.trace_id, m.trace_id);
+}
+
+TEST(Manifest, PlanMintsStableTraceId) {
+  const circuit::Gadget g = gadgets::by_name("dom-1");
+  const verify::VerifyOptions opt = base_options(1);
+  TempDir tmp("traceid");
+  ArtifactStore::Options store_opt;
+  store_opt.dir = tmp.str();
+  ArtifactStore store(store_opt);
+
+  PlanOutcome plan;
+  ScanDir scan = plan_scan(g, "dom-1", opt, store, 2, &plan);
+  EXPECT_EQ(scan.manifest().trace_id.size(), 16u);
+  EXPECT_EQ(scan.manifest().trace_id, plan.key.substr(0, 16));
+  // Reopening the same job yields the same id: resumers, checkpoint files
+  // and traces all agree on the job identity across restarts.
+  ScanDir again = plan_scan(g, "dom-1", opt, store, 2);
+  EXPECT_EQ(again.manifest().trace_id, scan.manifest().trace_id);
+}
+
+TEST(Manifest, PartialTraceIdMismatchThrows) {
+  verify::PartialReport p;
+  p.k = 1;
+  p.begin = 0;
+  p.end = 4;
+  p.covered_end = 4;
+  p.complete = true;
+  p.combinations = 4;
+  const std::string image = serialize_partial(p, 1, "aaaabbbbccccdddd");
+  EXPECT_NO_THROW(deserialize_partial(image, 1));  // no expectation: tolerant
+  EXPECT_NO_THROW(deserialize_partial(image, 1, "aaaabbbbccccdddd"));
+  EXPECT_THROW(deserialize_partial(image, 1, "0000111122223333"),
+               SerializationError);
+}
+
+TEST(ScanDirTest, StatusReportsClaimAges) {
+  TempDir tmp("ages");
+  ScanDir scan = ScanDir::create(tmp.str() + "/scan", tiny_manifest());
+  std::optional<ScanDir::Claim> c0 = scan.claim_next(3600.0);
+  std::optional<ScanDir::Claim> c1 = scan.claim_next(3600.0);
+  ASSERT_TRUE(c0 && c1);
+  const ScanDir::Status st = scan.status();
+  ASSERT_EQ(st.claim_ages.size(), 2u);
+  for (const ScanDir::ClaimAge& age : st.claim_ages) {
+    EXPECT_TRUE(age.index == c0->index || age.index == c1->index);
+    EXPECT_GE(age.age_seconds, 0.0);
+    EXPECT_LT(age.age_seconds, 3600.0);
+    EXPECT_LE(age.age_seconds, st.oldest_claim_age);
+  }
+  scan.release_claim(c0->index);
+  scan.release_claim(c1->index);
+  EXPECT_TRUE(scan.status().claim_ages.empty());
+  EXPECT_DOUBLE_EQ(scan.status().oldest_claim_age, 0.0);
+}
+
+TEST(ScanE2E, TelemetryDoesNotPerturbDeterministicReport) {
+  // Worker snapshots are pure observability: a scan drained with an
+  // aggressive sampling interval renders byte-identical deterministic
+  // reports to one with telemetry disabled.
+  const circuit::Gadget g = gadgets::by_name("dom-2");
+  const verify::VerifyOptions opt = base_options(2);
+  std::string reports[2];
+  for (int with_telemetry = 0; with_telemetry < 2; ++with_telemetry) {
+    TempDir tmp(with_telemetry ? "telem_on" : "telem_off");
+    ArtifactStore::Options store_opt;
+    store_opt.dir = tmp.str();
+    ArtifactStore store(store_opt);
+    ScanDir scan = plan_scan(g, "dom-2", opt, store, 2);
+    WorkerOptions w;
+    w.telemetry_interval_seconds = with_telemetry ? 0.005 : 0.0;
+    run_scan_worker(scan, &store, w);
+    EXPECT_TRUE(scan.drained());
+    if (with_telemetry) {
+      const auto snaps = read_worker_snapshots(scan.dir());
+      ASSERT_EQ(snaps.size(), 1u);
+      EXPECT_EQ(snaps[0].trace_id, scan.manifest().trace_id);
+      EXPECT_TRUE(scan.drained());
+      EXPECT_GT(snaps[0].combinations, 0u);
+    }
+    verify::VerifyOptions ropt = scan.manifest().options;
+    ropt.deterministic_report = true;
+    const verify::VerifyResult r = finalize_scan(scan, &store);
+    reports[with_telemetry] =
+        verify::json_report("dom-2", ropt, r, 0.0);
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], serial_report("dom-2", 2));
 }
 
 }  // namespace

@@ -13,9 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "gadgets/registry.h"
 #include "util/json.h"
 #include "obs/clock.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/process.h"
 #include "obs/progress.h"
@@ -31,7 +35,10 @@ namespace {
 const std::set<std::string> kPhaseNames = {
     "parse",       "unfold", "basis_build", "freeze", "thaw",
     "scan",        "convolution", "add_check", "union", "gc",
-    "sift",        "task"};
+    "sift",        "task",
+    // Fleet/control-plane spans (checkpointable scans and the daemon).
+    "claim",       "checkpoint_write", "checkpoint_load", "finalize",
+    "admission_wait"};
 
 verify::VerifyResult run_verify(const char* gadget, int jobs) {
   verify::VerifyOptions opt;
@@ -162,6 +169,69 @@ TEST(Metrics, JsonDumpParsesAndSorts) {
   EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
 }
 
+TEST(Metrics, HistogramQuantilesInterpolateWithinTheBucket) {
+  auto& m = Metrics::instance();
+  m.reset();
+  Histogram& h = m.histogram("q.hist");
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 10; ++i) h.record(100);  // bucket 6 = [64, 128)
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LT(p99, 128.0);
+}
+
+TEST(Metrics, HistogramQuantilesSpanBuckets) {
+  auto& m = Metrics::instance();
+  m.reset();
+  Histogram& h = m.histogram("q2.hist");
+  for (int i = 0; i < 90; ++i) h.record(1);     // bucket 0 = [0, 2)
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket 9 = [512, 1024)
+  EXPECT_LT(h.quantile(0.50), 2.0);
+  EXPECT_GE(h.quantile(0.95), 512.0);
+  EXPECT_LT(h.quantile(0.99), 1024.0);
+}
+
+TEST(Metrics, JsonHistogramCarriesQuantiles) {
+  auto& m = Metrics::instance();
+  m.reset();
+  m.histogram("q3.hist").record(9);  // bucket 3 = [8, 16)
+  auto v = json::parse(m.to_json());
+  const json::Value& h = v->at("q3.hist");
+  for (const char* key : {"p50", "p95", "p99"}) {
+    ASSERT_TRUE(h.has(key)) << "histogram JSON lost " << key;
+    EXPECT_GE(h.at(key).num, 8.0);
+    EXPECT_LT(h.at(key).num, 16.0);
+  }
+}
+
+TEST(Metrics, PrometheusExpositionFormat) {
+  auto& m = Metrics::instance();
+  m.reset();
+  m.counter("b.count").add(7);
+  m.gauge("a.gauge").set(0.5);
+  m.histogram("c.hist").record(9);  // bucket 3 = [8, 16)
+  const std::string prom = m.dump_prometheus();
+  const auto npos = std::string::npos;
+  // Names sanitized to [a-zA-Z0-9_:], one # TYPE line per metric.
+  EXPECT_NE(prom.find("# TYPE a_gauge gauge\na_gauge 0.5\n"), npos) << prom;
+  EXPECT_NE(prom.find("# TYPE b_count counter\nb_count 7\n"), npos) << prom;
+  EXPECT_NE(prom.find("# TYPE c_hist histogram\n"), npos) << prom;
+  // Cumulative buckets up to the highest non-empty one, then +Inf.
+  EXPECT_NE(prom.find("c_hist_bucket{le=\"2\"} 0\n"), npos) << prom;
+  EXPECT_NE(prom.find("c_hist_bucket{le=\"16\"} 1\n"), npos) << prom;
+  EXPECT_NE(prom.find("c_hist_bucket{le=\"+Inf\"} 1\n"), npos) << prom;
+  EXPECT_NE(prom.find("c_hist_sum 9\n"), npos) << prom;
+  EXPECT_NE(prom.find("c_hist_count 1\n"), npos) << prom;
+  EXPECT_EQ(prom.find("a.gauge"), npos) << "unsanitized name leaked";
+  // Stable: a second dump with no changes is byte-identical.
+  EXPECT_EQ(prom, m.dump_prometheus());
+}
+
 // The golden schema of a verification metrics export: these names are the
 // stable interface consumed by CI dashboards — renaming any of them is a
 // breaking change that must be deliberate.
@@ -199,6 +269,102 @@ TEST(Metrics, VerifyExportMatchesGoldenSchema) {
   ASSERT_TRUE(v->has("verify.check_ns.k1"));
   ASSERT_TRUE(v->has("verify.check_ns.k2"));
   EXPECT_GT(v->at("verify.check_ns.k2").at("count").num, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+std::vector<json::ValuePtr> read_ndjson(const std::string& path) {
+  std::vector<json::ValuePtr> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) records.push_back(json::parse(line));
+  return records;
+}
+
+TEST(Journal, DisabledByDefaultAndAfterClose) {
+  Journal& j = Journal::instance();
+  j.close();
+  EXPECT_FALSE(j.enabled());
+  const std::uint64_t before = j.lines_written();
+  j.info("test", "ignored");  // must be a no-op while disabled
+  EXPECT_EQ(j.lines_written(), before);
+}
+
+TEST(Journal, WritesParseableNdjsonRecords) {
+  const std::string path = ::testing::TempDir() + "sani_journal_basic.ndjson";
+  std::remove(path.c_str());
+  Journal& j = Journal::instance();
+  Journal::Options o;
+  o.path = path;
+  j.configure(o);
+  ASSERT_TRUE(j.enabled());
+  j.info("scan", "planned",
+         {{"shards", 24}, {"dir", "/tmp/x"}, {"ok", true}, {"rate", 1.5}});
+  j.warn("store", "quarantined", {{"key", "ab\"cd"}});
+  j.close();
+
+  const auto records = read_ndjson(path);
+  ASSERT_EQ(records.size(), 2u);
+  const json::Value& r0 = *records[0];
+  EXPECT_GT(r0.at("ts_ns").num, 0.0);
+  EXPECT_GT(r0.at("pid").num, 0.0);
+  EXPECT_EQ(r0.at("level").str, "info");
+  EXPECT_EQ(r0.at("component").str, "scan");
+  EXPECT_EQ(r0.at("event").str, "planned");
+  EXPECT_DOUBLE_EQ(r0.at("shards").num, 24.0);
+  EXPECT_EQ(r0.at("dir").str, "/tmp/x");
+  EXPECT_TRUE(r0.at("ok").b);
+  EXPECT_DOUBLE_EQ(r0.at("rate").num, 1.5);
+  const json::Value& r1 = *records[1];
+  EXPECT_EQ(r1.at("level").str, "warn");
+  EXPECT_EQ(r1.at("key").str, "ab\"cd");  // escaping round-trips
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MinLevelFiltersRecords) {
+  const std::string path = ::testing::TempDir() + "sani_journal_level.ndjson";
+  std::remove(path.c_str());
+  Journal& j = Journal::instance();
+  Journal::Options o;
+  o.path = path;
+  o.min_level = Journal::Level::kWarn;
+  j.configure(o);
+  j.debug("test", "too_low");
+  j.info("test", "too_low");
+  j.error("test", "kept");
+  j.close();
+  const auto records = read_ndjson(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0]->at("event").str, "kept");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RotatesAtTheSizeCap) {
+  const std::string path = ::testing::TempDir() + "sani_journal_rotate.ndjson";
+  const std::string old = path + ".1";
+  std::remove(path.c_str());
+  std::remove(old.c_str());
+  Journal& j = Journal::instance();
+  Journal::Options o;
+  o.path = path;
+  o.max_bytes = 512;  // a handful of records per generation
+  j.configure(o);
+  const std::uint64_t rotations_before = j.rotations();
+  for (int i = 0; i < 40; ++i)
+    j.info("test", "filler", {{"i", i}, {"pad", "0123456789abcdef"}});
+  j.close();
+  EXPECT_GE(j.rotations(), rotations_before + 2);
+  // Both generations exist and every surviving line still parses.
+  const auto current = read_ndjson(path);
+  const auto previous = read_ndjson(old);
+  EXPECT_FALSE(current.empty());
+  EXPECT_FALSE(previous.empty());
+  for (const auto& r : previous) EXPECT_EQ(r->at("event").str, "filler");
+  std::remove(path.c_str());
+  std::remove(old.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +451,30 @@ TEST(Tracer, DisabledSpansRecordNothing) {
   { Span s("scan"); }
   auto v = json::parse(tracer.to_json());
   EXPECT_TRUE(v->at("traceEvents").arr.empty());
+}
+
+TEST(Tracer, CarriesProcessMetadataAndTraceId) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_process_label("sani test process");
+  tracer.set_trace_id("deadbeef00112233");
+  tracer.start();
+  { Span s("scan"); }
+  tracer.stop();
+  auto v = json::parse(tracer.to_json());
+  EXPECT_EQ(v->at("otherData").at("trace_id").str, "deadbeef00112233");
+  bool named = false;
+  for (const auto& e : v->at("traceEvents").arr) {
+    // Every event carries the real pid, so stitched multi-process traces
+    // keep one process row per worker.
+    EXPECT_GT(e->at("pid").num, 0.0);
+    if (e->at("ph").str == "M" && e->at("name").str == "process_name") {
+      named = true;
+      EXPECT_EQ(e->at("args").at("name").str, "sani test process");
+    }
+  }
+  EXPECT_TRUE(named) << "missing process_name metadata row";
+  tracer.set_process_label("");
+  tracer.set_trace_id("");
 }
 
 TEST(Tracer, VerifyRunUsesDocumentedPhaseNamesOnly) {

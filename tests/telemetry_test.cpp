@@ -1,0 +1,195 @@
+// Tests for the fleet-telemetry layer (store/telemetry.h): per-worker
+// snapshot publication and recovery, the fleet roll-up that powers
+// `sani top` / `sani scan --status`, and cross-process trace stitching.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/telemetry.h"
+#include "util/json.h"
+
+namespace sani::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("sani_telemetry_test_" + tag + "_" + std::to_string(::getpid()) +
+             "_" + std::to_string(counter++));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+WorkerSnapshot sample_snapshot() {
+  WorkerSnapshot snap;
+  snap.pid = static_cast<std::uint64_t>(::getpid());
+  snap.host = "testhost";
+  snap.trace_id = "aaaabbbbccccdddd";
+  snap.engine = "mapi";
+  snap.uptime_seconds = 12.5;
+  snap.shards_claimed = 5;
+  snap.shards_done = 4;
+  snap.combinations = 1234;
+  snap.rate = 98.75;
+  snap.rss_bytes = 64ull << 20;
+  snap.live_nodes = 4321.0;
+  return snap;
+}
+
+void write_trace_file(const std::string& scan_dir, const std::string& name,
+                      const std::string& body) {
+  fs::create_directories(telemetry_dir(scan_dir));
+  std::ofstream out(telemetry_dir(scan_dir) + "/" + name, std::ios::binary);
+  out << body;
+  ASSERT_TRUE(out.good());
+}
+
+TEST(Telemetry, SnapshotRoundTrips) {
+  TempDir tmp("roundtrip");
+  const WorkerSnapshot snap = sample_snapshot();
+  ASSERT_TRUE(write_worker_snapshot(tmp.str(), snap));
+
+  const std::vector<WorkerSnapshot> back = read_worker_snapshots(tmp.str());
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].pid, snap.pid);
+  EXPECT_EQ(back[0].trace_id, snap.trace_id);
+  EXPECT_EQ(back[0].engine, snap.engine);
+  EXPECT_EQ(back[0].shards_claimed, snap.shards_claimed);
+  EXPECT_EQ(back[0].shards_done, snap.shards_done);
+  EXPECT_EQ(back[0].combinations, snap.combinations);
+  EXPECT_DOUBLE_EQ(back[0].rate, snap.rate);
+  EXPECT_EQ(back[0].rss_bytes, snap.rss_bytes);
+  EXPECT_DOUBLE_EQ(back[0].live_nodes, snap.live_nodes);
+  // Freshly written: the mtime-derived staleness is near zero.
+  EXPECT_GE(back[0].age_seconds, 0.0);
+  EXPECT_LT(back[0].age_seconds, 10.0);
+
+  // Rewriting (the 2-second refresh loop) keeps exactly one file per
+  // worker: same <host>-<pid>.json path, atomically replaced.
+  ASSERT_TRUE(write_worker_snapshot(tmp.str(), snap));
+  EXPECT_EQ(read_worker_snapshots(tmp.str()).size(), 1u);
+}
+
+TEST(Telemetry, ReaderSkipsCorruptAndForeignFiles) {
+  TempDir tmp("corrupt");
+  ASSERT_TRUE(write_worker_snapshot(tmp.str(), sample_snapshot()));
+  // Corrupt snapshot, a stranded tmp file and a worker trace: all ignored.
+  std::ofstream(telemetry_dir(tmp.str()) + "/other-999.json") << "{broken";
+  std::ofstream(telemetry_dir(tmp.str()) + "/x-1.json.tmp.7.0") << "{}";
+  std::ofstream(telemetry_dir(tmp.str()) + "/trace-h-1.json")
+      << "{\"traceEvents\":[]}";
+  EXPECT_EQ(read_worker_snapshots(tmp.str()).size(), 1u);
+  // No telemetry directory at all: an empty read, not an error.
+  TempDir empty("empty");
+  EXPECT_TRUE(read_worker_snapshots(empty.str()).empty());
+}
+
+TEST(Telemetry, AggregateSeparatesLiveFromStale) {
+  WorkerSnapshot live1 = sample_snapshot();
+  live1.age_seconds = 1.0;
+  WorkerSnapshot live2 = sample_snapshot();
+  live2.age_seconds = 3.0;
+  live2.rate = 1.25;
+  WorkerSnapshot dead = sample_snapshot();
+  dead.age_seconds = 120.0;
+  dead.rate = 1e9;  // must not pollute the live aggregate
+
+  const FleetStatus fleet =
+      aggregate_fleet({live1, live2, dead}, /*combinations_remaining=*/1000);
+  EXPECT_EQ(fleet.live_workers, 2u);
+  EXPECT_EQ(fleet.stale_workers, 1u);
+  EXPECT_EQ(fleet.shards_claimed, live1.shards_claimed * 2);
+  EXPECT_EQ(fleet.shards_done, live1.shards_done * 2);
+  EXPECT_DOUBLE_EQ(fleet.rate, live1.rate + live2.rate);
+  EXPECT_EQ(fleet.rss_bytes, live1.rss_bytes * 2);
+  EXPECT_DOUBLE_EQ(fleet.live_nodes, live1.live_nodes * 2);
+  EXPECT_DOUBLE_EQ(fleet.eta_seconds, 1000.0 / (live1.rate + live2.rate));
+}
+
+TEST(Telemetry, AggregateWithNoRateHasUnknownEta) {
+  WorkerSnapshot idle = sample_snapshot();
+  idle.age_seconds = 0.0;
+  idle.rate = 0.0;
+  const FleetStatus fleet = aggregate_fleet({idle}, 1000);
+  EXPECT_EQ(fleet.live_workers, 1u);
+  EXPECT_DOUBLE_EQ(fleet.eta_seconds, -1.0);
+  const FleetStatus none = aggregate_fleet({}, 1000);
+  EXPECT_EQ(none.live_workers, 0u);
+  EXPECT_DOUBLE_EQ(none.eta_seconds, -1.0);
+}
+
+TEST(TraceStitch, MergesWorkersIntoOnePerfettoTrace) {
+  TempDir tmp("stitch");
+  // Worker A: no process_name row — the stitcher must synthesize one.
+  write_trace_file(
+      tmp.str(), "trace-h-111.json",
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"ph\":\"X\",\"pid\":111,\"tid\":0,\"name\":\"scan\",\"ts\":1.0,"
+      "\"dur\":5.0}"
+      "],\"otherData\":{\"trace_id\":\"aaaabbbbccccdddd\"}}");
+  // Worker B: carries its own process_name metadata.
+  write_trace_file(
+      tmp.str(), "trace-h-222.json",
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"ph\":\"M\",\"pid\":222,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"sani scan worker 222\"}},"
+      "{\"ph\":\"X\",\"pid\":222,\"tid\":0,\"name\":\"claim\",\"ts\":2.0,"
+      "\"dur\":1.0}"
+      "],\"otherData\":{\"trace_id\":\"aaaabbbbccccdddd\"}}");
+
+  std::string trace_id;
+  const std::string merged = stitch_traces(tmp.str(), &trace_id);
+  EXPECT_EQ(trace_id, "aaaabbbbccccdddd");
+
+  auto v = json::parse(merged);
+  EXPECT_EQ(v->at("displayTimeUnit").str, "ms");
+  EXPECT_EQ(v->at("otherData").at("trace_id").str, "aaaabbbbccccdddd");
+  int spans = 0;
+  bool named_111 = false, named_222 = false;
+  for (const auto& e : v->at("traceEvents").arr) {
+    if (e->at("ph").str == "X") ++spans;
+    if (e->at("ph").str == "M" && e->at("name").str == "process_name") {
+      const double pid = e->at("pid").num;
+      if (pid == 111.0) named_111 = true;
+      if (pid == 222.0) {
+        named_222 = true;
+        EXPECT_EQ(e->at("args").at("name").str, "sani scan worker 222");
+      }
+    }
+  }
+  EXPECT_EQ(spans, 2) << "both workers' spans must survive the merge";
+  EXPECT_TRUE(named_111) << "synthesized process row for the unnamed worker";
+  EXPECT_TRUE(named_222);
+}
+
+TEST(TraceStitch, RefusesMixedJobsAndEmptyDirs) {
+  TempDir tmp("mixed");
+  EXPECT_THROW(stitch_traces(tmp.str()), std::runtime_error);
+  write_trace_file(tmp.str(), "trace-h-1.json",
+                   "{\"traceEvents\":[],\"otherData\":{\"trace_id\":\"a1\"}}");
+  write_trace_file(tmp.str(), "trace-h-2.json",
+                   "{\"traceEvents\":[],\"otherData\":{\"trace_id\":\"b2\"}}");
+  EXPECT_THROW(stitch_traces(tmp.str()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sani::store

@@ -16,7 +16,13 @@
 //                 # claim-and-run shards of an existing scan directory
 //                 # (N cooperating processes; crash-safe)
 //   sani scan     --finalize DIR   # merge checkpoints -> canonical report
-//   sani scan     --status DIR     # manifest state (done/claimed/reclaims)
+//   sani scan     --status DIR     # manifest state + live fleet snapshot
+//   sani top      DIR [--interval S] [--once]
+//                 # auto-refreshing fleet view of a scan directory: one row
+//                 # per live worker (shards, rate, rss, live DD nodes), ETA
+//   sani trace-stitch DIR [--out FILE]
+//                 # merge every worker's Chrome trace under DIR into one
+//                 # Perfetto-loadable file sharing the scan's trace id
 //   sani uniform  (--file g.ilang | --gadget ti-1)
 //   sani stats    (--file g.ilang | --gadget keccak-2) [--store DIR]
 //   sani emit     --gadget isw-2                  # print annotated ILANG
@@ -25,6 +31,10 @@
 // Exit code: 0 = secure/uniform, 1 = insecure/non-uniform, 2 = timeout,
 // 64 = usage error.
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -37,12 +47,14 @@
 #include "gadgets/registry.h"
 #include "util/cli.h"
 #include "obs/clock.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "store/cached_verify.h"
 #include "store/scan.h"
 #include "store/store.h"
+#include "store/telemetry.h"
 #include "verify/backends/registry.h"
 #include "verify/engine.h"
 #include "verify/partial.h"
@@ -56,7 +68,8 @@ namespace {
 int usage(const std::string& msg = "") {
   if (!msg.empty()) std::cerr << "error: " << msg << "\n";
   std::cerr <<
-      "usage: sani <verify|scan|uniform|stats|emit|list> [options]\n"
+      "usage: sani "
+      "<verify|scan|top|trace-stitch|uniform|stats|emit|list> [options]\n"
       "  --file PATH | --gadget NAME    circuit to analyse\n"
       "  --notion probing|ni|sni|pini   security notion (default sni)\n"
       "  --order D                      number of observations (default:\n"
@@ -88,7 +101,16 @@ int usage(const std::string& msg = "") {
       "                                 the run (load in ui.perfetto.dev)\n"
       "  --progress                     live progress meter on stderr\n"
       "                                 (auto-silenced when not a TTY)\n"
-      "  --metrics-out FILE             write the metrics registry as JSON\n"
+      "  --metrics-out FILE             write the metrics registry to FILE\n"
+      "  --metrics-format json|prom     metrics rendering: JSON (default)\n"
+      "                                 or Prometheus text exposition 0.0.4\n"
+      "                                 (also switches the `sani stats`\n"
+      "                                 metrics block on stdout)\n"
+      "  --journal FILE                 append structured NDJSON event\n"
+      "                                 records (plan, claims, quarantines,\n"
+      "                                 worker lifecycle) to FILE\n"
+      "  --journal-max-bytes N          rotate the journal past N bytes\n"
+      "                                 (default 8 MiB)\n"
       "  --store DIR                    content-addressed artifact store:\n"
       "                                 warm-start the prepared basis from\n"
       "                                 DIR, or build and persist it\n"
@@ -120,7 +142,16 @@ int usage(const std::string& msg = "") {
       "                                 shard and running it (crash tests)\n"
       "  --max-shards N                 checkpoint at most N shards, then\n"
       "                                 exit (0 = run until drained)\n"
-      "  --shard-size N                 fixed combinations per shard\n";
+      "  --shard-size N                 fixed combinations per shard\n"
+      "  --telemetry-interval S         per-worker snapshot refresh period\n"
+      "                                 (default 2; 0 disables snapshots)\n"
+      "top options:\n"
+      "  --interval S                   refresh period (default 2)\n"
+      "  --once                         print one frame and exit (implied\n"
+      "                                 when stdout is not a TTY)\n"
+      "trace-stitch options:\n"
+      "  --out FILE                     write the merged trace to FILE\n"
+      "                                 instead of stdout\n";
   return 64;
 }
 
@@ -199,6 +230,94 @@ verify::VerifyOptions options_from(const CliArgs& args) {
   return opt;
 }
 
+/// --journal / --journal-max-bytes.  `echo` additionally mirrors every
+/// record to stderr as the classic one-line operator messages, so commands
+/// that used to print ad-hoc status lines keep doing so through the
+/// journal.
+void configure_journal(const CliArgs& args, bool echo) {
+  obs::Journal::Options jopts;
+  jopts.path = args.value_or("journal", "");
+  if (auto cap = args.value("journal-max-bytes"))
+    jopts.max_bytes = std::stoull(*cap);
+  jopts.echo_stderr = echo;
+  obs::Journal::instance().configure(jopts);
+}
+
+/// --metrics-format: "json" (default) or "prom".
+bool prom_metrics(const CliArgs& args) {
+  const std::string fmt = args.value_or("metrics-format", "json");
+  if (fmt == "prom") return true;
+  if (fmt == "json") return false;
+  throw std::invalid_argument("unknown metrics format '" + fmt +
+                              "' (expected json or prom)");
+}
+
+std::string fmt1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 30))
+    std::snprintf(buf, sizeof buf, "%.1f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(1ull << 30));
+  else if (bytes >= (1ull << 20))
+    std::snprintf(buf, sizeof buf, "%.1f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(1ull << 20));
+  else if (bytes >= (1ull << 10))
+    std::snprintf(buf, sizeof buf, "%.1f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(1ull << 10));
+  else
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::string human_eta(double seconds) {
+  if (seconds < 0) return "unknown";
+  if (seconds >= 3600) return fmt1(seconds / 3600) + "h";
+  if (seconds >= 60) return fmt1(seconds / 60) + "m";
+  return fmt1(seconds) + "s";
+}
+
+/// In-flight lease ages (claimed shards, from claim-file mtimes): the
+/// at-a-glance answer to "is some worker sitting on a stale claim?".
+void render_leases(std::ostream& os, const store::ScanDir::Status& st) {
+  if (st.claim_ages.empty()) return;
+  os << "  leases:";
+  for (const auto& ca : st.claim_ages)
+    os << " shard " << ca.index << " (" << fmt1(ca.age_seconds) << "s)";
+  os << "; oldest " << fmt1(st.oldest_claim_age) << "s\n";
+}
+
+/// The live-fleet block shared by `sani top`, `scan --status` and
+/// `stats --scan`: an aggregate line (rate, rss, DD nodes, ETA) plus one
+/// row per worker snapshot.  Prints nothing for pre-telemetry scan dirs.
+void render_fleet(std::ostream& os, const std::string& dir,
+                  std::uint64_t combinations_remaining) {
+  const auto snaps = store::read_worker_snapshots(dir);
+  if (snaps.empty()) return;
+  const store::FleetStatus fleet =
+      store::aggregate_fleet(snaps, combinations_remaining);
+  os << "  workers: " << fleet.live_workers << " live, "
+     << fleet.stale_workers << " stale; " << fmt1(fleet.rate)
+     << " comb/s, rss " << human_bytes(fleet.rss_bytes) << ", "
+     << static_cast<std::uint64_t>(fleet.live_nodes)
+     << " live nodes; ETA " << human_eta(fleet.eta_seconds) << "\n";
+  for (const auto& s : snaps) {
+    const bool stale = s.age_seconds > 15.0;
+    os << "    pid " << s.pid << "@" << s.host << (stale ? " [stale]" : "")
+       << ": " << s.shards_done << " done / " << s.shards_claimed
+       << " claimed, " << s.combinations << " comb @ " << fmt1(s.rate)
+       << "/s, rss " << human_bytes(s.rss_bytes) << ", nodes "
+       << static_cast<std::uint64_t>(s.live_nodes) << ", up "
+       << fmt1(s.uptime_seconds) << "s, age " << fmt1(s.age_seconds)
+       << "s (" << s.engine << ")\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,8 +326,74 @@ int main(int argc, char** argv) {
   CliArgs args(argc - 1, argv + 1);
 
   try {
+    // `scan` routes its operator one-liners through the journal's stderr
+    // echo (structured and human-readable stay in sync); every other
+    // command journals only when --journal is passed.
+    configure_journal(args, /*echo=*/cmd == "scan");
+
     if (cmd == "list") {
       for (const auto& name : gadgets::all_names()) std::cout << name << "\n";
+      return 0;
+    }
+    if (cmd == "top") {
+      std::string dir = args.value_or("scan", "");
+      if (dir.empty() && !args.positionals().empty())
+        dir = args.positionals().front();
+      if (dir.empty()) return usage("top needs a scan directory");
+      const double interval = args.value_double("interval", 2.0);
+      const bool tty = ::isatty(STDOUT_FILENO) != 0;
+      const bool once = args.has("once") || !tty;
+      for (;;) {
+        // Reopen per frame: the manifest is immutable but claims,
+        // checkpoints and snapshots all move underneath us.
+        const store::ScanDir scan = store::ScanDir::open(dir);
+        const store::ScanDir::Status st = scan.status();
+        const store::ScanManifest& man = scan.manifest();
+        const std::uint64_t total = man.total_combinations();
+        const std::uint64_t remaining =
+            st.combinations_done < total ? total - st.combinations_done : 0;
+        std::ostringstream frame;
+        frame << man.label
+              << (man.trace_id.empty() ? std::string()
+                                       : " [job " + man.trace_id + "]")
+              << ": " << st.done << "/" << scan.shard_count()
+              << " shards done, " << st.claimed << " claimed, " << st.planned
+              << " unclaimed; " << st.combinations_done << "/" << total
+              << " combinations\n";
+        render_leases(frame, st);
+        render_fleet(frame, dir, remaining);
+        if (!once) std::cout << "\x1b[H\x1b[2J";  // home + clear-to-end
+        std::cout << frame.str() << std::flush;
+        if (once) return 0;
+        if (st.done == scan.shard_count()) {
+          std::cout << "scan drained\n";
+          return 0;
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+      }
+    }
+    if (cmd == "trace-stitch") {
+      std::string dir = args.value_or("scan", "");
+      if (dir.empty() && !args.positionals().empty())
+        dir = args.positionals().front();
+      if (dir.empty()) return usage("trace-stitch needs a scan directory");
+      std::string trace_id;
+      const std::string merged = store::stitch_traces(dir, &trace_id);
+      const std::string out_path = args.value_or("out", "");
+      if (out_path.empty()) {
+        std::cout << merged;
+        return 0;
+      }
+      std::ofstream out(out_path, std::ios::binary);
+      out << merged;
+      if (!out) {
+        std::cerr << "error: cannot write " << out_path << "\n";
+        return 1;
+      }
+      std::cerr << "trace-stitch: wrote " << out_path
+                << (trace_id.empty() ? std::string()
+                                     : " (job " + trace_id + ")")
+                << "\n";
       return 0;
     }
 
@@ -235,6 +420,12 @@ int main(int argc, char** argv) {
                   << st.reclaims << " reclaims\n";
         std::cout << "  checkpoints: " << st.checkpoint_bytes << " bytes, "
                   << st.combinations_done << " combinations covered\n";
+        render_leases(std::cout, st);
+        const std::uint64_t total = man.total_combinations();
+        render_fleet(std::cout, *scan_path,
+                     st.combinations_done < total
+                         ? total - st.combinations_done
+                         : 0);
         auto& metrics = obs::Metrics::instance();
         metrics.counter("scan.shards_planned")
             .set(static_cast<std::uint64_t>(scan.shard_count()));
@@ -243,7 +434,11 @@ int main(int argc, char** argv) {
         metrics.counter("scan.shards_reclaimed").set(st.reclaims);
         metrics.counter("scan.checkpoint_bytes").set(st.checkpoint_bytes);
         metrics.counter("scan.combinations_done").set(st.combinations_done);
-        std::cout << "  metrics:\n" << metrics.to_text("    ");
+        metrics.gauge("scan.oldest_claim_age").set(st.oldest_claim_age);
+        if (prom_metrics(args))
+          std::cout << metrics.dump_prometheus();
+        else
+          std::cout << "  metrics:\n" << metrics.to_text("    ");
         return 0;
       }
       circuit::Gadget g = load(args, &label);
@@ -322,7 +517,10 @@ int main(int argc, char** argv) {
       metrics.counter("dd.nodes").set(circuit::unfolding_size(u));
       metrics.counter("dd.vars")
           .set(static_cast<std::uint64_t>(u.vars.num_vars));
-      metrics.counter("dd.live_nodes").set(live);
+      // A gauge, not a counter: the DD manager publishes the same name at
+      // gc boundaries (src/dd/manager.cpp) and the two kinds share one
+      // rendered namespace.
+      metrics.gauge("dd.live_nodes").set(static_cast<double>(live));
       metrics.counter("dd.peak_nodes").set(m.peak_nodes);
       metrics.counter("dd.cache_hits").set(m.cache_hits);
       metrics.counter("dd.cache_misses").set(m.cache_misses);
@@ -330,7 +528,10 @@ int main(int argc, char** argv) {
       metrics.counter("dd.gc_runs").set(m.gc_runs);
       metrics.counter("dd.arena_bytes").set(u.manager->arena_bytes());
       metrics.counter("dd.cache_bytes").set(u.manager->cache_bytes());
-      std::cout << "  metrics:\n" << metrics.to_text("    ");
+      if (prom_metrics(args))
+        std::cout << metrics.dump_prometheus();
+      else
+        std::cout << "  metrics:\n" << metrics.to_text("    ");
       return 0;
     }
     if (cmd == "uniform") {
@@ -420,7 +621,10 @@ int main(int argc, char** argv) {
       if (!metrics_path.empty()) {
         verify::export_metrics(opt, r, seconds);
         std::ofstream out(metrics_path);
-        out << obs::Metrics::instance().to_json() << "\n";
+        if (prom_metrics(args))
+          out << obs::Metrics::instance().dump_prometheus();
+        else
+          out << obs::Metrics::instance().to_json() << "\n";
         if (!out)
           std::cerr << "warning: cannot write metrics to " << metrics_path
                     << "\n";
@@ -461,6 +665,8 @@ int main(int argc, char** argv) {
         wo.throttle_seconds = args.value_double("throttle", 0.0);
         wo.max_shards =
             static_cast<std::uint64_t>(args.value_int("max-shards", 0));
+        wo.telemetry_interval_seconds =
+            args.value_double("telemetry-interval", 2.0);
         if (auto e = args.value("engine")) {
           if (*e == "auto")
             wo.engine = verify::EngineKind::kAuto;  // = manifest's engine
@@ -471,6 +677,36 @@ int main(int argc, char** argv) {
             throw std::invalid_argument("unknown engine '" + *e + "'");
         }
         return wo;
+      };
+      // --trace in scan mode: the worker's Chrome trace carries the scan's
+      // shared trace id and this process's identity, and always lands in
+      // telemetry/trace-<host>-<pid>.json so `sani trace-stitch` can merge
+      // the fleet; an explicit FILE gets a copy.
+      const bool tracing = args.has("trace");
+      const std::string trace_out = args.value_or("trace", "");
+      const auto start_trace = [&](const store::ScanDir& scan) {
+        if (!tracing) return;
+        obs::Tracer& tracer = obs::Tracer::instance();
+        tracer.set_trace_id(scan.manifest().trace_id);
+        tracer.set_process_label("sani scan worker " +
+                                 std::to_string(::getpid()));
+        tracer.start();
+      };
+      const auto finish_trace = [&](const std::string& dir) {
+        if (!tracing) return;
+        obs::Tracer& tracer = obs::Tracer::instance();
+        tracer.stop();
+        std::error_code ec;
+        std::filesystem::create_directories(store::telemetry_dir(dir), ec);
+        const std::string worker_path = store::worker_trace_path(dir);
+        if (!tracer.write_json(worker_path))
+          std::cerr << "warning: cannot write trace to " << worker_path
+                    << "\n";
+        if (!trace_out.empty() && !tracer.write_json(trace_out))
+          std::cerr << "warning: cannot write trace to " << trace_out << "\n";
+        if (tracer.dropped() > 0)
+          std::cerr << "warning: trace ring wrapped, " << tracer.dropped()
+                    << " events dropped\n";
       };
       // The finalized report renders under the manifest's canonical options
       // (resolved engine, notion, order): byte-identical to `sani verify
@@ -508,6 +744,12 @@ int main(int argc, char** argv) {
                   << " reclaims; " << st.checkpoint_bytes
                   << " checkpoint bytes; " << st.combinations_done << "/"
                   << man.total_combinations() << " combinations\n";
+        render_leases(std::cout, st);
+        const std::uint64_t total = man.total_combinations();
+        render_fleet(std::cout, *dir,
+                     st.combinations_done < total
+                         ? total - st.combinations_done
+                         : 0);
         return 0;
       }
       if (auto dir = args.value("resume")) {
@@ -518,20 +760,21 @@ int main(int argc, char** argv) {
         prog_options.use_stderr = obs::Progress::stderr_is_tty();
         obs::Progress progress(prog_options);
         if (args.has("progress")) wo.progress = &progress;
-        const store::WorkerOutcome out =
-            store::run_scan_worker(scan, artifacts.get(), wo);
-        std::cerr << "scan: " << out.shards_done << " shards checkpointed ("
-                  << out.shards_reclaimed << " reclaimed), "
-                  << out.combinations << " combinations; "
-                  << (out.drained ? "drained" : "not drained") << "\n";
+        start_trace(scan);
+        // The worker's journal events (worker_start / worker_done) carry
+        // the per-run summary; the echo sink keeps it on stderr.
+        store::run_scan_worker(scan, artifacts.get(), wo);
+        finish_trace(*dir);
         return 0;
       }
       if (auto dir = args.value("finalize")) {
         store::ScanDir scan = store::ScanDir::open(*dir);
         const auto artifacts = open_store(store_root_for(*dir));
         Stopwatch watch;
+        start_trace(scan);
         const verify::VerifyResult r =
             store::finalize_scan(scan, artifacts.get());
+        finish_trace(*dir);
         return render(scan, r, watch.seconds());
       }
 
@@ -549,12 +792,13 @@ int main(int argc, char** argv) {
       store::PlanOutcome plan;
       store::ScanDir scan =
           store::plan_scan(g, label, opt, *artifacts, hint, &plan);
-      std::cerr << "scan: " << (plan.resumed ? "reopened" : "planned") << " "
-                << scan.shard_count() << " shards in " << plan.dir
-                << (plan.basis_hit
-                        ? " (basis hit)"
-                        : plan.basis_saved ? " (basis saved)" : "")
-                << "\n";
+      obs::Journal::instance().info(
+          "scan", plan.resumed ? "reopened" : "planned",
+          {{"shards", static_cast<std::uint64_t>(scan.shard_count())},
+           {"dir", plan.dir},
+           {"trace_id", scan.manifest().trace_id},
+           {"basis", plan.basis_hit ? "hit"
+                                    : plan.basis_saved ? "saved" : "cold"}});
       if (args.has("plan-only")) {
         std::cout << plan.dir << "\n";
         return 0;
@@ -571,16 +815,20 @@ int main(int argc, char** argv) {
       obs::Progress progress(prog_options);
       if (args.has("progress")) wo.progress = &progress;
       Stopwatch watch;
+      start_trace(scan);
       const store::WorkerOutcome out =
           store::run_scan_worker(scan, artifacts.get(), wo);
       if (!out.drained) {
-        std::cerr << "scan: stopped after " << out.shards_done
-                  << " shards; resume with: sani scan --resume " << plan.dir
-                  << "\n";
+        obs::Journal::instance().warn(
+            "scan", "stopped",
+            {{"shards", out.shards_done},
+             {"resume", "sani scan --resume " + plan.dir}});
+        finish_trace(plan.dir);
         return 2;
       }
       const verify::VerifyResult r =
           store::finalize_scan(scan, artifacts.get(), plan.basis, &assembler);
+      finish_trace(plan.dir);
       return render(scan, r, watch.seconds());
     }
     return usage("unknown command '" + cmd + "'");

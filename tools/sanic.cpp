@@ -9,7 +9,7 @@
 //
 // Usage:
 //   sanic --socket PATH (--gadget NAME | --file PATH) [verify options]
-//   sanic --socket PATH --stats | --ping | --shutdown
+//   sanic --socket PATH --stats | --ping | --metrics | --shutdown
 //
 // Exit code: the sani convention for verify (0 secure, 1 insecure, 2
 // timeout); 3 on daemon-reported errors, 64 on usage/connection errors.
@@ -36,7 +36,8 @@ int usage(const std::string& msg = "") {
   std::cerr
       << "usage: sanic --socket PATH (--gadget NAME | --file PATH) "
          "[options]\n"
-         "       sanic --socket PATH --stats | --ping | --shutdown\n"
+         "       sanic --socket PATH --stats | --ping | --metrics | "
+         "--shutdown\n"
          "  verify options (mirroring sani): --notion NAME --order D\n"
          "  --engine NAME --robust --joint --no-union --time-limit S\n"
          "  --jobs N --memo N --cache-bits N --var-order NAME --sift\n"
@@ -141,11 +142,12 @@ int main(int argc, char** argv) {
   if (socket_path.empty()) return usage("--socket is required");
 
   std::string request;
-  const bool one_frame_op =
-      args.has("stats") || args.has("ping") || args.has("shutdown");
+  const bool one_frame_op = args.has("stats") || args.has("ping") ||
+                            args.has("metrics") || args.has("shutdown");
   try {
     if (args.has("stats")) request = "{\"op\":\"stats\"}\n";
     else if (args.has("ping")) request = "{\"op\":\"ping\"}\n";
+    else if (args.has("metrics")) request = "{\"op\":\"metrics\"}\n";
     else if (args.has("shutdown")) request = "{\"op\":\"shutdown\"}\n";
     else request = build_verify_request(args);
   } catch (const std::exception& e) {
@@ -197,6 +199,13 @@ int main(int argc, char** argv) {
                                                             : "miss"))
                   << "\n";
       exit_code = static_cast<int>(frame->get_number("exit", 3));
+      break;
+    }
+    if (kind == "metrics") {
+      // Relay the Prometheus exposition text verbatim — a scrape bridge
+      // pipes `sanic --metrics` straight into an HTTP response body.
+      std::cout << frame->get_string("body");
+      exit_code = 0;
       break;
     }
     if (kind == "error") {

@@ -9,6 +9,7 @@
 // Usage:
 //   sanid --socket PATH [--store DIR] [--store-max-bytes N]
 //         [--queue-capacity N] [--executors N]
+//         [--journal FILE] [--journal-max-bytes N]
 //
 // Shutdown: SIGTERM/SIGINT, or a client's {"op":"shutdown"} — both drain
 // cleanly (queued jobs answered with an error frame, running jobs
@@ -20,6 +21,7 @@
 #include <thread>
 
 #include "daemon/server.h"
+#include "obs/journal.h"
 #include "util/cli.h"
 
 using namespace sani;
@@ -36,7 +38,11 @@ int usage(const std::string& msg = "") {
          "  --store-max-bytes N      LRU-evict the store to N bytes (0 = "
          "unbounded)\n"
          "  --queue-capacity N       admission queue bound (default 64)\n"
-         "  --executors N            concurrent jobs (default 2)\n";
+         "  --executors N            concurrent jobs (default 2)\n"
+         "  --journal FILE           append NDJSON event records (accepted,\n"
+         "                           completed, job_failed, lifecycle) here\n"
+         "  --journal-max-bytes N    rotate the journal past N bytes "
+         "(default 8 MiB)\n";
   return 64;
 }
 
@@ -55,6 +61,15 @@ int main(int argc, char** argv) {
   options.executors = args.value_int("executors", 2);
   if (options.executors < 1) return usage("--executors must be >= 1");
 
+  // The journal always echoes to stderr so operators keep the one-line
+  // lifecycle messages; --journal additionally persists structured NDJSON.
+  obs::Journal::Options jopts;
+  jopts.path = args.value_or("journal", "");
+  if (auto cap = args.value("journal-max-bytes"))
+    jopts.max_bytes = std::stoull(*cap);
+  jopts.echo_stderr = true;
+  obs::Journal::instance().configure(jopts);
+
   // Route SIGTERM/SIGINT through a dedicated sigwait thread: every server
   // thread inherits the blocked mask, so signals never interrupt a job
   // mid-flight — they turn into the same graceful request_stop() a client
@@ -72,11 +87,12 @@ int main(int argc, char** argv) {
     std::cerr << "sanid: " << e.what() << "\n";
     return 1;
   }
-  std::cerr << "sanid: listening on " << server.socket_path()
-            << (options.store_dir.empty()
-                    ? std::string(" (no store)")
-                    : " (store " + options.store_dir + ")")
-            << "\n";
+  obs::Journal::instance().info(
+      "sanid", "listening",
+      {{"socket", server.socket_path()},
+       {"store", options.store_dir.empty() ? std::string("(none)")
+                                           : options.store_dir},
+       {"executors", options.executors}});
 
   std::thread([&server, sigs] {
     int sig = 0;
@@ -86,6 +102,7 @@ int main(int argc, char** argv) {
 
   server.wait_for_stop();
   server.stop();
-  std::cerr << "sanid: stopped\n";
+  obs::Journal::instance().info("sanid", "stopped");
+  obs::Journal::instance().close();
   return 0;
 }
